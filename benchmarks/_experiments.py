@@ -1,0 +1,60 @@
+"""Shared plumbing for the benchmark harness.
+
+The experiment computations themselves live in :mod:`repro.experiments`
+(the figure/table benches call :func:`repro.experiments.run_experiment`
+directly); this module supplies what only the harness needs — the common
+seed, cached access to the evaluation datasets for the ablation benches,
+report emission to both the terminal and ``benchmarks/results/``, and a
+grid-thinning helper for readable text series.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.experiments.data import coherence, dataset, pca, sweep, table1_row
+
+SEED = 0
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+__all__ = [
+    "SEED",
+    "coherence_analysis",
+    "dataset",
+    "emit",
+    "pca",
+    "subsample_grid",
+    "sweep",
+    "table1_row",
+]
+
+
+def coherence_analysis(name: str, scale: bool):
+    """Cached coherence analysis (library cache, seed = SEED)."""
+    return coherence(name, scale, SEED)
+
+
+def subsample_grid(dims: np.ndarray, max_points: int = 24) -> np.ndarray:
+    """Thin a dense dimensionality grid for readable text reports."""
+    if dims.size <= max_points:
+        return dims
+    picks = np.unique(
+        np.round(np.linspace(0, dims.size - 1, max_points)).astype(int)
+    )
+    return dims[picks]
+
+
+def emit(report: str, name: str, capsys) -> None:
+    """Print a report to the real terminal and persist it to results/."""
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(_RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(report + "\n")
+    if capsys is None:
+        print(report)
+        return
+    with capsys.disabled():
+        print()
+        print(report)

@@ -1,0 +1,26 @@
+"""Ablation — the full baseline family at matched component budgets.
+
+Coherence-ordered PCA vs eigenvalue-ordered PCA vs truncated SVD vs
+Gaussian random projection, on the clean ionosphere and on noisy A.
+"""
+
+import _experiments as exp
+from repro.experiments import run_experiment
+
+
+def test_ablation_baselines(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_experiment("abl-baselines", seed=exp.SEED), rounds=1, iterations=1
+    )
+    report = result.report + (
+        "\nexpected: orderings tie on clean data; on noisy data only the "
+        "coherence ordering avoids the planted noise; random projection "
+        "tracks (noisy) full-dimensional quality"
+    )
+    exp.emit(report, "ablation_baselines", capsys)
+
+    clean, noisy = result.data["rows"]
+    assert abs(clean[2] - clean[3]) < 0.06
+    assert noisy[2] > noisy[3] + 0.15
+    assert noisy[2] > noisy[4] + 0.15
+    assert noisy[2] > noisy[5] + 0.15

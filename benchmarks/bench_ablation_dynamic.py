@@ -1,0 +1,24 @@
+"""Ablation — dynamic reduction under distribution drift (ref [17]).
+
+Stream a concept dataset, switch the generator mid-stream, and compare a
+static frozen reducer against the drift-monitored dynamic reducer on the
+post-drift data.
+"""
+
+import _experiments as exp
+from repro.experiments import run_experiment
+
+
+def test_ablation_dynamic(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_experiment("abl-dynamic", seed=exp.SEED), rounds=1, iterations=1
+    )
+    report = result.report + (
+        "\nexpected: exactly one initial fit while stationary; the drift "
+        "triggers refits and restores quality the frozen basis loses"
+    )
+    exp.emit(report, "ablation_dynamic", capsys)
+
+    assert result.data["refits_before_drift"] == 1
+    assert result.data["refits_total"] > result.data["refits_before_drift"]
+    assert result.data["dynamic"] > result.data["static"] + 0.1

@@ -1,0 +1,20 @@
+"""Ablation — cyclic Jacobi vs LAPACK eigensolver.
+
+The from-scratch Jacobi solver exists as an independent cross-check on
+the numerical substrate: identical spectra, much slower — the price of a
+60-line solver, not a correctness issue.
+"""
+
+import _experiments as exp
+from repro.experiments import run_experiment
+
+
+def test_ablation_eigensolver(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_experiment("abl-eigensolver", seed=exp.SEED), rounds=1, iterations=1
+    )
+    report = result.report + "\nexpected: identical spectra; Jacobi much slower"
+    exp.emit(report, "ablation_eigensolver", capsys)
+
+    assert result.data["spectrum_gap"] < 1e-9
+    assert result.data["trace_gap"] < 1e-9

@@ -1,0 +1,28 @@
+"""Ablation — fractional distance metrics vs dimensionality (ref [1]).
+
+Smaller Minkowski exponents degrade more slowly under the
+dimensionality curse; all exponents collapse as d grows, L_inf fastest.
+"""
+
+import _experiments as exp
+from repro.experiments import run_experiment
+
+
+def test_ablation_fractional_metrics(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_experiment("abl-fractional", seed=exp.SEED), rounds=1, iterations=1
+    )
+    report = result.report + (
+        "\npaper-family shape (ICDT 2001, ref [1]): at every "
+        "dimensionality, smaller p keeps more contrast; all exponents "
+        "collapse as d grows, L_inf fastest"
+    )
+    exp.emit(report, "ablation_fractional_metrics", capsys)
+
+    rows = result.data["rows"]
+    for row in rows:
+        d, frac, manhattan, euclidean, chebyshev = row
+        if d >= 10:
+            assert frac > manhattan > euclidean > chebyshev
+    for column in range(1, 5):
+        assert rows[0][column] > rows[-1][column]

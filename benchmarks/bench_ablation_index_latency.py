@@ -1,0 +1,88 @@
+"""Ablation — wall-clock query cost across the index family.
+
+The pruning-fraction bench counts logical work; this one times actual
+queries for every index in the library, on the musk-like data at full
+dimensionality and after coherence reduction.  pytest-benchmark's table
+carries the headline timing; the report records per-index microseconds
+per query so the speedup of "reduce, then index" is visible next to the
+structural statistics.
+
+No timing assertions (wall-clock is machine-dependent); the assertions
+check only result-consistency across indexes.
+"""
+
+import time
+
+import numpy as np
+
+import _experiments as exp
+from repro.core.reducer import CoherenceReducer
+from repro.evaluation.reporting import format_table
+from repro.search.bruteforce import BruteForceIndex
+from repro.search.idistance import IDistanceIndex
+from repro.search.kdtree import KdTreeIndex
+from repro.search.pyramid import PyramidIndex
+from repro.search.rtree import RTreeIndex
+from repro.search.vafile import VAFileIndex
+
+_FAMILIES = [
+    ("brute force", BruteForceIndex),
+    ("kd-tree", KdTreeIndex),
+    ("R-tree", RTreeIndex),
+    ("VA-file", VAFileIndex),
+    ("pyramid", PyramidIndex),
+    ("iDistance", IDistanceIndex),
+]
+
+
+def _time_queries(index, queries, k=3):
+    start = time.perf_counter()
+    results = [index.query(q, k=k) for q in queries]
+    elapsed = time.perf_counter() - start
+    return elapsed / len(queries) * 1e6, results  # microseconds per query
+
+
+def _run():
+    data = exp.dataset("musk")
+    rng = np.random.default_rng(exp.SEED)
+    query_rows = rng.choice(data.n_samples, size=30, replace=False)
+
+    representations = {
+        "full 166d": exp.pca("musk", True).transform(data.features),
+        "reduced 13d": CoherenceReducer(
+            n_components=13, ordering="coherence", scale=True
+        ).fit_transform(data.features),
+    }
+
+    rows = []
+    consistency = {}
+    for rep_name, features in representations.items():
+        queries = features[query_rows]
+        reference = None
+        for index_name, cls in _FAMILIES:
+            index = cls(features)
+            per_query_us, results = _time_queries(index, queries)
+            indices = [tuple(r.indices.tolist()) for r in results]
+            if reference is None:
+                reference = indices
+            consistency[(rep_name, index_name)] = indices == reference
+            rows.append((rep_name, index_name, per_query_us))
+    return rows, consistency
+
+
+def test_ablation_index_latency(benchmark, capsys):
+    rows, consistency = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report = format_table(
+        ["representation", "index", "microseconds / 3-NN query"],
+        rows,
+        title="Query latency across the exact-index family (musk-like, 476 points)",
+    )
+    report += (
+        "\nnote: wall-clock numbers are machine-dependent; the structural "
+        "comparison lives in bench_ablation_index_pruning"
+    )
+    exp.emit(report, "ablation_index_latency", capsys)
+
+    # Every exact index returns the brute-force answer in both spaces.
+    for key, agrees in consistency.items():
+        assert agrees, f"{key} diverged from brute force"

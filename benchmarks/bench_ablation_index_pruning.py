@@ -1,0 +1,30 @@
+"""Ablation — index pruning effectiveness vs dimensionality.
+
+Section 1.1: "the optimistic bounds used by most index structures are
+usually not sharp enough for any kind of effective pruning" in high
+dimensionality — which is exactly why aggressive reduction makes index
+structures practical again.
+"""
+
+import _experiments as exp
+from repro.experiments import run_experiment
+
+
+def test_ablation_index_pruning(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_experiment("abl-index-pruning", seed=exp.SEED),
+        rounds=1, iterations=1,
+    )
+    report = result.report + (
+        "\npaper shape: pruning collapses as dimensionality grows; "
+        "aggressive reduction restores it"
+    )
+    exp.emit(report, "ablation_index_pruning", capsys)
+
+    uniform_rows = result.data["uniform_rows"]
+    musk_rows = result.data["musk_rows"]
+    kd_low, kd_high = uniform_rows[0][1], uniform_rows[-1][1]
+    assert kd_low > 0.7
+    assert kd_high < 0.2
+    for column in range(1, 4):
+        assert musk_rows[1][column] > musk_rows[0][column]

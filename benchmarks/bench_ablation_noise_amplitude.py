@@ -1,0 +1,27 @@
+"""Ablation — corruption amplitude sweep.
+
+For small amplitudes the planted noise stays below the signal
+eigenvalues and the orderings agree; past the crossover the noise owns
+the top of the spectrum and the eigenvalue ordering starts losing badly.
+"""
+
+import _experiments as exp
+from repro.experiments import run_experiment
+
+
+def test_ablation_noise_amplitude(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_experiment("abl-amplitude", seed=exp.SEED), rounds=1, iterations=1
+    )
+    report = result.report + (
+        "\nexpected: at amplitude ~1 (noise variance below signal) the "
+        "orderings roughly agree; past the unit-variance crossover the "
+        "eigenvalue ordering's budget buys pure noise"
+    )
+    exp.emit(report, "ablation_noise_amplitude", capsys)
+
+    rows = result.data["rows"]
+    small, large = rows[0], rows[-1]
+    assert abs(small[4] - small[5]) < 0.05
+    assert large[4] > large[5] + 0.15
+    assert (large[4] - large[5]) > (small[4] - small[5])

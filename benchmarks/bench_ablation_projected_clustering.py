@@ -1,0 +1,21 @@
+"""Ablation — the Section 3.1 extension: projected clustering first.
+
+Two sub-populations whose concepts occupy disjoint subspaces: globally
+hard, locally easy.  Per-cluster reduction must beat one global basis.
+"""
+
+import _experiments as exp
+from repro.experiments import run_experiment
+
+
+def test_ablation_projected_clustering(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_experiment("abl-projected", seed=exp.SEED), rounds=1, iterations=1
+    )
+    report = result.report + (
+        "\nexpected: per-cluster reduction wins when the concepts of "
+        "different sub-populations occupy different subspaces"
+    )
+    exp.emit(report, "ablation_projected_clustering", capsys)
+
+    assert result.data["local"] > result.data["global"]

@@ -1,0 +1,21 @@
+"""Figure 4 — coherence probability per eigenvector, raw vs scaled (Musk).
+
+The paper plots the coherence probability of each eigenvector (in
+increasing order of eigenvalue) and shows that studentizing the data
+raises the coherence levels.
+"""
+
+import _experiments as exp
+from repro.experiments import run_experiment
+
+
+def test_fig04_musk_scaling(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig04", seed=exp.SEED), rounds=1, iterations=1
+    )
+    report = result.report + (
+        "\npaper shape: scaling significantly increases the coherence probability"
+    )
+    exp.emit(report, "fig04_musk_scaling", capsys)
+
+    assert result.data["lift"] > 0.0

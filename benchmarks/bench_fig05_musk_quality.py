@@ -1,0 +1,26 @@
+"""Figure 5 — quality of similarity search vs dimensions retained (Musk).
+
+Feature-stripping prediction accuracy (k = 3) against the number of
+retained eigenvalue-ordered components, scaled vs unscaled.  The paper's
+shape: the scaled curve consistently dominates, the optimum arrives at
+~13 of 166 components, and the optimum beats full dimensionality.
+"""
+
+import _experiments as exp
+from repro.experiments import run_experiment
+
+
+def test_fig05_musk_quality(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig05", seed=exp.SEED), rounds=1, iterations=1
+    )
+    report = result.report + (
+        "\npaper shape: scaled dominates; optimum ~13 of 166 and above full-dim"
+    )
+    exp.emit(report, "fig05_musk_quality", capsys)
+
+    s_dims, s_best = result.data["scaled_optimum"]
+    _, u_best = result.data["raw_optimum"]
+    assert s_best > u_best
+    assert s_best > result.data["scaled"].full_dimensional_accuracy
+    assert s_dims < 30

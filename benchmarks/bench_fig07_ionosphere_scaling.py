@@ -1,0 +1,16 @@
+"""Figure 7 — coherence probability per eigenvector, raw vs scaled (Ionosphere)."""
+
+import _experiments as exp
+from repro.experiments import run_experiment
+
+
+def test_fig07_ionosphere_scaling(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig07", seed=exp.SEED), rounds=1, iterations=1
+    )
+    report = result.report + (
+        "\npaper shape: scaling produces an axis system with higher coherence"
+    )
+    exp.emit(report, "fig07_ionosphere_scaling", capsys)
+
+    assert result.data["lift"] > 0.0

@@ -1,0 +1,24 @@
+"""Figure 11 — quality of similarity search vs dimensions (Arrhythmia).
+
+The paper: optimum at the top 10 of 279 eigenvectors; scaled quality is
+significantly better than unscaled.
+"""
+
+import _experiments as exp
+from repro.experiments import run_experiment
+
+
+def test_fig11_arrhythmia_quality(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig11", seed=exp.SEED), rounds=1, iterations=1
+    )
+    report = result.report + (
+        "\npaper shape: optimum at ~10 of 279; scaling raises quality significantly"
+    )
+    exp.emit(report, "fig11_arrhythmia_quality", capsys)
+
+    s_dims, s_best = result.data["scaled_optimum"]
+    _, u_best = result.data["raw_optimum"]
+    assert 5 <= s_dims <= 20
+    assert s_best > result.data["scaled"].full_dimensional_accuracy
+    assert s_best > u_best

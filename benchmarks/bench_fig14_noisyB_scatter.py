@@ -1,0 +1,27 @@
+"""Figure 14 — poor matching between coherence and eigenvalues (Noisy B).
+
+Noisy data set B is the arrhythmia data with ~10 informative dimensions
+replaced by amplitude-60 uniform noise.  As in Figure 12, the planted
+noise owns the top of the unscaled eigenvalue spectrum with low coherence
+probability, while the concepts sit just below it with high coherence.
+"""
+
+import _experiments as exp
+from repro.experiments import run_experiment
+
+
+def test_fig14_noisyB_scatter(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig14", seed=exp.SEED), rounds=1, iterations=1
+    )
+    report = result.report + (
+        "\npaper shape: an outlier cluster of ~10 very high eigenvalues "
+        "with little information; concepts just below it"
+    )
+    exp.emit(report, "fig14_noisyB_scatter", capsys)
+
+    cp = result.data["analysis"].coherence_probabilities
+    n_noise = result.data["n_corrupted"]
+    best = result.data["best_cp_indices"]
+    assert cp[best].min() > cp[:n_noise].max()
+    assert best.min() >= n_noise

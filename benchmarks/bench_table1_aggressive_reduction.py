@@ -1,0 +1,31 @@
+"""Table 1 — advantages of aggressive dimensionality reduction.
+
+For musk / ionosphere / arrhythmia: full-dimensional accuracy, the
+optimal accuracy and its dimensionality, and the 1%-thresholding
+baseline's accuracy and dimensionality.  The paper's shape:
+
+* optimal accuracy > threshold accuracy ~ full-dimensional accuracy;
+* optimal dimensionality << threshold dimensionality ~ full;
+* the optimum discards a large share of the variance and most of the
+  original nearest neighbors.
+"""
+
+import _experiments as exp
+from repro.experiments import run_experiment
+
+
+def test_table1_aggressive_reduction(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1", seed=exp.SEED), rounds=1, iterations=1
+    )
+    report = result.report + (
+        "\npaper shape: optimal acc > 1%-thr acc ~= full acc; optimal dims "
+        "far below 1%-thr dims (which sit near full dimensionality)"
+    )
+    exp.emit(report, "table1_aggressive_reduction", capsys)
+
+    for s in result.data["summaries"]:
+        assert s.optimal_accuracy > s.full_accuracy
+        assert s.optimal_accuracy > s.threshold_accuracy
+        assert s.optimal_dimensionality <= s.threshold_dimensionality / 2
+        assert abs(s.threshold_accuracy - s.full_accuracy) < 0.05

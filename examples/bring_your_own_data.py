@@ -1,0 +1,74 @@
+"""Running the paper's analysis on your own data files.
+
+Everything in this library runs on any UCI-layout CSV (one record per
+row, numeric features, class label in one column, ``?`` for missing
+values) — this example demonstrates the full workflow on a file:
+
+1. write a dataset to disk in that layout (standing in for your file);
+2. load it with :func:`repro.load_csv_dataset`;
+3. diagnose reducibility, pick the representation, reduce, evaluate;
+4. persist the fitted reducer so a query service can load it.
+
+The same steps are available from the shell:
+
+    repro diagnose mydata.csv
+    repro evaluate mydata.csv --ordering coherence
+    repro reduce mydata.csv -o reduced.csv
+
+Run with:  python examples/bring_your_own_data.py
+"""
+
+import os
+import tempfile
+
+from repro import (
+    CoherenceReducer,
+    diagnose_reducibility,
+    feature_stripping_accuracy,
+    load_csv_dataset,
+    noisy_dataset_a,
+)
+from repro.core import load_reducer, save_reducer
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as workdir:
+        # 1. A stand-in for "your" file: the noisy-A dataset on disk.
+        csv_path = os.path.join(workdir, "mydata.csv")
+        noisy_dataset_a(seed=0).to_csv(csv_path)
+        print(f"wrote {csv_path} ({os.path.getsize(csv_path)} bytes, "
+              f"UCI layout: features then label)")
+
+        # 2. Load it back — this is where your own file enters.
+        data = load_csv_dataset(csv_path, name="mydata")
+        print(f"loaded: {data.n_samples} records x {data.n_dims} features, "
+              f"{data.n_classes} classes")
+
+        # 3. Diagnose and reduce.  The automatic ordering reads the
+        #    coherence spectrum and picks its own cut-off.
+        diagnosis = diagnose_reducibility(data.features, scale=False)
+        print(f"diagnosis: {diagnosis.summary()}")
+        reducer = CoherenceReducer(ordering="automatic", scale=False)
+        reduced = reducer.fit_transform(data.features)
+        print(f"automatic cut-off kept {reducer.n_selected} of "
+              f"{data.n_dims} dimensions "
+              f"({reducer.retained_variance_fraction():.1%} of the variance)")
+        before = feature_stripping_accuracy(data.features, data.labels)
+        after = feature_stripping_accuracy(reduced, data.labels)
+        print(f"neighbor quality: {before:.4f} full-dimensional -> "
+              f"{after:.4f} reduced")
+
+        # 4. Ship the fitted transform to a query service.
+        model_path = os.path.join(workdir, "reducer.npz")
+        save_reducer(reducer, model_path)
+        serving = load_reducer(model_path)
+        query = serving.transform(data.features[0])
+        print(f"reloaded reducer answers queries: first row -> "
+              f"{query.shape[0]}-dimensional vector")
+    print("\nswap the stand-in CSV for a real UCI file (ionosphere.data, "
+          "musk.data, arrhythmia.data) and every number above is computed "
+          "on the paper's actual evaluation data.")
+
+
+if __name__ == "__main__":
+    main()

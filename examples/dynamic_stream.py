@@ -1,0 +1,59 @@
+"""Serving a dynamic database: streaming inserts, drift, automatic refit.
+
+A similarity index in production cannot refit PCA from scratch on every
+insert (the dynamic-database setting of Ravi Kanth et al., the paper's
+reference [17]).  This example streams data through a
+:class:`DynamicReducer`: O(d^2) moment updates per batch, a frozen
+serving basis, and a drift monitor that notices when the distribution
+rotates away from the frozen subspace and triggers a coherence-ranked
+refit.
+
+Run with:  python examples/dynamic_stream.py
+"""
+
+import numpy as np
+
+from repro import DynamicReducer, feature_stripping_accuracy, latent_concept_dataset
+
+
+def main() -> None:
+    # Segment 1: concepts live in one set of dimensions.
+    first = latent_concept_dataset(400, 24, 3, noise_std=0.8, seed=0)
+    # Segment 2: the world changes — same kind of data, concepts moved.
+    second = latent_concept_dataset(400, 24, 3, noise_std=0.8, seed=100)
+    permutation = np.random.default_rng(0).permutation(24)
+    second = second.with_features(second.features[:, permutation])
+
+    reducer = DynamicReducer(
+        n_dims=24, n_components=3, ordering="coherence",
+        drift_threshold=0.9, reservoir_size=400,
+    )
+
+    print("streaming segment 1 (stationary)...")
+    for start in range(0, 400, 50):
+        reducer.insert(first.features[start : start + 50])
+        print(f"  rows={reducer.n_seen:4d}  refits={reducer.refit_count}  "
+              f"drift={reducer.drift_level():.3f}")
+
+    frozen_basis = reducer.components_.copy()
+    print("\nstreaming segment 2 (the distribution rotates)...")
+    for start in range(0, 400, 50):
+        reducer.insert(second.features[start : start + 50])
+        print(f"  rows={reducer.n_seen:4d}  refits={reducer.refit_count}  "
+              f"drift={reducer.drift_level():.3f}")
+
+    # How much did the automatic refit buy on the new data?
+    stale = (second.features - second.features.mean(axis=0)) @ frozen_basis
+    fresh = reducer.transform(second.features)
+    print("\npost-drift feature-stripping accuracy (k=3):")
+    print(f"  frozen segment-1 basis: "
+          f"{feature_stripping_accuracy(stale, second.labels):.4f}")
+    print(f"  drift-refit basis:      "
+          f"{feature_stripping_accuracy(fresh, second.labels):.4f}")
+    print("\nthe monitor noticed the rotation (drift level fell below the "
+          "threshold), refit from the reservoir sample, and recovered the "
+          "quality a frozen index silently loses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Making index structures practical again (the Section 1.1 story).
+
+In high dimensionality the nearest and farthest neighbors sit at almost
+the same distance, so the optimistic bounds that R-trees and kd-trees
+prune with stop working — every query degenerates to a full scan.  This
+example measures the pruning statistics of three index structures on the
+musk-like data at full dimensionality and after aggressive coherence
+reduction, and confirms the reduced index still returns high-quality
+neighbors.
+
+Run with:  python examples/index_acceleration.py
+"""
+
+import numpy as np
+
+from repro import (
+    CoherenceReducer,
+    KdTreeIndex,
+    RTreeIndex,
+    VAFileIndex,
+    feature_stripping_accuracy,
+    fit_pca,
+    musk_like,
+)
+
+
+def mean_pruning(index_cls, corpus, queries, k=3):
+    index = index_cls(corpus)
+    fractions = [
+        index.query(q, k=k).stats.pruning_fraction(corpus.shape[0])
+        for q in queries
+    ]
+    return float(np.mean(fractions))
+
+
+def main() -> None:
+    data = musk_like(seed=0)
+    rng = np.random.default_rng(0)
+    query_rows = rng.choice(data.n_samples, size=25, replace=False)
+
+    # Full-dimensional (rotated) representation vs aggressive reduction.
+    full = fit_pca(data.features, scale=True).transform(data.features)
+    reducer = CoherenceReducer(n_components=13, ordering="coherence", scale=True)
+    reduced = reducer.fit_transform(data.features)
+    print(f"dataset: {data.name} — {data.n_samples} points")
+    print(f"representations: full {full.shape[1]}d vs reduced {reduced.shape[1]}d "
+          f"({reducer.retained_variance_fraction():.1%} of variance kept)")
+
+    print("\nfraction of the corpus PRUNED per 3-NN query (higher is better):")
+    print(f"{'index':10s} | {'full 166d':>10s} | {'reduced 13d':>11s}")
+    for name, cls in (("kd-tree", KdTreeIndex), ("R-tree", RTreeIndex),
+                      ("VA-file", VAFileIndex)):
+        before = mean_pruning(cls, full, full[query_rows])
+        after = mean_pruning(cls, reduced, reduced[query_rows])
+        print(f"{name:10s} | {before:10.3f} | {after:11.3f}")
+
+    print("\n...and the quality did not pay for it:")
+    print(f"  full-dim accuracy:    "
+          f"{feature_stripping_accuracy(full, data.labels):.4f}")
+    print(f"  reduced-dim accuracy: "
+          f"{feature_stripping_accuracy(reduced, data.labels):.4f}")
+    print("\naggressive coherence reduction buys index pruning AND better "
+          "neighbors at the same time — the paper's closing argument.")
+
+
+if __name__ == "__main__":
+    main()

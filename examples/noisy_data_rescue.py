@@ -1,0 +1,60 @@
+"""Rescuing similarity search on noisy data (the Figure 12-15 story).
+
+Corrupts the ionosphere-like data the way the paper builds "noisy data
+set A" (10 of 34 dimensions replaced by amplitude-60 uniform noise) and
+shows the failure mode of classical PCA: the largest eigenvalues now
+point at pure noise, so keeping "the directions with the most variance"
+keeps garbage.  The coherence ordering identifies the real concepts at
+small eigenvalues and restores — in fact improves on — the clean-data
+search quality.
+
+Run with:  python examples/noisy_data_rescue.py
+"""
+
+import numpy as np
+
+from repro import (
+    accuracy_sweep,
+    analyze_coherence,
+    fit_pca,
+    noisy_dataset_a,
+)
+
+
+def main() -> None:
+    noisy = noisy_dataset_a(seed=0)
+    corrupted = noisy.metadata["corrupted_dims"]
+    print(f"dataset: {noisy.name} — {noisy.n_samples} points, "
+          f"{noisy.n_dims} dims, {len(corrupted)} replaced by uniform noise")
+
+    # The scatter of Figure 12: where do eigenvalues and coherence point?
+    analysis = analyze_coherence(fit_pca(noisy.features), noisy.features)
+    print("\ncomponent | eigenvalue | coherence probability")
+    for i in range(14):
+        marker = " <- planted noise" if i < len(corrupted) else ""
+        print(f"{i:9d} | {analysis.eigenvalues[i]:10.2f} | "
+              f"{analysis.coherence_probabilities[i]:.4f}{marker}")
+    best = int(np.argmax(analysis.coherence_probabilities))
+    print(f"most coherent component: #{best} "
+          f"(eigenvalue {analysis.eigenvalues[best]:.2f} — near the bottom "
+          f"of the spectrum)")
+
+    # The curves of Figure 13: quality under the two orderings.
+    coherent = accuracy_sweep(noisy, ordering="coherence", scale=False)
+    classical = accuracy_sweep(noisy, ordering="eigenvalue", scale=False)
+    c_dims, c_best = coherent.optimal()
+    e_dims, e_best = classical.optimal()
+    print(f"\nfeature-stripping accuracy (k=3) vs retained dimensions:")
+    for m in (2, 4, 6, 10, 20, noisy.n_dims):
+        print(f"  {m:3d} dims: coherence {coherent.accuracy_at(m):.4f}  |  "
+              f"eigenvalue {classical.accuracy_at(m):.4f}")
+    print(f"\ncoherence ordering peaks at {c_dims} dims with {c_best:.4f}")
+    print(f"eigenvalue ordering reaches only {e_best:.4f} "
+          f"(and needs {e_dims} dims to get there)")
+    print("\nconclusion: on noisy data, picking the directions with the most "
+          "variance keeps the noise; picking the most *coherent* directions "
+          "recovers the concepts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Why data scaling changes everything (the Section 2.2 story).
+
+Demographic-style data mixes attributes with wildly different units —
+ages in years, salaries in dollars.  Covariance PCA on such data is
+dominated by the big-unit attributes; studentizing to unit variance
+(equivalently: PCA on the correlation matrix) recovers the real
+structure, lifts the coherence probabilities, and improves search
+quality.  The arrhythmia-like dataset (scales spanning ~1.5 decades,
+plus constant columns) shows the effect most strongly.
+
+Run with:  python examples/scaling_matters.py
+"""
+
+from repro import (
+    accuracy_sweep,
+    analyze_coherence,
+    arrhythmia_like,
+    fit_pca,
+)
+
+
+def main() -> None:
+    data = arrhythmia_like(seed=0)
+    stds = data.features.std(axis=0)
+    print(f"dataset: {data.name} — {data.n_dims} dims, "
+          f"{int((stds == 0).sum())} constant columns,")
+    positive = stds[stds > 0]
+    print(f"column scales span {positive.min():.3g} .. {positive.max():.3g} "
+          f"({positive.max() / positive.min():.0f}x)")
+
+    raw = analyze_coherence(fit_pca(data.features), data.features)
+    scaled = analyze_coherence(fit_pca(data.features, scale=True), data.features)
+    print("\nmean coherence probability of the top-10 eigenvectors:")
+    print(f"  covariance PCA (raw units):     "
+          f"{raw.coherence_probabilities[:10].mean():.4f}")
+    print(f"  correlation PCA (studentized):  "
+          f"{scaled.coherence_probabilities[:10].mean():.4f}")
+
+    raw_sweep = accuracy_sweep(data, ordering="eigenvalue", scale=False)
+    scaled_sweep = accuracy_sweep(data, ordering="eigenvalue", scale=True)
+    r_dims, r_best = raw_sweep.optimal()
+    s_dims, s_best = scaled_sweep.optimal()
+    print("\nbest feature-stripping accuracy over all dimensionalities:")
+    print(f"  raw units:   {r_best:.4f} (at {r_dims} dims)")
+    print(f"  studentized: {s_best:.4f} (at {s_dims} dims)")
+    print("\nstudentizing first is not cosmetic: it changes which directions "
+          "PCA finds, raises their coherence, and wins on quality.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Text retrieval: why reduction helps most where it started — LSI.
+
+The paper's whole program begins from an observation about text: keeping
+a small number of SVD directions of a term-document matrix *improves*
+retrieval, because synonymy (many terms, one meaning) and polysemy (one
+term, many meanings) make raw term overlap a noisy similarity signal,
+while the latent directions are semantic concepts.  This example builds
+a synthetic topical corpus with planted synonymy/polysemy, compares raw
+TF-IDF retrieval against LSI, and shows the coherence model certifying
+the semantic directions.
+
+Run with:  python examples/text_concepts.py
+"""
+
+import numpy as np
+
+from repro import UNIFORM_BASELINE_CP, feature_stripping_accuracy
+from repro.text import (
+    CountVectorizer,
+    LatentSemanticIndex,
+    synthetic_topic_corpus,
+    tfidf_weight,
+)
+
+
+def main() -> None:
+    corpus = synthetic_topic_corpus(n_documents=300, n_topics=5, seed=0)
+    print(f"corpus: {corpus.n_documents} documents, "
+          f"{len(corpus.vocabulary)} terms, {corpus.n_topics} topics")
+    print(f"sample document: {' '.join(corpus.documents[0][:8])} ...")
+
+    vectorizer = CountVectorizer().fit(corpus.documents)
+    tfidf, _ = tfidf_weight(vectorizer.transform(corpus.documents))
+    raw = feature_stripping_accuracy(tfidf, corpus.labels, k=3)
+    print(f"\nraw TF-IDF ({tfidf.shape[1]} dims): topic accuracy of "
+          f"3-NN retrieval = {raw:.4f}")
+
+    lsi = LatentSemanticIndex(n_concepts=5).fit(corpus.documents)
+    reduced = feature_stripping_accuracy(lsi.document_vectors_, corpus.labels, k=3)
+    print(f"LSI (5 concept dims):      topic accuracy = {reduced:.4f}")
+
+    print("\ncoherence probability of each kept singular direction")
+    print(f"(uniform-noise baseline is {UNIFORM_BASELINE_CP:.4f}):")
+    for i, value in enumerate(lsi.concept_coherence()):
+        marker = "  <- semantic concept" if value > UNIFORM_BASELINE_CP + 0.05 else ""
+        print(f"  direction {i}: {value:.4f}{marker}")
+
+    # Retrieve for one document and show the topic labels coming back.
+    query_row = 10
+    results = lsi.query(corpus.documents[query_row], k=4)
+    print(f"\nquery: document {query_row} (topic {corpus.labels[query_row]})")
+    for rank, (index, similarity) in enumerate(results):
+        print(f"  hit {rank}: document {index} (topic {corpus.labels[index]}), "
+              f"cosine {similarity:.4f}")
+    print("\nfive numbers per document beat hundreds of raw term counts — "
+          "the observation the whole paper generalizes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim for legacy editable installs in offline environments."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,122 @@
+"""repro — coherence-guided dimensionality reduction for similarity search.
+
+A full reproduction of Charu C. Aggarwal, *On the Effects of
+Dimensionality Reduction on High Dimensional Similarity Search*
+(PODS 2001): the coherence factor/probability model, coherence-ordered
+eigenvector selection, the scaling (studentization) analysis, the
+feature-stripping evaluation protocol, and the indexing substrates the
+paper's argument rests on.
+
+Quickstart::
+
+    from repro import CoherenceReducer, ionosphere_like
+    from repro import corrupt_with_uniform, feature_stripping_accuracy
+
+    data = ionosphere_like(seed=7)
+    noisy = corrupt_with_uniform(data, n_dims=10, amplitude=60.0, seed=7)
+
+    reducer = CoherenceReducer(n_components=5, ordering="coherence")
+    reduced = reducer.fit_transform(noisy.features)
+    print(feature_stripping_accuracy(reduced, noisy.labels, k=3))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    CoherenceAnalysis,
+    CoherenceReducer,
+    ReducibilityDiagnosis,
+    SimilaritySearchPipeline,
+    analyze_coherence,
+    coherence_factors,
+    coherence_probabilities,
+    dataset_coherence,
+    diagnose_reducibility,
+    select_automatic,
+    select_by_coherence,
+    select_by_eigenvalue,
+    select_by_energy,
+    select_by_threshold,
+)
+from repro.core.coherence import UNIFORM_BASELINE_CP
+from repro.datasets import (
+    Dataset,
+    arrhythmia_like,
+    corrupt_with_uniform,
+    gaussian_blobs,
+    ionosphere_like,
+    latent_concept_dataset,
+    load_csv_dataset,
+    musk_like,
+    noisy_dataset_a,
+    noisy_dataset_b,
+    uniform_cube,
+)
+from repro.evaluation import (
+    ReductionSummary,
+    SweepResult,
+    accuracy_sweep,
+    feature_stripping_accuracy,
+    neighbor_precision_recall,
+    reduction_summary,
+)
+from repro.linalg import PrincipalComponents, fit_pca
+from repro.baselines import RandomProjectionReducer, SVDReducer
+from repro.dynamic import DynamicReducer, IncrementalPCA
+from repro.search import (
+    BruteForceIndex,
+    KdTreeIndex,
+    LshIndex,
+    RTreeIndex,
+    VAFileIndex,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BruteForceIndex",
+    "CoherenceAnalysis",
+    "CoherenceReducer",
+    "Dataset",
+    "DynamicReducer",
+    "IncrementalPCA",
+    "KdTreeIndex",
+    "LshIndex",
+    "PrincipalComponents",
+    "RTreeIndex",
+    "RandomProjectionReducer",
+    "ReducibilityDiagnosis",
+    "ReductionSummary",
+    "SVDReducer",
+    "SimilaritySearchPipeline",
+    "SweepResult",
+    "UNIFORM_BASELINE_CP",
+    "VAFileIndex",
+    "accuracy_sweep",
+    "analyze_coherence",
+    "arrhythmia_like",
+    "coherence_factors",
+    "coherence_probabilities",
+    "corrupt_with_uniform",
+    "dataset_coherence",
+    "diagnose_reducibility",
+    "feature_stripping_accuracy",
+    "fit_pca",
+    "gaussian_blobs",
+    "ionosphere_like",
+    "latent_concept_dataset",
+    "load_csv_dataset",
+    "musk_like",
+    "neighbor_precision_recall",
+    "noisy_dataset_a",
+    "noisy_dataset_b",
+    "reduction_summary",
+    "select_automatic",
+    "select_by_coherence",
+    "select_by_eigenvalue",
+    "select_by_energy",
+    "select_by_threshold",
+    "uniform_cube",
+    "__version__",
+]

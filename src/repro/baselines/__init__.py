@@ -1,0 +1,18 @@
+"""Baseline dimensionality reducers.
+
+The comparators a paper reader would reach for: classical eigenvalue-
+ordered PCA is already covered by
+``CoherenceReducer(ordering="eigenvalue")``; this package adds the two
+other standard families — data-oblivious random projection
+(Johnson–Lindenstrauss) and SVD/LSI-style truncation — behind the same
+fit/transform interface, so every quality experiment can sweep all of
+them (see ``benchmarks/bench_ablation_baselines.py``).
+"""
+
+from repro.baselines.random_projection import RandomProjectionReducer
+from repro.baselines.svd_reduction import SVDReducer
+
+__all__ = [
+    "RandomProjectionReducer",
+    "SVDReducer",
+]

@@ -1,0 +1,86 @@
+"""Random projection (Johnson–Lindenstrauss) baseline.
+
+Projects onto a random ``k``-dimensional subspace, obliviously to the
+data.  JL guarantees pairwise distances are approximately preserved when
+``k = O(log n / eps^2)`` — but preserving distances is precisely the
+objective the paper argues is insufficient: a projection that faithfully
+preserves *noisy* distances also faithfully preserves the noise.  The
+baseline therefore tracks full-dimensional quality rather than improving
+on it, which is exactly its role in the comparison benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_KINDS = ("gaussian", "sparse")
+
+
+class RandomProjectionReducer:
+    """Data-oblivious linear reduction onto a random subspace.
+
+    Args:
+        n_components: target dimensionality ``k``.
+        kind: ``"gaussian"`` (entries ``N(0, 1/k)``) or ``"sparse"``
+            (Achlioptas ±sqrt(3/k)/0 with probabilities 1/6, 1/6, 2/3).
+        seed: RNG seed; the projection is fixed at construction.
+
+    Fitted attributes:
+        components_: the ``(d, k)`` projection matrix.
+        mean_: training column means (queries are centered consistently).
+    """
+
+    def __init__(self, n_components: int, kind: str = "gaussian", seed: int = 0) -> None:
+        if n_components < 1:
+            raise ValueError(f"n_components must be positive, got {n_components}")
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        self.n_components = n_components
+        self.kind = kind
+        self.seed = seed
+        self.components_: np.ndarray | None = None
+        self.mean_: np.ndarray | None = None
+
+    def fit(self, features) -> "RandomProjectionReducer":
+        """Draw the projection for the data's dimensionality."""
+        array = np.asarray(features, dtype=np.float64)
+        if array.ndim != 2:
+            raise ValueError(f"features must be 2-d, got shape {array.shape}")
+        d = array.shape[1]
+        if self.n_components > d:
+            raise ValueError(
+                f"n_components={self.n_components} exceeds data "
+                f"dimensionality {d}"
+            )
+        rng = np.random.default_rng(self.seed)
+        k = self.n_components
+        if self.kind == "gaussian":
+            matrix = rng.normal(0.0, 1.0 / np.sqrt(k), size=(d, k))
+        else:
+            choices = rng.choice(
+                [-1.0, 0.0, 1.0], size=(d, k), p=[1 / 6, 2 / 3, 1 / 6]
+            )
+            matrix = choices * np.sqrt(3.0 / k)
+        self.components_ = matrix
+        self.mean_ = array.mean(axis=0)
+        return self
+
+    def transform(self, features) -> np.ndarray:
+        """Project (centered) rows onto the random subspace."""
+        if self.components_ is None:
+            raise RuntimeError("reducer is not fitted; call fit() first")
+        array = np.asarray(features, dtype=np.float64)
+        single = array.ndim == 1
+        if single:
+            array = array.reshape(1, -1)
+        if array.shape[1] != self.components_.shape[0]:
+            raise ValueError(
+                f"expected {self.components_.shape[0]} columns, "
+                f"got {array.shape[1]}"
+            )
+        projected = (array - self.mean_) @ self.components_
+        return projected[0] if single else projected
+
+    def fit_transform(self, features) -> np.ndarray:
+        """Equivalent to ``fit(features).transform(features)``."""
+        return self.fit(features).transform(features)

@@ -1,0 +1,297 @@
+"""Command-line interface.
+
+Four subcommands covering the workflow of the paper:
+
+* ``repro diagnose <dataset>`` — is the dataset amenable to reduction?
+* ``repro evaluate <dataset>`` — the Table-1 row: full vs. optimal vs.
+  1%-threshold accuracy.
+* ``repro sweep <dataset>`` — the full accuracy-vs-dimensionality curve.
+* ``repro reduce <dataset> -o out.csv`` — write the reduced
+  representation (plus labels) as CSV.
+
+``<dataset>`` is either a built-in preset name (``musk``, ``ionosphere``,
+``arrhythmia``, ``noisy-a``, ``noisy-b``, ``uniform``) or a path to a
+UCI-style CSV (label in the last column by default, ``?`` for missing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from repro.core.diagnosis import diagnose_reducibility
+from repro.core.reducer import CoherenceReducer
+from repro.datasets.loaders import load_csv_dataset
+from repro.datasets.synthetic import uniform_cube
+from repro.datasets.types import Dataset
+from repro.datasets.uci_like import (
+    arrhythmia_like,
+    ionosphere_like,
+    musk_like,
+    noisy_dataset_a,
+    noisy_dataset_b,
+)
+from repro.evaluation.reporting import format_series, format_table
+from repro.evaluation.summary import reduction_summary
+from repro.evaluation.sweeps import accuracy_sweep
+
+_PRESETS = {
+    "musk": musk_like,
+    "ionosphere": ionosphere_like,
+    "arrhythmia": arrhythmia_like,
+    "noisy-a": noisy_dataset_a,
+    "noisy-b": noisy_dataset_b,
+}
+
+
+def _resolve_dataset(name: str, seed: int, label_column: int) -> Dataset:
+    key = name.lower()
+    if key in _PRESETS:
+        return _PRESETS[key](seed=seed)
+    if key == "uniform":
+        return uniform_cube(500, 50, seed=seed)
+    if os.path.exists(name):
+        return load_csv_dataset(name, label_column=label_column)
+    raise SystemExit(
+        f"error: {name!r} is neither a preset "
+        f"({', '.join(sorted(_PRESETS) + ['uniform'])}) nor an existing file"
+    )
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "dataset",
+        help="preset name (musk, ionosphere, arrhythmia, noisy-a, noisy-b, "
+        "uniform) or path to a CSV file",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="preset RNG seed")
+    parser.add_argument(
+        "--label-column",
+        type=int,
+        default=-1,
+        help="label column index for CSV input (default: last)",
+    )
+
+
+def _command_diagnose(args) -> int:
+    data = _resolve_dataset(args.dataset, args.seed, args.label_column)
+    diagnosis = diagnose_reducibility(data.features, scale=not args.no_scale)
+    print(f"dataset: {data.name} ({data.n_samples} x {data.n_dims})")
+    print(diagnosis.summary())
+    rows = [
+        (i, float(diagnosis.eigenvalues[i]), float(diagnosis.coherence_probabilities[i]))
+        for i in range(min(args.top, diagnosis.n_components))
+    ]
+    print()
+    print(
+        format_table(
+            ["component", "eigenvalue", "coherence probability"],
+            rows,
+            title=f"top {len(rows)} components",
+        )
+    )
+    return 0
+
+
+def _command_evaluate(args) -> int:
+    data = _resolve_dataset(args.dataset, args.seed, args.label_column)
+    summary = reduction_summary(
+        data, ordering=args.ordering, scale=not args.no_scale, k=args.k
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("dataset", summary.dataset_name),
+                ("full dimensionality", summary.full_dimensionality),
+                ("full accuracy", summary.full_accuracy),
+                ("optimal accuracy", summary.optimal_accuracy),
+                ("optimal dimensionality", summary.optimal_dimensionality),
+                ("1%-threshold accuracy", summary.threshold_accuracy),
+                ("1%-threshold dimensionality", summary.threshold_dimensionality),
+                ("variance kept at optimum", summary.variance_retained_at_optimum),
+                ("precision vs full-dim NN", summary.precision_at_optimum),
+            ],
+            title="reduction summary (Table 1 row)",
+        )
+    )
+    return 0
+
+
+def _command_sweep(args) -> int:
+    data = _resolve_dataset(args.dataset, args.seed, args.label_column)
+    sweep = accuracy_sweep(
+        data, ordering=args.ordering, scale=not args.no_scale, k=args.k
+    )
+    step = max(1, sweep.dims.size // args.points)
+    grid = sweep.dims[::step]
+    print(
+        format_series(
+            grid.tolist(),
+            {"accuracy": [sweep.accuracy_at(int(m)) for m in grid]},
+            x_label="dims",
+            title=(
+                f"{data.name}: accuracy vs dimensionality "
+                f"({args.ordering} ordering, "
+                f"{'raw' if args.no_scale else 'studentized'})"
+            ),
+        )
+    )
+    best_dims, best = sweep.optimal()
+    print(f"\noptimum: {best:.4f} at {best_dims} dims "
+          f"(full-dim {sweep.full_dimensional_accuracy:.4f})")
+    return 0
+
+
+def _command_experiment(args) -> int:
+    from repro.experiments import list_experiments, run_experiment
+
+    if args.experiment_id == "list":
+        print(
+            format_table(
+                ["id", "paper artifact", "description"],
+                [
+                    (e.experiment_id, e.paper_artifact, e.description)
+                    for e in list_experiments()
+                ],
+                title="registered paper experiments",
+            )
+        )
+        return 0
+    if args.experiment_id == "all":
+        ids = [e.experiment_id for e in list_experiments()]
+    else:
+        ids = [args.experiment_id]
+    if args.save_dir:
+        os.makedirs(args.save_dir, exist_ok=True)
+    for experiment_id in ids:
+        try:
+            result = run_experiment(experiment_id, seed=args.seed)
+        except KeyError as error:
+            raise SystemExit(f"error: {error.args[0]}") from None
+        print(result.report)
+        print()
+        if args.save_dir:
+            report_path = os.path.join(args.save_dir, f"{experiment_id}.txt")
+            with open(report_path, "w") as handle:
+                handle.write(result.report + "\n")
+    if args.save_dir:
+        print(f"reports written to {args.save_dir}/")
+    return 0
+
+
+def _command_reduce(args) -> int:
+    data = _resolve_dataset(args.dataset, args.seed, args.label_column)
+    if args.components is not None:
+        reducer = CoherenceReducer(
+            n_components=args.components,
+            ordering=args.ordering,
+            scale=not args.no_scale,
+        )
+    else:
+        reducer = CoherenceReducer(ordering="automatic", scale=not args.no_scale)
+    reduced = reducer.fit_transform(data.features)
+
+    header = ",".join(
+        [f"component_{int(i)}" for i in reducer.selected_] + ["label"]
+    )
+    body = np.hstack([reduced, data.labels.reshape(-1, 1).astype(float)])
+    np.savetxt(
+        args.output, body, delimiter=",", header=header, comments=""
+    )
+    print(
+        f"wrote {reduced.shape[0]} rows x {reduced.shape[1]} components "
+        f"(+ label) to {args.output}; variance kept "
+        f"{reducer.retained_variance_fraction():.1%}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="coherence-guided dimensionality reduction "
+        "(Aggarwal, PODS 2001)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    diagnose = commands.add_parser(
+        "diagnose", help="is this dataset amenable to reduction?"
+    )
+    _add_dataset_arguments(diagnose)
+    diagnose.add_argument("--no-scale", action="store_true",
+                          help="skip studentization")
+    diagnose.add_argument("--top", type=int, default=15,
+                          help="components to print")
+    diagnose.set_defaults(handler=_command_diagnose)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="full vs optimal vs 1%%-threshold accuracy"
+    )
+    _add_dataset_arguments(evaluate)
+    evaluate.add_argument("--ordering", default="eigenvalue",
+                          choices=["eigenvalue", "coherence"])
+    evaluate.add_argument("--no-scale", action="store_true")
+    evaluate.add_argument("--k", type=int, default=3, help="neighbors per query")
+    evaluate.set_defaults(handler=_command_evaluate)
+
+    sweep = commands.add_parser(
+        "sweep", help="accuracy vs dimensionality curve"
+    )
+    _add_dataset_arguments(sweep)
+    sweep.add_argument("--ordering", default="eigenvalue",
+                       choices=["eigenvalue", "coherence"])
+    sweep.add_argument("--no-scale", action="store_true")
+    sweep.add_argument("--k", type=int, default=3)
+    sweep.add_argument("--points", type=int, default=20,
+                       help="measurement rows to print")
+    sweep.set_defaults(handler=_command_sweep)
+
+    experiment = commands.add_parser(
+        "experiment",
+        help="reproduce a paper table/figure ('list' shows ids, 'all' runs everything)",
+    )
+    experiment.add_argument(
+        "experiment_id",
+        help="experiment id (e.g. fig13, table1, sec3), 'list', or 'all'",
+    )
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--save-dir",
+        default=None,
+        help="also write each report to <save-dir>/<id>.txt",
+    )
+    experiment.set_defaults(handler=_command_experiment)
+
+    reduce = commands.add_parser(
+        "reduce", help="write the reduced representation as CSV"
+    )
+    _add_dataset_arguments(reduce)
+    reduce.add_argument("--components", type=int, default=None,
+                        help="components to keep (default: automatic cut-off)")
+    reduce.add_argument("--ordering", default="coherence",
+                        choices=["eigenvalue", "coherence"])
+    reduce.add_argument("--no-scale", action="store_true")
+    reduce.add_argument("-o", "--output", required=True, help="output CSV path")
+    reduce.set_defaults(handler=_command_reduce)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The Section 3.1 extension: generalized projected clustering.
+
+When every eigenvector's coherence probability sits near the uniform
+baseline, the data as a whole has too many independent concepts for a
+single global reduction.  The paper points to generalized projected
+clustering (Aggarwal & Yu, SIGMOD 2000) as the way out: decompose the
+data into subsets with low implicit dimensionality, then reduce each
+subset on its own.  :class:`ProjectedClustering` is a compact
+PROCLUS-style realization, and :func:`per_cluster_reduction` chains it
+with :class:`repro.core.CoherenceReducer`.
+"""
+
+from repro.clustering.projected import (
+    ProjectedClustering,
+    ProjectedClusteringResult,
+    per_cluster_reduction,
+)
+from repro.clustering.kmeans import KMeansResult, kmeans
+from repro.clustering.orclus import OrclusClustering, OrclusResult
+
+__all__ = [
+    "KMeansResult",
+    "OrclusClustering",
+    "OrclusResult",
+    "ProjectedClustering",
+    "ProjectedClusteringResult",
+    "kmeans",
+    "per_cluster_reduction",
+]

@@ -1,0 +1,119 @@
+"""Lloyd's k-means with k-means++ seeding.
+
+A plain, exactly-specified k-means used as a substrate by the iDistance
+index (reference points) and available for the projected-clustering
+experiments.  Deterministic given the seed; empty clusters are reseeded
+at the point farthest from its assigned center.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distances.metrics import squared_euclidean_matrix
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a k-means run.
+
+    Attributes:
+        labels: ``(n,)`` cluster assignment per point.
+        centers: ``(k, d)`` cluster centroids.
+        inertia: sum of squared distances to the assigned centers.
+        n_iterations: Lloyd iterations until convergence (or the cap).
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    n_iterations: int
+
+    @property
+    def n_clusters(self) -> int:
+        return self.centers.shape[0]
+
+
+def _plus_plus_seeds(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread the initial centers out."""
+    n = data.shape[0]
+    centers = [data[int(rng.integers(0, n))]]
+    for _ in range(1, k):
+        squared = squared_euclidean_matrix(data, np.asarray(centers))
+        closest = squared.min(axis=1)
+        total = closest.sum()
+        if total == 0.0:
+            # All remaining points coincide with a center; any point works.
+            centers.append(data[int(rng.integers(0, n))])
+            continue
+        probabilities = closest / total
+        centers.append(data[int(rng.choice(n, p=probabilities))])
+    return np.asarray(centers)
+
+
+def kmeans(
+    data,
+    n_clusters: int,
+    max_iterations: int = 100,
+    tolerance: float = 1e-8,
+    seed: int = 0,
+) -> KMeansResult:
+    """Cluster rows of ``data`` into ``n_clusters`` groups.
+
+    Args:
+        data: ``(n, d)`` matrix.
+        n_clusters: ``k``; must not exceed the number of points.
+        max_iterations: Lloyd iteration cap.
+        tolerance: stop when the centers move less than this (squared,
+            summed) between iterations.
+        seed: RNG seed for the k-means++ initialization.
+    """
+    array = np.asarray(data, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError(f"data must be 2-d, got shape {array.shape}")
+    n = array.shape[0]
+    if not 1 <= n_clusters <= n:
+        raise ValueError(f"n_clusters must lie in [1, {n}], got {n_clusters}")
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be positive")
+    if not np.all(np.isfinite(array)):
+        raise ValueError("data must be finite")
+
+    rng = np.random.default_rng(seed)
+    centers = _plus_plus_seeds(array, n_clusters, rng)
+    labels = np.zeros(n, dtype=np.intp)
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        squared = squared_euclidean_matrix(array, centers)
+        labels = np.argmin(squared, axis=1).astype(np.intp)
+
+        new_centers = centers.copy()
+        for c in range(n_clusters):
+            members = array[labels == c]
+            if members.shape[0] > 0:
+                new_centers[c] = members.mean(axis=0)
+            else:
+                # Reseed an empty cluster at the worst-served point.
+                worst = int(np.argmax(squared[np.arange(n), labels]))
+                new_centers[c] = array[worst]
+                labels[worst] = c
+
+        movement = float(np.sum(np.square(new_centers - centers)))
+        centers = new_centers
+        if movement <= tolerance:
+            break
+
+    squared = squared_euclidean_matrix(array, centers)
+    labels = np.argmin(squared, axis=1).astype(np.intp)
+    inertia = float(squared[np.arange(n), labels].sum())
+    return KMeansResult(
+        labels=labels,
+        centers=centers,
+        inertia=inertia,
+        n_iterations=iterations,
+    )

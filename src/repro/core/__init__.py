@@ -1,0 +1,47 @@
+"""The paper's primary contribution.
+
+The coherence model (Section 2), the eigenvector selection strategies it
+induces, a fit/transform reducer that applies them, the dataset
+reducibility diagnosis (Section 3), and an end-to-end similarity-search
+pipeline that ties reduction to indexing.
+"""
+
+from repro.core.coherence import (
+    CoherenceAnalysis,
+    analyze_coherence,
+    coherence_factors,
+    coherence_probabilities,
+    contribution_vector,
+    dataset_coherence,
+)
+from repro.core.selection import (
+    select_automatic,
+    select_by_coherence,
+    select_by_eigenvalue,
+    select_by_energy,
+    select_by_threshold,
+)
+from repro.core.reducer import CoherenceReducer
+from repro.core.diagnosis import ReducibilityDiagnosis, diagnose_reducibility
+from repro.core.pipeline import SimilaritySearchPipeline
+from repro.core.serialization import load_reducer, save_reducer
+
+__all__ = [
+    "CoherenceAnalysis",
+    "CoherenceReducer",
+    "ReducibilityDiagnosis",
+    "SimilaritySearchPipeline",
+    "analyze_coherence",
+    "coherence_factors",
+    "coherence_probabilities",
+    "contribution_vector",
+    "dataset_coherence",
+    "diagnose_reducibility",
+    "load_reducer",
+    "save_reducer",
+    "select_automatic",
+    "select_by_coherence",
+    "select_by_eigenvalue",
+    "select_by_energy",
+    "select_by_threshold",
+]

@@ -1,0 +1,130 @@
+"""Dataset reducibility diagnosis (Section 3 and 3.1).
+
+The absolute level of the coherence probabilities diagnoses whether a
+dataset is amenable to dimensionality reduction at all:
+
+* a *reducible* dataset has a few eigenvectors with coherence probability
+  far above the uniform-data baseline of ``2 Phi(1) - 1 ≈ 0.6827`` and a
+  long tail near the baseline — the few are the concepts, the tail is
+  noise to prune;
+* a *noisy* dataset (high implicit dimensionality) has similar coherence
+  probability everywhere; nothing can be dropped without losing
+  information, and the paper suggests projected clustering
+  (:mod:`repro.clustering`) as the escape hatch.
+
+:func:`diagnose_reducibility` quantifies this with the concept count and
+the spread of the coherence spectrum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.coherence import UNIFORM_BASELINE_CP, analyze_coherence
+from repro.linalg.pca import fit_pca
+
+# An eigenvector is called a concept when its dataset coherence clears
+# the uniform baseline by this margin.  Uniform (perfectly noisy) data
+# never exceeds the 0.6827 baseline — axis-aligned directions sit exactly
+# on it and sample-PCA rotations of it fall *below* (mixing uncorrelated
+# dimensions makes contributions cancel) — so even a small margin
+# separates genuine correlation structure from noise.
+CONCEPT_MARGIN = 0.04
+
+
+@dataclass(frozen=True)
+class ReducibilityDiagnosis:
+    """Verdict on whether dimensionality reduction can help a dataset.
+
+    Attributes:
+        verdict: ``"reducible"`` (few concepts + noise tail) or
+            ``"noisy"`` (flat coherence spectrum — retain everything or
+            decompose first).
+        n_concepts: eigenvectors whose coherence probability clears the
+            concept threshold.
+        n_components: total eigenvectors examined.
+        concept_threshold: the CP level used to call a concept.
+        baseline: the uniform-data coherence probability
+            ``2 Phi(1) - 1``.
+        cp_spread: max - min of the coherence spectrum; near zero for
+            perfectly noisy data.
+        coherence_probabilities: the full spectrum, aligned with
+            descending eigenvalues.
+        eigenvalues: the eigenvalue spectrum, descending.
+    """
+
+    verdict: str
+    n_concepts: int
+    n_components: int
+    concept_threshold: float
+    baseline: float
+    cp_spread: float
+    coherence_probabilities: np.ndarray
+    eigenvalues: np.ndarray
+
+    @property
+    def concept_indices(self) -> np.ndarray:
+        """Indices (descending-eigenvalue order) of the concept vectors."""
+        return np.flatnonzero(
+            self.coherence_probabilities >= self.concept_threshold
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        return (
+            f"{self.verdict}: {self.n_concepts}/{self.n_components} "
+            f"concept vectors (CP >= {self.concept_threshold:.2f}; "
+            f"uniform baseline {self.baseline:.4f}; spread "
+            f"{self.cp_spread:.4f})"
+        )
+
+
+def diagnose_reducibility(
+    features,
+    scale: bool = True,
+    concept_margin: float = CONCEPT_MARGIN,
+    eigen_method: str = "numpy",
+) -> ReducibilityDiagnosis:
+    """Diagnose whether a dataset rewards dimensionality reduction.
+
+    Args:
+        features: ``(n, d)`` data matrix.
+        scale: studentize first (recommended; raises coherence levels and
+            decouples the diagnosis from arbitrary units, Section 2.2).
+        concept_margin: how far above the uniform baseline an
+            eigenvector's CP must sit to count as a concept.
+        eigen_method: eigensolver to use.
+
+    Returns:
+        A :class:`ReducibilityDiagnosis`.  The verdict is ``"reducible"``
+        when at least one concept stands clear of the baseline *and* the
+        concepts are a strict minority of directions (a dataset where
+        every direction is a concept has nothing to prune — it is labeled
+        ``"noisy"`` too, in the sense that reduction cannot help).
+    """
+    if not 0.0 < concept_margin < 1.0 - UNIFORM_BASELINE_CP + 0.3:
+        raise ValueError(
+            f"concept_margin must be a small positive margin, got {concept_margin}"
+        )
+    pca = fit_pca(features, scale=scale, eigen_method=eigen_method)
+    analysis = analyze_coherence(pca, features)
+
+    threshold = UNIFORM_BASELINE_CP + concept_margin
+    probabilities = analysis.coherence_probabilities
+    n_concepts = int(np.sum(probabilities >= threshold))
+    n_components = probabilities.size
+    spread = float(probabilities.max() - probabilities.min())
+
+    reducible = 0 < n_concepts < n_components
+    return ReducibilityDiagnosis(
+        verdict="reducible" if reducible else "noisy",
+        n_concepts=n_concepts,
+        n_components=n_components,
+        concept_threshold=float(threshold),
+        baseline=UNIFORM_BASELINE_CP,
+        cp_spread=spread,
+        coherence_probabilities=probabilities.copy(),
+        eigenvalues=analysis.eigenvalues.copy(),
+    )

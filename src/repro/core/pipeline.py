@@ -1,0 +1,102 @@
+"""End-to-end similarity search with coherence-aware reduction.
+
+The paper's closing argument is operational: aggressive, coherence-guided
+reduction makes high-dimensional similarity search both *better* (more
+meaningful neighbors) and *indexable* (low enough dimensionality for
+partition pruning to work).  :class:`SimilaritySearchPipeline` is that
+argument as an API — fit a reducer on a corpus, build an index in the
+reduced space, answer queries given in the *original* space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reducer import CoherenceReducer
+from repro.search.bruteforce import BruteForceIndex
+from repro.search.idistance import IDistanceIndex
+from repro.search.kdtree import KdTreeIndex
+from repro.search.pyramid import PyramidIndex
+from repro.search.results import KnnResult
+from repro.search.rtree import RTreeIndex
+from repro.search.vafile import VAFileIndex
+
+# Exact Euclidean indexes only: approximate (LSH) and non-Euclidean
+# (IGrid) structures have different result semantics and are used
+# directly rather than through the pipeline.
+_INDEX_FACTORIES = {
+    "bruteforce": BruteForceIndex,
+    "kdtree": KdTreeIndex,
+    "rtree": RTreeIndex,
+    "vafile": VAFileIndex,
+    "pyramid": PyramidIndex,
+    "idistance": IDistanceIndex,
+}
+
+
+class SimilaritySearchPipeline:
+    """Reduce, index, and query a high-dimensional corpus.
+
+    Args:
+        reducer: a (possibly unfitted) :class:`CoherenceReducer`; a
+            default coherence-ordered, scaled reducer is created when
+            omitted.
+        index_type: ``"bruteforce"``, ``"kdtree"``, ``"rtree"``,
+            ``"vafile"``, ``"pyramid"``, or ``"idistance"``.
+
+    Example::
+
+        pipeline = SimilaritySearchPipeline(
+            reducer=CoherenceReducer(n_components=8, scale=True),
+            index_type="rtree",
+        )
+        pipeline.fit(corpus)
+        result = pipeline.query(some_original_space_vector, k=3)
+    """
+
+    def __init__(
+        self,
+        reducer: CoherenceReducer | None = None,
+        index_type: str = "kdtree",
+    ) -> None:
+        if index_type not in _INDEX_FACTORIES:
+            raise ValueError(
+                f"unknown index_type {index_type!r}; choose from "
+                f"{sorted(_INDEX_FACTORIES)}"
+            )
+        self.reducer = reducer if reducer is not None else CoherenceReducer(
+            ordering="coherence", scale=True
+        )
+        self.index_type = index_type
+        self._index = None
+        self._reduced_corpus: np.ndarray | None = None
+
+    def fit(self, corpus) -> "SimilaritySearchPipeline":
+        """Fit the reducer on the corpus and index its reduced image."""
+        self._reduced_corpus = self.reducer.fit_transform(corpus)
+        self._index = _INDEX_FACTORIES[self.index_type](self._reduced_corpus)
+        return self
+
+    def _require_fitted(self) -> None:
+        if self._index is None:
+            raise RuntimeError("pipeline is not fitted; call fit() first")
+
+    @property
+    def reduced_dimensionality(self) -> int:
+        self._require_fitted()
+        return self._reduced_corpus.shape[1]
+
+    def query(self, query, k: int = 1) -> KnnResult:
+        """k-NN of an original-space query in the reduced space.
+
+        Neighbor indices refer to rows of the fitted corpus.
+        """
+        self._require_fitted()
+        reduced = self.reducer.transform(np.atleast_2d(query))[0]
+        return self._index.query(reduced, k=k)
+
+    def query_batch(self, queries, k: int = 1) -> list[KnnResult]:
+        """k-NN for each row of ``queries``."""
+        self._require_fitted()
+        reduced = self.reducer.transform(queries)
+        return [self._index.query(row, k=k) for row in reduced]

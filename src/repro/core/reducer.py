@@ -1,0 +1,206 @@
+"""The fit/transform dimensionality reducer.
+
+:class:`CoherenceReducer` packages the whole method of the paper behind a
+scikit-learn-style interface: fit PCA (optionally on studentized data,
+Section 2.2), score every eigenvector with the dataset coherence
+probability (Section 2), pick components by the requested strategy, and
+project — training data or new queries — onto the retained basis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coherence import CoherenceAnalysis, analyze_coherence
+from repro.core.selection import (
+    select_automatic,
+    select_by_coherence,
+    select_by_eigenvalue,
+    select_by_energy,
+    select_by_threshold,
+)
+from repro.linalg.pca import PrincipalComponents, fit_pca
+
+_ORDERINGS = ("eigenvalue", "coherence", "automatic")
+
+
+class CoherenceReducer:
+    """Dimensionality reduction with coherence-aware component selection.
+
+    Args:
+        n_components: how many components to keep.  ``None`` defers to
+            ``threshold`` or ``energy``; if all three are ``None`` the
+            reducer keeps every component (a pure rotation).
+        ordering: ``"coherence"`` (the paper's rule), ``"eigenvalue"``
+            (the classical rule), or ``"automatic"`` (coherence order cut
+            at the largest gap in the coherence spectrum — the paper's
+            "intuitive judgement for the cut-off point"; incompatible
+            with an explicit component budget).  For the first two, the
+            ordering only affects *which* components the ``n_components``
+            budget buys; threshold/energy cuts are defined on eigenvalues
+            regardless.
+        scale: studentize before PCA (correlation-matrix PCA); the
+            paper's recommended normalization.
+        whiten: additionally divide each retained component by the
+            square root of its eigenvalue, so every concept contributes
+            equally to distances.  This is the paper's "automatic
+            distance function correction" taken to its conclusion:
+            distances in the reduced space count disagreement in
+            *concepts*, not in raw variance units.  Components with zero
+            eigenvalue are left unscaled (they are identically zero).
+        threshold: keep eigenvalues at least this fraction of the
+            largest (the Table 1 "1 %-thresholding" uses 0.01).
+        energy: keep the smallest eigenvalue prefix with this fraction of
+            total variance.
+        eigen_method: ``"numpy"`` or ``"jacobi"``.
+
+    Fitted attributes (set by :meth:`fit`):
+        pca_: the underlying :class:`PrincipalComponents`.
+        analysis_: the :class:`CoherenceAnalysis` over the training data.
+        selected_: indices (into descending eigenvalue order) of the
+            retained components, in selection order.
+        components_: ``(d_working, k)`` retained eigenvector basis.
+    """
+
+    def __init__(
+        self,
+        n_components: int | None = None,
+        ordering: str = "coherence",
+        scale: bool = False,
+        whiten: bool = False,
+        threshold: float | None = None,
+        energy: float | None = None,
+        eigen_method: str = "numpy",
+    ) -> None:
+        if ordering not in _ORDERINGS:
+            raise ValueError(
+                f"ordering must be one of {_ORDERINGS}, got {ordering!r}"
+            )
+        specified = [
+            name
+            for name, value in (
+                ("n_components", n_components),
+                ("threshold", threshold),
+                ("energy", energy),
+            )
+            if value is not None
+        ]
+        if len(specified) > 1:
+            raise ValueError(
+                f"specify at most one of n_components/threshold/energy, "
+                f"got {specified}"
+            )
+        if n_components is not None and n_components < 1:
+            raise ValueError(f"n_components must be positive, got {n_components}")
+        if ordering == "automatic" and specified:
+            raise ValueError(
+                "ordering='automatic' chooses its own cut-off; do not "
+                f"combine it with {specified}"
+            )
+        self.n_components = n_components
+        self.ordering = ordering
+        self.scale = scale
+        self.whiten = whiten
+        self.threshold = threshold
+        self.energy = energy
+        self.eigen_method = eigen_method
+
+        self.pca_: PrincipalComponents | None = None
+        self.analysis_: CoherenceAnalysis | None = None
+        self.selected_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(self, features) -> "CoherenceReducer":
+        """Fit PCA, run the coherence analysis, and select components."""
+        self.pca_ = fit_pca(
+            features, scale=self.scale, eigen_method=self.eigen_method
+        )
+        self.analysis_ = analyze_coherence(self.pca_, features)
+        self.selected_ = self._select()
+        self.components_ = self.pca_.decomposition.basis(self.selected_)
+        return self
+
+    def _select(self) -> np.ndarray:
+        eigenvalues = self.analysis_.eigenvalues
+        probabilities = self.analysis_.coherence_probabilities
+        if self.threshold is not None:
+            return select_by_threshold(eigenvalues, self.threshold)
+        if self.energy is not None:
+            return select_by_energy(eigenvalues, self.energy)
+        if self.ordering == "automatic":
+            return select_automatic(probabilities, tie_break=eigenvalues)
+        if self.n_components is None:
+            k = eigenvalues.size
+        elif self.n_components > eigenvalues.size:
+            raise ValueError(
+                f"n_components={self.n_components} exceeds the "
+                f"{eigenvalues.size} available components"
+            )
+        else:
+            k = self.n_components
+        if self.ordering == "eigenvalue":
+            return select_by_eigenvalue(eigenvalues, k)
+        return select_by_coherence(probabilities, k, tie_break=eigenvalues)
+
+    # -- transforming ------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if self.pca_ is None:
+            raise RuntimeError("reducer is not fitted; call fit() first")
+
+    def transform(self, features) -> np.ndarray:
+        """Project rows (original coordinates) onto the retained basis.
+
+        With ``whiten=True`` each component is scaled to unit variance
+        (over the training data), so Euclidean distance in the output
+        counts concept disagreements equally.
+        """
+        self._require_fitted()
+        projected = self.pca_.transform(
+            features, component_indices=self.selected_
+        )
+        if not self.whiten:
+            return projected
+        eigenvalues = self.analysis_.eigenvalues[self.selected_]
+        scales = np.sqrt(np.maximum(eigenvalues, 0.0))
+        safe = np.where(scales > 0.0, scales, 1.0)
+        return projected / safe
+
+    def fit_transform(self, features) -> np.ndarray:
+        """Equivalent to ``fit(features).transform(features)``."""
+        return self.fit(features).transform(features)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def n_selected(self) -> int:
+        """Number of retained components."""
+        self._require_fitted()
+        return int(self.selected_.size)
+
+    def retained_variance_fraction(self) -> float:
+        """Fraction of total variance kept by the retained components.
+
+        On the paper's noisy datasets this is strikingly small at the
+        quality optimum (12.1 % for noisy data set A) — aggressive
+        reduction deliberately throws variance away.
+        """
+        self._require_fitted()
+        return self.pca_.decomposition.energy_fraction(self.selected_)
+
+    def describe(self) -> dict:
+        """A plain-dict summary, convenient for logging and reports."""
+        self._require_fitted()
+        return {
+            "ordering": self.ordering,
+            "scaled": self.scale,
+            "whitened": self.whiten,
+            "n_selected": self.n_selected,
+            "retained_variance": self.retained_variance_fraction(),
+            "selected_indices": [int(i) for i in self.selected_],
+            "rank_correlation": self.analysis_.rank_correlation()
+            if self.analysis_.n_components > 1
+            else None,
+        }

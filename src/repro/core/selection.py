@@ -1,0 +1,178 @@
+"""Eigenvector selection strategies.
+
+All strategies take quantities aligned with the library convention —
+eigenvalues sorted descending, coherence probabilities aligned with them —
+and return *indices into that descending-eigenvalue order*, most-preferred
+first.  Retaining "the first k of a selection" is therefore always
+well-defined, which is what the accuracy-vs-dimensionality sweeps rely on.
+
+Strategies:
+
+* :func:`select_by_eigenvalue` — the classical rule: keep the directions
+  with the greatest variance (least information loss).
+* :func:`select_by_coherence` — the paper's rule: keep the directions
+  with the greatest coherence probability, i.e. the strongest evidence of
+  correlated, non-noise structure.  Ties (probabilities saturate at 1.0
+  in double precision) are broken by a secondary key, by default the
+  eigenvalue.
+* :func:`select_by_threshold` — the "1 %-thresholding" baseline of
+  Table 1: discard eigenvalues below a fraction of the largest one.
+* :func:`select_by_energy` — keep the smallest prefix of eigenvalue order
+  that preserves a target fraction of total variance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate_eigenvalues(eigenvalues) -> np.ndarray:
+    values = np.asarray(eigenvalues, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("eigenvalues must be a non-empty 1-d array")
+    if np.any(np.diff(values) > 1e-9 * max(1.0, float(np.abs(values).max()))):
+        raise ValueError("eigenvalues must be sorted in descending order")
+    if np.any(values < -1e-9 * max(1.0, float(np.abs(values).max()))):
+        raise ValueError("covariance eigenvalues must be non-negative")
+    return values
+
+
+def _validate_k(k: int, limit: int) -> int:
+    if not 1 <= k <= limit:
+        raise ValueError(f"k must lie in [1, {limit}], got {k}")
+    return int(k)
+
+
+def select_by_eigenvalue(eigenvalues, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest-eigenvalue components: ``[0, …, k-1]``."""
+    values = _validate_eigenvalues(eigenvalues)
+    k = _validate_k(k, values.size)
+    return np.arange(k, dtype=np.intp)
+
+
+def select_by_coherence(
+    coherence_probabilities,
+    k: int,
+    tie_break=None,
+) -> np.ndarray:
+    """Indices of the ``k`` most coherent components, most coherent first.
+
+    Args:
+        coherence_probabilities: ``P(D, e_i)`` aligned with descending
+            eigenvalue order.
+        k: how many components to keep.
+        tie_break: optional secondary key (same alignment; larger wins);
+            pass the eigenvalues to prefer high-variance directions among
+            equally coherent ones.  Without it, ties resolve toward the
+            larger eigenvalue anyway because position in the array encodes
+            eigenvalue rank and the sort is made stable on that position.
+    """
+    probabilities = np.asarray(coherence_probabilities, dtype=np.float64)
+    if probabilities.ndim != 1 or probabilities.size == 0:
+        raise ValueError("coherence_probabilities must be a non-empty 1-d array")
+    if np.any(probabilities < -1e-12) or np.any(probabilities > 1.0 + 1e-12):
+        raise ValueError("coherence probabilities must lie in [0, 1]")
+    k = _validate_k(k, probabilities.size)
+
+    if tie_break is not None:
+        secondary = np.asarray(tie_break, dtype=np.float64)
+        if secondary.shape != probabilities.shape:
+            raise ValueError(
+                "tie_break must align with coherence_probabilities"
+            )
+    else:
+        # Positions encode descending eigenvalue rank; preferring lower
+        # positions among ties prefers larger eigenvalues.
+        secondary = -np.arange(probabilities.size, dtype=np.float64)
+
+    # lexsort: last key is primary.  Negate for descending order.
+    order = np.lexsort((-secondary, -probabilities))
+    return order[:k].astype(np.intp)
+
+
+def select_by_threshold(eigenvalues, fraction: float = 0.01) -> np.ndarray:
+    """Keep eigenvalues of at least ``fraction`` times the largest.
+
+    The paper's "1 %-thresholding" baseline (Table 1): only eigenvalues
+    below 1 % of the largest are discarded — a conservative rule whose
+    retained dimensionality stays close to full.  Always keeps at least
+    the leading component.
+    """
+    values = _validate_eigenvalues(eigenvalues)
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must lie in [0, 1], got {fraction}")
+    cutoff = fraction * values[0]
+    kept = int(np.sum(values >= cutoff))
+    return np.arange(max(1, kept), dtype=np.intp)
+
+
+def select_by_energy(eigenvalues, energy: float = 0.95) -> np.ndarray:
+    """Smallest eigenvalue-order prefix preserving ``energy`` of variance.
+
+    The classical precision-preserving rule the paper contrasts itself
+    against (Ravi Kanth et al.): reduce only to the point where the
+    retained variance stays above the target.
+    """
+    values = _validate_eigenvalues(eigenvalues)
+    if not 0.0 < energy <= 1.0:
+        raise ValueError(f"energy must lie in (0, 1], got {energy}")
+    total = float(np.sum(values))
+    if total == 0.0:
+        return np.arange(1, dtype=np.intp)
+    cumulative = np.cumsum(values) / total
+    kept = int(np.searchsorted(cumulative, energy - 1e-12) + 1)
+    return np.arange(min(kept, values.size), dtype=np.intp)
+
+
+# Below this largest-gap size the coherence spectrum is considered flat:
+# structureless (uniform-like) data produces gaps well under this, planted
+# concepts produce gaps far above it.
+FLAT_SPECTRUM_GAP = 0.05
+
+
+def select_automatic(
+    coherence_probabilities,
+    tie_break=None,
+    flat_gap: float = FLAT_SPECTRUM_GAP,
+) -> np.ndarray:
+    """The paper's "intuitive cut-off": keep everything above the big gap.
+
+    Section 4 reads the scatter plots by eye: the concept vectors stand
+    apart from the noise tail, and "by examining the nature of the
+    distribution ... it is possible to provide a good intuitive judgement
+    for the cut-off point."  This automates that judgement: sort the
+    coherence probabilities descending, find the largest gap between
+    consecutive values, and keep everything above it.
+
+    A flat spectrum (largest gap below ``flat_gap``) means the data has
+    no concept/noise separation — the Section 3 regime — and *all*
+    components are returned, because dropping any would lose information.
+
+    Args:
+        coherence_probabilities: ``P(D, e_i)`` aligned with descending
+            eigenvalue order.
+        tie_break: optional secondary key, as in
+            :func:`select_by_coherence`.
+        flat_gap: gap size below which the spectrum is declared flat.
+
+    Returns:
+        Selected indices, most coherent first.
+    """
+    probabilities = np.asarray(coherence_probabilities, dtype=np.float64)
+    if probabilities.ndim != 1 or probabilities.size == 0:
+        raise ValueError("coherence_probabilities must be a non-empty 1-d array")
+    if not 0.0 < flat_gap < 1.0:
+        raise ValueError(f"flat_gap must lie in (0, 1), got {flat_gap}")
+
+    order = select_by_coherence(
+        probabilities, probabilities.size, tie_break=tie_break
+    )
+    sorted_cp = probabilities[order]
+    if sorted_cp.size == 1:
+        return order
+
+    gaps = sorted_cp[:-1] - sorted_cp[1:]
+    largest = int(np.argmax(gaps))
+    if gaps[largest] < flat_gap:
+        return order  # flat spectrum: retain everything (Section 3)
+    return order[: largest + 1]

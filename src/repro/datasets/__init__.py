@@ -1,0 +1,39 @@
+"""Dataset substrate.
+
+Labeled high-dimensional datasets: a latent-concept generator, simple
+uniform/Gaussian generators, UCI-like presets standing in for the paper's
+Musk / Ionosphere / Arrhythmia data (no network access in this
+environment — see DESIGN.md, "Substitutions"), the uniform-noise
+corruption used for the paper's "noisy data sets A and B", and a CSV
+loader so real UCI files drop in unchanged when available.
+"""
+
+from repro.datasets.types import Dataset
+from repro.datasets.synthetic import (
+    gaussian_blobs,
+    latent_concept_dataset,
+    uniform_cube,
+)
+from repro.datasets.uci_like import (
+    arrhythmia_like,
+    ionosphere_like,
+    musk_like,
+    noisy_dataset_a,
+    noisy_dataset_b,
+)
+from repro.datasets.corruption import corrupt_with_uniform
+from repro.datasets.loaders import load_csv_dataset
+
+__all__ = [
+    "Dataset",
+    "arrhythmia_like",
+    "corrupt_with_uniform",
+    "gaussian_blobs",
+    "ionosphere_like",
+    "latent_concept_dataset",
+    "load_csv_dataset",
+    "musk_like",
+    "noisy_dataset_a",
+    "noisy_dataset_b",
+    "uniform_cube",
+]

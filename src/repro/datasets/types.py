@@ -1,0 +1,103 @@
+"""The labeled-dataset container every experiment operates on."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A labeled high-dimensional dataset.
+
+    The label column is the "semantic variable" of the paper's feature-
+    stripping protocol: similarity search never sees it, and quality is
+    judged by how often nearest neighbors share it with the query.
+
+    Attributes:
+        name: human-readable identifier, carried through reports.
+        features: ``(n, d)`` float matrix; rows are points.
+        labels: ``(n,)`` integer class labels.
+        metadata: free-form provenance (generator parameters, corrupted
+            column indices, …); never interpreted by algorithms.
+    """
+
+    name: str
+    features: np.ndarray
+    labels: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        features = np.asarray(self.features, dtype=np.float64)
+        labels = np.asarray(self.labels, dtype=np.int64)
+        if features.ndim != 2:
+            raise ValueError(
+                f"features must be 2-d, got shape {features.shape}"
+            )
+        if features.shape[0] == 0 or features.shape[1] == 0:
+            raise ValueError("dataset must have at least one row and column")
+        if not np.all(np.isfinite(features)):
+            raise ValueError("features must be finite")
+        if labels.shape != (features.shape[0],):
+            raise ValueError(
+                f"labels must have shape ({features.shape[0]},), "
+                f"got {labels.shape}"
+            )
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "labels", labels)
+
+    @property
+    def n_samples(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def n_dims(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        return int(np.unique(self.labels).size)
+
+    def class_counts(self) -> dict[int, int]:
+        """Histogram of label values."""
+        values, counts = np.unique(self.labels, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def subset(self, row_indices) -> "Dataset":
+        """A new dataset restricted to the given rows (copies data)."""
+        indices = np.asarray(row_indices, dtype=np.intp)
+        if indices.ndim != 1 or indices.size == 0:
+            raise ValueError("row_indices must be a non-empty 1-d sequence")
+        return Dataset(
+            name=self.name,
+            features=self.features[indices].copy(),
+            labels=self.labels[indices].copy(),
+            metadata=dict(self.metadata),
+        )
+
+    def with_features(self, features, name: str | None = None) -> "Dataset":
+        """Same labels, different feature matrix (e.g. after reduction)."""
+        return Dataset(
+            name=self.name if name is None else name,
+            features=features,
+            labels=self.labels.copy(),
+            metadata=dict(self.metadata),
+        )
+
+    def to_csv(self, path: str, label_last: bool = True) -> None:
+        """Write the dataset in the UCI layout this library's loader reads.
+
+        One row per record, comma-separated features, integer label in
+        the last (default) or first column — so
+        :func:`repro.datasets.load_csv_dataset` round-trips it.
+        """
+        with open(path, "w") as handle:
+            for row, label in zip(self.features, self.labels):
+                values = [repr(float(v)) for v in row]
+                fields = (
+                    values + [str(int(label))]
+                    if label_last
+                    else [str(int(label))] + values
+                )
+                handle.write(",".join(fields) + "\n")

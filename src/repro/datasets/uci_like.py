@@ -1,0 +1,158 @@
+"""UCI-like dataset presets.
+
+The paper evaluates on three UCI machine-learning-repository datasets
+(Musk, Ionosphere, Arrhythmia) plus two synthetically corrupted variants
+("noisy data set A/B").  This environment has no network access, so these
+presets generate synthetic stand-ins with the same dimensionality, sample
+count, class structure, and — crucially — the latent-concept statistics
+the coherence model responds to.  DESIGN.md records the substitution and
+why it preserves the behaviour under study; real UCI CSVs can be loaded
+with :func:`repro.datasets.load_csv_dataset` and run through the same
+experiments unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.corruption import corrupt_with_uniform
+from repro.datasets.synthetic import latent_concept_dataset
+from repro.datasets.types import Dataset
+from repro.linalg.covariance import studentize
+
+# Noise amplitude of the paper's corrupted datasets ("replaced them with
+# data generated from a uniform distribution with amplitude a = 60").
+NOISY_AMPLITUDE = 60.0
+NOISY_A_CORRUPTED_DIMS = 10
+# The OCR of the paper drops trailing digits ("we picked 1 of the
+# original set of dimensions"), but Figure 14's "outlier cluster of
+# [about] 11 eigenvectors with very high eigenvalues" pins the corrupted
+# count near 10 for data set B as well.
+NOISY_B_CORRUPTED_DIMS = 10
+
+
+def musk_like(seed: int = 0) -> Dataset:
+    """Stand-in for UCI Musk (version 1): 166 dims, 476 rows, 2 classes.
+
+    Musk's features are 166 shape-distance measurements of conformations
+    of the same molecules — heavily redundant, strongly correlated, with
+    a modest number of underlying degrees of freedom.  The stand-in
+    plants 13 concepts (the paper finds the musk optimum at 13 retained
+    eigenvectors, with ~11 standing out in the scatter) under substantial
+    per-dimension noise, so the accuracy optimum falls far below the full
+    166 dimensions.
+    """
+    return latent_concept_dataset(
+        n_samples=476,
+        n_dims=166,
+        n_concepts=13,
+        n_classes=2,
+        clusters_per_class=8,
+        class_separation=6.0,
+        concept_std=1.2,
+        noise_std=3.0,
+        scale_spread=1.0,
+        seed=seed,
+        name="musk-like",
+    )
+
+
+def ionosphere_like(seed: int = 0) -> Dataset:
+    """Stand-in for UCI Ionosphere: 34 dims, 351 rows, 2 classes.
+
+    Ionosphere is radar-return data where, per the paper's Figures 6–8,
+    the first 5 eigenvalues stand apart, including the next 5 reaches the
+    quality optimum, and the optimum beats full dimensionality.  The
+    stand-in plants 10 concepts so the optimum lands near 10 of 34
+    dimensions with the same orderings.
+    """
+    return latent_concept_dataset(
+        n_samples=351,
+        n_dims=34,
+        n_concepts=10,
+        n_classes=2,
+        clusters_per_class=6,
+        class_separation=8.0,
+        concept_std=1.2,
+        noise_std=2.5,
+        scale_spread=0.7,
+        seed=seed,
+        name="ionosphere-like",
+    )
+
+
+def arrhythmia_like(seed: int = 0) -> Dataset:
+    """Stand-in for UCI Arrhythmia: 279 dims, 452 rows, 16 classes.
+
+    The real Arrhythmia data mixes ECG measurements on wildly different
+    scales, has near-constant columns, and rare classes.  The stand-in
+    plants 10 concepts (the paper finds the arrhythmia optimum at the top
+    10 eigenvectors), a per-dimension scale spread of 1.5 decades, 20
+    constant columns, and a skewed class distribution (class 0 — the
+    "normal" ECG — dominates).
+    """
+    weights = [0.54] + [0.46 / 15] * 15
+    return latent_concept_dataset(
+        n_samples=452,
+        n_dims=259,
+        n_concepts=10,
+        n_classes=16,
+        clusters_per_class=2,
+        class_separation=6.0,
+        concept_std=1.2,
+        noise_std=2.5,
+        scale_spread=1.5,
+        n_constant_dims=20,
+        class_weights=weights,
+        seed=seed,
+        name="arrhythmia-like",
+    )
+
+
+def _studentized_copy(dataset: Dataset) -> Dataset:
+    """The dataset with every (non-constant) column at unit variance.
+
+    The paper corrupts the *raw* UCI data with amplitude-60 uniform noise
+    (variance 300).  The real Ionosphere features live in [-1, 1]
+    (variance < 1), so the planted noise dominates the covariance
+    spectrum by more than two orders of magnitude.  Our synthetic
+    stand-ins have much larger raw scales, which would mute the planted
+    noise; corrupting a unit-variance copy reproduces the paper's
+    noise-to-signal variance ratio (~300 : 1) — the property the noisy
+    experiments actually exercise.
+    """
+    result = studentize(dataset.features)
+    metadata = dict(dataset.metadata)
+    metadata["studentized_before_corruption"] = True
+    return Dataset(
+        name=dataset.name,
+        features=result.features,
+        labels=dataset.labels.copy(),
+        metadata=metadata,
+    )
+
+
+def noisy_dataset_a(seed: int = 0) -> Dataset:
+    """The paper's "noisy data set A": ionosphere with 10 of 34 dims
+    replaced by uniform noise of amplitude 60 (Section 4.1)."""
+    return corrupt_with_uniform(
+        _studentized_copy(ionosphere_like(seed=seed)),
+        n_dims=NOISY_A_CORRUPTED_DIMS,
+        amplitude=NOISY_AMPLITUDE,
+        seed=seed,
+        name="noisy-A",
+    )
+
+
+def noisy_dataset_b(seed: int = 0) -> Dataset:
+    """The paper's "noisy data set B": arrhythmia with ~10 of 279 dims
+    replaced by uniform noise of amplitude 60 (Section 4.1).
+
+    Studentization drops the 20 constant columns first, so the corruption
+    hits 10 of the 259 informative dimensions.
+    """
+    return corrupt_with_uniform(
+        _studentized_copy(arrhythmia_like(seed=seed)),
+        n_dims=NOISY_B_CORRUPTED_DIMS,
+        amplitude=NOISY_AMPLITUDE,
+        seed=seed,
+        name="noisy-B",
+    )

@@ -1,0 +1,35 @@
+"""Distance substrate.
+
+Minkowski-family and cosine metrics, pairwise distance kernels, and the
+relative-contrast diagnostics (Beyer et al.) that Section 1.1 of the
+paper uses to explain why high-dimensional proximity queries become
+unstable.
+"""
+
+from repro.distances.metrics import (
+    chebyshev,
+    cosine_distance,
+    euclidean,
+    manhattan,
+    minkowski,
+    pairwise_distances,
+    squared_euclidean_matrix,
+)
+from repro.distances.contrast import (
+    ContrastSummary,
+    relative_contrast,
+    relative_contrast_profile,
+)
+
+__all__ = [
+    "ContrastSummary",
+    "chebyshev",
+    "cosine_distance",
+    "euclidean",
+    "manhattan",
+    "minkowski",
+    "pairwise_distances",
+    "relative_contrast",
+    "relative_contrast_profile",
+    "squared_euclidean_matrix",
+]

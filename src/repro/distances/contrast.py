@@ -1,0 +1,108 @@
+"""Relative-contrast diagnostics for the dimensionality curse.
+
+Section 1.1 of the paper builds on Beyer et al. (ICDT 1999): as the
+dimensionality grows, the nearest and farthest neighbors of a query sit
+at almost the same distance, which makes proximity queries unstable and
+defeats the optimistic bounds index structures prune with.  The
+*relative contrast* ``(D_max - D_min) / D_min`` quantifies this; it
+collapses toward 0 for i.i.d. dimensions as ``d`` grows and is restored
+by a reduction that discards noise directions.  The
+``bench_ablation_contrast`` benchmark regenerates the phenomenon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distances.metrics import pairwise_distances
+
+
+@dataclass(frozen=True)
+class ContrastSummary:
+    """Distance-spread statistics of one query against a corpus.
+
+    Attributes:
+        nearest: distance to the nearest corpus point.
+        farthest: distance to the farthest corpus point.
+        relative_contrast: ``(farthest - nearest) / nearest`` — the
+            Beyer et al. instability measure; 0 means total meaninglessness.
+        mean_distance: mean distance over the corpus.
+    """
+
+    nearest: float
+    farthest: float
+    relative_contrast: float
+    mean_distance: float
+
+
+def relative_contrast(corpus, query, metric: str = "euclidean", p: float | None = None) -> ContrastSummary:
+    """Contrast of one query point against a corpus.
+
+    Args:
+        corpus: ``(n, d)`` matrix of data points.
+        query: ``(d,)`` query vector (must not coincide with every corpus
+            point — a nearest distance of exactly 0 makes the ratio
+            undefined and raises).
+        metric: any metric accepted by
+            :func:`repro.distances.pairwise_distances`.
+        p: Minkowski exponent when ``metric="minkowski"``.
+    """
+    points = np.asarray(corpus, dtype=np.float64)
+    target = np.asarray(query, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"corpus must be 2-d, got shape {points.shape}")
+    if target.ndim != 1 or target.size != points.shape[1]:
+        raise ValueError("query must be a 1-d vector matching corpus columns")
+
+    distances = pairwise_distances(
+        target.reshape(1, -1), points, metric=metric, p=p
+    )[0]
+    nearest = float(np.min(distances))
+    farthest = float(np.max(distances))
+    if nearest == 0.0:
+        raise ValueError(
+            "query coincides with a corpus point; relative contrast is "
+            "undefined (remove duplicates or exclude the query itself)"
+        )
+    return ContrastSummary(
+        nearest=nearest,
+        farthest=farthest,
+        relative_contrast=(farthest - nearest) / nearest,
+        mean_distance=float(np.mean(distances)),
+    )
+
+
+def relative_contrast_profile(
+    dimensionalities,
+    n_points: int = 500,
+    n_queries: int = 20,
+    metric: str = "euclidean",
+    p: float | None = None,
+    seed: int = 0,
+) -> list[tuple[int, float]]:
+    """Mean relative contrast of uniform data across dimensionalities.
+
+    For each ``d`` draws ``n_points`` corpus points and ``n_queries``
+    queries uniformly from the unit cube and averages the relative
+    contrast — the worst-case (perfectly noisy) setting of Section 3.
+
+    Returns:
+        List of ``(dimensionality, mean_relative_contrast)`` pairs, one
+        per requested dimensionality, in input order.
+    """
+    dims = [int(d) for d in dimensionalities]
+    if not dims or any(d < 1 for d in dims):
+        raise ValueError("dimensionalities must be positive integers")
+    rng = np.random.default_rng(seed)
+    profile = []
+    for d in dims:
+        corpus = rng.uniform(0.0, 1.0, size=(n_points, d))
+        queries = rng.uniform(0.0, 1.0, size=(n_queries, d))
+        contrasts = [
+            relative_contrast(corpus, query, metric=metric, p=p).relative_contrast
+            for query in queries
+        ]
+        profile.append((d, float(np.mean(contrasts))))
+    return profile

@@ -1,0 +1,159 @@
+"""Distance metrics.
+
+The Minkowski family (including the fractional exponents that the high-
+dimensional-similarity literature studies), Chebyshev as the ``p = inf``
+limit, and cosine distance.  All functions accept 1-d vectors;
+:func:`pairwise_distances` vectorizes over whole matrices, and
+:func:`squared_euclidean_matrix` is the fast kernel the evaluation sweeps
+are built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pair(a, b) -> tuple[np.ndarray, np.ndarray]:
+    first = np.asarray(a, dtype=np.float64)
+    second = np.asarray(b, dtype=np.float64)
+    if first.ndim != 1 or second.ndim != 1:
+        raise ValueError("metric arguments must be 1-d vectors")
+    if first.shape != second.shape:
+        raise ValueError(
+            f"vectors must share a shape, got {first.shape} and {second.shape}"
+        )
+    if not (np.all(np.isfinite(first)) and np.all(np.isfinite(second))):
+        raise ValueError("vectors must be finite")
+    return first, second
+
+
+def minkowski(a, b, p: float) -> float:
+    """The L_p distance ``(sum |a_i - b_i|^p)^(1/p)`` for ``p > 0``.
+
+    Fractional ``p`` in (0, 1) is permitted: it is not a metric (the
+    triangle inequality fails) but is a meaningful dissimilarity that
+    behaves better under the dimensionality curse.
+    """
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    first, second = _pair(a, b)
+    gaps = np.abs(first - second)
+    return float(np.sum(gaps**p) ** (1.0 / p))
+
+
+def euclidean(a, b) -> float:
+    """The L_2 distance."""
+    first, second = _pair(a, b)
+    return float(np.sqrt(np.sum(np.square(first - second))))
+
+
+def manhattan(a, b) -> float:
+    """The L_1 distance."""
+    first, second = _pair(a, b)
+    return float(np.sum(np.abs(first - second)))
+
+
+def chebyshev(a, b) -> float:
+    """The L_inf distance (limit of Minkowski as ``p → inf``)."""
+    first, second = _pair(a, b)
+    return float(np.max(np.abs(first - second)))
+
+
+def cosine_distance(a, b) -> float:
+    """``1 - cos(angle between a and b)``; zero vectors are rejected."""
+    first, second = _pair(a, b)
+    norm_a = float(np.sqrt(np.sum(np.square(first))))
+    norm_b = float(np.sqrt(np.sum(np.square(second))))
+    if norm_a == 0.0 or norm_b == 0.0:
+        raise ValueError("cosine distance is undefined for zero vectors")
+    similarity = float(np.dot(first, second)) / (norm_a * norm_b)
+    # Clamp floating-point drift outside [-1, 1].
+    return 1.0 - max(-1.0, min(1.0, similarity))
+
+
+def squared_euclidean_matrix(x, y=None) -> np.ndarray:
+    """All-pairs squared Euclidean distances via the Gram-matrix identity.
+
+    ``D2[i, j] = |x_i|^2 + |y_j|^2 - 2 x_i . y_j``, computed with one
+    matrix multiply.  Tiny negative values from floating-point
+    cancellation are clamped to zero.
+
+    Args:
+        x: ``(n, d)`` matrix of row vectors.
+        y: optional ``(m, d)`` matrix; defaults to ``x`` (self-distances).
+    """
+    first = np.asarray(x, dtype=np.float64)
+    if first.ndim != 2:
+        raise ValueError(f"x must be 2-d, got shape {first.shape}")
+    second = first if y is None else np.asarray(y, dtype=np.float64)
+    if second.ndim != 2 or second.shape[1] != first.shape[1]:
+        raise ValueError(
+            "y must be 2-d with the same number of columns as x"
+        )
+    x_norms = np.sum(np.square(first), axis=1)
+    y_norms = x_norms if y is None else np.sum(np.square(second), axis=1)
+    gram = first @ second.T
+    distances = x_norms[:, None] + y_norms[None, :] - 2.0 * gram
+    np.maximum(distances, 0.0, out=distances)
+    if y is None:
+        # Self-distances are exactly zero; the Gram identity only gets
+        # them to within floating-point error.
+        np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+_METRIC_FUNCTIONS = {
+    "euclidean": euclidean,
+    "manhattan": manhattan,
+    "chebyshev": chebyshev,
+    "cosine": cosine_distance,
+}
+
+
+def pairwise_distances(x, y=None, metric: str = "euclidean", p: float | None = None) -> np.ndarray:
+    """All-pairs distance matrix between rows of ``x`` and ``y``.
+
+    Args:
+        x: ``(n, d)`` matrix.
+        y: optional ``(m, d)`` matrix; defaults to ``x``.
+        metric: ``"euclidean"``, ``"manhattan"``, ``"chebyshev"``,
+            ``"cosine"``, or ``"minkowski"`` (which requires ``p``).
+        p: exponent for the Minkowski metric.
+
+    Returns:
+        ``(n, m)`` distance matrix.
+    """
+    first = np.asarray(x, dtype=np.float64)
+    if first.ndim != 2:
+        raise ValueError(f"x must be 2-d, got shape {first.shape}")
+    second = first if y is None else np.asarray(y, dtype=np.float64)
+    if second.ndim != 2 or second.shape[1] != first.shape[1]:
+        raise ValueError("y must be 2-d with the same number of columns as x")
+
+    if metric == "euclidean":
+        return np.sqrt(squared_euclidean_matrix(first, y))
+    if metric == "manhattan":
+        diffs = np.abs(first[:, None, :] - second[None, :, :])
+        return np.sum(diffs, axis=2)
+    if metric == "chebyshev":
+        diffs = np.abs(first[:, None, :] - second[None, :, :])
+        return np.max(diffs, axis=2)
+    if metric == "minkowski":
+        if p is None:
+            raise ValueError("metric='minkowski' requires the exponent p")
+        if p <= 0:
+            raise ValueError(f"p must be positive, got {p}")
+        diffs = np.abs(first[:, None, :] - second[None, :, :])
+        return np.sum(diffs**p, axis=2) ** (1.0 / p)
+    if metric == "cosine":
+        norms_x = np.sqrt(np.sum(np.square(first), axis=1))
+        norms_y = np.sqrt(np.sum(np.square(second), axis=1))
+        if np.any(norms_x == 0.0) or np.any(norms_y == 0.0):
+            raise ValueError("cosine distance is undefined for zero vectors")
+        similarity = (first @ second.T) / np.outer(norms_x, norms_y)
+        np.clip(similarity, -1.0, 1.0, out=similarity)
+        return 1.0 - similarity
+    raise ValueError(
+        f"unknown metric {metric!r}; choose from "
+        f"{sorted(_METRIC_FUNCTIONS) + ['minkowski']}"
+    )

@@ -1,0 +1,65 @@
+"""Subspace drift detection for dynamic reduction.
+
+A dynamic index keeps serving queries through a *frozen* reduced basis
+while inserts stream in.  The monitor quantifies how far the live
+distribution has rotated away from that basis: the **captured-energy
+ratio** — the fraction of the current total variance that still lies
+inside the frozen subspace, relative to the fraction it captured when it
+was frozen.  When the ratio decays below a threshold, the basis (and its
+coherence ranking) should be recomputed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DriftMonitor:
+    """Tracks how well a frozen basis captures the evolving covariance.
+
+    Args:
+        basis: ``(d, k)`` orthonormal basis frozen at fit time.
+        reference_covariance: covariance matrix at freeze time.
+        threshold: refit is signaled when the captured-energy ratio
+            falls below this fraction of the freeze-time ratio.
+    """
+
+    def __init__(self, basis, reference_covariance, threshold: float = 0.9) -> None:
+        self.basis = np.asarray(basis, dtype=np.float64)
+        if self.basis.ndim != 2:
+            raise ValueError("basis must be 2-d (d, k)")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must lie in (0, 1], got {threshold}")
+        self.threshold = threshold
+        self._reference_ratio = self.captured_energy_ratio(reference_covariance)
+        if self._reference_ratio <= 0.0:
+            raise ValueError(
+                "the frozen basis captures no energy of the reference "
+                "covariance; refusing to monitor a dead subspace"
+            )
+
+    @property
+    def reference_ratio(self) -> float:
+        return self._reference_ratio
+
+    def captured_energy_ratio(self, covariance) -> float:
+        """Fraction of ``trace(C)`` lying inside the frozen subspace."""
+        matrix = np.asarray(covariance, dtype=np.float64)
+        d = self.basis.shape[0]
+        if matrix.shape != (d, d):
+            raise ValueError(
+                f"covariance must have shape ({d}, {d}), got {matrix.shape}"
+            )
+        total = float(np.trace(matrix))
+        if total <= 0.0:
+            return 0.0
+        captured = float(np.trace(self.basis.T @ matrix @ self.basis))
+        return captured / total
+
+    def relative_capture(self, covariance) -> float:
+        """Current captured ratio relative to the freeze-time ratio."""
+        return self.captured_energy_ratio(covariance) / self._reference_ratio
+
+    def should_refit(self, covariance) -> bool:
+        """True when the basis has drifted past the threshold."""
+        return self.relative_capture(covariance) < self.threshold

@@ -1,0 +1,108 @@
+"""Updatable PCA over streaming moments.
+
+Maintains :class:`IncrementalMoments` and re-diagonalizes lazily: the
+eigendecomposition is recomputed only when someone asks for it *and* new
+rows have arrived since the last computation.  Inserting rows is O(d^2);
+refreshing the basis is O(d^3), paid only on demand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamic.moments import IncrementalMoments
+from repro.linalg.eigen import EigenDecomposition, decompose
+
+
+class IncrementalPCA:
+    """PCA whose training set grows over time.
+
+    Args:
+        n_dims: stream dimensionality.
+        scale: diagonalize the correlation matrix instead of the
+            covariance matrix (the paper's recommended normalization).
+            Zero-variance dimensions get correlation 0 with everything
+            (they carry no information yet) rather than being dropped —
+            a streaming index cannot re-shape its vectors mid-flight.
+        eigen_method: ``"numpy"`` or ``"jacobi"``.
+    """
+
+    def __init__(
+        self, n_dims: int, scale: bool = False, eigen_method: str = "numpy"
+    ) -> None:
+        self.scale = scale
+        self.eigen_method = eigen_method
+        self._moments = IncrementalMoments(n_dims)
+        self._decomposition: EigenDecomposition | None = None
+        self._stale = True
+
+    @property
+    def n_dims(self) -> int:
+        return self._moments.n_dims
+
+    @property
+    def n_seen(self) -> int:
+        return self._moments.count
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Mean of everything seen so far."""
+        return self._moments.mean
+
+    def covariance(self) -> np.ndarray:
+        """Covariance of everything seen so far."""
+        return self._moments.covariance()
+
+    def partial_fit(self, rows) -> "IncrementalPCA":
+        """Fold new rows into the model; the basis refreshes lazily."""
+        self._moments.update(rows)
+        self._stale = True
+        return self
+
+    def _working_matrix(self) -> np.ndarray:
+        covariance = self._moments.covariance()
+        if not self.scale:
+            return covariance
+        stds = np.sqrt(np.diag(covariance))
+        safe = np.where(stds > 0.0, stds, 1.0)
+        correlation = covariance / np.outer(safe, safe)
+        # Zero-variance dimensions: no correlation with anything.
+        dead = stds == 0.0
+        if dead.any():
+            correlation[dead, :] = 0.0
+            correlation[:, dead] = 0.0
+        return (correlation + correlation.T) / 2.0
+
+    @property
+    def decomposition(self) -> EigenDecomposition:
+        """Current eigenpairs (recomputed if rows arrived since last call)."""
+        if self.n_seen < 2:
+            raise RuntimeError(
+                "need at least two rows before a decomposition exists"
+            )
+        if self._stale or self._decomposition is None:
+            self._decomposition = decompose(
+                self._working_matrix(), method=self.eigen_method
+            )
+            self._stale = False
+        return self._decomposition
+
+    def transform(self, rows, component_indices=None) -> np.ndarray:
+        """Project rows onto the current eigenbasis."""
+        array = np.asarray(rows, dtype=np.float64)
+        single = array.ndim == 1
+        if single:
+            array = array.reshape(1, -1)
+        if array.shape[1] != self.n_dims:
+            raise ValueError(
+                f"expected {self.n_dims} columns, got {array.shape[1]}"
+            )
+        centered = array - self._moments.mean
+        if self.scale:
+            stds = np.sqrt(self._moments.variances())
+            centered = centered / np.where(stds > 0.0, stds, 1.0)
+        vectors = self.decomposition.eigenvectors
+        if component_indices is not None:
+            vectors = self.decomposition.basis(component_indices)
+        projected = centered @ vectors
+        return projected[0] if single else projected

@@ -1,0 +1,167 @@
+"""Exact streaming first and second moments.
+
+Chan et al.'s parallel/pairwise update of the mean vector and the
+centered sum-of-squares matrix: numerically stable, exact up to float
+rounding, O(d^2) per batch regardless of batch size.  This is the state
+a dynamic similarity index must maintain so PCA can be refreshed without
+ever rescanning the corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class IncrementalMoments:
+    """Streaming mean and covariance of row vectors.
+
+    Args:
+        n_dims: dimensionality of the stream.
+
+    The covariance returned is the population covariance (ddof=0),
+    matching :func:`repro.linalg.covariance_matrix`.
+    """
+
+    def __init__(self, n_dims: int) -> None:
+        if n_dims < 1:
+            raise ValueError(f"n_dims must be positive, got {n_dims}")
+        self.n_dims = n_dims
+        self._count = 0
+        self._mean = np.zeros(n_dims)
+        # Centered sum of squares: sum_i (x_i - mean)(x_i - mean)^T.
+        self._m2 = np.zeros((n_dims, n_dims))
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> np.ndarray:
+        return self._mean.copy()
+
+    def update(self, rows) -> "IncrementalMoments":
+        """Fold one row or a batch of rows into the moments."""
+        batch = np.asarray(rows, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch.reshape(1, -1)
+        if batch.ndim != 2 or batch.shape[1] != self.n_dims:
+            raise ValueError(
+                f"rows must have {self.n_dims} columns, got shape {batch.shape}"
+            )
+        if not np.all(np.isfinite(batch)):
+            raise ValueError("rows must be finite")
+        if batch.shape[0] == 0:
+            return self
+
+        m = batch.shape[0]
+        batch_mean = batch.mean(axis=0)
+        centered = batch - batch_mean
+        batch_m2 = centered.T @ centered
+
+        if self._count == 0:
+            self._count = m
+            self._mean = batch_mean
+            self._m2 = batch_m2
+            return self
+
+        n = self._count
+        delta = batch_mean - self._mean
+        total = n + m
+        self._mean = self._mean + delta * (m / total)
+        self._m2 = self._m2 + batch_m2 + np.outer(delta, delta) * (n * m / total)
+        self._count = total
+        return self
+
+    def covariance(self, ddof: int = 0) -> np.ndarray:
+        """Current covariance matrix of everything seen so far."""
+        if self._count <= ddof:
+            raise ValueError(
+                f"need more than ddof={ddof} rows, got {self._count}"
+            )
+        matrix = self._m2 / (self._count - ddof)
+        return (matrix + matrix.T) / 2.0
+
+    def variances(self, ddof: int = 0) -> np.ndarray:
+        """Per-dimension variances (the covariance diagonal)."""
+        return np.diag(self.covariance(ddof=ddof)).copy()
+
+    def merge(self, other: "IncrementalMoments") -> "IncrementalMoments":
+        """Fold another accumulator into this one (for sharded streams)."""
+        if other.n_dims != self.n_dims:
+            raise ValueError(
+                f"dimensionality mismatch: {self.n_dims} vs {other.n_dims}"
+            )
+        if other._count == 0:
+            return self
+        if self._count == 0:
+            self._count = other._count
+            self._mean = other._mean.copy()
+            self._m2 = other._m2.copy()
+            return self
+        n, m = self._count, other._count
+        delta = other._mean - self._mean
+        total = n + m
+        self._mean = self._mean + delta * (m / total)
+        self._m2 = self._m2 + other._m2 + np.outer(delta, delta) * (n * m / total)
+        self._count = total
+        return self
+
+    def downdate(self, rows) -> "IncrementalMoments":
+        """Remove previously-folded rows from the moments (deletion).
+
+        The exact inverse of :meth:`update` — a dynamic database deletes
+        as well as inserts.  Numerically this is a *subtraction* of
+        sums-of-squares, so after removing almost everything the
+        remaining covariance carries the cancellation error of what was
+        removed; refit from scratch when the corpus turns over many
+        times.  Removing rows that were never inserted is undetectable
+        by construction and will corrupt the state — callers own that
+        invariant.
+
+        Raises:
+            ValueError: when removing more rows than were inserted.
+        """
+        batch = np.asarray(rows, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch.reshape(1, -1)
+        if batch.ndim != 2 or batch.shape[1] != self.n_dims:
+            raise ValueError(
+                f"rows must have {self.n_dims} columns, got shape {batch.shape}"
+            )
+        if not np.all(np.isfinite(batch)):
+            raise ValueError("rows must be finite")
+        m = batch.shape[0]
+        if m == 0:
+            return self
+        if m > self._count:
+            raise ValueError(
+                f"cannot remove {m} rows from {self._count} accumulated"
+            )
+        if m == self._count:
+            self._count = 0
+            self._mean = np.zeros(self.n_dims)
+            self._m2 = np.zeros((self.n_dims, self.n_dims))
+            return self
+
+        batch_mean = batch.mean(axis=0)
+        centered = batch - batch_mean
+        batch_m2 = centered.T @ centered
+
+        remaining = self._count - m
+        # Invert the pairwise-merge identities: with T = current total,
+        # B = batch, R = remaining:  mean_R = (T*mean_T - m*mean_B) / n_R
+        # and M2_R = M2_T - M2_B - (n_R*m/T) * delta delta^T where
+        # delta = mean_B - mean_R.
+        new_mean = (self._count * self._mean - m * batch_mean) / remaining
+        delta = batch_mean - new_mean
+        self._m2 = (
+            self._m2
+            - batch_m2
+            - np.outer(delta, delta) * (remaining * m / self._count)
+        )
+        # Cancellation can leave tiny negative diagonal entries; clamp
+        # toward symmetry and PSD at the float-noise level.
+        self._m2 = (self._m2 + self._m2.T) / 2.0
+        self._mean = new_mean
+        self._count = remaining
+        return self

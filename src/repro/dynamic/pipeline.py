@@ -1,0 +1,161 @@
+"""The dynamic similarity service: insert, delete, query — continuously.
+
+Combines the pieces this package and :mod:`repro.search` provide into
+the thing a dynamic database actually runs:
+
+* inserts stream through :class:`DynamicReducer` (O(d²) moment updates,
+  coherence-ranked basis, drift detection) and into a
+  :class:`DynamicRTree` in the reduced space;
+* when drift triggers a basis refit, every live point is re-projected
+  and the index is rebuilt — queries before and after always search the
+  basis that indexed them;
+* deletions remove points from the index immediately (their statistical
+  contribution stays in the moments until the next refit — exact
+  moment downdating is available via
+  :meth:`repro.dynamic.IncrementalMoments.downdate` for callers who keep
+  their own moments, but a serving pipeline tolerates slightly stale
+  statistics in exchange for O(log n) deletes).
+
+Row handles returned by :meth:`insert` are stable across refits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamic.reducer import DynamicReducer
+from repro.search.dynamic_rtree import DynamicRTree
+from repro.search.results import KnnResult, Neighbor
+
+
+class DynamicSimilarityPipeline:
+    """A continuously updatable reduced-space similarity index.
+
+    Args:
+        n_dims: dimensionality of the raw stream.
+        n_components: reduced dimensionality served to queries.
+        ordering: component selection rule for the reducer.
+        drift_threshold: relative captured-energy level that triggers a
+            basis refit (see :class:`repro.dynamic.DriftMonitor`).
+        page_size: index node capacity.
+        seed: reducer reservoir seed.
+    """
+
+    def __init__(
+        self,
+        n_dims: int,
+        n_components: int,
+        ordering: str = "coherence",
+        drift_threshold: float = 0.9,
+        page_size: int = 16,
+        seed: int = 0,
+    ) -> None:
+        self._reducer = DynamicReducer(
+            n_dims=n_dims,
+            n_components=n_components,
+            ordering=ordering,
+            drift_threshold=drift_threshold,
+            seed=seed,
+        )
+        self._page_size = page_size
+        self._rows: list[np.ndarray | None] = []
+        self._tree: DynamicRTree | None = None
+        self._tree_handles: list[int] = []  # pipeline handle per tree index
+        self._indexed_refit = -1
+
+    @property
+    def n_dims(self) -> int:
+        return self._reducer.n_dims
+
+    @property
+    def n_live(self) -> int:
+        """Points currently queryable."""
+        return sum(1 for row in self._rows if row is not None)
+
+    @property
+    def refit_count(self) -> int:
+        """How many times the serving basis has been recomputed."""
+        return self._reducer.refit_count
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, rows) -> list[int]:
+        """Insert raw rows; returns their stable handles."""
+        batch = np.asarray(rows, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch.reshape(1, -1)
+        if batch.shape[1] != self.n_dims:
+            raise ValueError(
+                f"expected {self.n_dims} columns, got {batch.shape[1]}"
+            )
+        handles = []
+        for row in batch:
+            handles.append(len(self._rows))
+            self._rows.append(row.copy())
+        self._reducer.insert(batch)
+
+        if self._reducer.components_ is None:
+            return handles  # not enough data for a basis yet
+        if self._reducer.refit_count != self._indexed_refit:
+            self._rebuild_index()
+        else:
+            reduced = self._reducer.transform(batch)
+            for handle, vector in zip(handles, reduced):
+                self._tree.insert(vector)
+                self._tree_handles.append(handle)
+        return handles
+
+    def delete(self, handle: int) -> None:
+        """Delete a previously inserted row by handle.
+
+        Raises:
+            KeyError: for unknown or already-deleted handles.
+        """
+        if not 0 <= handle < len(self._rows) or self._rows[handle] is None:
+            raise KeyError(f"no live row with handle {handle}")
+        self._rows[handle] = None
+        if self._tree is not None:
+            tree_index = self._tree_handles.index(handle)
+            self._tree.delete(tree_index)
+
+    def _rebuild_index(self) -> None:
+        self._tree = DynamicRTree(
+            self._reducer.n_components, page_size=self._page_size
+        )
+        self._tree_handles = []
+        for handle, row in enumerate(self._rows):
+            if row is None:
+                continue
+            self._tree.insert(self._reducer.transform(row))
+            self._tree_handles.append(handle)
+        self._indexed_refit = self._reducer.refit_count
+
+    # -- queries ----------------------------------------------------------
+
+    def query(self, query, k: int = 1) -> KnnResult:
+        """Exact k-NN (in the current reduced space) over live rows.
+
+        Neighbor indices are pipeline handles.
+        """
+        if self._tree is None or self.n_live == 0:
+            raise RuntimeError(
+                "pipeline has no queryable index yet; insert more rows"
+            )
+        # The reducer may have refit since the last insert batch; keep
+        # the index aligned with the serving basis.
+        if self._reducer.refit_count != self._indexed_refit:
+            self._rebuild_index()
+        vector = self._reducer.transform(np.atleast_2d(query))[0]
+        result = self._tree.query(vector, k=min(k, self.n_live))
+        neighbors = tuple(
+            Neighbor(
+                index=self._tree_handles[neighbor.index],
+                distance=neighbor.distance,
+            )
+            for neighbor in result.neighbors
+        )
+        return KnnResult(neighbors=neighbors, stats=result.stats)
+
+    def drift_level(self) -> float:
+        """Current relative captured-energy of the serving basis."""
+        return self._reducer.drift_level()

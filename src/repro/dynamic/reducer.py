@@ -1,0 +1,159 @@
+"""The dynamic coherence reducer: insert, query, refit when drifted.
+
+Ties the streaming moments, the lazy incremental PCA, the coherence
+ranking, and the drift monitor into the workflow a dynamic similarity
+index needs:
+
+* ``insert(rows)`` — O(d^2) per batch; the serving basis stays frozen.
+* ``transform(rows)`` — project through the frozen basis.
+* automatic refit: when the drift monitor reports that the frozen basis
+  no longer captures the live variance, the basis and its coherence
+  ranking are recomputed from a reservoir sample of the stream (the
+  coherence statistic needs actual points, not just moments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coherence import dataset_coherence
+from repro.core.selection import select_by_coherence, select_by_eigenvalue
+from repro.dynamic.drift import DriftMonitor
+from repro.dynamic.incremental_pca import IncrementalPCA
+
+
+class DynamicReducer:
+    """Coherence-guided reduction over a growing corpus.
+
+    Args:
+        n_dims: stream dimensionality.
+        n_components: components served per query.
+        ordering: ``"coherence"`` or ``"eigenvalue"``.
+        drift_threshold: relative captured-energy level below which the
+            frozen basis is recomputed (see :class:`DriftMonitor`).
+        reservoir_size: how many streamed rows to retain (uniform
+            reservoir sample) for coherence scoring at refit time.
+        seed: reservoir RNG seed.
+
+    Attributes (after the first refit):
+        components_: the frozen ``(d, k)`` serving basis.
+        refit_count: how many times the basis has been recomputed.
+    """
+
+    def __init__(
+        self,
+        n_dims: int,
+        n_components: int,
+        ordering: str = "coherence",
+        drift_threshold: float = 0.9,
+        reservoir_size: int = 512,
+        seed: int = 0,
+    ) -> None:
+        if n_components < 1 or n_components > n_dims:
+            raise ValueError(
+                f"n_components must lie in [1, {n_dims}], got {n_components}"
+            )
+        if ordering not in ("coherence", "eigenvalue"):
+            raise ValueError(f"unknown ordering {ordering!r}")
+        if reservoir_size < 2:
+            raise ValueError("reservoir_size must be at least 2")
+        self.n_components = n_components
+        self.ordering = ordering
+        self.drift_threshold = drift_threshold
+        self.reservoir_size = reservoir_size
+
+        self._pca = IncrementalPCA(n_dims)
+        self._rng = np.random.default_rng(seed)
+        self._reservoir = np.empty((0, n_dims))
+        self._rows_seen = 0
+
+        self.components_: np.ndarray | None = None
+        self.selected_: np.ndarray | None = None
+        self._monitor: DriftMonitor | None = None
+        self.refit_count = 0
+
+    @property
+    def n_dims(self) -> int:
+        return self._pca.n_dims
+
+    @property
+    def n_seen(self) -> int:
+        return self._pca.n_seen
+
+    # -- streaming ------------------------------------------------------
+
+    def _reservoir_update(self, batch: np.ndarray) -> None:
+        """Classic uniform reservoir sampling, batched."""
+        for row in batch:
+            self._rows_seen += 1
+            if self._reservoir.shape[0] < self.reservoir_size:
+                self._reservoir = np.vstack([self._reservoir, row])
+            else:
+                slot = int(self._rng.integers(0, self._rows_seen))
+                if slot < self.reservoir_size:
+                    self._reservoir[slot] = row
+
+    def insert(self, rows) -> "DynamicReducer":
+        """Stream rows in; refit the frozen basis if drift demands it."""
+        batch = np.asarray(rows, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch.reshape(1, -1)
+        self._pca.partial_fit(batch)
+        self._reservoir_update(batch)
+
+        if self.components_ is None:
+            if self.n_seen >= max(2, self.n_components):
+                self._refit()
+        elif self._monitor is not None and self._monitor.should_refit(
+            self._pca.covariance()
+        ):
+            self._refit()
+        return self
+
+    def _refit(self) -> None:
+        decomposition = self._pca.decomposition
+        eigenvalues = decomposition.eigenvalues
+        k = min(self.n_components, eigenvalues.size)
+        if self.ordering == "eigenvalue":
+            selected = select_by_eigenvalue(eigenvalues, k)
+        else:
+            centered = self._reservoir - self._pca.mean
+            probabilities = dataset_coherence(
+                centered, decomposition.eigenvectors
+            )
+            selected = select_by_coherence(
+                probabilities, k, tie_break=eigenvalues
+            )
+        self.selected_ = selected
+        self.components_ = decomposition.basis(selected)
+        self._monitor = DriftMonitor(
+            self.components_,
+            self._pca.covariance(),
+            threshold=self.drift_threshold,
+        )
+        self.refit_count += 1
+
+    # -- serving --------------------------------------------------------
+
+    def transform(self, rows) -> np.ndarray:
+        """Project rows through the frozen serving basis."""
+        if self.components_ is None:
+            raise RuntimeError(
+                "no basis yet; insert at least n_components rows first"
+            )
+        array = np.asarray(rows, dtype=np.float64)
+        single = array.ndim == 1
+        if single:
+            array = array.reshape(1, -1)
+        if array.shape[1] != self.n_dims:
+            raise ValueError(
+                f"expected {self.n_dims} columns, got {array.shape[1]}"
+            )
+        projected = (array - self._pca.mean) @ self.components_
+        return projected[0] if single else projected
+
+    def drift_level(self) -> float:
+        """Current relative captured-energy ratio (1.0 = no drift)."""
+        if self._monitor is None:
+            raise RuntimeError("no basis yet; nothing to measure drift against")
+        return self._monitor.relative_capture(self._pca.covariance())

@@ -1,0 +1,52 @@
+"""Evaluation harness.
+
+The paper's feature-stripping quality protocol, precision/recall against
+full-dimensional neighbors, accuracy-vs-dimensionality sweeps, the Table-1
+summary logic, and plain-text reporting for the benchmark harness.
+"""
+
+from repro.evaluation.feature_stripping import (
+    feature_stripping_accuracy,
+    knn_label_matches,
+)
+from repro.evaluation.precision_recall import (
+    neighbor_overlap,
+    neighbor_precision_recall,
+)
+from repro.evaluation.protocols import (
+    bootstrap_confidence_interval,
+    holdout_accuracy,
+    per_class_accuracy,
+    train_query_split,
+)
+from repro.evaluation.stability import (
+    nearest_neighbor_churn,
+    rank_displacement,
+)
+from repro.evaluation.sweeps import SweepResult, accuracy_sweep
+from repro.evaluation.summary import ReductionSummary, reduction_summary
+from repro.evaluation.reporting import (
+    format_series,
+    format_table,
+    render_ascii_chart,
+)
+
+__all__ = [
+    "ReductionSummary",
+    "SweepResult",
+    "accuracy_sweep",
+    "bootstrap_confidence_interval",
+    "holdout_accuracy",
+    "per_class_accuracy",
+    "train_query_split",
+    "feature_stripping_accuracy",
+    "format_series",
+    "format_table",
+    "knn_label_matches",
+    "nearest_neighbor_churn",
+    "neighbor_overlap",
+    "neighbor_precision_recall",
+    "rank_displacement",
+    "reduction_summary",
+    "render_ascii_chart",
+]

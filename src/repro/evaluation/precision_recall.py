@@ -1,0 +1,78 @@
+"""Precision/recall against the full-dimensional neighbors.
+
+These are the measures the paper argues are *insufficient* as quality
+criteria: aggressive coherence-guided reduction often keeps only ~10 % of
+the original nearest neighbors (Section 4) yet returns *better* ones.
+The library still implements them because the contrast between low
+precision and high feature-stripping accuracy is itself one of the
+paper's headline results.
+
+With the same neighbor count ``k`` on both sides, precision and recall
+coincide (both are ``|overlap| / k``); the API exposes both names for
+clarity at call sites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.metrics import squared_euclidean_matrix
+
+
+def _knn_indices(features: np.ndarray, k: int) -> np.ndarray:
+    """Leave-one-out k-NN index lists, ``(n, k)``, deterministic ties."""
+    squared = squared_euclidean_matrix(features)
+    np.fill_diagonal(squared, np.inf)
+    n = squared.shape[0]
+    order = np.argsort(squared, axis=1, kind="stable")
+    return order[:, :k]
+
+
+def neighbor_overlap(reference_features, candidate_features, k: int) -> np.ndarray:
+    """Per-query overlap between two representations' k-NN sets.
+
+    Args:
+        reference_features: ``(n, d1)`` — defines the "true" neighbors
+            (the paper uses the full-dimensional data).
+        candidate_features: ``(n, d2)`` — the representation under test
+            (e.g. the reduced data); must describe the same ``n`` points
+            in the same row order.
+        k: neighbors per query.
+
+    Returns:
+        ``(n,)`` array of overlap counts in ``[0, k]``.
+    """
+    reference = np.asarray(reference_features, dtype=np.float64)
+    candidate = np.asarray(candidate_features, dtype=np.float64)
+    if reference.ndim != 2 or candidate.ndim != 2:
+        raise ValueError("feature matrices must be 2-d")
+    if reference.shape[0] != candidate.shape[0]:
+        raise ValueError(
+            "representations must describe the same points "
+            f"({reference.shape[0]} vs {candidate.shape[0]} rows)"
+        )
+    n = reference.shape[0]
+    if not 1 <= k <= n - 1:
+        raise ValueError(f"k must lie in [1, {n - 1}], got {k}")
+
+    reference_knn = _knn_indices(reference, k)
+    candidate_knn = _knn_indices(candidate, k)
+    overlaps = np.empty(n, dtype=np.intp)
+    for i in range(n):
+        overlaps[i] = np.intersect1d(
+            reference_knn[i], candidate_knn[i], assume_unique=True
+        ).size
+    return overlaps
+
+
+def neighbor_precision_recall(
+    reference_features, candidate_features, k: int
+) -> tuple[float, float]:
+    """Mean precision and recall of candidate k-NN vs reference k-NN.
+
+    Both sides retrieve ``k`` neighbors, so the two values are equal;
+    they are returned as a pair anyway so call sites read naturally.
+    """
+    overlaps = neighbor_overlap(reference_features, candidate_features, k)
+    value = float(np.mean(overlaps) / k)
+    return value, value

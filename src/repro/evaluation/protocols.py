@@ -1,0 +1,154 @@
+"""Extended evaluation protocols.
+
+The paper evaluates leave-one-out over the whole dataset; production
+systems and careful reproductions also want:
+
+* :func:`holdout_accuracy` — fit the reducer on a training split, query
+  with held-out points, score their neighbors' labels.  Unlike
+  leave-one-out this measures the *transform path* (new points through a
+  fitted model), which is what an index actually serves.
+* :func:`per_class_accuracy` — the label-match rate broken down by the
+  query's class; rare classes can be destroyed by reduction even when the
+  aggregate number looks fine.
+* :func:`bootstrap_confidence_interval` — a percentile bootstrap over
+  queries, so accuracy differences between methods can be judged against
+  sampling noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.metrics import squared_euclidean_matrix
+from repro.evaluation.feature_stripping import DEFAULT_K
+
+
+def train_query_split(
+    n_samples: int, query_fraction: float = 0.25, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Disjoint (train_rows, query_rows) index arrays."""
+    if n_samples < 2:
+        raise ValueError("need at least two samples to split")
+    if not 0.0 < query_fraction < 1.0:
+        raise ValueError(
+            f"query_fraction must lie in (0, 1), got {query_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(n_samples)
+    n_query = max(1, int(round(n_samples * query_fraction)))
+    n_query = min(n_query, n_samples - 1)
+    return np.sort(permutation[n_query:]), np.sort(permutation[:n_query])
+
+
+def _knn_matches_per_query(
+    corpus_features: np.ndarray,
+    corpus_labels: np.ndarray,
+    query_features: np.ndarray,
+    query_labels: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """Per-query fraction of the k retrieved neighbors sharing the label."""
+    if not 1 <= k <= corpus_features.shape[0]:
+        raise ValueError(
+            f"k must lie in [1, {corpus_features.shape[0]}], got {k}"
+        )
+    squared = squared_euclidean_matrix(query_features, corpus_features)
+    neighbor_indices = np.argpartition(squared, k - 1, axis=1)[:, :k]
+    neighbor_labels = corpus_labels[neighbor_indices]
+    return np.mean(neighbor_labels == query_labels[:, None], axis=1)
+
+
+def holdout_accuracy(
+    reducer,
+    dataset,
+    query_fraction: float = 0.25,
+    k: int = DEFAULT_K,
+    seed: int = 0,
+) -> float:
+    """Fit on a train split, evaluate held-out queries through transform.
+
+    Args:
+        reducer: any object with ``fit(features)`` and
+            ``transform(features)`` (CoherenceReducer, the baselines, …).
+        dataset: a :class:`repro.datasets.Dataset`.
+        query_fraction: held-out share.
+        k: neighbors per query.
+        seed: split seed.
+
+    Returns:
+        Mean label-match fraction over the held-out queries.
+    """
+    train_rows, query_rows = train_query_split(
+        dataset.n_samples, query_fraction, seed
+    )
+    reducer.fit(dataset.features[train_rows])
+    corpus = reducer.transform(dataset.features[train_rows])
+    queries = reducer.transform(dataset.features[query_rows])
+    matches = _knn_matches_per_query(
+        corpus,
+        dataset.labels[train_rows],
+        queries,
+        dataset.labels[query_rows],
+        k,
+    )
+    return float(np.mean(matches))
+
+
+def per_class_accuracy(
+    features, labels, k: int = DEFAULT_K
+) -> dict[int, float]:
+    """Leave-one-out label-match rate, broken down by query class."""
+    data = np.asarray(features, dtype=np.float64)
+    classes = np.asarray(labels)
+    if data.ndim != 2 or classes.shape != (data.shape[0],):
+        raise ValueError("features must be (n, d) with aligned labels")
+    n = data.shape[0]
+    if not 1 <= k <= n - 1:
+        raise ValueError(f"k must lie in [1, {n - 1}], got {k}")
+    squared = squared_euclidean_matrix(data)
+    np.fill_diagonal(squared, np.inf)
+    neighbor_indices = np.argpartition(squared, k - 1, axis=1)[:, :k]
+    per_query = np.mean(classes[neighbor_indices] == classes[:, None], axis=1)
+    return {
+        int(value): float(np.mean(per_query[classes == value]))
+        for value in np.unique(classes)
+    }
+
+
+def bootstrap_confidence_interval(
+    features,
+    labels,
+    k: int = DEFAULT_K,
+    n_resamples: int = 500,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple[float, float, float]:
+    """Percentile-bootstrap CI for the feature-stripping accuracy.
+
+    Resamples *queries* (the neighbor structure stays fixed, which is the
+    standard conditional bootstrap for retrieval metrics).
+
+    Returns:
+        ``(point_estimate, lower, upper)``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be positive")
+    data = np.asarray(features, dtype=np.float64)
+    classes = np.asarray(labels)
+    n = data.shape[0]
+    if not 1 <= k <= n - 1:
+        raise ValueError(f"k must lie in [1, {n - 1}], got {k}")
+
+    squared = squared_euclidean_matrix(data)
+    np.fill_diagonal(squared, np.inf)
+    neighbor_indices = np.argpartition(squared, k - 1, axis=1)[:, :k]
+    per_query = np.mean(classes[neighbor_indices] == classes[:, None], axis=1)
+
+    rng = np.random.default_rng(seed)
+    resampled = rng.choice(per_query, size=(n_resamples, n), replace=True)
+    means = resampled.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(per_query.mean()), float(lower), float(upper)

@@ -1,0 +1,141 @@
+"""Plain-text reporting for the benchmark harness.
+
+Every benchmark regenerates a table or figure of the paper as text:
+tables render through :func:`format_table`, figure series through
+:func:`format_series` (aligned columns) or :func:`render_ascii_chart`
+(a quick visual of the curve shapes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers, rows, title: str | None = None) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column names.
+        rows: iterable of row value sequences (floats are formatted with
+            four decimals).
+        title: optional heading line.
+    """
+    header_cells = [str(h) for h in headers]
+    body = [[_format_cell(value) for value in row] for row in rows]
+    for i, row in enumerate(body):
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are "
+                f"{len(header_cells)} headers"
+            )
+
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def line(cells):
+        return " | ".join(cell.ljust(widths[j]) for j, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * w for w in widths)
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(header_cells))
+    parts.append(separator)
+    parts.extend(line(row) for row in body)
+    return "\n".join(parts)
+
+
+def format_series(
+    x_values,
+    y_columns: dict,
+    x_label: str = "x",
+    title: str | None = None,
+) -> str:
+    """Render one or more aligned series over a shared x axis.
+
+    Args:
+        x_values: shared abscissa.
+        y_columns: mapping of series name to values (each aligned with
+            ``x_values``).
+        x_label: header for the x column.
+        title: optional heading line.
+    """
+    xs = list(x_values)
+    for name, ys in y_columns.items():
+        if len(list(ys)) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(list(ys))} values for "
+                f"{len(xs)} x points"
+            )
+    headers = [x_label] + list(y_columns)
+    rows = [
+        [x] + [y_columns[name][i] for name in y_columns]
+        for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def render_ascii_chart(
+    x_values,
+    y_columns: dict,
+    height: int = 12,
+    width: int = 72,
+    title: str | None = None,
+) -> str:
+    """A rough terminal line chart — enough to see curve shapes.
+
+    Each series gets a marker character; points are binned onto a
+    ``width x height`` character grid scaled to the joint y range.
+    """
+    xs = np.asarray(list(x_values), dtype=np.float64)
+    if xs.size == 0:
+        raise ValueError("x_values must not be empty")
+    markers = "*o+x#@%&"
+    series = {
+        name: np.asarray(list(ys), dtype=np.float64)
+        for name, ys in y_columns.items()
+    }
+    if not series:
+        raise ValueError("y_columns must not be empty")
+    for name, ys in series.items():
+        if ys.shape != xs.shape:
+            raise ValueError(f"series {name!r} is not aligned with x_values")
+
+    all_y = np.concatenate(list(series.values()))
+    y_min, y_max = float(np.min(all_y)), float(np.max(all_y))
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(np.min(xs)), float(np.max(xs))
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_index, (name, ys) in enumerate(series.items()):
+        marker = markers[s_index % len(markers)]
+        for x, y in zip(xs, ys):
+            column = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:10.4f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.4f} +" + "-" * width)
+    lines.append(" " * 12 + f"{x_min:<10.4g}" + " " * max(0, width - 20) + f"{x_max:>10.4g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""First-class access to every experiment of the paper.
+
+The benchmark harness, the CLI (``repro experiment …``), and library
+users all reproduce the paper's tables and figures through this package:
+
+* :func:`list_experiments` — every registered experiment with its paper
+  artifact and description;
+* :func:`run_experiment` — run one by id (``"fig03"`` … ``"fig15"``,
+  ``"table1"``, ``"sec3"``), returning an :class:`ExperimentResult` with
+  the formatted report and the structured numbers behind it.
+
+Heavy intermediates (datasets, PCA fits, coherence analyses, sweeps) are
+cached per ``(name, seed)`` in :mod:`repro.experiments.data`, so running
+several experiments in one process shares the work.
+"""
+
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

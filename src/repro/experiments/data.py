@@ -1,0 +1,77 @@
+"""Cached intermediates shared by the paper experiments.
+
+Everything is keyed by ``(dataset name, seed)`` (plus the relevant
+options), so the fifteen experiments that all need, say, the studentized
+musk PCA compute it once per process.  Caches are unbounded but the key
+space is tiny in practice (five datasets, two scalings, two orderings).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.coherence import CoherenceAnalysis, analyze_coherence
+from repro.datasets.types import Dataset
+from repro.datasets.uci_like import (
+    arrhythmia_like,
+    ionosphere_like,
+    musk_like,
+    noisy_dataset_a,
+    noisy_dataset_b,
+)
+from repro.evaluation.summary import ReductionSummary, reduction_summary
+from repro.evaluation.sweeps import SweepResult, accuracy_sweep
+from repro.linalg.pca import PrincipalComponents, fit_pca
+
+_DATASETS = {
+    "musk": musk_like,
+    "ionosphere": ionosphere_like,
+    "arrhythmia": arrhythmia_like,
+    "noisy-A": noisy_dataset_a,
+    "noisy-B": noisy_dataset_b,
+}
+
+
+def dataset_names() -> tuple[str, ...]:
+    """The evaluation datasets of the paper, by registry name."""
+    return tuple(_DATASETS)
+
+
+@lru_cache(maxsize=None)
+def dataset(name: str, seed: int = 0) -> Dataset:
+    """One of the paper's five evaluation datasets."""
+    try:
+        factory = _DATASETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; choose from {sorted(_DATASETS)}"
+        ) from None
+    return factory(seed=seed)
+
+
+@lru_cache(maxsize=None)
+def pca(name: str, scale: bool, seed: int = 0) -> PrincipalComponents:
+    """Fitted PCA for a named dataset."""
+    return fit_pca(dataset(name, seed).features, scale=scale)
+
+
+@lru_cache(maxsize=None)
+def coherence(name: str, scale: bool, seed: int = 0) -> CoherenceAnalysis:
+    """Coherence analysis of a named dataset under its PCA eigenbasis."""
+    return analyze_coherence(
+        pca(name, scale, seed), dataset(name, seed).features
+    )
+
+
+@lru_cache(maxsize=None)
+def sweep(
+    name: str, ordering: str, scale: bool, seed: int = 0
+) -> SweepResult:
+    """Accuracy-vs-dimensionality sweep for a named dataset."""
+    return accuracy_sweep(dataset(name, seed), ordering=ordering, scale=scale)
+
+
+@lru_cache(maxsize=None)
+def table1_row(name: str, seed: int = 0) -> ReductionSummary:
+    """One Table-1 summary row for a named dataset."""
+    return reduction_summary(dataset(name, seed))

@@ -1,0 +1,243 @@
+"""The experiment registry: one entry per paper table/figure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one experiment run.
+
+    Attributes:
+        report: the formatted text the paper's artifact corresponds to
+            (the same rows/series, printed).
+        data: the structured objects and key numbers behind the report —
+            benchmark assertions and programmatic callers consume these.
+    """
+
+    report: str
+    data: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable paper experiment.
+
+    Attributes:
+        experiment_id: stable identifier (``"fig03"``, ``"table1"``, …).
+        paper_artifact: which table/figure of the paper it regenerates.
+        description: one-line summary of what it shows.
+        runner: callable taking a ``seed`` and returning an
+            :class:`ExperimentResult`.
+    """
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    runner: Callable[[int], ExperimentResult]
+
+    def run(self, seed: int = 0) -> ExperimentResult:
+        """Execute the experiment at the given seed."""
+        return self.runner(seed)
+
+
+def _build_registry() -> dict[str, Experiment]:
+    # Imported here to avoid a circular import (paper.py imports
+    # ExperimentResult from this module).
+    from repro.experiments import paper
+
+    entries = [
+        Experiment(
+            "fig03", "Figure 3",
+            "eigenvalue vs coherence scatter, musk (studentized)",
+            lambda seed: paper.scatter_experiment("musk", seed),
+        ),
+        Experiment(
+            "fig04", "Figure 4",
+            "coherence probability raw vs scaled, musk",
+            lambda seed: paper.scaling_experiment("musk", seed),
+        ),
+        Experiment(
+            "fig05", "Figure 5",
+            "accuracy vs dimensionality, scaled vs unscaled, musk",
+            lambda seed: paper.quality_experiment("musk", seed),
+        ),
+        Experiment(
+            "fig06", "Figure 6",
+            "eigenvalue vs coherence scatter, ionosphere (studentized)",
+            lambda seed: paper.scatter_experiment("ionosphere", seed, top=None),
+        ),
+        Experiment(
+            "fig07", "Figure 7",
+            "coherence probability raw vs scaled, ionosphere",
+            lambda seed: paper.scaling_experiment("ionosphere", seed),
+        ),
+        Experiment(
+            "fig08", "Figure 8",
+            "accuracy vs dimensionality, scaled vs unscaled, ionosphere",
+            lambda seed: paper.quality_experiment("ionosphere", seed),
+        ),
+        Experiment(
+            "fig09", "Figure 9",
+            "eigenvalue vs coherence scatter, arrhythmia (studentized)",
+            lambda seed: paper.scatter_experiment("arrhythmia", seed, top=25),
+        ),
+        Experiment(
+            "fig10", "Figure 10",
+            "coherence probability raw vs scaled, arrhythmia",
+            lambda seed: paper.scaling_experiment("arrhythmia", seed),
+        ),
+        Experiment(
+            "fig11", "Figure 11",
+            "accuracy vs dimensionality, scaled vs unscaled, arrhythmia",
+            lambda seed: paper.quality_experiment("arrhythmia", seed),
+        ),
+        Experiment(
+            "table1", "Table 1",
+            "full vs optimal vs 1%-thresholding accuracy, all datasets",
+            paper.table1_experiment,
+        ),
+        Experiment(
+            "fig12", "Figure 12",
+            "poor eigenvalue/coherence matching, noisy data set A",
+            lambda seed: paper.noisy_scatter_experiment("noisy-A", seed, top=34),
+        ),
+        Experiment(
+            "fig13", "Figure 13",
+            "eigenvalue vs coherence ordering, noisy data set A",
+            lambda seed: paper.noisy_ordering_experiment("noisy-A", seed),
+        ),
+        Experiment(
+            "fig14", "Figure 14",
+            "poor eigenvalue/coherence matching, noisy data set B",
+            lambda seed: paper.noisy_scatter_experiment("noisy-B", seed),
+        ),
+        Experiment(
+            "fig15", "Figure 15",
+            "eigenvalue vs coherence ordering, noisy data set B",
+            lambda seed: paper.noisy_ordering_experiment("noisy-B", seed),
+        ),
+        Experiment(
+            "sec3", "Equations 4-5",
+            "uniform data: coherence factor 1, probability 0.6827 everywhere",
+            paper.uniform_experiment,
+        ),
+    ]
+
+    from repro.experiments import ablations
+
+    entries += [
+        Experiment(
+            "abl-contrast", "Section 1.1 (Beyer et al.)",
+            "relative contrast collapses with d; reduction restores it",
+            ablations.contrast_experiment,
+        ),
+        Experiment(
+            "abl-index-pruning", "Section 1.1",
+            "index pruning vs dimensionality, before/after reduction",
+            ablations.index_pruning_experiment,
+        ),
+        Experiment(
+            "abl-stability", "Section 1.1",
+            "adversarial query perturbation flips nearest into farthest",
+            ablations.stability_experiment,
+        ),
+        Experiment(
+            "abl-scaling", "Section 2.2",
+            "covariance vs correlation PCA across per-dimension scale spreads",
+            ablations.scaling_experiment,
+        ),
+        Experiment(
+            "abl-k", "Section 4 protocol",
+            "sensitivity of the feature-stripping protocol to k",
+            ablations.k_sensitivity_experiment,
+        ),
+        Experiment(
+            "abl-amplitude", "Section 4.1",
+            "corruption amplitude sweep: where eigenvalue ordering loses",
+            ablations.noise_amplitude_experiment,
+        ),
+        Experiment(
+            "abl-eigensolver", "implementation",
+            "from-scratch Jacobi vs LAPACK: agreement and cost",
+            ablations.eigensolver_experiment,
+        ),
+        Experiment(
+            "abl-projected", "Section 3.1",
+            "projected clustering then per-cluster reduction",
+            ablations.projected_clustering_experiment,
+        ),
+        Experiment(
+            "abl-baselines", "comparators",
+            "coherence vs eigenvalue PCA vs SVD vs random projection",
+            ablations.baselines_experiment,
+        ),
+        Experiment(
+            "abl-dynamic", "reference [17]",
+            "streaming inserts + drift: frozen basis vs automatic refit",
+            ablations.dynamic_experiment,
+        ),
+        Experiment(
+            "abl-lsh", "approximation",
+            "LSH in full dimensionality vs reduce-then-exact",
+            ablations.lsh_experiment,
+        ),
+        Experiment(
+            "abl-igrid", "reference [3]",
+            "IGrid metric vs reduction on noisy data",
+            ablations.igrid_experiment,
+        ),
+        Experiment(
+            "abl-fractional", "reference [1]",
+            "relative contrast by Minkowski exponent",
+            ablations.fractional_metrics_experiment,
+        ),
+        Experiment(
+            "abl-text", "motivation (LSI)",
+            "raw TF-IDF vs latent semantic concepts on a topical corpus",
+            ablations.text_lsi_experiment,
+        ),
+        Experiment(
+            "abl-whitening", "distance correction",
+            "whitening the retained concepts: a measured negative",
+            ablations.whitening_experiment,
+        ),
+    ]
+    return {entry.experiment_id: entry for entry in entries}
+
+
+_REGISTRY: dict[str, Experiment] | None = None
+
+
+def _registry() -> dict[str, Experiment]:
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _build_registry()
+    return _REGISTRY
+
+
+def list_experiments() -> list[Experiment]:
+    """Every registered experiment, in paper order."""
+    return list(_registry().values())
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id.
+
+    Raises:
+        KeyError: with the list of valid ids, for unknown ids.
+    """
+    registry = _registry()
+    if experiment_id not in registry:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(registry)}"
+        )
+    return registry[experiment_id]
+
+
+def run_experiment(experiment_id: str, seed: int = 0) -> ExperimentResult:
+    """Run one experiment by id and return its result."""
+    return get_experiment(experiment_id).run(seed)

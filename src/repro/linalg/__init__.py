@@ -1,0 +1,45 @@
+"""Linear-algebra substrate.
+
+Covariance/correlation matrices, a from-scratch symmetric eigensolver
+(cyclic Jacobi) alongside a numpy backend, and subspace projection with
+energy accounting — everything principal component analysis needs.
+"""
+
+from repro.linalg.covariance import (
+    StudentizeResult,
+    center_columns,
+    correlation_matrix,
+    covariance_matrix,
+    studentize,
+)
+from repro.linalg.eigen import (
+    EigenDecomposition,
+    decompose,
+    eigh_jacobi,
+    eigh_numpy,
+)
+from repro.linalg.pca import PrincipalComponents, fit_pca
+from repro.linalg.projection import (
+    project,
+    reconstruct,
+    reconstruction_error,
+    retained_energy_fraction,
+)
+
+__all__ = [
+    "EigenDecomposition",
+    "PrincipalComponents",
+    "StudentizeResult",
+    "center_columns",
+    "correlation_matrix",
+    "covariance_matrix",
+    "decompose",
+    "eigh_jacobi",
+    "eigh_numpy",
+    "fit_pca",
+    "project",
+    "reconstruct",
+    "reconstruction_error",
+    "retained_energy_fraction",
+    "studentize",
+]

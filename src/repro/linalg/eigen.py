@@ -1,0 +1,200 @@
+"""Symmetric eigendecomposition.
+
+Principal component analysis diagonalizes the covariance matrix
+``C = P Lambda P^T`` (Section 2 of the paper).  This module provides two
+interchangeable solvers:
+
+* :func:`eigh_numpy` — LAPACK via ``numpy.linalg.eigh``; the production
+  default.
+* :func:`eigh_jacobi` — a from-scratch cyclic Jacobi rotation solver.
+  Jacobi is slower but self-contained, unconditionally stable for
+  symmetric matrices, and serves as an independent cross-check on the
+  LAPACK results (see ``benchmarks/bench_ablation_eigensolver.py``).
+
+Both return an :class:`EigenDecomposition` with eigenvalues sorted in
+*descending* order — the library-wide convention: "component 0" is always
+the largest-eigenvalue direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EigenDecomposition:
+    """Sorted eigenpairs of a symmetric matrix.
+
+    Attributes:
+        eigenvalues: shape ``(d,)``, sorted descending.
+        eigenvectors: shape ``(d, d)``; column ``i`` is the unit
+            eigenvector paired with ``eigenvalues[i]``.
+    """
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.eigenvalues, dtype=np.float64)
+        vectors = np.asarray(self.eigenvectors, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError("eigenvalues must be 1-d")
+        if vectors.shape != (values.size, values.size):
+            raise ValueError(
+                f"eigenvectors must be square with side {values.size}, "
+                f"got shape {vectors.shape}"
+            )
+        if np.any(np.diff(values) > 0.0):
+            raise ValueError("eigenvalues must be sorted in descending order")
+        object.__setattr__(self, "eigenvalues", values)
+        object.__setattr__(self, "eigenvectors", vectors)
+
+    @property
+    def dimensionality(self) -> int:
+        return self.eigenvalues.size
+
+    @property
+    def total_variance(self) -> float:
+        """Sum of eigenvalues = trace of the decomposed matrix.
+
+        For a covariance matrix this is the mean squared deviation of the
+        data from its centroid (rotation-invariant, as the paper notes).
+        """
+        return float(np.sum(self.eigenvalues))
+
+    def energy_fraction(self, component_indices) -> float:
+        """Fraction of total variance carried by the given components."""
+        indices = np.asarray(component_indices, dtype=np.intp)
+        total = self.total_variance
+        if total == 0.0:
+            return 0.0
+        return float(np.sum(self.eigenvalues[indices]) / total)
+
+    def basis(self, component_indices) -> np.ndarray:
+        """Rectangular ``(d, k)`` basis holding the selected eigenvectors."""
+        indices = np.asarray(component_indices, dtype=np.intp)
+        if indices.ndim != 1 or indices.size == 0:
+            raise ValueError("component_indices must be a non-empty 1-d list")
+        if np.any(indices < 0) or np.any(indices >= self.dimensionality):
+            raise ValueError(
+                f"component indices must lie in [0, {self.dimensionality})"
+            )
+        return self.eigenvectors[:, indices]
+
+
+def _validate_symmetric(matrix, tolerance: float = 1e-8) -> np.ndarray:
+    array = np.asarray(matrix, dtype=np.float64)
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {array.shape}")
+    if not np.all(np.isfinite(array)):
+        raise ValueError("matrix must be finite")
+    scale = max(1.0, float(np.max(np.abs(array))))
+    if np.max(np.abs(array - array.T)) > tolerance * scale:
+        raise ValueError("matrix is not symmetric within tolerance")
+    return (array + array.T) / 2.0
+
+
+def _sorted_descending(values: np.ndarray, vectors: np.ndarray) -> EigenDecomposition:
+    order = np.argsort(values)[::-1]
+    return EigenDecomposition(
+        eigenvalues=values[order],
+        eigenvectors=vectors[:, order],
+    )
+
+
+def eigh_numpy(matrix) -> EigenDecomposition:
+    """Eigendecomposition via LAPACK (``numpy.linalg.eigh``)."""
+    symmetric = _validate_symmetric(matrix)
+    values, vectors = np.linalg.eigh(symmetric)
+    return _sorted_descending(values, vectors)
+
+
+def eigh_jacobi(
+    matrix,
+    tolerance: float = 1e-12,
+    max_sweeps: int = 100,
+) -> EigenDecomposition:
+    """Eigendecomposition via cyclic Jacobi rotations (from scratch).
+
+    Repeatedly annihilates the largest remaining off-diagonal entries with
+    Givens rotations until the off-diagonal Frobenius mass falls below
+    ``tolerance`` times the matrix scale.  Quadratically convergent; a few
+    sweeps suffice in practice.
+
+    Args:
+        matrix: symmetric ``(d, d)`` matrix.
+        tolerance: relative off-diagonal mass at which to stop.
+        max_sweeps: hard cap on full cyclic sweeps.
+
+    Raises:
+        RuntimeError: if the sweep cap is reached before convergence.
+    """
+    a = _validate_symmetric(matrix).copy()
+    d = a.shape[0]
+    vectors = np.eye(d)
+    if d == 1:
+        return EigenDecomposition(
+            eigenvalues=a.diagonal().copy(), eigenvectors=vectors
+        )
+
+    scale = max(1.0, float(np.max(np.abs(a))))
+    threshold = tolerance * scale
+
+    off_diagonal_mask = ~np.eye(d, dtype=bool)
+    for _ in range(max_sweeps):
+        off_diagonal = np.sqrt(np.sum(np.square(a[off_diagonal_mask])))
+        if off_diagonal <= threshold:
+            break
+        for p in range(d - 1):
+            for q in range(p + 1, d):
+                apq = a[p, q]
+                if abs(apq) <= threshold / (d * d):
+                    continue
+                app, aqq = a[p, p], a[q, q]
+                # Stable rotation angle (Golub & Van Loan 8.4).
+                theta = (aqq - app) / (2.0 * apq)
+                t = np.sign(theta) / (abs(theta) + np.sqrt(theta * theta + 1.0))
+                if theta == 0.0:
+                    t = 1.0
+                c = 1.0 / np.sqrt(t * t + 1.0)
+                s = t * c
+
+                # Apply the rotation J(p, q, theta) on both sides of `a`
+                # and accumulate it into `vectors`.
+                row_p, row_q = a[p, :].copy(), a[q, :].copy()
+                a[p, :] = c * row_p - s * row_q
+                a[q, :] = s * row_p + c * row_q
+                col_p, col_q = a[:, p].copy(), a[:, q].copy()
+                a[:, p] = c * col_p - s * col_q
+                a[:, q] = s * col_p + c * col_q
+                a[p, q] = 0.0
+                a[q, p] = 0.0
+
+                vec_p, vec_q = vectors[:, p].copy(), vectors[:, q].copy()
+                vectors[:, p] = c * vec_p - s * vec_q
+                vectors[:, q] = s * vec_p + c * vec_q
+    else:
+        raise RuntimeError(
+            f"Jacobi solver did not converge in {max_sweeps} sweeps"
+        )
+
+    return _sorted_descending(a.diagonal().copy(), vectors)
+
+
+_SOLVERS = {
+    "numpy": eigh_numpy,
+    "jacobi": eigh_jacobi,
+}
+
+
+def decompose(matrix, method: str = "numpy") -> EigenDecomposition:
+    """Dispatch to the requested eigensolver (``"numpy"`` or ``"jacobi"``)."""
+    try:
+        solver = _SOLVERS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown eigensolver {method!r}; choose from {sorted(_SOLVERS)}"
+        ) from None
+    return solver(matrix)

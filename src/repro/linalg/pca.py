@@ -1,0 +1,127 @@
+"""Principal component analysis as a reusable fit result.
+
+:func:`fit_pca` bundles the whole Section-2 pipeline of the paper:
+optionally studentize (Section 2.2), form the second-moment matrix,
+diagonalize it, and keep the sorted eigenpairs together with the exact
+preprocessing needed to map *new* points into the eigenbasis.  The
+coherence machinery in :mod:`repro.core` consumes the result; so does the
+plain eigenvalue-ordered reduction baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.linalg.covariance import studentize
+from repro.linalg.eigen import EigenDecomposition, decompose
+
+
+@dataclass(frozen=True)
+class PrincipalComponents:
+    """A fitted PCA model.
+
+    Attributes:
+        decomposition: sorted eigenpairs of the second-moment matrix.
+        means: per-column means of the training data (original columns).
+        scales: per-retained-column standard deviations when fitted with
+            ``scale=True``; ``None`` for covariance-matrix PCA.
+        kept_columns: original column indices that survived preprocessing
+            (studentization drops constant columns; covariance PCA keeps
+            everything).
+        scaled: whether the model was fitted on studentized data.
+    """
+
+    decomposition: EigenDecomposition
+    means: np.ndarray
+    scales: np.ndarray | None
+    kept_columns: np.ndarray
+    scaled: bool
+
+    @property
+    def input_dimensionality(self) -> int:
+        """Number of columns the model expects from callers."""
+        return self.means.size
+
+    @property
+    def working_dimensionality(self) -> int:
+        """Number of columns after preprocessing (= eigenbasis size)."""
+        return self.decomposition.dimensionality
+
+    def preprocess(self, data) -> np.ndarray:
+        """Center (and scale, if fitted scaled) rows of ``data``."""
+        array = np.asarray(data, dtype=np.float64)
+        single = array.ndim == 1
+        if single:
+            array = array.reshape(1, -1)
+        if array.shape[1] != self.input_dimensionality:
+            raise ValueError(
+                f"expected {self.input_dimensionality} columns, "
+                f"got {array.shape[1]}"
+            )
+        centered = (array - self.means)[:, self.kept_columns]
+        if self.scaled:
+            centered = centered / self.scales
+        return centered[0] if single else centered
+
+    def transform(self, data, component_indices=None) -> np.ndarray:
+        """Project rows of ``data`` onto selected eigenvectors.
+
+        Args:
+            data: rows in the *original* column space.
+            component_indices: indices into the descending-eigenvalue
+                ordering; all components when omitted.
+        """
+        prepared = self.preprocess(data)
+        vectors = self.decomposition.eigenvectors
+        if component_indices is not None:
+            vectors = self.decomposition.basis(component_indices)
+        return prepared @ vectors
+
+
+def fit_pca(data, scale: bool = False, eigen_method: str = "numpy") -> PrincipalComponents:
+    """Fit PCA on a data matrix.
+
+    Args:
+        data: ``(n, d)`` matrix, rows are points.
+        scale: studentize first (unit variance per dimension), i.e.
+            diagonalize the correlation matrix instead of the covariance
+            matrix.  This is the paper's recommended normalization.
+        eigen_method: ``"numpy"`` (LAPACK) or ``"jacobi"`` (from scratch).
+
+    Returns:
+        A :class:`PrincipalComponents` fit result.
+    """
+    array = np.asarray(data, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError(f"expected a 2-d data matrix, got shape {array.shape}")
+    if array.shape[0] < 2:
+        raise ValueError("PCA needs at least two data points")
+    if not np.all(np.isfinite(array)):
+        raise ValueError("data matrix must be finite (no NaN or inf entries)")
+
+    means = np.mean(array, axis=0)
+    if scale:
+        studentized = studentize(array)
+        working = studentized.features
+        scales = studentized.scales
+        kept = studentized.kept_columns
+    else:
+        working = array - means
+        scales = None
+        kept = np.arange(array.shape[1])
+
+    # `working` is already centered, so form the second-moment matrix
+    # directly instead of re-centering through covariance_matrix().
+    n = working.shape[0]
+    moment = working.T @ working / n
+    moment = (moment + moment.T) / 2.0
+
+    return PrincipalComponents(
+        decomposition=decompose(moment, method=eigen_method),
+        means=means,
+        scales=scales,
+        kept_columns=kept,
+        scaled=scale,
+    )

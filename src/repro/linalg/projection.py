@@ -1,0 +1,96 @@
+"""Subspace projection, reconstruction, and energy accounting.
+
+After PCA picks a ``k``-dimensional orthonormal basis, projecting the
+data onto it yields the reduced representation; projecting back gives the
+best rank-``k`` approximation of the (centered) data.  The variance lost
+equals the sum of the discarded eigenvalues (Section 2 of the paper) —
+:func:`retained_energy_fraction` and :func:`reconstruction_error` make
+that identity checkable, and the tests check it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate_basis(basis) -> np.ndarray:
+    array = np.asarray(basis, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError(f"basis must be 2-d (d, k), got shape {array.shape}")
+    if array.shape[1] > array.shape[0]:
+        raise ValueError(
+            f"basis has more columns ({array.shape[1]}) than the ambient "
+            f"dimensionality ({array.shape[0]})"
+        )
+    if not np.all(np.isfinite(array)):
+        raise ValueError("basis must be finite")
+    return array
+
+
+def project(data, basis) -> np.ndarray:
+    """Coordinates of ``data`` rows in the (orthonormal) ``basis`` columns.
+
+    For a point ``X`` and eigenvectors ``e_1 … e_k`` this is exactly the
+    paper's ``(X . e_1, …, X . e_k)``.  ``data`` may be a single vector or
+    a matrix of row vectors.
+    """
+    basis = _validate_basis(basis)
+    array = np.asarray(data, dtype=np.float64)
+    single = array.ndim == 1
+    if single:
+        array = array.reshape(1, -1)
+    if array.shape[1] != basis.shape[0]:
+        raise ValueError(
+            f"data has {array.shape[1]} columns but basis expects "
+            f"{basis.shape[0]}"
+        )
+    coordinates = array @ basis
+    return coordinates[0] if single else coordinates
+
+
+def reconstruct(coordinates, basis) -> np.ndarray:
+    """Map reduced coordinates back to the ambient space."""
+    basis = _validate_basis(basis)
+    array = np.asarray(coordinates, dtype=np.float64)
+    single = array.ndim == 1
+    if single:
+        array = array.reshape(1, -1)
+    if array.shape[1] != basis.shape[1]:
+        raise ValueError(
+            f"coordinates have {array.shape[1]} columns but basis has "
+            f"{basis.shape[1]}"
+        )
+    ambient = array @ basis.T
+    return ambient[0] if single else ambient
+
+
+def reconstruction_error(data, basis) -> float:
+    """Mean squared reconstruction error of ``data`` under ``basis``.
+
+    For centered data and an orthonormal eigenbasis this equals the sum
+    of the discarded eigenvalues.
+    """
+    array = np.asarray(data, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    approximation = reconstruct(project(array, basis), basis)
+    residual = array - approximation
+    return float(np.mean(np.sum(np.square(residual), axis=1)))
+
+
+def retained_energy_fraction(data, basis) -> float:
+    """Fraction of the data's total variance kept by the projection.
+
+    Computed directly from the data (not from eigenvalues) so it works
+    for any orthonormal basis, not only eigenbases.  ``data`` should be
+    centered; a constant dataset has zero energy and returns 0.
+    """
+    array = np.asarray(data, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    total = float(np.mean(np.sum(np.square(array), axis=1)))
+    if total == 0.0:
+        return 0.0
+    projected = project(array, basis)
+    kept = float(np.mean(np.sum(np.square(projected), axis=1)))
+    return kept / total

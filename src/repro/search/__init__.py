@@ -1,0 +1,37 @@
+"""Index substrate.
+
+Exact k-nearest-neighbor indexes with pruning instrumentation: a linear
+scan baseline, a kd-tree and an STR-bulk-loaded R-tree (both with
+branch-and-bound / best-first search in the style of Roussopoulos et al.
+and Hjaltason & Samet), and a VA-file.  The per-query statistics
+(node accesses, points scanned, partitions pruned) substantiate the
+paper's Section 1.1 argument: in high dimensionality the optimistic
+bounds stop pruning, and aggressive dimensionality reduction restores
+index effectiveness.
+"""
+
+from repro.search.results import KnnResult, Neighbor, QueryStats
+from repro.search.bruteforce import BruteForceIndex
+from repro.search.dynamic_rtree import DynamicRTree
+from repro.search.idistance import IDistanceIndex
+from repro.search.igrid import IGridIndex
+from repro.search.kdtree import KdTreeIndex
+from repro.search.lsh import LshIndex
+from repro.search.pyramid import PyramidIndex
+from repro.search.rtree import RTreeIndex
+from repro.search.vafile import VAFileIndex
+
+__all__ = [
+    "BruteForceIndex",
+    "DynamicRTree",
+    "IDistanceIndex",
+    "IGridIndex",
+    "KdTreeIndex",
+    "KnnResult",
+    "LshIndex",
+    "Neighbor",
+    "PyramidIndex",
+    "QueryStats",
+    "RTreeIndex",
+    "VAFileIndex",
+]

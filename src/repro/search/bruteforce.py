@@ -1,0 +1,74 @@
+"""Linear-scan exact k-NN — the baseline every index is checked against."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.search.results import (
+    KnnResult,
+    Neighbor,
+    QueryStats,
+    validate_corpus,
+    validate_k,
+    validate_query,
+)
+
+
+class BruteForceIndex:
+    """Exact k-NN by scanning every corpus point.
+
+    Always correct, never prunes; its :class:`QueryStats` (``n`` points
+    scanned, zero nodes) anchor the pruning comparisons.
+    """
+
+    def __init__(self, points) -> None:
+        self._points = validate_corpus(points)
+
+    @property
+    def n_points(self) -> int:
+        return self._points.shape[0]
+
+    @property
+    def dimensionality(self) -> int:
+        return self._points.shape[1]
+
+    def query(self, query, k: int = 1) -> KnnResult:
+        """Return the ``k`` nearest corpus points to ``query`` (Euclidean).
+
+        Ties are broken by corpus index (lower index wins), which makes
+        results deterministic and comparable across index structures.
+        """
+        vector = validate_query(query, self.dimensionality)
+        k = validate_k(k, self.n_points)
+
+        gaps = self._points - vector
+        squared = np.sum(np.square(gaps), axis=1)
+        # argsort is O(n log n); for the corpus sizes here the simplicity
+        # beats a partial-selection micro-optimization, and full sorting
+        # gives the deterministic tie-break for free.
+        order = np.argsort(squared, kind="stable")[:k]
+        neighbors = tuple(
+            Neighbor(index=int(i), distance=float(np.sqrt(squared[i])))
+            for i in order
+        )
+        stats = QueryStats(points_scanned=self.n_points)
+        return KnnResult(neighbors=neighbors, stats=stats)
+
+    def range_query(self, query, radius: float) -> KnnResult:
+        """All corpus points within ``radius`` of ``query`` (Euclidean).
+
+        Results are sorted by ascending distance (ties by index).
+        """
+        vector = validate_query(query, self.dimensionality)
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        gaps = self._points - vector
+        squared = np.sum(np.square(gaps), axis=1)
+        within = np.flatnonzero(squared <= radius * radius)
+        order = within[np.argsort(squared[within], kind="stable")]
+        neighbors = tuple(
+            Neighbor(index=int(i), distance=float(np.sqrt(squared[i])))
+            for i in order
+        )
+        stats = QueryStats(points_scanned=self.n_points)
+        return KnnResult(neighbors=neighbors, stats=stats)

@@ -1,0 +1,392 @@
+"""A dynamically insertable R-tree (Guttman, SIGMOD 1984).
+
+The bulk-loaded :class:`repro.search.RTreeIndex` serves static corpora;
+a dynamic database also needs *insertion* — which is the half of
+Guttman's paper the STR loader skips.  This index implements it:
+
+* **ChooseLeaf** — descend into the child whose MBR needs the least
+  enlargement to cover the new point (ties: smallest area);
+* **quadratic split** — when a node overflows, seed the two groups with
+  the pair of entries whose combined MBR wastes the most area, then
+  assign the rest by least enlargement;
+* **AdjustTree** — propagate MBR growth (and splits) to the root.
+
+Queries reuse the best-first MINDIST search of the static R-tree, with
+the same epsilon-padded tie handling, so results stay exactly equal to
+brute force at every point in the insert stream.
+
+Together with :class:`repro.dynamic.DynamicReducer` this completes the
+dynamic-database story the paper contrasts itself with (reference [17]):
+stream points in, keep the reduced index queryable throughout.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.search.results import (
+    KnnResult,
+    Neighbor,
+    QueryStats,
+    validate_k,
+    validate_query,
+)
+
+
+class _DNode:
+    """A dynamic R-tree node.
+
+    Leaves hold corpus row indices (``entries`` of ints); inner nodes
+    hold child ``_DNode``s.  Every node maintains its own MBR.
+    """
+
+    __slots__ = ("lower", "upper", "entries", "is_leaf", "parent")
+
+    def __init__(self, dimensionality: int, is_leaf: bool) -> None:
+        self.lower = np.full(dimensionality, np.inf)
+        self.upper = np.full(dimensionality, -np.inf)
+        self.entries: list = []
+        self.is_leaf = is_leaf
+        self.parent: "_DNode | None" = None
+
+    def include(self, lower: np.ndarray, upper: np.ndarray) -> None:
+        np.minimum(self.lower, lower, out=self.lower)
+        np.maximum(self.upper, upper, out=self.upper)
+
+    def area(self) -> float:
+        if np.any(self.upper < self.lower):
+            return 0.0
+        return float(np.prod(self.upper - self.lower))
+
+
+def _enlargement(node: _DNode, lower: np.ndarray, upper: np.ndarray) -> float:
+    merged_lower = np.minimum(node.lower, lower)
+    merged_upper = np.maximum(node.upper, upper)
+    merged_area = float(np.prod(merged_upper - merged_lower))
+    return merged_area - node.area()
+
+
+def _mindist_squared(lower: np.ndarray, upper: np.ndarray, query: np.ndarray) -> float:
+    below = np.maximum(lower - query, 0.0)
+    above = np.maximum(query - upper, 0.0)
+    return float(np.sum(np.square(below)) + np.sum(np.square(above)))
+
+
+class DynamicRTree:
+    """An R-tree supporting incremental insertion.
+
+    Args:
+        dimensionality: dimensionality of the points to come.
+        page_size: maximum entries per node before a split.
+
+    Points are assigned consecutive corpus indices in insertion order;
+    query results refer to those indices and :attr:`points` holds the
+    accumulated corpus.
+    """
+
+    def __init__(self, dimensionality: int, page_size: int = 16) -> None:
+        if dimensionality < 1:
+            raise ValueError(f"dimensionality must be positive, got {dimensionality}")
+        if page_size < 4:
+            raise ValueError(
+                f"page_size must be at least 4 for a quadratic split, got {page_size}"
+            )
+        self._dimensionality = dimensionality
+        self._page_size = page_size
+        self._rows: list[np.ndarray] = []
+        self._root = _DNode(dimensionality, is_leaf=True)
+
+    @property
+    def dimensionality(self) -> int:
+        return self._dimensionality
+
+    @property
+    def n_points(self) -> int:
+        """Total points ever inserted (deleted indices are not reused)."""
+        return len(self._rows)
+
+    @property
+    def points(self) -> np.ndarray:
+        """The corpus in insertion order; deleted rows are NaN-filled."""
+        if not self._rows:
+            return np.empty((0, self._dimensionality))
+        filler = np.full(self._dimensionality, np.nan)
+        return np.vstack(
+            [row if row is not None else filler for row in self._rows]
+        )
+
+    @property
+    def height(self) -> int:
+        levels = 1
+        node = self._root
+        while not node.is_leaf:
+            levels += 1
+            node = node.entries[0]
+        return levels
+
+    # -- insertion -------------------------------------------------------
+
+    def insert(self, point) -> int:
+        """Insert one point; returns its corpus index."""
+        vector = validate_query(point, self._dimensionality)
+        index = len(self._rows)
+        self._rows.append(vector.copy())
+
+        leaf = self._choose_leaf(self._root, vector)
+        leaf.entries.append(index)
+        leaf.include(vector, vector)
+        self._adjust_upward(leaf)
+
+        if len(leaf.entries) > self._page_size:
+            self._split(leaf)
+        return index
+
+    def extend(self, points) -> list[int]:
+        """Insert a batch of rows; returns their corpus indices."""
+        array = np.asarray(points, dtype=np.float64)
+        if array.ndim == 1:
+            array = array.reshape(1, -1)
+        return [self.insert(row) for row in array]
+
+    def _choose_leaf(self, node: _DNode, vector: np.ndarray) -> _DNode:
+        while not node.is_leaf:
+            best_child, best_key = None, None
+            for child in node.entries:
+                key = (_enlargement(child, vector, vector), child.area())
+                if best_key is None or key < best_key:
+                    best_child, best_key = child, key
+            node = best_child
+        return node
+
+    def _entry_box(self, node: _DNode, entry) -> tuple[np.ndarray, np.ndarray]:
+        if node.is_leaf:
+            row = self._rows[entry]
+            return row, row
+        return entry.lower, entry.upper
+
+    def _recompute_mbr(self, node: _DNode) -> None:
+        node.lower = np.full(self._dimensionality, np.inf)
+        node.upper = np.full(self._dimensionality, -np.inf)
+        for entry in node.entries:
+            lower, upper = self._entry_box(node, entry)
+            node.include(lower, upper)
+
+    def _adjust_upward(self, node: _DNode) -> None:
+        parent = node.parent
+        while parent is not None:
+            parent.include(node.lower, node.upper)
+            node, parent = parent, parent.parent
+
+    def _split(self, node: _DNode) -> None:
+        """Quadratic split of an overflowing node, propagating upward."""
+        entries = node.entries
+        boxes = [self._entry_box(node, entry) for entry in entries]
+
+        # Pick seeds: the pair wasting the most area when combined.
+        worst_pair, worst_waste = (0, 1), -np.inf
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                lower = np.minimum(boxes[i][0], boxes[j][0])
+                upper = np.maximum(boxes[i][1], boxes[j][1])
+                waste = (
+                    float(np.prod(upper - lower))
+                    - float(np.prod(boxes[i][1] - boxes[i][0]))
+                    - float(np.prod(boxes[j][1] - boxes[j][0]))
+                )
+                if waste > worst_waste:
+                    worst_pair, worst_waste = (i, j), waste
+
+        first = _DNode(self._dimensionality, node.is_leaf)
+        second = _DNode(self._dimensionality, node.is_leaf)
+        seed_a, seed_b = worst_pair
+        groups = {id(first): first, id(second): second}
+        for target, seed in ((first, seed_a), (second, seed_b)):
+            target.entries.append(entries[seed])
+            target.include(*boxes[seed])
+
+        remaining = [
+            i for i in range(len(entries)) if i not in (seed_a, seed_b)
+        ]
+        minimum_fill = max(1, self._page_size // 2)
+        for i in remaining:
+            # Force-assign when one group must take everything left to
+            # reach minimum fill.
+            left_to_place = len(remaining) - remaining.index(i)
+            for target, other in ((first, second), (second, first)):
+                if len(target.entries) + left_to_place <= minimum_fill:
+                    target.entries.append(entries[i])
+                    target.include(*boxes[i])
+                    break
+            else:
+                grow_first = _enlargement(first, *boxes[i])
+                grow_second = _enlargement(second, *boxes[i])
+                key_first = (grow_first, first.area(), len(first.entries))
+                key_second = (grow_second, second.area(), len(second.entries))
+                target = first if key_first <= key_second else second
+                target.entries.append(entries[i])
+                target.include(*boxes[i])
+
+        if not node.is_leaf:
+            for group in groups.values():
+                for child in group.entries:
+                    child.parent = group
+
+        parent = node.parent
+        if parent is None:
+            # Grow a new root.
+            new_root = _DNode(self._dimensionality, is_leaf=False)
+            new_root.entries = [first, second]
+            first.parent = new_root
+            second.parent = new_root
+            new_root.include(first.lower, first.upper)
+            new_root.include(second.lower, second.upper)
+            self._root = new_root
+            return
+
+        parent.entries.remove(node)
+        parent.entries.extend([first, second])
+        first.parent = parent
+        second.parent = parent
+        self._recompute_mbr(parent)
+        self._adjust_upward(parent)
+        if len(parent.entries) > self._page_size:
+            self._split(parent)
+
+    # -- querying ---------------------------------------------------------
+
+    def query(self, query, k: int = 1) -> KnnResult:
+        """Exact k-NN over everything inserted so far."""
+        vector = validate_query(query, self._dimensionality)
+        live = self.n_live
+        if live == 0:
+            raise ValueError("cannot query an empty index")
+        k = validate_k(k, live)
+        stats = QueryStats()
+
+        counter = itertools.count()
+        frontier = [
+            (
+                _mindist_squared(self._root.lower, self._root.upper, vector),
+                next(counter),
+                self._root,
+            )
+        ]
+        best: list[tuple[float, int]] = []  # max-heap via negation
+
+        def visit_limit() -> float:
+            if len(best) < k:
+                return np.inf
+            worst = -best[0][0]
+            return worst + 1e-12 * worst
+
+        while frontier:
+            bound, _, node = heapq.heappop(frontier)
+            if bound > visit_limit():
+                stats.nodes_pruned += 1 + len(frontier)
+                break
+            stats.nodes_visited += 1
+            if node.is_leaf:
+                for index in node.entries:
+                    gap = self._rows[index] - vector
+                    d2 = float(np.sum(np.square(gap)))
+                    stats.points_scanned += 1
+                    entry = (-d2, -int(index))
+                    if len(best) < k:
+                        heapq.heappush(best, entry)
+                    elif entry > best[0]:
+                        heapq.heapreplace(best, entry)
+            else:
+                for child in node.entries:
+                    child_bound = _mindist_squared(child.lower, child.upper, vector)
+                    if child_bound <= visit_limit():
+                        heapq.heappush(frontier, (child_bound, next(counter), child))
+                    else:
+                        stats.nodes_pruned += 1
+
+        ordered = sorted(best, key=lambda entry: (-entry[0], -entry[1]))
+        neighbors = tuple(
+            Neighbor(index=-tie, distance=float(np.sqrt(-negated)))
+            for negated, tie in ordered
+        )
+        return KnnResult(neighbors=neighbors, stats=stats)
+
+
+    def delete(self, index: int) -> None:
+        """Delete a previously inserted point by its corpus index.
+
+        Guttman's FindLeaf/CondenseTree: locate the leaf holding the
+        entry, remove it, and walk upward shrinking MBRs; a node that
+        falls below minimum fill is dissolved and its surviving entries
+        are reinserted.  Deleted indices are never reused — query results
+        keep referring to original insertion order.
+
+        Raises:
+            KeyError: when the index does not exist (or was already
+                deleted).
+        """
+        if not 0 <= index < len(self._rows) or self._rows[index] is None:
+            raise KeyError(f"no live point with index {index}")
+        vector = self._rows[index]
+
+        leaf = self._find_leaf(self._root, index, vector)
+        if leaf is None:  # pragma: no cover - structure invariant
+            raise KeyError(f"index {index} not found in the tree")
+        leaf.entries.remove(index)
+        self._rows[index] = None
+        self._condense(leaf)
+
+    def _find_leaf(self, node: _DNode, index: int, vector: np.ndarray):
+        if node.is_leaf:
+            return node if index in node.entries else None
+        for child in node.entries:
+            if np.all(vector >= child.lower - 1e-12) and np.all(
+                vector <= child.upper + 1e-12
+            ):
+                found = self._find_leaf(child, index, vector)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, node: _DNode) -> None:
+        minimum_fill = max(1, self._page_size // 2)
+        orphans: list[int] = []
+        while node.parent is not None:
+            parent = node.parent
+            if len(node.entries) < minimum_fill:
+                parent.entries.remove(node)
+                orphans.extend(self._collect_leaf_entries(node))
+            else:
+                self._recompute_mbr(node)
+            node = parent
+        self._recompute_mbr(self._root)
+        # A non-leaf root with one child shrinks the tree.
+        while not self._root.is_leaf and len(self._root.entries) == 1:
+            self._root = self._root.entries[0]
+            self._root.parent = None
+        if not self._root.is_leaf and not self._root.entries:
+            self._root = _DNode(self._dimensionality, is_leaf=True)
+
+        for orphan in orphans:
+            row = self._rows[orphan]
+            leaf = self._choose_leaf(self._root, row)
+            leaf.entries.append(orphan)
+            leaf.include(row, row)
+            self._adjust_upward(leaf)
+            if len(leaf.entries) > self._page_size:
+                self._split(leaf)
+
+    def _collect_leaf_entries(self, node: _DNode) -> list[int]:
+        if node.is_leaf:
+            return list(node.entries)
+        collected: list[int] = []
+        for child in node.entries:
+            collected.extend(self._collect_leaf_entries(child))
+        return collected
+
+    @property
+    def n_live(self) -> int:
+        """Number of points currently in the index (inserted − deleted)."""
+        return sum(1 for row in self._rows if row is not None)

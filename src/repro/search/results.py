@@ -1,0 +1,92 @@
+"""Shared result and instrumentation types for the k-NN indexes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """One retrieved neighbor.
+
+    Attributes:
+        index: row index of the point in the indexed corpus.
+        distance: Euclidean distance to the query.
+    """
+
+    index: int
+    distance: float
+
+
+@dataclass
+class QueryStats:
+    """Work accounting for one k-NN query.
+
+    Attributes:
+        points_scanned: candidate points whose exact distance was
+            computed.
+        nodes_visited: tree nodes (or VA-file approximation cells)
+            examined.
+        nodes_pruned: nodes discarded by the optimistic (mindist) bound
+            without being opened — the paper's "effective pruning".
+    """
+
+    points_scanned: int = 0
+    nodes_visited: int = 0
+    nodes_pruned: int = 0
+
+    def pruning_fraction(self, total_points: int) -> float:
+        """Fraction of the corpus never exactly scanned."""
+        if total_points <= 0:
+            raise ValueError("total_points must be positive")
+        return 1.0 - min(self.points_scanned, total_points) / total_points
+
+
+@dataclass(frozen=True)
+class KnnResult:
+    """Result of one k-NN query: neighbors sorted by ascending distance."""
+
+    neighbors: tuple[Neighbor, ...]
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def indices(self) -> np.ndarray:
+        return np.asarray([n.index for n in self.neighbors], dtype=np.intp)
+
+    @property
+    def distances(self) -> np.ndarray:
+        return np.asarray([n.distance for n in self.neighbors], dtype=np.float64)
+
+
+def validate_corpus(points) -> np.ndarray:
+    """Common validation for index constructors."""
+    array = np.asarray(points, dtype=np.float64)
+    if array.ndim != 2:
+        raise ValueError(f"corpus must be 2-d (n, d), got shape {array.shape}")
+    if array.shape[0] == 0:
+        raise ValueError("corpus must contain at least one point")
+    if not np.all(np.isfinite(array)):
+        raise ValueError("corpus must be finite")
+    return array
+
+
+def validate_query(query, dimensionality: int) -> np.ndarray:
+    """Common validation for query vectors."""
+    vector = np.asarray(query, dtype=np.float64)
+    if vector.ndim != 1 or vector.size != dimensionality:
+        raise ValueError(
+            f"query must be a 1-d vector of length {dimensionality}, "
+            f"got shape {vector.shape}"
+        )
+    if not np.all(np.isfinite(vector)):
+        raise ValueError("query must be finite")
+    return vector
+
+
+def validate_k(k: int, corpus_size: int) -> int:
+    """Common validation for neighbor counts."""
+    if not 1 <= k <= corpus_size:
+        raise ValueError(f"k must lie in [1, {corpus_size}], got {k}")
+    return int(k)

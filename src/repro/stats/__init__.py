@@ -1,0 +1,51 @@
+"""Statistics substrate.
+
+Everything the coherence model needs from probability theory, implemented
+from scratch: the standard normal distribution (density, cumulative
+distribution, quantile), descriptive moments with explicit NaN policies,
+and the null-hypothesis test machinery of Hypothesis 2.1 in the paper.
+"""
+
+from repro.stats.descriptive import (
+    column_means,
+    column_stds,
+    column_variances,
+    mean,
+    root_mean_square,
+    standard_deviation,
+    variance,
+    zscores,
+)
+from repro.stats.hypothesis_test import (
+    ContributionTestResult,
+    null_contribution_test,
+    one_sample_z_test,
+)
+from repro.stats.normal import (
+    erf,
+    erfc,
+    norm_cdf,
+    norm_pdf,
+    norm_quantile,
+    symmetric_mass,
+)
+
+__all__ = [
+    "ContributionTestResult",
+    "column_means",
+    "column_stds",
+    "column_variances",
+    "erf",
+    "erfc",
+    "mean",
+    "norm_cdf",
+    "norm_pdf",
+    "norm_quantile",
+    "null_contribution_test",
+    "one_sample_z_test",
+    "root_mean_square",
+    "standard_deviation",
+    "symmetric_mass",
+    "variance",
+    "zscores",
+]

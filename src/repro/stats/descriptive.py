@@ -1,0 +1,100 @@
+"""Descriptive statistics with explicit input validation.
+
+Thin, validated wrappers over the arithmetic the rest of the library
+performs constantly: means, variances, RMS values, and z-scores.  The
+wrappers exist so that every caller gets the same conventions (population
+vs. sample variance is always an explicit argument, NaNs always raise
+instead of silently propagating) and so the conventions are tested once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_clean_array(values, name: str = "values") -> np.ndarray:
+    """Convert to a float64 array, rejecting NaN/inf and empty input."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} must be finite (no NaN or inf entries)")
+    return array
+
+
+def mean(values) -> float:
+    """Arithmetic mean of a one-dimensional collection."""
+    array = _as_clean_array(values)
+    if array.ndim != 1:
+        raise ValueError(f"expected a 1-d collection, got shape {array.shape}")
+    return float(np.mean(array))
+
+
+def variance(values, ddof: int = 0) -> float:
+    """Variance of a one-dimensional collection.
+
+    ``ddof=0`` gives the population variance (the paper's convention for
+    eigenvalues: the eigenvalue of ``e_i`` equals the population variance
+    of the data projected onto ``e_i``); ``ddof=1`` gives the unbiased
+    sample variance.
+    """
+    array = _as_clean_array(values)
+    if array.ndim != 1:
+        raise ValueError(f"expected a 1-d collection, got shape {array.shape}")
+    if array.size <= ddof:
+        raise ValueError(
+            f"need more than ddof={ddof} observations, got {array.size}"
+        )
+    return float(np.var(array, ddof=ddof))
+
+
+def standard_deviation(values, ddof: int = 0) -> float:
+    """Square root of :func:`variance`."""
+    return float(np.sqrt(variance(values, ddof=ddof)))
+
+
+def root_mean_square(values) -> float:
+    """Root mean square about zero: ``sqrt(mean(v_i^2))``.
+
+    This is the ``sigma(e_i, X)`` of the paper's null-hypothesis test —
+    the spread of the per-dimension contributions about the hypothesized
+    mean of zero (not about their own empirical mean).
+    """
+    array = _as_clean_array(values)
+    return float(np.sqrt(np.mean(np.square(array))))
+
+
+def zscores(values, ddof: int = 0) -> np.ndarray:
+    """Standardize a 1-d collection to zero mean and unit variance."""
+    array = _as_clean_array(values)
+    if array.ndim != 1:
+        raise ValueError(f"expected a 1-d collection, got shape {array.shape}")
+    spread = np.std(array, ddof=ddof)
+    if spread == 0.0:
+        raise ValueError("cannot compute z-scores of a constant collection")
+    return (array - np.mean(array)) / spread
+
+
+def column_means(matrix) -> np.ndarray:
+    """Per-column means of a 2-d data matrix (rows are observations)."""
+    array = _as_clean_array(matrix, "matrix")
+    if array.ndim != 2:
+        raise ValueError(f"expected a 2-d matrix, got shape {array.shape}")
+    return np.mean(array, axis=0)
+
+
+def column_variances(matrix, ddof: int = 0) -> np.ndarray:
+    """Per-column variances of a 2-d data matrix."""
+    array = _as_clean_array(matrix, "matrix")
+    if array.ndim != 2:
+        raise ValueError(f"expected a 2-d matrix, got shape {array.shape}")
+    if array.shape[0] <= ddof:
+        raise ValueError(
+            f"need more than ddof={ddof} rows, got {array.shape[0]}"
+        )
+    return np.var(array, axis=0, ddof=ddof)
+
+
+def column_stds(matrix, ddof: int = 0) -> np.ndarray:
+    """Per-column standard deviations of a 2-d data matrix."""
+    return np.sqrt(column_variances(matrix, ddof=ddof))

@@ -1,0 +1,123 @@
+"""The null-hypothesis machinery behind the coherence model.
+
+Hypothesis 2.1 of the paper states: the per-dimension contributions
+``c_1 … c_d`` to a projection ``X . e_i`` are statistically independent
+draws from a distribution centered at zero.  Under that hypothesis the
+average contribution is approximately ``N(0, sigma / sqrt(d))`` where
+``sigma`` is the RMS of the contributions about zero (central limit
+theorem), so the observed average can be converted to a z-score.  A large
+z-score means the contributions *agree* far more than chance allows — the
+eigenvector is picking up a real correlation ("concept") rather than
+noise.
+
+:func:`null_contribution_test` performs exactly this test for one point
+and one eigenvector.  The vectorized production path lives in
+:mod:`repro.core.coherence`; this module is the legible, single-sample
+reference implementation that the property tests compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.normal import norm_cdf, symmetric_mass
+
+
+@dataclass(frozen=True)
+class ContributionTestResult:
+    """Outcome of the Hypothesis-2.1 test on one contribution vector.
+
+    Attributes:
+        mean_contribution: the observed average contribution
+            ``(X . e_i) / d``.
+        rms_about_zero: ``sigma`` — root mean square of the contributions
+            about the null-hypothesis mean of zero.
+        coherence_factor: the z-score
+            ``|mean| / (sigma / sqrt(d))`` — how many null standard errors
+            the observed mean sits away from zero.
+        coherence_probability: ``2 * Phi(z) - 1`` — mass of the null
+            distribution within ``z`` standard errors; near 1 means the
+            null hypothesis is untenable and the direction is coherent.
+        p_value: two-sided p-value ``1 - coherence_probability``.
+        n_contributions: ``d``, the number of contributing dimensions.
+    """
+
+    mean_contribution: float
+    rms_about_zero: float
+    coherence_factor: float
+    coherence_probability: float
+    p_value: float
+    n_contributions: int
+
+
+def null_contribution_test(contributions) -> ContributionTestResult:
+    """Test whether a contribution vector deviates from pure noise.
+
+    Args:
+        contributions: the per-dimension contributions
+            ``c_j = x_j * e_i[j]`` of a point to one eigenvector.
+
+    Returns:
+        A :class:`ContributionTestResult`.  A point whose contributions
+        are identically zero carries no evidence either way; by
+        convention its coherence factor and probability are 0.
+    """
+    values = np.asarray(contributions, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"contributions must be 1-d, got shape {values.shape}")
+    if values.size == 0:
+        raise ValueError("contributions must not be empty")
+    if not np.all(np.isfinite(values)):
+        raise ValueError("contributions must be finite")
+
+    d = values.size
+    observed_mean = float(np.mean(values))
+    sigma = float(np.sqrt(np.mean(np.square(values))))
+
+    if sigma == 0.0:
+        return ContributionTestResult(
+            mean_contribution=0.0,
+            rms_about_zero=0.0,
+            coherence_factor=0.0,
+            coherence_probability=0.0,
+            p_value=1.0,
+            n_contributions=d,
+        )
+
+    factor = abs(observed_mean) / (sigma / np.sqrt(d))
+    probability = float(symmetric_mass(factor))
+    return ContributionTestResult(
+        mean_contribution=observed_mean,
+        rms_about_zero=sigma,
+        coherence_factor=float(factor),
+        coherence_probability=probability,
+        p_value=1.0 - probability,
+        n_contributions=d,
+    )
+
+
+def one_sample_z_test(values, null_mean: float = 0.0, sigma: float | None = None):
+    """Two-sided one-sample z-test.
+
+    Args:
+        values: 1-d sample.
+        null_mean: hypothesized mean.
+        sigma: known population standard deviation; estimated from the
+            sample (ddof=1) when omitted.
+
+    Returns:
+        ``(z, p_value)``.
+    """
+    sample = np.asarray(values, dtype=np.float64)
+    if sample.ndim != 1 or sample.size < 2:
+        raise ValueError("need a 1-d sample with at least two observations")
+    if not np.all(np.isfinite(sample)):
+        raise ValueError("sample must be finite")
+    spread = float(np.std(sample, ddof=1)) if sigma is None else float(sigma)
+    if spread <= 0.0:
+        raise ValueError("standard deviation must be positive")
+    z = (float(np.mean(sample)) - null_mean) / (spread / np.sqrt(sample.size))
+    p_value = 2.0 * (1.0 - norm_cdf(abs(z)))
+    return float(z), float(p_value)

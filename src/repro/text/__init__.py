@@ -1,0 +1,29 @@
+"""Text similarity substrate.
+
+The paper's motivation comes from text: Latent Semantic Indexing showed
+that truncating the SVD of a term-document matrix *improves* retrieval
+because the kept directions are semantic concepts while the dropped ones
+are synonymy/polysemy noise (Deerwester et al.; Papadimitriou et al.).
+This package builds that setting end-to-end so the coherence model can
+be exercised on its home turf:
+
+* :mod:`repro.text.corpus` — a synthetic topic-model corpus generator
+  with explicit synonymy (several terms per meaning) and polysemy
+  (terms shared across topics);
+* :mod:`repro.text.vectorize` — bag-of-words counting and TF-IDF
+  weighting;
+* :mod:`repro.text.lsi` — LSI retrieval on the truncated SVD, with the
+  coherence diagnostics applied to the semantic directions.
+"""
+
+from repro.text.corpus import TextCorpus, synthetic_topic_corpus
+from repro.text.vectorize import CountVectorizer, tfidf_weight
+from repro.text.lsi import LatentSemanticIndex
+
+__all__ = [
+    "CountVectorizer",
+    "LatentSemanticIndex",
+    "TextCorpus",
+    "synthetic_topic_corpus",
+    "tfidf_weight",
+]

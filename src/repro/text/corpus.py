@@ -1,0 +1,141 @@
+"""Synthetic topic-model corpus with synonymy and polysemy.
+
+The generative model follows the style of Papadimitriou et al. (PODS
+1998), the paper's reference [16] for *why* LSI works: each document is
+(mostly) about one topic; each topic owns a set of terms; the noise the
+paper talks about comes from
+
+* **synonymy** — each topic meaning is expressed by several
+  interchangeable terms, so two documents about the same thing may share
+  few raw terms; and
+* **polysemy** — some terms belong to several topics, so raw-term
+  overlap can be spurious.
+
+Dimensionality reduction "re-enforces the semantic concepts": documents
+of one topic form a coherent direction in term space regardless of which
+synonyms they happened to use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TextCorpus:
+    """A labeled collection of tokenized documents.
+
+    Attributes:
+        documents: one token list per document.
+        labels: dominant topic of each document.
+        vocabulary: every term the generator can emit, sorted.
+        metadata: generator parameters.
+    """
+
+    documents: tuple[tuple[str, ...], ...]
+    labels: np.ndarray
+    vocabulary: tuple[str, ...]
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_documents(self) -> int:
+        return len(self.documents)
+
+    @property
+    def n_topics(self) -> int:
+        return int(np.unique(self.labels).size)
+
+
+def synthetic_topic_corpus(
+    n_documents: int = 300,
+    n_topics: int = 5,
+    terms_per_topic: int = 60,
+    n_shared_terms: int = 40,
+    document_length: int = 20,
+    topic_purity: float = 0.5,
+    polysemy_fraction: float = 0.3,
+    seed: int = 0,
+) -> TextCorpus:
+    """Generate a topic-labeled corpus.
+
+    Args:
+        n_documents: corpus size.
+        n_topics: number of topics (= retrieval classes).
+        terms_per_topic: topical vocabulary size per topic; synonymy is
+            implicit — all of a topic's terms are interchangeable ways of
+            expressing it, and each document samples only a fraction.
+        n_shared_terms: topic-free filler vocabulary ("the", "and", …).
+        document_length: tokens per document.
+        topic_purity: fraction of tokens drawn from the document's own
+            topic; the rest are filler or other-topic noise.
+        polysemy_fraction: fraction of each topic's terms that are also
+            claimed by the next topic (shared meanings).
+        seed: RNG seed.
+    """
+    if n_documents < 1 or n_topics < 1:
+        raise ValueError("n_documents and n_topics must be positive")
+    if terms_per_topic < 2 or n_shared_terms < 1:
+        raise ValueError("need at least 2 terms per topic and 1 shared term")
+    if document_length < 1:
+        raise ValueError("document_length must be positive")
+    if not 0.0 < topic_purity <= 1.0:
+        raise ValueError(f"topic_purity must lie in (0, 1], got {topic_purity}")
+    if not 0.0 <= polysemy_fraction < 1.0:
+        raise ValueError(
+            f"polysemy_fraction must lie in [0, 1), got {polysemy_fraction}"
+        )
+
+    rng = np.random.default_rng(seed)
+
+    topic_terms: list[list[str]] = [
+        [f"topic{t}_term{j}" for j in range(terms_per_topic)]
+        for t in range(n_topics)
+    ]
+    # Polysemy: the tail of each topic's vocabulary is shared with the
+    # next topic (cyclically), so those terms are ambiguous evidence.
+    n_polysemous = int(terms_per_topic * polysemy_fraction)
+    if n_polysemous and n_topics > 1:
+        for t in range(n_topics):
+            neighbor = (t + 1) % n_topics
+            shared = topic_terms[t][-n_polysemous:]
+            topic_terms[neighbor] = topic_terms[neighbor] + shared
+    shared_terms = [f"filler_term{j}" for j in range(n_shared_terms)]
+
+    vocabulary = sorted(
+        {term for terms in topic_terms for term in terms} | set(shared_terms)
+    )
+
+    documents = []
+    labels = rng.integers(0, n_topics, size=n_documents)
+    for label in labels:
+        own = topic_terms[int(label)]
+        tokens = []
+        for _ in range(document_length):
+            roll = rng.uniform()
+            if roll < topic_purity:
+                tokens.append(own[int(rng.integers(0, len(own)))])
+            elif roll < topic_purity + (1 - topic_purity) * 0.8:
+                tokens.append(
+                    shared_terms[int(rng.integers(0, len(shared_terms)))]
+                )
+            else:
+                other = int(rng.integers(0, n_topics))
+                terms = topic_terms[other]
+                tokens.append(terms[int(rng.integers(0, len(terms)))])
+        documents.append(tuple(tokens))
+
+    return TextCorpus(
+        documents=tuple(documents),
+        labels=labels,
+        vocabulary=tuple(vocabulary),
+        metadata={
+            "generator": "synthetic_topic_corpus",
+            "n_topics": n_topics,
+            "terms_per_topic": terms_per_topic,
+            "topic_purity": topic_purity,
+            "polysemy_fraction": polysemy_fraction,
+            "seed": seed,
+        },
+    )

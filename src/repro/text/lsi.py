@@ -1,0 +1,102 @@
+"""Latent Semantic Indexing on the from-scratch SVD.
+
+The pipeline Deerwester et al. made famous and the paper builds its
+intuition on: TF-IDF weight the term-document matrix, truncate its SVD
+to ``k`` semantic directions, and retrieve by cosine similarity in the
+reduced space.  Synonymous documents that share *no* raw terms land
+close together because their terms load on the same singular direction.
+
+:meth:`LatentSemanticIndex.concept_coherence` applies the paper's
+coherence model to the singular directions — on a topic-structured
+corpus the leading (semantic) directions score far above the uniform
+baseline, which is precisely the paper's explanation of why LSI-style
+truncation improves retrieval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.svd_reduction import SVDReducer
+from repro.core.coherence import dataset_coherence
+from repro.text.vectorize import CountVectorizer, tfidf_weight
+
+
+class LatentSemanticIndex:
+    """TF-IDF + truncated SVD + cosine retrieval.
+
+    Args:
+        n_concepts: how many singular directions to keep.
+
+    Fitted attributes:
+        vectorizer_: the learned vocabulary.
+        reducer_: the fitted truncated SVD (uncentered, classical LSI).
+        document_vectors_: corpus coordinates in concept space.
+    """
+
+    def __init__(self, n_concepts: int = 10) -> None:
+        if n_concepts < 1:
+            raise ValueError(f"n_concepts must be positive, got {n_concepts}")
+        self.n_concepts = n_concepts
+        self.vectorizer_: CountVectorizer | None = None
+        self.reducer_: SVDReducer | None = None
+        self.document_vectors_: np.ndarray | None = None
+        self._idf: np.ndarray | None = None
+        self._tfidf: np.ndarray | None = None
+
+    def fit(self, documents) -> "LatentSemanticIndex":
+        """Learn the vocabulary, weights, and concept space of a corpus."""
+        documents = list(documents)
+        self.vectorizer_ = CountVectorizer().fit(documents)
+        counts = self.vectorizer_.transform(documents)
+        self._tfidf, self._idf = tfidf_weight(counts)
+        budget = min(self.n_concepts, min(self._tfidf.shape))
+        self.reducer_ = SVDReducer(n_components=budget, center=False)
+        self.document_vectors_ = self.reducer_.fit_transform(self._tfidf)
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.document_vectors_ is None:
+            raise RuntimeError("index is not fitted; call fit() first")
+
+    def embed(self, documents) -> np.ndarray:
+        """Concept-space coordinates for new documents."""
+        self._require_fitted()
+        counts = self.vectorizer_.transform(list(documents))
+        weighted, _ = tfidf_weight(counts, idf=self._idf)
+        return self.reducer_.transform(weighted)
+
+    def query(self, document, k: int = 3) -> list[tuple[int, float]]:
+        """Top-``k`` corpus documents by cosine similarity in concept space.
+
+        Returns:
+            ``(corpus_index, cosine_similarity)`` pairs, best first.
+            Documents with a zero concept vector (no known terms) match
+            nothing and return an empty list.
+        """
+        self._require_fitted()
+        if not 1 <= k <= self.document_vectors_.shape[0]:
+            raise ValueError(
+                f"k must lie in [1, {self.document_vectors_.shape[0]}], got {k}"
+            )
+        vector = self.embed([document])[0]
+        norm = float(np.linalg.norm(vector))
+        if norm == 0.0:
+            return []
+        corpus_norms = np.linalg.norm(self.document_vectors_, axis=1)
+        safe = np.where(corpus_norms > 0.0, corpus_norms, 1.0)
+        similarities = (self.document_vectors_ @ vector) / (safe * norm)
+        similarities[corpus_norms == 0.0] = -np.inf
+        order = np.argsort(-similarities, kind="stable")[:k]
+        return [(int(i), float(similarities[i])) for i in order]
+
+    def concept_coherence(self) -> np.ndarray:
+        """Dataset coherence probability of each kept singular direction.
+
+        Computed over the *centered* TF-IDF matrix (the coherence model
+        is defined about the data mean).  On topical corpora the leading
+        directions clear the 0.6827 uniform baseline decisively.
+        """
+        self._require_fitted()
+        centered = self._tfidf - self._tfidf.mean(axis=0)
+        return dataset_coherence(centered, self.reducer_.svd_.right)

@@ -1,0 +1,90 @@
+"""Bag-of-words vectorization and TF-IDF weighting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CountVectorizer:
+    """Token lists → dense term-count matrix.
+
+    The vocabulary is learned at :meth:`fit` time in sorted order, so
+    column indices are stable and reproducible.  Unseen terms at
+    transform time are ignored (standard bag-of-words behaviour).
+    """
+
+    def __init__(self) -> None:
+        self.vocabulary_: dict[str, int] | None = None
+
+    def fit(self, documents) -> "CountVectorizer":
+        """Learn the (sorted) vocabulary of a token-list corpus."""
+        terms: set[str] = set()
+        for document in documents:
+            terms.update(document)
+        if not terms:
+            raise ValueError("corpus contains no terms")
+        self.vocabulary_ = {term: i for i, term in enumerate(sorted(terms))}
+        return self
+
+    @property
+    def n_terms(self) -> int:
+        if self.vocabulary_ is None:
+            raise RuntimeError("vectorizer is not fitted; call fit() first")
+        return len(self.vocabulary_)
+
+    def transform(self, documents) -> np.ndarray:
+        """Count matrix of shape ``(n_documents, n_terms)``."""
+        if self.vocabulary_ is None:
+            raise RuntimeError("vectorizer is not fitted; call fit() first")
+        documents = list(documents)
+        counts = np.zeros((len(documents), self.n_terms))
+        for row, document in enumerate(documents):
+            for token in document:
+                column = self.vocabulary_.get(token)
+                if column is not None:
+                    counts[row, column] += 1.0
+        return counts
+
+    def fit_transform(self, documents) -> np.ndarray:
+        """Equivalent to ``fit(documents).transform(documents)``."""
+        documents = list(documents)
+        return self.fit(documents).transform(documents)
+
+
+def tfidf_weight(counts, idf: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """TF-IDF weighting with L2 document normalization.
+
+    ``tf = count``, ``idf = log((1 + n) / (1 + df)) + 1`` (smooth), rows
+    normalized to unit length (documents of different lengths become
+    comparable, as cosine retrieval assumes).
+
+    Args:
+        counts: ``(n, V)`` term-count matrix.
+        idf: optional precomputed IDF vector (to weight queries with the
+            *training* corpus statistics).
+
+    Returns:
+        ``(weighted, idf)`` — pass the returned ``idf`` back in when
+        weighting queries.
+    """
+    matrix = np.asarray(counts, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"counts must be 2-d, got shape {matrix.shape}")
+    if np.any(matrix < 0):
+        raise ValueError("counts must be non-negative")
+
+    if idf is None:
+        n = matrix.shape[0]
+        document_frequency = np.sum(matrix > 0, axis=0)
+        idf = np.log((1.0 + n) / (1.0 + document_frequency)) + 1.0
+    else:
+        idf = np.asarray(idf, dtype=np.float64)
+        if idf.shape != (matrix.shape[1],):
+            raise ValueError(
+                f"idf must have shape ({matrix.shape[1]},), got {idf.shape}"
+            )
+
+    weighted = matrix * idf
+    norms = np.sqrt(np.sum(np.square(weighted), axis=1))
+    norms[norms == 0.0] = 1.0  # empty documents stay zero vectors
+    return weighted / norms[:, None], idf

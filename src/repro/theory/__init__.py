@@ -1,0 +1,29 @@
+"""Theory: closed-form results and implicit-dimensionality estimators.
+
+Section 3 of the paper derives the uniform-cube worst case in closed form
+(:mod:`repro.theory.uniform`) and frames everything in terms of the
+*implicit dimensionality* of the data — the number of independent
+concepts — which :mod:`repro.theory.implicit_dim` estimates.
+"""
+
+from repro.theory.uniform import (
+    empirical_uniform_coherence,
+    uniform_coherence_factor,
+    uniform_coherence_probability,
+)
+from repro.theory.implicit_dim import (
+    correlation_dimension,
+    dimension_at_energy,
+    entropy_dimension,
+    participation_ratio,
+)
+
+__all__ = [
+    "correlation_dimension",
+    "dimension_at_energy",
+    "empirical_uniform_coherence",
+    "entropy_dimension",
+    "participation_ratio",
+    "uniform_coherence_factor",
+    "uniform_coherence_probability",
+]

@@ -1,0 +1,116 @@
+"""Implicit-dimensionality estimators.
+
+"For a data set of fixed dimensionality, the implicit dimensionality
+increases when the dimensions are relatively uncorrelated to one
+another, because there are a larger number of independent concepts"
+(Section 1).  These estimators quantify that number:
+
+* :func:`participation_ratio` — ``(sum λ)^2 / sum λ^2`` of the
+  eigenvalue spectrum; equals ``d`` for a flat spectrum (uniform data)
+  and the concept count for a spectrum with that many dominant values.
+* :func:`entropy_dimension` — ``exp`` of the Shannon entropy of the
+  normalized spectrum; same limits, smoother in between.
+* :func:`dimension_at_energy` — smallest eigenvalue prefix covering a
+  target variance fraction (the classical "95 % energy" reading).
+* :func:`correlation_dimension` — a Grassberger–Procaccia-style estimate
+  from pairwise distances, independent of PCA entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.metrics import squared_euclidean_matrix
+
+
+def _validate_spectrum(eigenvalues) -> np.ndarray:
+    values = np.asarray(eigenvalues, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("eigenvalues must be a non-empty 1-d array")
+    if np.any(values < -1e-12 * max(1.0, float(np.abs(values).max()))):
+        raise ValueError("eigenvalues must be non-negative")
+    values = np.maximum(values, 0.0)
+    if values.sum() == 0.0:
+        raise ValueError("eigenvalue spectrum is identically zero")
+    return values
+
+
+def participation_ratio(eigenvalues) -> float:
+    """``(sum λ_i)^2 / sum λ_i^2`` — effective number of active directions."""
+    values = _validate_spectrum(eigenvalues)
+    return float(values.sum() ** 2 / np.sum(np.square(values)))
+
+
+def entropy_dimension(eigenvalues) -> float:
+    """``exp(H)`` for ``H`` the entropy of the normalized spectrum."""
+    values = _validate_spectrum(eigenvalues)
+    weights = values / values.sum()
+    positive = weights[weights > 0.0]
+    return float(np.exp(-np.sum(positive * np.log(positive))))
+
+
+def dimension_at_energy(eigenvalues, energy: float = 0.95) -> int:
+    """Smallest number of leading eigenvalues covering ``energy`` variance.
+
+    Eigenvalues need not be pre-sorted; they are sorted descending here.
+    """
+    if not 0.0 < energy <= 1.0:
+        raise ValueError(f"energy must lie in (0, 1], got {energy}")
+    values = np.sort(_validate_spectrum(eigenvalues))[::-1]
+    cumulative = np.cumsum(values) / values.sum()
+    return int(np.searchsorted(cumulative, energy - 1e-12) + 1)
+
+
+def correlation_dimension(
+    features,
+    n_radii: int = 10,
+    seed: int = 0,
+    max_points: int = 500,
+) -> float:
+    """Grassberger–Procaccia correlation-dimension estimate.
+
+    Counts point pairs within radius ``r`` for a geometric ladder of
+    radii and fits the log–log slope of the correlation integral.  The
+    slope approximates the intrinsic dimensionality of the support.
+
+    Args:
+        features: ``(n, d)`` data matrix.
+        n_radii: radii on the ladder (between the 5th and 50th distance
+            percentiles, where the scaling regime usually lives).
+        seed: subsampling seed when the dataset exceeds ``max_points``.
+        max_points: cap on points used (pair counting is quadratic).
+    """
+    data = np.asarray(features, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] < 10:
+        raise ValueError("need a 2-d matrix with at least 10 rows")
+    if n_radii < 2:
+        raise ValueError("need at least two radii for a slope")
+
+    if data.shape[0] > max_points:
+        rng = np.random.default_rng(seed)
+        data = data[rng.choice(data.shape[0], size=max_points, replace=False)]
+
+    squared = squared_euclidean_matrix(data)
+    n = squared.shape[0]
+    upper = squared[np.triu_indices(n, k=1)]
+    distances = np.sqrt(upper[upper > 0.0])
+    if distances.size < n_radii:
+        raise ValueError("too many duplicate points to estimate a dimension")
+
+    low = float(np.percentile(distances, 5))
+    high = float(np.percentile(distances, 50))
+    if low <= 0.0 or high <= low:
+        raise ValueError("degenerate distance distribution")
+    radii = np.geomspace(low, high, n_radii)
+
+    counts = np.asarray(
+        [np.mean(distances <= r) for r in radii], dtype=np.float64
+    )
+    if np.any(counts == 0.0):
+        keep = counts > 0.0
+        radii, counts = radii[keep], counts[keep]
+        if radii.size < 2:
+            raise ValueError("correlation integral is empty at these radii")
+
+    slope, _ = np.polyfit(np.log(radii), np.log(counts), deg=1)
+    return float(slope)

@@ -1,0 +1,137 @@
+"""Tests for the baseline reducers (random projection and SVD)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_projection import RandomProjectionReducer
+from repro.baselines.svd_reduction import SVDReducer
+from repro.core.reducer import CoherenceReducer
+
+
+class TestRandomProjectionReducer:
+    def test_output_shape(self, rng):
+        data = rng.normal(size=(50, 20))
+        reduced = RandomProjectionReducer(n_components=5, seed=0).fit_transform(data)
+        assert reduced.shape == (50, 5)
+
+    def test_deterministic_given_seed(self, rng):
+        data = rng.normal(size=(30, 10))
+        a = RandomProjectionReducer(4, seed=7).fit_transform(data)
+        b = RandomProjectionReducer(4, seed=7).fit_transform(data)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, rng):
+        data = rng.normal(size=(30, 10))
+        a = RandomProjectionReducer(4, seed=1).fit_transform(data)
+        b = RandomProjectionReducer(4, seed=2).fit_transform(data)
+        assert not np.allclose(a, b)
+
+    def test_jl_distance_preservation(self, rng):
+        # With a healthy component budget, pairwise distances survive
+        # within a modest distortion — the JL guarantee, loosely checked.
+        data = rng.normal(size=(40, 200))
+        reduced = RandomProjectionReducer(n_components=100, seed=0).fit_transform(data)
+        original = np.linalg.norm(data[0] - data[1])
+        projected = np.linalg.norm(reduced[0] - reduced[1])
+        assert abs(projected - original) / original < 0.5
+
+    def test_sparse_kind(self, rng):
+        data = rng.normal(size=(30, 12))
+        reducer = RandomProjectionReducer(4, kind="sparse", seed=0).fit(data)
+        values = np.unique(np.abs(reducer.components_))
+        # Achlioptas entries are 0 or ±sqrt(3/k).
+        assert set(np.round(values, 10)) <= {0.0, round(np.sqrt(3 / 4), 10)}
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RandomProjectionReducer(2).transform(np.zeros((3, 5)))
+
+    def test_rejects_too_many_components(self, rng):
+        with pytest.raises(ValueError, match="exceeds"):
+            RandomProjectionReducer(11).fit(rng.normal(size=(5, 10)))
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            RandomProjectionReducer(2, kind="hash")
+
+    def test_transform_single_vector(self, rng):
+        data = rng.normal(size=(20, 6))
+        reducer = RandomProjectionReducer(3, seed=0).fit(data)
+        assert reducer.transform(data[0]).shape == (3,)
+
+
+class TestSVDReducer:
+    def test_centered_matches_pca(self, rng):
+        # Centered SVD truncation == eigenvalue-ordered PCA, up to signs.
+        data = rng.normal(size=(60, 8)) @ np.diag(np.arange(8, 0, -1.0))
+        svd_reduced = SVDReducer(n_components=3).fit_transform(data)
+        pca_reduced = CoherenceReducer(
+            n_components=3, ordering="eigenvalue"
+        ).fit_transform(data)
+        # Compare pairwise distances (invariant to the sign ambiguity).
+        from repro.distances.metrics import squared_euclidean_matrix
+
+        assert np.allclose(
+            squared_euclidean_matrix(svd_reduced),
+            squared_euclidean_matrix(pca_reduced),
+            atol=1e-8,
+        )
+
+    def test_uncentered_mode(self, rng):
+        data = np.abs(rng.normal(size=(20, 6))) + 5.0
+        reducer = SVDReducer(n_components=2, center=False).fit(data)
+        assert np.allclose(reducer.mean_, 0.0)
+
+    def test_power_method_agrees_with_exact(self, rng):
+        data = rng.normal(size=(50, 10)) @ np.diag(np.linspace(4, 0.2, 10))
+        exact = SVDReducer(n_components=3, method="exact").fit(data)
+        power = SVDReducer(n_components=3, method="power").fit(data)
+        assert np.allclose(
+            exact.svd_.singular_values, power.svd_.singular_values, rtol=1e-6
+        )
+
+    def test_explained_energy_monotone_in_k(self, rng):
+        data = rng.normal(size=(40, 8))
+        small = SVDReducer(n_components=2).fit(data)
+        large = SVDReducer(n_components=6).fit(data)
+        assert large.explained_energy() >= small.explained_energy()
+        assert 0.0 <= small.explained_energy() <= 1.0
+
+    def test_transform_new_rows(self, rng):
+        data = rng.normal(size=(30, 5))
+        reducer = SVDReducer(n_components=2).fit(data)
+        out = reducer.transform(data[:4] + 0.1)
+        assert out.shape == (4, 2)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            SVDReducer(2).transform(np.zeros((3, 5)))
+
+    def test_rejects_excess_components(self, rng):
+        with pytest.raises(ValueError, match="exceeds"):
+            SVDReducer(6).fit(rng.normal(size=(4, 10)))
+
+    def test_rejects_bad_method(self):
+        with pytest.raises(ValueError, match="method"):
+            SVDReducer(2, method="qr")
+
+
+class TestBaselineQualityOrdering:
+    def test_coherence_beats_baselines_on_noisy_data(self):
+        # The comparison the benches run, in miniature: on corrupted data
+        # the coherence reducer beats both baselines at equal budget.
+        from repro.datasets.uci_like import noisy_dataset_a
+        from repro.evaluation.feature_stripping import feature_stripping_accuracy
+
+        noisy = noisy_dataset_a(seed=0)
+        budget = 4
+        scores = {}
+        for name, reducer in (
+            ("coherence", CoherenceReducer(n_components=budget, ordering="coherence")),
+            ("svd", SVDReducer(n_components=budget)),
+            ("random", RandomProjectionReducer(n_components=budget, seed=0)),
+        ):
+            reduced = reducer.fit_transform(noisy.features)
+            scores[name] = feature_stripping_accuracy(reduced, noisy.labels)
+        assert scores["coherence"] > scores["svd"] + 0.1
+        assert scores["coherence"] > scores["random"] + 0.1

@@ -1,0 +1,82 @@
+"""Tests for the k-means substrate."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import kmeans
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, rng):
+        centers = np.array([[0.0, 0.0], [20.0, 20.0], [-20.0, 20.0]])
+        labels = rng.integers(0, 3, size=300)
+        data = centers[labels] + rng.normal(size=(300, 2))
+        result = kmeans(data, n_clusters=3, seed=0)
+        # Each found cluster maps to one true blob.
+        for c in range(3):
+            members = labels[result.labels == c]
+            assert members.size > 0
+            purity = np.bincount(members).max() / members.size
+            assert purity > 0.95
+
+    def test_centers_are_member_means(self, rng):
+        data = rng.normal(size=(100, 4))
+        result = kmeans(data, n_clusters=4, seed=1)
+        for c in range(4):
+            members = data[result.labels == c]
+            assert members.shape[0] > 0
+            assert np.allclose(result.centers[c], members.mean(axis=0))
+
+    def test_inertia_matches_definition(self, rng):
+        data = rng.normal(size=(60, 3))
+        result = kmeans(data, n_clusters=3, seed=0)
+        direct = sum(
+            float(np.sum(np.square(row - result.centers[label])))
+            for row, label in zip(data, result.labels)
+        )
+        assert result.inertia == pytest.approx(direct)
+
+    def test_more_clusters_never_worse_inertia(self, rng):
+        data = rng.normal(size=(120, 3))
+        small = kmeans(data, n_clusters=2, seed=0)
+        large = kmeans(data, n_clusters=10, seed=0)
+        assert large.inertia <= small.inertia + 1e-9
+
+    def test_deterministic(self, rng):
+        data = rng.normal(size=(80, 2))
+        a = kmeans(data, n_clusters=3, seed=5)
+        b = kmeans(data, n_clusters=3, seed=5)
+        assert np.array_equal(a.labels, b.labels)
+        assert np.array_equal(a.centers, b.centers)
+
+    def test_k_equals_n(self, rng):
+        data = rng.normal(size=(7, 2))
+        result = kmeans(data, n_clusters=7, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+        assert sorted(result.labels.tolist()) == list(range(7))
+
+    def test_single_cluster(self, rng):
+        data = rng.normal(size=(30, 3))
+        result = kmeans(data, n_clusters=1, seed=0)
+        assert np.all(result.labels == 0)
+        assert np.allclose(result.centers[0], data.mean(axis=0))
+
+    def test_duplicate_points(self):
+        data = np.ones((20, 2))
+        result = kmeans(data, n_clusters=3, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_no_empty_clusters(self, rng):
+        data = rng.normal(size=(50, 2))
+        result = kmeans(data, n_clusters=8, seed=2)
+        assert set(result.labels.tolist()) == set(range(8))
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(rng.normal(size=(5, 2)), n_clusters=6)
+        with pytest.raises(ValueError):
+            kmeans(rng.normal(size=(5, 2)), n_clusters=0)
+        with pytest.raises(ValueError):
+            kmeans([[np.nan, 0.0]], n_clusters=1)
+        with pytest.raises(ValueError, match="2-d"):
+            kmeans(np.ones(5), n_clusters=1)

@@ -1,0 +1,122 @@
+"""Tests for ORCLUS-style generalized projected clustering."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.orclus import OrclusClustering
+
+
+def _oriented_clusters(rng, n_per=80, d=10, spread_dims=3):
+    """Two clusters extended along different arbitrary subspaces."""
+    q1, _ = np.linalg.qr(rng.normal(size=(d, d)))
+    q2, _ = np.linalg.qr(rng.normal(size=(d, d)))
+    a = (
+        rng.normal(size=(n_per, spread_dims)) @ q1[:, :spread_dims].T * 5.0
+        + rng.normal(size=(n_per, d)) * 0.1
+        + 5.0
+    )
+    b = (
+        rng.normal(size=(n_per, spread_dims)) @ q2[:, :spread_dims].T * 5.0
+        + rng.normal(size=(n_per, d)) * 0.1
+        - 5.0
+    )
+    return np.vstack([a, b])
+
+
+class TestOrclusClustering:
+    def test_separates_oriented_clusters(self):
+        rng = np.random.default_rng(0)
+        data = _oriented_clusters(rng)
+        result = OrclusClustering(n_clusters=2, subspace_dims=4, seed=0).fit(data)
+        first, second = result.labels[:80], result.labels[80:]
+        majority_first = np.bincount(first).argmax()
+        majority_second = np.bincount(second).argmax()
+        assert majority_first != majority_second
+        purity = (
+            np.sum(first == majority_first) + np.sum(second == majority_second)
+        ) / 160
+        assert purity > 0.95
+
+    def test_subspaces_are_orthonormal(self):
+        rng = np.random.default_rng(1)
+        data = _oriented_clusters(rng)
+        result = OrclusClustering(n_clusters=2, subspace_dims=4, seed=0).fit(data)
+        for basis in result.subspaces:
+            assert basis.shape == (10, 4)
+            assert np.allclose(basis.T @ basis, np.eye(4), atol=1e-9)
+
+    def test_subspaces_are_tight_directions(self):
+        # Members projected onto their cluster's subspace have *small*
+        # variance (the subspace holds the tightest directions).
+        rng = np.random.default_rng(2)
+        data = _oriented_clusters(rng)
+        result = OrclusClustering(n_clusters=2, subspace_dims=4, seed=0).fit(data)
+        for c in range(2):
+            members = data[result.labels == c]
+            centered = members - members.mean(axis=0)
+            inside = np.var(centered @ result.subspaces[c])
+            total = np.var(centered)
+            assert inside < total * 0.2
+
+    def test_merge_schedule_ran(self):
+        rng = np.random.default_rng(3)
+        data = _oriented_clusters(rng)
+        result = OrclusClustering(
+            n_clusters=2, subspace_dims=3, initial_factor=3, seed=0
+        ).fit(data)
+        assert result.n_merges == 4  # 6 seeds merged down to 2
+        assert result.n_clusters == 2
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(4)
+        data = _oriented_clusters(rng, n_per=40)
+        a = OrclusClustering(n_clusters=2, subspace_dims=3, seed=7).fit(data)
+        b = OrclusClustering(n_clusters=2, subspace_dims=3, seed=7).fit(data)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_single_cluster(self, rng):
+        data = rng.normal(size=(50, 6))
+        result = OrclusClustering(n_clusters=1, subspace_dims=2, seed=0).fit(data)
+        assert np.all(result.labels == 0)
+        assert result.subspaces[0].shape == (6, 2)
+
+    def test_labels_cover_all_points(self, rng):
+        data = rng.normal(size=(60, 5))
+        result = OrclusClustering(n_clusters=3, subspace_dims=2, seed=1).fit(data)
+        assert result.labels.shape == (60,)
+        assert set(result.labels.tolist()) <= {0, 1, 2}
+
+    def test_rejects_bad_parameters(self, rng):
+        with pytest.raises(ValueError):
+            OrclusClustering(n_clusters=0, subspace_dims=1)
+        with pytest.raises(ValueError):
+            OrclusClustering(n_clusters=1, subspace_dims=0)
+        with pytest.raises(ValueError, match="exceeds"):
+            OrclusClustering(n_clusters=2, subspace_dims=9).fit(
+                rng.normal(size=(30, 4))
+            )
+        with pytest.raises(ValueError, match="points"):
+            OrclusClustering(
+                n_clusters=5, subspace_dims=1, initial_factor=1
+            ).fit(rng.normal(size=(3, 4)))
+
+    def test_beats_axis_parallel_on_oriented_data(self):
+        # The reason ORCLUS exists: PROCLUS's axis-parallel subspaces
+        # cannot describe arbitrarily oriented clusters.
+        from repro.clustering.projected import ProjectedClustering
+
+        rng = np.random.default_rng(5)
+        data = _oriented_clusters(rng)
+        truth = np.array([0] * 80 + [1] * 80)
+
+        def purity(labels):
+            total = 0
+            for c in np.unique(labels):
+                members = truth[labels == c]
+                if members.size:
+                    total += np.bincount(members).max()
+            return total / truth.size
+
+        orclus = OrclusClustering(n_clusters=2, subspace_dims=4, seed=0).fit(data)
+        proclus = ProjectedClustering(n_clusters=2, n_dims=4, seed=0).fit(data)
+        assert purity(orclus.labels) >= purity(proclus.labels)

@@ -1,0 +1,112 @@
+"""Tests for the projected-clustering extension (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.projected import (
+    ProjectedClustering,
+    per_cluster_reduction,
+)
+
+
+def _subspace_clusters(rng, n_per_cluster=60, d=12):
+    """Two clusters, each tight in a different 3-dim subspace."""
+    a = rng.normal(size=(n_per_cluster, d)) * 4.0
+    a[:, :3] = rng.normal(size=(n_per_cluster, 3)) * 0.1 + 10.0
+    b = rng.normal(size=(n_per_cluster, d)) * 4.0
+    b[:, 6:9] = rng.normal(size=(n_per_cluster, 3)) * 0.1 - 10.0
+    return np.vstack([a, b])
+
+
+class TestProjectedClustering:
+    def test_recovers_subspace_clusters(self):
+        rng = np.random.default_rng(0)
+        data = _subspace_clusters(rng)
+        result = ProjectedClustering(n_clusters=2, n_dims=3, seed=0).fit(data)
+        labels = result.labels
+        first_half, second_half = labels[:60], labels[60:]
+        # Each planted cluster maps (almost entirely) to one label.
+        majority_first = np.bincount(first_half).argmax()
+        majority_second = np.bincount(second_half).argmax()
+        assert majority_first != majority_second
+        purity = (
+            np.sum(first_half == majority_first)
+            + np.sum(second_half == majority_second)
+        ) / 120
+        assert purity > 0.9
+
+    def test_finds_the_planted_subspaces(self):
+        rng = np.random.default_rng(0)
+        data = _subspace_clusters(rng)
+        result = ProjectedClustering(n_clusters=2, n_dims=3, seed=0).fit(data)
+        found = {tuple(dims) for dims in result.cluster_dims}
+        assert (0, 1, 2) in found
+        assert (6, 7, 8) in found
+
+    def test_labels_cover_all_points(self, rng):
+        data = rng.normal(size=(50, 6))
+        result = ProjectedClustering(n_clusters=3, n_dims=2, seed=1).fit(data)
+        assert result.labels.shape == (50,)
+        assert set(result.labels.tolist()) <= {0, 1, 2}
+
+    def test_no_empty_clusters(self, rng):
+        data = rng.normal(size=(40, 5))
+        result = ProjectedClustering(n_clusters=4, n_dims=2, seed=2).fit(data)
+        for c in range(4):
+            assert np.sum(result.labels == c) >= 1
+
+    def test_medoids_are_members(self, rng):
+        data = rng.normal(size=(40, 5))
+        result = ProjectedClustering(n_clusters=3, n_dims=2, seed=0).fit(data)
+        for c in range(3):
+            medoid = result.medoid_indices[c]
+            assert result.labels[medoid] == c
+
+    def test_deterministic(self, rng):
+        data = rng.normal(size=(60, 8))
+        a = ProjectedClustering(n_clusters=2, n_dims=3, seed=5).fit(data)
+        b = ProjectedClustering(n_clusters=2, n_dims=3, seed=5).fit(data)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_single_cluster(self, rng):
+        data = rng.normal(size=(30, 4))
+        result = ProjectedClustering(n_clusters=1, n_dims=2, seed=0).fit(data)
+        assert np.all(result.labels == 0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ProjectedClustering(n_clusters=0, n_dims=1)
+        with pytest.raises(ValueError):
+            ProjectedClustering(n_clusters=1, n_dims=0)
+        with pytest.raises(ValueError):
+            ProjectedClustering(n_clusters=1, n_dims=1, max_iterations=0)
+
+    def test_rejects_more_clusters_than_points(self, rng):
+        with pytest.raises(ValueError, match="points"):
+            ProjectedClustering(n_clusters=10, n_dims=1).fit(rng.normal(size=(5, 3)))
+
+    def test_rejects_subspace_larger_than_data(self, rng):
+        with pytest.raises(ValueError, match="n_dims"):
+            ProjectedClustering(n_clusters=2, n_dims=9).fit(rng.normal(size=(20, 4)))
+
+
+class TestPerClusterReduction:
+    def test_fits_one_reducer_per_cluster(self):
+        rng = np.random.default_rng(0)
+        data = _subspace_clusters(rng)
+        clustering = ProjectedClustering(n_clusters=2, n_dims=3, seed=0).fit(data)
+        results = per_cluster_reduction(data, clustering, n_components=2)
+        assert len(results) == 2
+        covered = np.concatenate([members for members, _ in results])
+        assert sorted(covered.tolist()) == list(range(120))
+        for members, reducer in results:
+            assert reducer.n_selected == 2
+            reduced = reducer.transform(data[members])
+            assert reduced.shape == (members.size, 2)
+
+    def test_budget_clamped_to_cluster_support(self, rng):
+        data = rng.normal(size=(30, 4))
+        clustering = ProjectedClustering(n_clusters=2, n_dims=2, seed=0).fit(data)
+        results = per_cluster_reduction(data, clustering, n_components=10)
+        for _, reducer in results:
+            assert reducer.n_selected <= 4

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, ionosphere_like, latent_concept_dataset
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> Dataset:
+    """A small, fast latent-concept dataset for integration-ish tests."""
+    return latent_concept_dataset(
+        n_samples=120,
+        n_dims=20,
+        n_concepts=4,
+        n_classes=2,
+        clusters_per_class=2,
+        class_separation=6.0,
+        concept_std=1.0,
+        noise_std=1.0,
+        seed=42,
+        name="small",
+    )
+
+
+@pytest.fixture(scope="session")
+def ionosphere() -> Dataset:
+    """The ionosphere-like preset (session-cached: generation is cheap but
+    the dataset is used by many tests)."""
+    return ionosphere_like(seed=0)
+
+
+@pytest.fixture(scope="session")
+def random_points(rng) -> np.ndarray:
+    """A generic unlabeled point cloud for index and metric tests."""
+    return rng.normal(size=(200, 5))

@@ -1,0 +1,69 @@
+"""Tests for the automatic (largest-gap) cut-off heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.core.reducer import CoherenceReducer
+from repro.core.selection import select_automatic
+
+
+class TestSelectAutomatic:
+    def test_cuts_at_the_gap(self):
+        cp = np.array([0.95, 0.93, 0.92, 0.55, 0.52, 0.50])
+        assert list(select_automatic(cp)) == [0, 1, 2]
+
+    def test_flat_spectrum_keeps_everything(self):
+        cp = np.full(10, 0.68) + np.linspace(0, 0.02, 10)
+        assert select_automatic(cp).size == 10
+
+    def test_single_component(self):
+        assert list(select_automatic(np.array([0.8]))) == [0]
+
+    def test_gap_position_respects_coherence_order(self):
+        # Concepts hidden at the array's end must still be selected.
+        cp = np.array([0.5, 0.52, 0.95, 0.94])
+        selected = select_automatic(cp)
+        assert set(selected.tolist()) == {2, 3}
+
+    def test_tie_break_forwarded(self):
+        cp = np.array([0.9, 0.9, 0.4])
+        eigenvalues = np.array([1.0, 5.0, 2.0])
+        selected = select_automatic(cp, tie_break=eigenvalues)
+        assert list(selected) == [1, 0]
+
+    def test_custom_flat_gap(self):
+        cp = np.array([0.8, 0.72, 0.7])
+        # Largest gap 0.08: flat under a 0.1 threshold, real under 0.05.
+        assert select_automatic(cp, flat_gap=0.1).size == 3
+        assert select_automatic(cp, flat_gap=0.05).size == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            select_automatic(np.array([]))
+        with pytest.raises(ValueError, match="flat_gap"):
+            select_automatic(np.array([0.5, 0.4]), flat_gap=0.0)
+
+
+class TestAutomaticReducer:
+    def test_recovers_planted_noise_structure(self):
+        from repro.datasets.uci_like import noisy_dataset_b
+
+        noisy = noisy_dataset_b(seed=0)
+        reducer = CoherenceReducer(ordering="automatic").fit(noisy.features)
+        n_noise = len(noisy.metadata["corrupted_dims"])
+        # The automatic cut keeps the concepts, not the planted noise.
+        assert not set(reducer.selected_.tolist()) & set(range(n_noise))
+        assert reducer.n_selected <= 15
+
+    def test_refuses_to_reduce_uniform_data(self):
+        from repro.datasets.synthetic import uniform_cube
+
+        data = uniform_cube(400, 20, seed=0)
+        reducer = CoherenceReducer(ordering="automatic").fit(data.features)
+        assert reducer.n_selected == 20
+
+    def test_incompatible_with_explicit_budget(self):
+        with pytest.raises(ValueError, match="automatic"):
+            CoherenceReducer(ordering="automatic", n_components=5)
+        with pytest.raises(ValueError, match="automatic"):
+            CoherenceReducer(ordering="automatic", threshold=0.01)

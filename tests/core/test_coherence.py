@@ -1,0 +1,245 @@
+"""Tests for repro.core.coherence — the paper's central model."""
+
+import numpy as np
+import pytest
+
+from repro.core.coherence import (
+    UNIFORM_BASELINE_CP,
+    analyze_coherence,
+    coherence_factors,
+    coherence_probabilities,
+    contribution_vector,
+    dataset_coherence,
+)
+from repro.linalg.pca import fit_pca
+from repro.stats.hypothesis_test import null_contribution_test
+from repro.stats.normal import symmetric_mass
+
+
+class TestContributionVector:
+    def test_elementwise_product(self):
+        result = contribution_vector([1.0, 2.0, 3.0], [0.5, 0.0, -1.0])
+        assert np.allclose(result, [0.5, 0.0, -3.0])
+
+    def test_sums_to_projection(self, rng):
+        # Equation 1: X . e = sum of the contributions.
+        x = rng.normal(size=10)
+        e = rng.normal(size=10)
+        assert np.sum(contribution_vector(x, e)) == pytest.approx(float(x @ e))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="equal shapes"):
+            contribution_vector([1.0], [1.0, 2.0])
+
+
+class TestCoherenceFactors:
+    def test_single_axis_contribution_is_one(self):
+        # The Section 3 closed form: one active dimension gives CF = 1.
+        features = np.array([[3.0, 0.0, 0.0], [-1.5, 0.0, 0.0]])
+        basis = np.eye(3)[:, :1]
+        factors = coherence_factors(features, basis)
+        assert np.allclose(factors, 1.0)
+
+    def test_perfect_agreement_reaches_sqrt_d(self):
+        d = 9
+        features = np.full((1, d), 2.0)
+        basis = np.full((d, 1), 1.0 / np.sqrt(d))
+        factors = coherence_factors(features, basis)
+        assert factors[0, 0] == pytest.approx(np.sqrt(d))
+
+    def test_cauchy_schwarz_upper_bound(self, rng):
+        features = rng.normal(size=(40, 12))
+        basis = np.linalg.qr(rng.normal(size=(12, 12)))[0]
+        factors = coherence_factors(features, basis)
+        assert np.all(factors <= np.sqrt(12) + 1e-9)
+        assert np.all(factors >= 0.0)
+
+    def test_zero_point_scores_zero(self):
+        features = np.zeros((1, 4))
+        factors = coherence_factors(features, np.eye(4))
+        assert np.all(factors == 0.0)
+
+    def test_matches_reference_implementation(self, rng):
+        # The vectorized computation against the per-point Hypothesis 2.1
+        # test in repro.stats.
+        features = rng.normal(size=(15, 8))
+        basis = np.linalg.qr(rng.normal(size=(8, 3)))[0]
+        factors = coherence_factors(features, basis)
+        for i in range(15):
+            for j in range(3):
+                reference = null_contribution_test(
+                    contribution_vector(features[i], basis[:, j])
+                )
+                assert factors[i, j] == pytest.approx(
+                    reference.coherence_factor, abs=1e-10
+                )
+
+    def test_eigenvector_sign_invariance(self, rng):
+        features = rng.normal(size=(10, 5))
+        e = rng.normal(size=(5, 1))
+        assert np.allclose(
+            coherence_factors(features, e), coherence_factors(features, -e)
+        )
+
+    def test_eigenvector_scaling_invariance(self, rng):
+        features = rng.normal(size=(10, 5))
+        e = rng.normal(size=(5, 1))
+        assert np.allclose(
+            coherence_factors(features, e),
+            coherence_factors(features, 10.0 * e),
+        )
+
+    def test_joint_permutation_invariance(self, rng):
+        features = rng.normal(size=(10, 6))
+        e = rng.normal(size=(6, 1))
+        perm = rng.permutation(6)
+        assert np.allclose(
+            coherence_factors(features, e),
+            coherence_factors(features[:, perm], e[perm]),
+        )
+
+    def test_point_scaling_invariance(self, rng):
+        features = rng.normal(size=(10, 5))
+        e = rng.normal(size=(5, 2))
+        assert np.allclose(
+            coherence_factors(features, e),
+            coherence_factors(features * 7.0, e),
+        )
+
+    def test_rejects_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="rows"):
+            coherence_factors(rng.normal(size=(5, 4)), np.eye(3))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            coherence_factors(np.array([[np.nan, 0.0]]), np.eye(2))
+
+
+class TestCoherenceProbabilities:
+    def test_transforms_factors_through_normal_mass(self, rng):
+        features = rng.normal(size=(8, 6))
+        basis = np.eye(6)
+        factors = coherence_factors(features, basis)
+        probabilities = coherence_probabilities(features, basis)
+        assert np.allclose(probabilities, symmetric_mass(factors))
+
+    def test_range(self, rng):
+        features = rng.normal(size=(20, 7))
+        probabilities = coherence_probabilities(features, np.eye(7))
+        assert np.all(probabilities >= 0.0)
+        assert np.all(probabilities <= 1.0)
+
+
+class TestDatasetCoherence:
+    def test_averages_over_points(self, rng):
+        features = rng.normal(size=(12, 5))
+        basis = np.eye(5)
+        per_point = coherence_probabilities(features, basis)
+        assert np.allclose(
+            dataset_coherence(features, basis), per_point.mean(axis=0)
+        )
+
+    def test_uniform_axis_baseline_is_exact(self, rng):
+        # Equation 5: centered uniform data scores exactly 2 Phi(1) - 1
+        # along raw axes, for every point with a nonzero coordinate.
+        features = rng.uniform(-0.5, 0.5, size=(500, 20))
+        features -= features.mean(axis=0)
+        values = dataset_coherence(features, np.eye(20))
+        assert np.allclose(values, UNIFORM_BASELINE_CP, atol=1e-12)
+
+    def test_correlated_block_scores_above_baseline(self, rng):
+        # A direction along which many dimensions agree must clear 0.68.
+        z = rng.normal(size=(300, 1))
+        features = z @ np.ones((1, 16)) + 0.3 * rng.normal(size=(300, 16))
+        features -= features.mean(axis=0)
+        direction = np.full((16, 1), 1.0 / 4.0)
+        value = dataset_coherence(features, direction)[0]
+        assert value > 0.9
+
+
+class TestUniformBaselineConstant:
+    def test_value(self):
+        assert UNIFORM_BASELINE_CP == pytest.approx(0.6826894921370859)
+
+
+class TestAnalyzeCoherence:
+    def test_alignment_with_eigenvalues(self, small_dataset):
+        pca = fit_pca(small_dataset.features, scale=True)
+        analysis = analyze_coherence(pca, small_dataset.features)
+        assert analysis.n_components == pca.working_dimensionality
+        assert np.array_equal(
+            analysis.eigenvalues, pca.decomposition.eigenvalues
+        )
+        assert analysis.scaled is True
+
+    def test_scatter_points_pairs(self, small_dataset):
+        pca = fit_pca(small_dataset.features)
+        analysis = analyze_coherence(pca, small_dataset.features)
+        points = analysis.scatter_points()
+        assert len(points) == analysis.n_components
+        cp, ev = points[0]
+        assert cp == pytest.approx(float(analysis.coherence_probabilities[0]))
+        assert ev == pytest.approx(float(analysis.eigenvalues[0]))
+
+    def test_concepts_beat_noise_tail(self, small_dataset):
+        # 4 planted concepts: their eigenvectors must outscore the tail.
+        pca = fit_pca(small_dataset.features, scale=True)
+        analysis = analyze_coherence(pca, small_dataset.features)
+        cp = analysis.coherence_probabilities
+        assert cp[:4].min() > cp[4:].max()
+
+    def test_rank_correlation_high_on_clean_data(self, small_dataset):
+        pca = fit_pca(small_dataset.features, scale=True)
+        analysis = analyze_coherence(pca, small_dataset.features)
+        assert analysis.rank_correlation() > 0.5
+
+    def test_rank_correlation_perfect_on_sorted(self):
+        from repro.core.coherence import CoherenceAnalysis
+
+        analysis = CoherenceAnalysis(
+            eigenvalues=np.array([3.0, 2.0, 1.0]),
+            coherence_probabilities=np.array([0.9, 0.8, 0.7]),
+            mean_coherence_factors=np.array([3.0, 2.0, 1.0]),
+            scaled=False,
+        )
+        assert analysis.rank_correlation() == pytest.approx(1.0)
+
+    def test_rank_correlation_perfect_negative(self):
+        from repro.core.coherence import CoherenceAnalysis
+
+        analysis = CoherenceAnalysis(
+            eigenvalues=np.array([3.0, 2.0, 1.0]),
+            coherence_probabilities=np.array([0.1, 0.5, 0.9]),
+            mean_coherence_factors=np.zeros(3),
+            scaled=False,
+        )
+        assert analysis.rank_correlation() == pytest.approx(-1.0)
+
+    def test_rank_correlation_needs_two(self):
+        from repro.core.coherence import CoherenceAnalysis
+
+        analysis = CoherenceAnalysis(
+            eigenvalues=np.array([1.0]),
+            coherence_probabilities=np.array([0.5]),
+            mean_coherence_factors=np.array([1.0]),
+            scaled=False,
+        )
+        with pytest.raises(ValueError):
+            analysis.rank_correlation()
+
+    def test_scaling_raises_coherence(self, rng):
+        # Section 2.2: wildly varying scales depress the coherence
+        # probability; studentization lifts it.
+        from repro.datasets.synthetic import latent_concept_dataset
+
+        data = latent_concept_dataset(
+            200, 24, 3, noise_std=0.5, scale_spread=2.0, seed=5
+        )
+        raw = analyze_coherence(fit_pca(data.features), data.features)
+        scaled = analyze_coherence(
+            fit_pca(data.features, scale=True), data.features
+        )
+        assert (
+            scaled.coherence_probabilities[:3].mean()
+            > raw.coherence_probabilities[:3].mean()
+        )

@@ -1,0 +1,73 @@
+"""Tests for repro.core.diagnosis — the reducibility verdict."""
+
+import numpy as np
+import pytest
+
+from repro.core.coherence import UNIFORM_BASELINE_CP
+from repro.core.diagnosis import diagnose_reducibility
+from repro.datasets.synthetic import latent_concept_dataset, uniform_cube
+
+
+class TestDiagnoseReducibility:
+    def test_concept_data_is_reducible(self):
+        data = latent_concept_dataset(250, 24, 3, noise_std=0.8, seed=0)
+        diagnosis = diagnose_reducibility(data.features)
+        assert diagnosis.verdict == "reducible"
+        assert diagnosis.n_concepts >= 1
+        assert diagnosis.n_concepts < diagnosis.n_components
+
+    def test_uniform_data_is_noisy(self):
+        data = uniform_cube(500, 25, seed=0)
+        diagnosis = diagnose_reducibility(data.features)
+        assert diagnosis.verdict == "noisy"
+        assert diagnosis.n_concepts == 0
+
+    def test_gaussian_noise_is_noisy(self, rng):
+        diagnosis = diagnose_reducibility(rng.normal(size=(400, 20)))
+        assert diagnosis.verdict == "noisy"
+
+    def test_baseline_constant(self):
+        data = uniform_cube(100, 5, seed=1)
+        diagnosis = diagnose_reducibility(data.features)
+        assert diagnosis.baseline == pytest.approx(UNIFORM_BASELINE_CP)
+
+    def test_concept_indices_align_with_spectrum(self):
+        data = latent_concept_dataset(250, 24, 3, noise_std=0.8, seed=0)
+        diagnosis = diagnose_reducibility(data.features)
+        for i in diagnosis.concept_indices:
+            assert (
+                diagnosis.coherence_probabilities[i]
+                >= diagnosis.concept_threshold
+            )
+        assert diagnosis.concept_indices.size == diagnosis.n_concepts
+
+    def test_spread_larger_for_structured_data(self):
+        structured = latent_concept_dataset(250, 24, 3, noise_std=0.8, seed=0)
+        noise = uniform_cube(250, 24, seed=0)
+        a = diagnose_reducibility(structured.features)
+        b = diagnose_reducibility(noise.features)
+        assert a.cp_spread > b.cp_spread
+
+    def test_summary_mentions_verdict(self):
+        data = uniform_cube(100, 8, seed=0)
+        summary = diagnose_reducibility(data.features).summary()
+        assert "noisy" in summary
+        assert "0/8" in summary
+
+    def test_unscaled_diagnosis_runs(self):
+        data = latent_concept_dataset(200, 15, 3, seed=0)
+        diagnosis = diagnose_reducibility(data.features, scale=False)
+        assert diagnosis.n_components == 15
+
+    def test_rejects_bad_margin(self):
+        data = uniform_cube(50, 4, seed=0)
+        with pytest.raises(ValueError, match="margin"):
+            diagnose_reducibility(data.features, concept_margin=0.0)
+        with pytest.raises(ValueError, match="margin"):
+            diagnose_reducibility(data.features, concept_margin=0.9)
+
+    def test_custom_margin_changes_concept_count(self):
+        data = latent_concept_dataset(250, 24, 3, noise_std=0.8, seed=0)
+        loose = diagnose_reducibility(data.features, concept_margin=0.01)
+        strict = diagnose_reducibility(data.features, concept_margin=0.3)
+        assert loose.n_concepts >= strict.n_concepts

@@ -1,0 +1,188 @@
+"""Tests for repro.core.reducer.CoherenceReducer."""
+
+import numpy as np
+import pytest
+
+from repro.core.reducer import CoherenceReducer
+from repro.datasets.synthetic import latent_concept_dataset
+
+
+class TestConstruction:
+    def test_rejects_unknown_ordering(self):
+        with pytest.raises(ValueError, match="ordering"):
+            CoherenceReducer(ordering="variance")
+
+    def test_rejects_multiple_budgets(self):
+        with pytest.raises(ValueError, match="at most one"):
+            CoherenceReducer(n_components=3, threshold=0.1)
+        with pytest.raises(ValueError, match="at most one"):
+            CoherenceReducer(energy=0.9, threshold=0.1)
+
+    def test_rejects_nonpositive_components(self):
+        with pytest.raises(ValueError, match="positive"):
+            CoherenceReducer(n_components=0)
+
+
+class TestFitTransform:
+    def test_output_shape(self, small_dataset):
+        reducer = CoherenceReducer(n_components=3)
+        reduced = reducer.fit_transform(small_dataset.features)
+        assert reduced.shape == (small_dataset.n_samples, 3)
+        assert reducer.n_selected == 3
+
+    def test_transform_before_fit_raises(self, small_dataset):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            CoherenceReducer(n_components=2).transform(small_dataset.features)
+
+    def test_fit_transform_equals_fit_then_transform(self, small_dataset):
+        a = CoherenceReducer(n_components=3).fit_transform(small_dataset.features)
+        reducer = CoherenceReducer(n_components=3).fit(small_dataset.features)
+        b = reducer.transform(small_dataset.features)
+        assert np.allclose(a, b)
+
+    def test_full_rank_is_isometry(self, small_dataset):
+        reducer = CoherenceReducer()  # keeps everything
+        reduced = reducer.fit_transform(small_dataset.features)
+        original = small_dataset.features - small_dataset.features.mean(axis=0)
+        assert np.linalg.norm(reduced[0] - reduced[1]) == pytest.approx(
+            np.linalg.norm(original[0] - original[1]), rel=1e-9
+        )
+
+    def test_eigenvalue_ordering_takes_prefix(self, small_dataset):
+        reducer = CoherenceReducer(n_components=4, ordering="eigenvalue")
+        reducer.fit(small_dataset.features)
+        assert list(reducer.selected_) == [0, 1, 2, 3]
+
+    def test_coherence_ordering_sorted_by_cp(self, small_dataset):
+        reducer = CoherenceReducer(n_components=4, ordering="coherence")
+        reducer.fit(small_dataset.features)
+        cp = reducer.analysis_.coherence_probabilities
+        selected_cp = cp[reducer.selected_]
+        assert np.all(np.diff(selected_cp) <= 1e-12)
+        assert selected_cp[0] == pytest.approx(cp.max())
+
+    def test_threshold_budget(self, small_dataset):
+        reducer = CoherenceReducer(threshold=0.01)
+        reducer.fit(small_dataset.features)
+        eigenvalues = reducer.analysis_.eigenvalues
+        cutoff = 0.01 * eigenvalues[0]
+        assert reducer.n_selected == int(np.sum(eigenvalues >= cutoff))
+
+    def test_energy_budget(self, small_dataset):
+        reducer = CoherenceReducer(energy=0.9)
+        reducer.fit(small_dataset.features)
+        assert reducer.retained_variance_fraction() >= 0.9
+
+    def test_n_components_exceeding_available_raises(self, small_dataset):
+        reducer = CoherenceReducer(n_components=small_dataset.n_dims + 1)
+        with pytest.raises(ValueError, match="exceeds"):
+            reducer.fit(small_dataset.features)
+
+    def test_scale_drops_constant_columns(self, rng):
+        features = rng.normal(size=(50, 5))
+        features[:, 2] = 1.0
+        reducer = CoherenceReducer(n_components=2, scale=True)
+        reduced = reducer.fit_transform(features)
+        assert reduced.shape == (50, 2)
+
+    def test_transform_new_points(self, small_dataset):
+        reducer = CoherenceReducer(n_components=3).fit(small_dataset.features)
+        new = reducer.transform(small_dataset.features[:5] + 0.01)
+        assert new.shape == (5, 3)
+
+    def test_jacobi_backend(self, small_dataset):
+        a = CoherenceReducer(n_components=3, eigen_method="numpy").fit(
+            small_dataset.features
+        )
+        b = CoherenceReducer(n_components=3, eigen_method="jacobi").fit(
+            small_dataset.features
+        )
+        assert np.allclose(
+            a.analysis_.eigenvalues, b.analysis_.eigenvalues, atol=1e-8
+        )
+        assert list(a.selected_) == list(b.selected_)
+
+
+class TestBehaviourOnPlantedData:
+    def test_coherence_selection_recovers_concepts_under_noise(self):
+        # Plant 3 concepts, then 2 huge-variance uncorrelated columns.
+        # Eigenvalue order picks the noise; coherence order must not.
+        rng = np.random.default_rng(0)
+        data = latent_concept_dataset(
+            300, 20, 3, noise_std=0.5, seed=1
+        ).features.copy()
+        data[:, 5] = rng.uniform(-60, 60, size=300)
+        data[:, 11] = rng.uniform(-60, 60, size=300)
+
+        eig = CoherenceReducer(n_components=3, ordering="eigenvalue").fit(data)
+        coh = CoherenceReducer(n_components=3, ordering="coherence").fit(data)
+
+        # The top-2 eigenvalues are the planted noise columns.
+        noise_axes = {5, 11}
+        top_vectors = eig.pca_.decomposition.eigenvectors[:, :2]
+        dominated = {int(np.argmax(np.abs(top_vectors[:, j]))) for j in range(2)}
+        assert dominated == noise_axes
+
+        # Coherence selection skips both noise components.
+        assert not set(coh.selected_.tolist()) & {0, 1}
+
+    def test_describe_contents(self, small_dataset):
+        reducer = CoherenceReducer(n_components=3, scale=True).fit(
+            small_dataset.features
+        )
+        info = reducer.describe()
+        assert info["n_selected"] == 3
+        assert info["scaled"] is True
+        assert 0.0 <= info["retained_variance"] <= 1.0
+        assert len(info["selected_indices"]) == 3
+
+    def test_retained_variance_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            CoherenceReducer().retained_variance_fraction()
+
+
+class TestWhitening:
+    def test_whitened_components_have_unit_variance(self, small_dataset):
+        reducer = CoherenceReducer(n_components=4, scale=True, whiten=True)
+        out = reducer.fit_transform(small_dataset.features)
+        assert np.allclose(out.var(axis=0), 1.0, atol=1e-9)
+
+    def test_whiten_rescales_plain_projection(self, small_dataset):
+        plain = CoherenceReducer(n_components=4, scale=True).fit(
+            small_dataset.features
+        )
+        whitened = CoherenceReducer(n_components=4, scale=True, whiten=True).fit(
+            small_dataset.features
+        )
+        eigenvalues = plain.analysis_.eigenvalues[plain.selected_]
+        expected = plain.transform(small_dataset.features) / np.sqrt(eigenvalues)
+        assert np.allclose(
+            whitened.transform(small_dataset.features), expected
+        )
+
+    def test_whiten_on_new_queries_uses_training_scales(self, small_dataset, rng):
+        reducer = CoherenceReducer(n_components=3, whiten=True).fit(
+            small_dataset.features
+        )
+        queries = rng.normal(size=(5, small_dataset.n_dims)) * 100.0
+        out = reducer.transform(queries)
+        # Not unit variance (different data) — but finite and consistent
+        # with the training eigenvalue scaling.
+        eigenvalues = reducer.analysis_.eigenvalues[reducer.selected_]
+        plain = reducer.pca_.transform(queries, component_indices=reducer.selected_)
+        assert np.allclose(out, plain / np.sqrt(eigenvalues))
+
+    def test_describe_reports_whitening(self, small_dataset):
+        reducer = CoherenceReducer(n_components=2, whiten=True).fit(
+            small_dataset.features
+        )
+        assert reducer.describe()["whitened"] is True
+
+    def test_zero_eigenvalue_component_left_unscaled(self, rng):
+        # Rank-deficient data: trailing eigenvalues are ~0; whitening
+        # must not divide by zero.
+        base = rng.normal(size=(40, 2))
+        features = np.hstack([base, base @ rng.normal(size=(2, 3))])
+        reducer = CoherenceReducer(whiten=True).fit(features)
+        out = reducer.transform(features)
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,132 @@
+"""Tests for repro.core.selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import (
+    select_by_coherence,
+    select_by_eigenvalue,
+    select_by_energy,
+    select_by_threshold,
+)
+
+
+EIGENVALUES = np.array([10.0, 5.0, 2.0, 1.0, 0.5, 0.05])
+
+
+class TestSelectByEigenvalue:
+    def test_prefix(self):
+        assert list(select_by_eigenvalue(EIGENVALUES, 3)) == [0, 1, 2]
+
+    def test_full(self):
+        assert list(select_by_eigenvalue(EIGENVALUES, 6)) == list(range(6))
+
+    def test_rejects_zero_k(self):
+        with pytest.raises(ValueError):
+            select_by_eigenvalue(EIGENVALUES, 0)
+
+    def test_rejects_k_beyond_size(self):
+        with pytest.raises(ValueError):
+            select_by_eigenvalue(EIGENVALUES, 7)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="descending"):
+            select_by_eigenvalue([1.0, 2.0], 1)
+
+    def test_rejects_negative_eigenvalues(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            select_by_eigenvalue([1.0, -1.0], 1)
+
+
+class TestSelectByCoherence:
+    def test_orders_by_probability(self):
+        cp = np.array([0.5, 0.9, 0.7])
+        assert list(select_by_coherence(cp, 3)) == [1, 2, 0]
+
+    def test_top_k(self):
+        cp = np.array([0.5, 0.9, 0.7, 0.95])
+        assert list(select_by_coherence(cp, 2)) == [3, 1]
+
+    def test_tie_break_by_eigenvalue(self):
+        cp = np.array([0.8, 0.8, 0.8])
+        eigenvalues = np.array([1.0, 3.0, 2.0])
+        assert list(select_by_coherence(cp, 3, tie_break=eigenvalues)) == [1, 2, 0]
+
+    def test_default_tie_break_prefers_larger_eigenvalue(self):
+        # Position encodes eigenvalue rank: ties resolve to lower index.
+        cp = np.array([0.8, 0.8, 0.9])
+        assert list(select_by_coherence(cp, 3)) == [2, 0, 1]
+
+    def test_rejects_out_of_range_probabilities(self):
+        with pytest.raises(ValueError, match="0, 1"):
+            select_by_coherence(np.array([1.5]), 1)
+        with pytest.raises(ValueError, match="0, 1"):
+            select_by_coherence(np.array([-0.2]), 1)
+
+    def test_rejects_misaligned_tie_break(self):
+        with pytest.raises(ValueError, match="align"):
+            select_by_coherence(np.array([0.5, 0.6]), 1, tie_break=np.array([1.0]))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            select_by_coherence(np.array([0.5]), 2)
+
+    def test_agrees_with_eigenvalue_order_when_correlated(self):
+        # When CP ranks match eigenvalue ranks, both rules select the
+        # same set (the clean-data regime of Section 4).
+        cp = np.array([0.99, 0.95, 0.9, 0.6, 0.5, 0.4])
+        coherent = set(select_by_coherence(cp, 3).tolist())
+        classical = set(select_by_eigenvalue(EIGENVALUES, 3).tolist())
+        assert coherent == classical
+
+
+class TestSelectByThreshold:
+    def test_default_one_percent(self):
+        kept = select_by_threshold(EIGENVALUES)
+        # Cutoff 0.1: keeps everything except 0.05.
+        assert list(kept) == [0, 1, 2, 3, 4]
+
+    def test_explicit_fraction(self):
+        kept = select_by_threshold(EIGENVALUES, fraction=0.10)
+        # Cutoff 1.0: keeps 10, 5, 2, 1.
+        assert list(kept) == [0, 1, 2, 3]
+
+    def test_always_keeps_leading_component(self):
+        kept = select_by_threshold(np.array([5.0, 0.0]), fraction=1.0)
+        assert list(kept) == [0]
+
+    def test_fraction_zero_keeps_all(self):
+        assert select_by_threshold(EIGENVALUES, 0.0).size == 6
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            select_by_threshold(EIGENVALUES, 1.5)
+
+
+class TestSelectByEnergy:
+    def test_smallest_sufficient_prefix(self):
+        # Total 18.55; 95% needs 10 + 5 + 2 + 1 = 18 (97.0%).
+        kept = select_by_energy(EIGENVALUES, 0.95)
+        assert list(kept) == [0, 1, 2, 3]
+
+    def test_low_target_keeps_one(self):
+        kept = select_by_energy(EIGENVALUES, 0.5)
+        assert list(kept) == [0]
+
+    def test_full_energy_keeps_all(self):
+        kept = select_by_energy(EIGENVALUES, 1.0)
+        assert kept.size == 6
+
+    def test_zero_spectrum(self):
+        assert list(select_by_energy(np.zeros(3), 0.9)) == [0]
+
+    def test_rejects_bad_energy(self):
+        with pytest.raises(ValueError):
+            select_by_energy(EIGENVALUES, 0.0)
+        with pytest.raises(ValueError):
+            select_by_energy(EIGENVALUES, 1.5)
+
+    def test_exact_boundary(self):
+        values = np.array([3.0, 1.0])
+        # 3/4 = 0.75 exactly.
+        assert list(select_by_energy(values, 0.75)) == [0]

@@ -1,0 +1,116 @@
+"""Tests for reducer serialization."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.reducer import CoherenceReducer
+from repro.core.serialization import load_reducer, save_reducer
+
+
+@pytest.fixture()
+def fitted(small_dataset):
+    return CoherenceReducer(
+        n_components=4, ordering="coherence", scale=True
+    ).fit(small_dataset.features)
+
+
+class TestSerialization:
+    def test_roundtrip_transform_exact(self, fitted, small_dataset, tmp_path):
+        path = str(tmp_path / "reducer.npz")
+        save_reducer(fitted, path)
+        loaded = load_reducer(path)
+        assert np.array_equal(
+            fitted.transform(small_dataset.features),
+            loaded.transform(small_dataset.features),
+        )
+
+    def test_roundtrip_preserves_configuration(self, fitted, tmp_path):
+        path = str(tmp_path / "reducer.npz")
+        save_reducer(fitted, path)
+        loaded = load_reducer(path)
+        assert loaded.ordering == "coherence"
+        assert loaded.scale is True
+        assert loaded.n_components == 4
+        assert loaded.threshold is None
+        assert loaded.energy is None
+        assert list(loaded.selected_) == list(fitted.selected_)
+
+    def test_roundtrip_preserves_analysis(self, fitted, tmp_path):
+        path = str(tmp_path / "reducer.npz")
+        save_reducer(fitted, path)
+        loaded = load_reducer(path)
+        assert np.allclose(
+            loaded.analysis_.coherence_probabilities,
+            fitted.analysis_.coherence_probabilities,
+        )
+        assert loaded.retained_variance_fraction() == pytest.approx(
+            fitted.retained_variance_fraction()
+        )
+
+    def test_threshold_variant_roundtrips(self, small_dataset, tmp_path):
+        reducer = CoherenceReducer(threshold=0.05).fit(small_dataset.features)
+        path = str(tmp_path / "thr.npz")
+        save_reducer(reducer, path)
+        loaded = load_reducer(path)
+        assert loaded.threshold == pytest.approx(0.05)
+        assert loaded.n_components is None
+        assert loaded.n_selected == reducer.n_selected
+
+    def test_unscaled_variant_roundtrips(self, small_dataset, tmp_path):
+        reducer = CoherenceReducer(n_components=3, scale=False).fit(
+            small_dataset.features
+        )
+        path = str(tmp_path / "raw.npz")
+        save_reducer(reducer, path)
+        loaded = load_reducer(path)
+        assert loaded.scale is False
+        assert loaded.pca_.scales is None
+        assert np.array_equal(
+            reducer.transform(small_dataset.features),
+            loaded.transform(small_dataset.features),
+        )
+
+    def test_new_queries_after_load(self, fitted, small_dataset, tmp_path, rng):
+        path = str(tmp_path / "reducer.npz")
+        save_reducer(fitted, path)
+        loaded = load_reducer(path)
+        queries = rng.normal(size=(5, small_dataset.n_dims))
+        assert np.array_equal(
+            fitted.transform(queries), loaded.transform(queries)
+        )
+
+    def test_unfitted_reducer_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError, match="unfitted"):
+            save_reducer(CoherenceReducer(n_components=2), str(tmp_path / "x.npz"))
+
+    def test_file_exists_after_save(self, fitted, tmp_path):
+        path = str(tmp_path / "reducer.npz")
+        save_reducer(fitted, path)
+        assert os.path.exists(path)
+
+    def test_version_check(self, fitted, tmp_path):
+        path = str(tmp_path / "reducer.npz")
+        save_reducer(fitted, path)
+        with np.load(path) as archive:
+            contents = {name: archive[name] for name in archive.files}
+        contents["format_version"] = np.int64(99)
+        np.savez(path, **contents)
+        with pytest.raises(ValueError, match="version"):
+            load_reducer(path)
+
+
+class TestWhitenSerialization:
+    def test_whiten_roundtrips(self, small_dataset, tmp_path):
+        reducer = CoherenceReducer(
+            n_components=3, scale=True, whiten=True
+        ).fit(small_dataset.features)
+        path = str(tmp_path / "whitened.npz")
+        save_reducer(reducer, path)
+        loaded = load_reducer(path)
+        assert loaded.whiten is True
+        assert np.array_equal(
+            reducer.transform(small_dataset.features),
+            loaded.transform(small_dataset.features),
+        )

@@ -1,0 +1,81 @@
+"""Tests for repro.datasets.corruption."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.corruption import corrupt_with_uniform
+from repro.datasets.synthetic import latent_concept_dataset
+
+
+@pytest.fixture()
+def clean():
+    return latent_concept_dataset(100, 12, 3, seed=0, name="clean")
+
+
+class TestCorruptWithUniform:
+    def test_replaces_requested_number_of_columns(self, clean):
+        noisy = corrupt_with_uniform(clean, n_dims=4, amplitude=60.0, seed=1)
+        corrupted = noisy.metadata["corrupted_dims"]
+        assert len(corrupted) == 4
+        untouched = [j for j in range(12) if j not in corrupted]
+        assert np.array_equal(
+            noisy.features[:, untouched], clean.features[:, untouched]
+        )
+        for j in corrupted:
+            assert not np.array_equal(noisy.features[:, j], clean.features[:, j])
+
+    def test_noise_range(self, clean):
+        noisy = corrupt_with_uniform(clean, n_dims=12, amplitude=60.0, seed=0)
+        assert noisy.features.min() >= -30.0
+        assert noisy.features.max() <= 30.0
+
+    def test_noise_variance_matches_amplitude(self, clean):
+        big = latent_concept_dataset(20000, 2, 1, seed=0)
+        noisy = corrupt_with_uniform(big, n_dims=1, amplitude=60.0, seed=0)
+        j = noisy.metadata["corrupted_dims"][0]
+        assert np.var(noisy.features[:, j]) == pytest.approx(300.0, rel=0.05)
+
+    def test_explicit_dims(self, clean):
+        noisy = corrupt_with_uniform(clean, n_dims=0, amplitude=10.0, dims=[2, 5], seed=0)
+        assert noisy.metadata["corrupted_dims"] == [2, 5]
+
+    def test_explicit_dims_deduplicated(self, clean):
+        noisy = corrupt_with_uniform(clean, n_dims=0, amplitude=10.0, dims=[5, 2, 5], seed=0)
+        assert noisy.metadata["corrupted_dims"] == [2, 5]
+
+    def test_labels_unchanged(self, clean):
+        noisy = corrupt_with_uniform(clean, n_dims=3, amplitude=5.0, seed=0)
+        assert np.array_equal(noisy.labels, clean.labels)
+
+    def test_original_not_mutated(self, clean):
+        before = clean.features.copy()
+        corrupt_with_uniform(clean, n_dims=5, amplitude=60.0, seed=0)
+        assert np.array_equal(clean.features, before)
+
+    def test_default_name_suffix(self, clean):
+        assert corrupt_with_uniform(clean, 2, 1.0, seed=0).name == "clean+noise"
+
+    def test_custom_name(self, clean):
+        assert corrupt_with_uniform(clean, 2, 1.0, seed=0, name="noisy-A").name == "noisy-A"
+
+    def test_deterministic(self, clean):
+        a = corrupt_with_uniform(clean, 3, 60.0, seed=4)
+        b = corrupt_with_uniform(clean, 3, 60.0, seed=4)
+        assert np.array_equal(a.features, b.features)
+        assert a.metadata["corrupted_dims"] == b.metadata["corrupted_dims"]
+
+    def test_rejects_bad_amplitude(self, clean):
+        with pytest.raises(ValueError, match="amplitude"):
+            corrupt_with_uniform(clean, 3, 0.0)
+
+    def test_rejects_too_many_dims(self, clean):
+        with pytest.raises(ValueError, match="n_dims"):
+            corrupt_with_uniform(clean, 13, 1.0)
+
+    def test_rejects_out_of_range_explicit_dims(self, clean):
+        with pytest.raises(ValueError, match="dims"):
+            corrupt_with_uniform(clean, 0, 1.0, dims=[12])
+
+    def test_metadata_records_amplitude(self, clean):
+        noisy = corrupt_with_uniform(clean, 2, 42.0, seed=0)
+        assert noisy.metadata["corruption_amplitude"] == 42.0

@@ -1,0 +1,93 @@
+"""Tests for repro.datasets.loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import load_csv_dataset
+
+
+def _write(tmp_path, text, name="data.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestLoadCsvDataset:
+    def test_basic_load(self, tmp_path):
+        path = _write(tmp_path, "1.0,2.0,g\n3.0,4.0,b\n5.0,6.0,g\n")
+        data = load_csv_dataset(path)
+        assert data.n_samples == 3
+        assert data.n_dims == 2
+        assert list(data.labels) == [0, 1, 0]
+        assert data.metadata["label_codes"] == {"g": 0, "b": 1}
+
+    def test_label_column_first(self, tmp_path):
+        path = _write(tmp_path, "yes,1.0\nno,2.0\n")
+        data = load_csv_dataset(path, label_column=0)
+        assert np.allclose(data.features[:, 0], [1.0, 2.0])
+        assert list(data.labels) == [0, 1]
+
+    def test_missing_values_imputed_with_column_mean(self, tmp_path):
+        path = _write(tmp_path, "1.0,0\n?,0\n3.0,1\n")
+        data = load_csv_dataset(path)
+        assert data.features[1, 0] == pytest.approx(2.0)
+        assert data.metadata["imputed_cells"] == 1
+
+    def test_entirely_missing_column_raises(self, tmp_path):
+        path = _write(tmp_path, "?,0\n?,1\n")
+        with pytest.raises(ValueError, match="entirely missing"):
+            load_csv_dataset(path)
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = _write(tmp_path, "1.0,a\n\n2.0,b\n\n")
+        assert load_csv_dataset(path).n_samples == 2
+
+    def test_ragged_rows_raise(self, tmp_path):
+        path = _write(tmp_path, "1.0,2.0,a\n3.0,b\n")
+        with pytest.raises(ValueError, match="expected 3 fields"):
+            load_csv_dataset(path)
+
+    def test_non_numeric_feature_raises(self, tmp_path):
+        path = _write(tmp_path, "1.0,abc,x\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            load_csv_dataset(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_csv_dataset(str(tmp_path / "nope.csv"))
+
+    def test_empty_file_raises(self, tmp_path):
+        path = _write(tmp_path, "")
+        with pytest.raises(ValueError, match="no data rows"):
+            load_csv_dataset(path)
+
+    def test_label_column_out_of_range(self, tmp_path):
+        path = _write(tmp_path, "1.0,a\n")
+        with pytest.raises(ValueError, match="out of range"):
+            load_csv_dataset(path, label_column=5)
+
+    def test_custom_delimiter(self, tmp_path):
+        path = _write(tmp_path, "1.0;2.0;a\n3.0;4.0;b\n")
+        data = load_csv_dataset(path, delimiter=";")
+        assert data.n_dims == 2
+
+    def test_name_defaults_to_basename(self, tmp_path):
+        path = _write(tmp_path, "1.0,a\n2.0,b\n", name="iris.data")
+        assert load_csv_dataset(path).name == "iris.data"
+
+    def test_explicit_name(self, tmp_path):
+        path = _write(tmp_path, "1.0,a\n2.0,b\n")
+        assert load_csv_dataset(path, name="mine").name == "mine"
+
+    def test_ionosphere_layout_roundtrip(self, tmp_path):
+        # A miniature file in the real UCI ionosphere layout: 34 numeric
+        # features then the g/b class label.
+        rng = np.random.default_rng(0)
+        rows = []
+        for i in range(6):
+            values = ",".join(f"{v:.3f}" for v in rng.uniform(-1, 1, 34))
+            rows.append(f"{values},{'g' if i % 2 else 'b'}")
+        path = _write(tmp_path, "\n".join(rows) + "\n")
+        data = load_csv_dataset(path)
+        assert data.n_dims == 34
+        assert data.n_classes == 2

@@ -1,0 +1,147 @@
+"""Tests for repro.datasets.synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    gaussian_blobs,
+    latent_concept_dataset,
+    uniform_cube,
+)
+
+
+class TestUniformCube:
+    def test_shape_and_range(self):
+        data = uniform_cube(100, 7, low=-1.0, high=2.0, seed=1)
+        assert data.features.shape == (100, 7)
+        assert data.features.min() >= -1.0
+        assert data.features.max() <= 2.0
+
+    def test_deterministic(self):
+        a = uniform_cube(10, 3, seed=5)
+        b = uniform_cube(10, 3, seed=5)
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = uniform_cube(10, 3, seed=5)
+        b = uniform_cube(10, 3, seed=6)
+        assert not np.array_equal(a.features, b.features)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="low < high"):
+            uniform_cube(10, 3, low=1.0, high=1.0)
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            uniform_cube(0, 3)
+        with pytest.raises(ValueError):
+            uniform_cube(3, 0)
+
+
+class TestGaussianBlobs:
+    def test_shapes(self):
+        data = gaussian_blobs(80, 5, n_classes=3, seed=2)
+        assert data.features.shape == (80, 5)
+        assert set(np.unique(data.labels)) <= {0, 1, 2}
+
+    def test_separable_when_far_apart(self):
+        data = gaussian_blobs(100, 4, n_classes=2, separation=50.0, spread=1.0, seed=0)
+        center0 = data.features[data.labels == 0].mean(axis=0)
+        center1 = data.features[data.labels == 1].mean(axis=0)
+        assert np.linalg.norm(center0 - center1) > 10.0
+
+    def test_rejects_more_classes_than_samples(self):
+        with pytest.raises(ValueError):
+            gaussian_blobs(2, 3, n_classes=5)
+
+
+class TestLatentConceptDataset:
+    def test_shape(self):
+        data = latent_concept_dataset(50, 12, 3, seed=0)
+        assert data.features.shape == (50, 12)
+        assert data.labels.shape == (50,)
+
+    def test_deterministic(self):
+        a = latent_concept_dataset(30, 10, 3, seed=9)
+        b = latent_concept_dataset(30, 10, 3, seed=9)
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_constant_dims_appended(self):
+        data = latent_concept_dataset(30, 10, 3, n_constant_dims=4, seed=0)
+        assert data.features.shape == (30, 14)
+        assert np.all(data.features[:, 10:] == 0.0)
+
+    def test_metadata_records_parameters(self):
+        data = latent_concept_dataset(30, 10, 3, seed=7)
+        assert data.metadata["n_concepts"] == 3
+        assert data.metadata["seed"] == 7
+        assert len(data.metadata["dim_concept"]) == 10
+
+    def test_every_dim_assigned_a_concept(self):
+        data = latent_concept_dataset(30, 10, 3, seed=0)
+        assignment = data.metadata["dim_concept"]
+        assert set(assignment) == {0, 1, 2}
+
+    def test_class_weights_respected(self):
+        weights = [0.9, 0.1]
+        data = latent_concept_dataset(
+            2000, 8, 2, n_classes=2, class_weights=weights, seed=0
+        )
+        counts = data.class_counts()
+        assert counts[0] > 5 * counts[1]
+
+    def test_scale_spread_changes_column_scales(self):
+        flat = latent_concept_dataset(200, 20, 4, scale_spread=0.0, seed=0)
+        spread = latent_concept_dataset(200, 20, 4, scale_spread=2.0, seed=0)
+        flat_stds = flat.features.std(axis=0)
+        spread_stds = spread.features.std(axis=0)
+        assert spread_stds.max() / spread_stds.min() > 5 * (
+            flat_stds.max() / flat_stds.min()
+        )
+
+    def test_concepts_induce_correlations(self):
+        # Dimensions in the same block must correlate strongly; the
+        # planted structure is what the coherence model detects.
+        data = latent_concept_dataset(
+            400, 12, 3, noise_std=0.3, cross_loading=0.0, seed=1
+        )
+        assignment = np.asarray(data.metadata["dim_concept"])
+        corr = np.corrcoef(data.features, rowvar=False)
+        same_block = np.abs(corr[0, assignment == assignment[0]])
+        other_block = np.abs(corr[0, assignment != assignment[0]])
+        assert np.median(same_block) > 0.8
+        assert np.median(other_block) < 0.4
+
+    def test_noiseless_data_has_rank_k(self):
+        data = latent_concept_dataset(
+            100, 20, 4, noise_std=0.0, cross_loading=0.0, seed=0
+        )
+        singular_values = np.linalg.svd(
+            data.features - data.features.mean(axis=0), compute_uv=False
+        )
+        assert np.sum(singular_values > 1e-8) == 4
+
+    def test_rejects_concepts_exceeding_dims(self):
+        with pytest.raises(ValueError, match="n_concepts"):
+            latent_concept_dataset(10, 4, 5)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError, match="class_weights"):
+            latent_concept_dataset(10, 4, 2, n_classes=2, class_weights=[1.0])
+        with pytest.raises(ValueError, match="zero"):
+            latent_concept_dataset(10, 4, 2, n_classes=2, class_weights=[0.0, 0.0])
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            latent_concept_dataset(10, 4, 2, noise_std=-1.0)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError, match="two samples"):
+            latent_concept_dataset(1, 4, 2)
+
+    def test_labels_within_range(self):
+        data = latent_concept_dataset(100, 8, 2, n_classes=5, seed=0)
+        assert data.labels.min() >= 0
+        assert data.labels.max() < 5

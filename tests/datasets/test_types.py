@@ -1,0 +1,123 @@
+"""Tests for repro.datasets.types.Dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.types import Dataset
+
+
+def _make(n=6, d=3):
+    features = np.arange(n * d, dtype=float).reshape(n, d)
+    labels = np.arange(n) % 2
+    return Dataset(name="demo", features=features, labels=labels)
+
+
+class TestDatasetValidation:
+    def test_basic_properties(self):
+        data = _make(6, 3)
+        assert data.n_samples == 6
+        assert data.n_dims == 3
+        assert data.n_classes == 2
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError, match="2-d"):
+            Dataset(name="x", features=np.ones(3), labels=np.zeros(3))
+
+    def test_rejects_label_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            Dataset(name="x", features=np.ones((3, 2)), labels=np.zeros(4))
+
+    def test_rejects_nan_features(self):
+        features = np.ones((2, 2))
+        features[0, 0] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            Dataset(name="x", features=features, labels=np.zeros(2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Dataset(name="x", features=np.empty((0, 3)), labels=np.empty(0))
+
+    def test_coerces_dtypes(self):
+        data = Dataset(
+            name="x",
+            features=[[1, 2], [3, 4]],
+            labels=[0, 1],
+        )
+        assert data.features.dtype == np.float64
+        assert data.labels.dtype == np.int64
+
+
+class TestDatasetOperations:
+    def test_class_counts(self):
+        data = _make(6)
+        assert data.class_counts() == {0: 3, 1: 3}
+
+    def test_subset(self):
+        data = _make(6, 3)
+        sub = data.subset([1, 3])
+        assert sub.n_samples == 2
+        assert np.array_equal(sub.features, data.features[[1, 3]])
+        assert np.array_equal(sub.labels, data.labels[[1, 3]])
+
+    def test_subset_copies(self):
+        data = _make()
+        sub = data.subset([0])
+        sub.features[0, 0] = 999.0
+        assert data.features[0, 0] != 999.0
+
+    def test_subset_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            _make().subset([])
+
+    def test_with_features(self):
+        data = _make(4, 3)
+        replaced = data.with_features(np.zeros((4, 2)), name="reduced")
+        assert replaced.name == "reduced"
+        assert replaced.n_dims == 2
+        assert np.array_equal(replaced.labels, data.labels)
+
+    def test_with_features_keeps_name_by_default(self):
+        data = _make(4, 3)
+        assert data.with_features(np.zeros((4, 2))).name == "demo"
+
+    def test_metadata_defaults_to_empty(self):
+        assert _make().metadata == {}
+
+
+class TestDatasetCsvRoundtrip:
+    def test_roundtrip_through_loader(self, tmp_path):
+        from repro.datasets.loaders import load_csv_dataset
+
+        data = _make(8, 3)
+        path = str(tmp_path / "out.csv")
+        data.to_csv(path)
+        loaded = load_csv_dataset(path)
+        assert np.allclose(loaded.features, data.features)
+        # Labels are re-coded in first-appearance order but partition
+        # the rows identically.
+        for value in np.unique(data.labels):
+            rows = data.labels == value
+            assert np.unique(loaded.labels[rows]).size == 1
+
+    def test_label_first_layout(self, tmp_path):
+        from repro.datasets.loaders import load_csv_dataset
+
+        data = _make(5, 2)
+        path = str(tmp_path / "out.csv")
+        data.to_csv(path, label_last=False)
+        loaded = load_csv_dataset(path, label_column=0)
+        assert np.allclose(loaded.features, data.features)
+
+    def test_full_precision_preserved(self, tmp_path):
+        from repro.datasets.loaders import load_csv_dataset
+
+        rng = np.random.default_rng(0)
+        data = Dataset(
+            name="precise",
+            features=rng.normal(size=(4, 3)) * 1e-7,
+            labels=np.zeros(4, dtype=int),
+        )
+        path = str(tmp_path / "out.csv")
+        data.to_csv(path)
+        loaded = load_csv_dataset(path)
+        assert np.array_equal(loaded.features, data.features)

@@ -1,0 +1,97 @@
+"""Tests for the UCI-like presets — the paper's evaluation datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.uci_like import (
+    NOISY_AMPLITUDE,
+    arrhythmia_like,
+    ionosphere_like,
+    musk_like,
+    noisy_dataset_a,
+    noisy_dataset_b,
+)
+
+
+class TestPresetShapes:
+    def test_musk_matches_uci_dimensions(self):
+        data = musk_like(seed=0)
+        assert data.n_samples == 476
+        assert data.n_dims == 166
+        assert data.n_classes == 2
+
+    def test_ionosphere_matches_uci_dimensions(self):
+        data = ionosphere_like(seed=0)
+        assert data.n_samples == 351
+        assert data.n_dims == 34
+        assert data.n_classes == 2
+
+    def test_arrhythmia_matches_uci_dimensions(self):
+        data = arrhythmia_like(seed=0)
+        assert data.n_samples == 452
+        assert data.n_dims == 279
+
+    def test_arrhythmia_has_constant_columns(self):
+        data = arrhythmia_like(seed=0)
+        stds = data.features.std(axis=0)
+        assert np.sum(stds == 0.0) == 20
+
+    def test_arrhythmia_dominant_class(self):
+        data = arrhythmia_like(seed=0)
+        counts = data.class_counts()
+        assert max(counts, key=counts.get) == 0
+        assert counts[0] > data.n_samples * 0.4
+
+    def test_arrhythmia_heterogeneous_scales(self):
+        data = arrhythmia_like(seed=0)
+        stds = data.features.std(axis=0)
+        positive = stds[stds > 0]
+        assert positive.max() / positive.min() > 10.0
+
+    def test_presets_deterministic(self):
+        assert np.array_equal(
+            ionosphere_like(seed=3).features, ionosphere_like(seed=3).features
+        )
+
+    def test_presets_vary_with_seed(self):
+        assert not np.array_equal(
+            ionosphere_like(seed=0).features, ionosphere_like(seed=1).features
+        )
+
+
+class TestNoisyPresets:
+    def test_noisy_a_corrupts_ten_dims(self):
+        noisy = noisy_dataset_a(seed=0)
+        assert noisy.n_dims == 34
+        assert len(noisy.metadata["corrupted_dims"]) == 10
+        assert noisy.metadata["corruption_amplitude"] == NOISY_AMPLITUDE
+
+    def test_noisy_b_corrupts_ten_of_informative_dims(self):
+        noisy = noisy_dataset_b(seed=0)
+        # Constant columns are dropped by studentization: 279 - 20 = 259.
+        assert noisy.n_dims == 259
+        assert len(noisy.metadata["corrupted_dims"]) == 10
+
+    def test_noisy_base_is_unit_variance(self):
+        noisy = noisy_dataset_a(seed=0)
+        corrupted = set(noisy.metadata["corrupted_dims"])
+        untouched = [j for j in range(noisy.n_dims) if j not in corrupted]
+        stds = noisy.features[:, untouched].std(axis=0)
+        assert np.allclose(stds, 1.0, atol=1e-9)
+
+    def test_corrupted_columns_dominate_variance(self):
+        # The regime the noisy experiments need: planted noise towers
+        # over the (unit-variance) signal columns.
+        noisy = noisy_dataset_a(seed=0)
+        corrupted = noisy.metadata["corrupted_dims"]
+        noise_vars = noisy.features[:, corrupted].var(axis=0)
+        assert noise_vars.min() > 100.0
+
+    def test_labels_preserved_from_base(self):
+        base = ionosphere_like(seed=0)
+        noisy = noisy_dataset_a(seed=0)
+        assert np.array_equal(base.labels, noisy.labels)
+
+    def test_noisy_names(self):
+        assert noisy_dataset_a().name == "noisy-A"
+        assert noisy_dataset_b().name == "noisy-B"

@@ -1,0 +1,70 @@
+"""Tests for repro.distances.contrast — the Beyer et al. diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.distances.contrast import (
+    relative_contrast,
+    relative_contrast_profile,
+)
+
+
+class TestRelativeContrast:
+    def test_known_values(self):
+        corpus = np.array([[1.0], [3.0]])
+        summary = relative_contrast(corpus, np.array([0.0]))
+        assert summary.nearest == 1.0
+        assert summary.farthest == 3.0
+        assert summary.relative_contrast == pytest.approx(2.0)
+        assert summary.mean_distance == pytest.approx(2.0)
+
+    def test_query_on_corpus_point_raises(self):
+        corpus = np.array([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(ValueError, match="coincides"):
+            relative_contrast(corpus, np.array([0.0, 0.0]))
+
+    def test_metric_forwarding(self):
+        corpus = np.array([[3.0, 4.0], [6.0, 8.0]])
+        summary = relative_contrast(corpus, np.array([0.0, 0.0]), metric="manhattan")
+        assert summary.nearest == 7.0
+        assert summary.farthest == 14.0
+
+    def test_rejects_bad_query_shape(self):
+        with pytest.raises(ValueError, match="query"):
+            relative_contrast(np.ones((3, 2)), np.ones(3))
+
+    def test_contrast_nonnegative(self, rng):
+        corpus = rng.normal(size=(50, 4))
+        summary = relative_contrast(corpus, rng.normal(size=4) + 10.0)
+        assert summary.relative_contrast >= 0.0
+        assert summary.farthest >= summary.nearest
+
+
+class TestRelativeContrastProfile:
+    def test_contrast_decreases_with_dimensionality(self):
+        # The core phenomenon of Section 1.1: uniform-data contrast
+        # collapses as dimensionality rises.
+        profile = relative_contrast_profile(
+            [2, 10, 50, 200], n_points=200, n_queries=10, seed=0
+        )
+        contrasts = [c for _, c in profile]
+        assert contrasts[0] > contrasts[1] > contrasts[2] > contrasts[3]
+
+    def test_high_dim_contrast_is_small(self):
+        profile = relative_contrast_profile([500], n_points=200, n_queries=5, seed=1)
+        assert profile[0][1] < 0.3
+
+    def test_preserves_input_order(self):
+        profile = relative_contrast_profile([30, 3], n_points=50, n_queries=3)
+        assert [d for d, _ in profile] == [30, 3]
+
+    def test_deterministic_given_seed(self):
+        a = relative_contrast_profile([5], n_points=50, n_queries=3, seed=7)
+        b = relative_contrast_profile([5], n_points=50, n_queries=3, seed=7)
+        assert a == b
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            relative_contrast_profile([0])
+        with pytest.raises(ValueError):
+            relative_contrast_profile([])

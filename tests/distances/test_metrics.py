@@ -1,0 +1,162 @@
+"""Tests for repro.distances.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.distances.metrics import (
+    chebyshev,
+    cosine_distance,
+    euclidean,
+    manhattan,
+    minkowski,
+    pairwise_distances,
+    squared_euclidean_matrix,
+)
+
+
+class TestPointMetrics:
+    def test_euclidean_345(self):
+        assert euclidean([0.0, 0.0], [3.0, 4.0]) == 5.0
+
+    def test_manhattan(self):
+        assert manhattan([0.0, 0.0], [3.0, 4.0]) == 7.0
+
+    def test_chebyshev(self):
+        assert chebyshev([0.0, 0.0], [3.0, 4.0]) == 4.0
+
+    def test_minkowski_reduces_to_euclidean(self):
+        a, b = [1.0, 2.0, 3.0], [4.0, 0.0, 3.0]
+        assert minkowski(a, b, p=2) == pytest.approx(euclidean(a, b))
+
+    def test_minkowski_reduces_to_manhattan(self):
+        a, b = [1.0, 2.0], [0.0, -1.0]
+        assert minkowski(a, b, p=1) == pytest.approx(manhattan(a, b))
+
+    def test_fractional_minkowski(self):
+        # p = 0.5: (|1|^0.5 + |1|^0.5)^2 = 4.
+        assert minkowski([0.0, 0.0], [1.0, 1.0], p=0.5) == pytest.approx(4.0)
+
+    def test_minkowski_rejects_nonpositive_p(self):
+        with pytest.raises(ValueError, match="positive"):
+            minkowski([0.0], [1.0], p=0.0)
+
+    def test_identity_of_indiscernibles(self):
+        point = [1.5, -2.5, 0.0]
+        for metric in (euclidean, manhattan, chebyshev):
+            assert metric(point, point) == 0.0
+
+    def test_symmetry(self, rng):
+        a, b = rng.normal(size=4), rng.normal(size=4)
+        for metric in (euclidean, manhattan, chebyshev):
+            assert metric(a, b) == pytest.approx(metric(b, a))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            euclidean([1.0], [1.0, 2.0])
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError, match="finite"):
+            euclidean([float("nan")], [1.0])
+
+    def test_2d_input_raises(self):
+        with pytest.raises(ValueError, match="1-d"):
+            euclidean([[1.0]], [[2.0]])
+
+
+class TestCosineDistance:
+    def test_parallel_vectors(self):
+        assert cosine_distance([1.0, 0.0], [5.0, 0.0]) == pytest.approx(0.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_distance([1.0, 0.0], [0.0, 2.0]) == pytest.approx(1.0)
+
+    def test_opposite_vectors(self):
+        assert cosine_distance([1.0, 1.0], [-2.0, -2.0]) == pytest.approx(2.0)
+
+    def test_zero_vector_raises(self):
+        with pytest.raises(ValueError, match="zero"):
+            cosine_distance([0.0, 0.0], [1.0, 0.0])
+
+    def test_scale_invariance(self, rng):
+        a, b = rng.normal(size=5), rng.normal(size=5)
+        assert cosine_distance(a, b) == pytest.approx(
+            cosine_distance(a * 3.0, b * 0.1)
+        )
+
+
+class TestSquaredEuclideanMatrix:
+    def test_matches_direct_computation(self, rng):
+        x = rng.normal(size=(8, 3))
+        matrix = squared_euclidean_matrix(x)
+        for i in range(8):
+            for j in range(8):
+                direct = float(np.sum(np.square(x[i] - x[j])))
+                assert matrix[i, j] == pytest.approx(direct, abs=1e-9)
+
+    def test_zero_diagonal(self, rng):
+        matrix = squared_euclidean_matrix(rng.normal(size=(10, 4)))
+        assert np.allclose(np.diag(matrix), 0.0, atol=1e-9)
+
+    def test_never_negative(self, rng):
+        # The Gram identity can produce tiny negatives; they are clamped.
+        x = rng.normal(size=(50, 6)) * 1e6
+        assert np.all(squared_euclidean_matrix(x) >= 0.0)
+
+    def test_two_matrices(self, rng):
+        x = rng.normal(size=(4, 3))
+        y = rng.normal(size=(6, 3))
+        matrix = squared_euclidean_matrix(x, y)
+        assert matrix.shape == (4, 6)
+        assert matrix[1, 2] == pytest.approx(
+            float(np.sum(np.square(x[1] - y[2])))
+        )
+
+    def test_rejects_column_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            squared_euclidean_matrix(rng.normal(size=(3, 2)), rng.normal(size=(3, 4)))
+
+
+class TestPairwiseDistances:
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan", "chebyshev"])
+    def test_matches_point_metric(self, rng, metric):
+        from repro.distances import metrics as m
+
+        point_metric = {"euclidean": m.euclidean, "manhattan": m.manhattan,
+                        "chebyshev": m.chebyshev}[metric]
+        x = rng.normal(size=(5, 4))
+        matrix = pairwise_distances(x, metric=metric)
+        for i in range(5):
+            for j in range(5):
+                # The Gram-identity kernel loses ~half the mantissa, so
+                # distances match to ~1e-7 only.
+                assert matrix[i, j] == pytest.approx(
+                    point_metric(x[i], x[j]), abs=1e-7
+                )
+
+    def test_minkowski_requires_p(self, rng):
+        with pytest.raises(ValueError, match="requires"):
+            pairwise_distances(rng.normal(size=(3, 2)), metric="minkowski")
+
+    def test_minkowski_matches_point_metric(self, rng):
+        x = rng.normal(size=(4, 3))
+        matrix = pairwise_distances(x, metric="minkowski", p=3.0)
+        assert matrix[0, 1] == pytest.approx(minkowski(x[0], x[1], p=3.0))
+
+    def test_cosine(self, rng):
+        x = rng.normal(size=(4, 3)) + 5.0
+        matrix = pairwise_distances(x, metric="cosine")
+        assert matrix[2, 3] == pytest.approx(cosine_distance(x[2], x[3]))
+        assert np.allclose(np.diag(matrix), 0.0, atol=1e-12)
+
+    def test_cross_matrices(self, rng):
+        x, y = rng.normal(size=(3, 4)), rng.normal(size=(5, 4))
+        matrix = pairwise_distances(x, y, metric="euclidean")
+        assert matrix.shape == (3, 5)
+
+    def test_unknown_metric(self, rng):
+        with pytest.raises(ValueError, match="unknown metric"):
+            pairwise_distances(rng.normal(size=(3, 2)), metric="hamming")
+
+    def test_symmetry(self, rng):
+        matrix = pairwise_distances(rng.normal(size=(6, 3)))
+        assert np.allclose(matrix, matrix.T)

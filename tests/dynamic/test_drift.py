@@ -1,0 +1,71 @@
+"""Tests for the drift monitor."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.drift import DriftMonitor
+from repro.linalg.covariance import covariance_matrix
+
+
+def _covariance_along(direction: np.ndarray, scale: float, d: int) -> np.ndarray:
+    """Covariance concentrated along one direction plus faint isotropy."""
+    unit = direction / np.linalg.norm(direction)
+    return scale * np.outer(unit, unit) + 0.01 * np.eye(d)
+
+
+class TestDriftMonitor:
+    def test_no_drift_when_distribution_unchanged(self, rng):
+        data = rng.normal(size=(100, 4)) @ np.diag([3, 1, 0.5, 0.1])
+        covariance = covariance_matrix(data)
+        basis = np.linalg.eigh(covariance)[1][:, -2:]  # top-2 subspace
+        monitor = DriftMonitor(basis, covariance)
+        assert monitor.relative_capture(covariance) == pytest.approx(1.0)
+        assert not monitor.should_refit(covariance)
+
+    def test_detects_rotated_distribution(self):
+        d = 4
+        original = _covariance_along(np.eye(d)[0], 10.0, d)
+        basis = np.eye(d)[:, :1]
+        monitor = DriftMonitor(basis, original, threshold=0.9)
+        rotated = _covariance_along(np.eye(d)[1], 10.0, d)
+        assert monitor.should_refit(rotated)
+        assert monitor.relative_capture(rotated) < 0.2
+
+    def test_partial_drift_below_threshold_tolerated(self):
+        d = 4
+        original = _covariance_along(np.eye(d)[0], 10.0, d)
+        basis = np.eye(d)[:, :1]
+        monitor = DriftMonitor(basis, original, threshold=0.5)
+        # Slightly rotated: mostly still captured.
+        direction = np.array([1.0, 0.3, 0.0, 0.0])
+        drifted = _covariance_along(direction, 10.0, d)
+        assert not monitor.should_refit(drifted)
+
+    def test_reference_ratio_reported(self, rng):
+        data = rng.normal(size=(60, 3))
+        covariance = covariance_matrix(data)
+        basis = np.linalg.eigh(covariance)[1][:, -1:]
+        monitor = DriftMonitor(basis, covariance)
+        assert 0.0 < monitor.reference_ratio <= 1.0
+
+    def test_rejects_dead_basis(self):
+        covariance = np.diag([1.0, 1.0, 0.0])
+        basis = np.array([[0.0], [0.0], [1.0]])  # spans only the dead dim
+        with pytest.raises(ValueError, match="no energy"):
+            DriftMonitor(basis, covariance)
+
+    def test_rejects_bad_threshold(self, rng):
+        covariance = covariance_matrix(rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError, match="threshold"):
+            DriftMonitor(np.eye(2)[:, :1], covariance, threshold=0.0)
+
+    def test_rejects_shape_mismatch(self, rng):
+        covariance = covariance_matrix(rng.normal(size=(10, 3)))
+        monitor = DriftMonitor(np.eye(3)[:, :1], covariance)
+        with pytest.raises(ValueError, match="shape"):
+            monitor.captured_energy_ratio(np.eye(2))
+
+    def test_zero_covariance_captures_nothing(self, rng):
+        covariance = covariance_matrix(rng.normal(size=(10, 2)))
+        monitor = DriftMonitor(np.eye(2)[:, :1], covariance)
+        assert monitor.captured_energy_ratio(np.zeros((2, 2))) == 0.0

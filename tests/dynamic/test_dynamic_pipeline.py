@@ -1,0 +1,87 @@
+"""Tests for the dynamic similarity pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import latent_concept_dataset
+from repro.dynamic.pipeline import DynamicSimilarityPipeline
+
+
+def _segment(seed, n=200):
+    return latent_concept_dataset(n, 16, 3, noise_std=0.8, seed=seed)
+
+
+class TestDynamicSimilarityPipeline:
+    def test_self_query_after_streaming(self):
+        data = _segment(0)
+        pipeline = DynamicSimilarityPipeline(n_dims=16, n_components=3)
+        pipeline.insert(data.features)
+        result = pipeline.query(data.features[17], k=1)
+        assert result.neighbors[0].index == 17
+        assert result.neighbors[0].distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_handles_are_stable_across_refits(self):
+        first = _segment(0)
+        pipeline = DynamicSimilarityPipeline(
+            n_dims=16, n_components=3, drift_threshold=0.9
+        )
+        handles = pipeline.insert(first.features)
+        assert handles == list(range(first.n_samples))
+
+        # Force a refit with a rotated second segment.
+        second = _segment(99)
+        permutation = np.random.default_rng(0).permutation(16)
+        pipeline.insert(second.features[:, permutation])
+        assert pipeline.refit_count > 1
+        # Old handles still resolve to the same rows after the rebuild.
+        result = pipeline.query(first.features[5], k=1)
+        assert result.neighbors[0].index == 5
+
+    def test_delete_removes_from_results(self):
+        data = _segment(1)
+        pipeline = DynamicSimilarityPipeline(n_dims=16, n_components=3)
+        pipeline.insert(data.features)
+        pipeline.delete(30)
+        result = pipeline.query(data.features[30], k=3)
+        assert 30 not in result.indices.tolist()
+        assert pipeline.n_live == data.n_samples - 1
+
+    def test_delete_unknown_handle_raises(self):
+        pipeline = DynamicSimilarityPipeline(n_dims=16, n_components=3)
+        pipeline.insert(_segment(0).features[:20])
+        with pytest.raises(KeyError):
+            pipeline.delete(999)
+        pipeline.delete(3)
+        with pytest.raises(KeyError):
+            pipeline.delete(3)
+
+    def test_query_before_enough_data_raises(self):
+        pipeline = DynamicSimilarityPipeline(n_dims=16, n_components=3)
+        with pytest.raises(RuntimeError, match="insert more rows"):
+            pipeline.query(np.zeros(16), k=1)
+
+    def test_query_matches_flat_recomputation(self):
+        # The pipeline's answer equals reducing everything from scratch
+        # with the same frozen basis and brute-forcing.
+        data = _segment(2)
+        pipeline = DynamicSimilarityPipeline(n_dims=16, n_components=3)
+        pipeline.insert(data.features)
+
+        reduced = pipeline._reducer.transform(data.features)
+        query = pipeline._reducer.transform(data.features[77])
+        squared = np.sum(np.square(reduced - query), axis=1)
+        expected = np.argsort(squared, kind="stable")[:4].tolist()
+        actual = pipeline.query(data.features[77], k=4).indices.tolist()
+        assert actual == expected
+
+    def test_insert_rejects_wrong_width(self):
+        pipeline = DynamicSimilarityPipeline(n_dims=16, n_components=3)
+        with pytest.raises(ValueError, match="columns"):
+            pipeline.insert(np.zeros((3, 5)))
+
+    def test_k_clamped_to_live_count(self):
+        data = _segment(3, n=30)
+        pipeline = DynamicSimilarityPipeline(n_dims=16, n_components=3)
+        pipeline.insert(data.features[:10])
+        result = pipeline.query(data.features[0], k=10)
+        assert len(result.neighbors) == 10

@@ -1,0 +1,94 @@
+"""Tests for the end-to-end dynamic reducer."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import latent_concept_dataset
+from repro.dynamic.reducer import DynamicReducer
+
+
+def _stream(seed, n, shift=0.0):
+    data = latent_concept_dataset(
+        n, 16, 3, noise_std=0.8, seed=seed
+    ).features.copy()
+    if shift:
+        data[:, :4] += shift
+    return data
+
+
+class TestDynamicReducer:
+    def test_first_basis_after_enough_rows(self):
+        reducer = DynamicReducer(n_dims=16, n_components=3)
+        assert reducer.components_ is None
+        reducer.insert(_stream(0, 50))
+        assert reducer.components_ is not None
+        assert reducer.refit_count == 1
+
+    def test_transform_shape(self):
+        reducer = DynamicReducer(n_dims=16, n_components=3)
+        reducer.insert(_stream(0, 60))
+        out = reducer.transform(_stream(1, 5))
+        assert out.shape == (5, 3)
+        single = reducer.transform(_stream(1, 5)[0])
+        assert single.shape == (3,)
+
+    def test_transform_before_any_basis_raises(self):
+        reducer = DynamicReducer(n_dims=4, n_components=2)
+        with pytest.raises(RuntimeError, match="no basis"):
+            reducer.transform(np.zeros(4))
+
+    def test_stationary_stream_does_not_refit(self):
+        reducer = DynamicReducer(n_dims=16, n_components=3, drift_threshold=0.8)
+        data = _stream(0, 400)
+        for start in range(0, 400, 50):
+            reducer.insert(data[start : start + 50])
+        # One initial fit; a stationary stream never triggers another.
+        assert reducer.refit_count == 1
+        assert reducer.drift_level() > 0.9
+
+    def test_distribution_shift_triggers_refit(self):
+        reducer = DynamicReducer(n_dims=16, n_components=3, drift_threshold=0.9)
+        reducer.insert(_stream(0, 100))
+        fits_before = reducer.refit_count
+        # A radically different generator: new concepts, big offset.
+        rng = np.random.default_rng(9)
+        drifted = np.zeros((400, 16))
+        drifted[:, 12:] = rng.normal(size=(400, 4)) * 20.0
+        for start in range(0, 400, 50):
+            reducer.insert(drifted[start : start + 50])
+        assert reducer.refit_count > fits_before
+
+    def test_eigenvalue_ordering_variant(self):
+        reducer = DynamicReducer(n_dims=16, n_components=3, ordering="eigenvalue")
+        reducer.insert(_stream(0, 60))
+        assert list(reducer.selected_) == [0, 1, 2]
+
+    def test_coherence_ordering_skips_planted_noise(self):
+        # Stream concept data with one huge-variance uncorrelated column.
+        rng = np.random.default_rng(3)
+        data = _stream(3, 300)
+        data[:, 7] = rng.uniform(-60, 60, size=300)
+        reducer = DynamicReducer(
+            n_dims=16, n_components=3, ordering="coherence", reservoir_size=300
+        )
+        reducer.insert(data)
+        # Component 0 (the noise column's eigenvector) must not be kept.
+        assert 0 not in set(reducer.selected_.tolist())
+
+    def test_reservoir_respects_cap(self):
+        reducer = DynamicReducer(n_dims=16, n_components=2, reservoir_size=64)
+        reducer.insert(_stream(0, 300))
+        assert reducer._reservoir.shape == (64, 16)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DynamicReducer(n_dims=4, n_components=5)
+        with pytest.raises(ValueError):
+            DynamicReducer(n_dims=4, n_components=2, ordering="best")
+        with pytest.raises(ValueError):
+            DynamicReducer(n_dims=4, n_components=2, reservoir_size=1)
+
+    def test_drift_level_requires_basis(self):
+        reducer = DynamicReducer(n_dims=4, n_components=2)
+        with pytest.raises(RuntimeError, match="no basis"):
+            reducer.drift_level()

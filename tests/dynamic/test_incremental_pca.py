@@ -1,0 +1,79 @@
+"""Tests for the updatable PCA."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.incremental_pca import IncrementalPCA
+from repro.linalg.pca import fit_pca
+
+
+class TestIncrementalPCA:
+    def test_matches_batch_pca_after_streaming(self, rng):
+        data = rng.normal(size=(80, 5)) @ np.diag([3, 2, 1, 0.5, 0.2])
+        incremental = IncrementalPCA(5)
+        for start in range(0, 80, 13):
+            incremental.partial_fit(data[start : start + 13])
+        batch = fit_pca(data)
+        assert np.allclose(
+            incremental.decomposition.eigenvalues,
+            batch.decomposition.eigenvalues,
+            atol=1e-9,
+        )
+
+    def test_transform_matches_batch(self, rng):
+        data = rng.normal(size=(60, 4))
+        incremental = IncrementalPCA(4).partial_fit(data)
+        batch = fit_pca(data)
+        ours = incremental.transform(data)
+        theirs = batch.transform(data)
+        # Signs may differ per component; compare absolute values.
+        assert np.allclose(np.abs(ours), np.abs(theirs), atol=1e-9)
+
+    def test_scaled_mode_matches_correlation_pca(self, rng):
+        data = rng.normal(size=(70, 4)) * np.array([1, 10, 100, 1000])
+        incremental = IncrementalPCA(4, scale=True).partial_fit(data)
+        batch = fit_pca(data, scale=True)
+        assert np.allclose(
+            incremental.decomposition.eigenvalues,
+            batch.decomposition.eigenvalues,
+            atol=1e-9,
+        )
+
+    def test_scaled_mode_keeps_constant_dimensions(self, rng):
+        data = rng.normal(size=(30, 3))
+        data[:, 1] = 7.0
+        incremental = IncrementalPCA(3, scale=True).partial_fit(data)
+        # The working matrix stays 3x3 (constant dim = zero row/column).
+        assert incremental.decomposition.dimensionality == 3
+        projected = incremental.transform(data)
+        assert projected.shape == (30, 3)
+
+    def test_lazy_refresh(self, rng):
+        incremental = IncrementalPCA(3).partial_fit(rng.normal(size=(20, 3)))
+        first = incremental.decomposition
+        # No new data: the same object is returned (no recomputation).
+        assert incremental.decomposition is first
+        incremental.partial_fit(rng.normal(size=(5, 3)))
+        assert incremental.decomposition is not first
+
+    def test_needs_two_rows(self, rng):
+        incremental = IncrementalPCA(2).partial_fit(np.zeros(2))
+        with pytest.raises(RuntimeError, match="two rows"):
+            _ = incremental.decomposition
+
+    def test_transform_component_subset(self, rng):
+        data = rng.normal(size=(40, 5))
+        incremental = IncrementalPCA(5).partial_fit(data)
+        subset = incremental.transform(data, component_indices=[0, 2])
+        assert subset.shape == (40, 2)
+
+    def test_transform_rejects_wrong_width(self, rng):
+        incremental = IncrementalPCA(3).partial_fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError, match="columns"):
+            incremental.transform(np.zeros((2, 4)))
+
+    def test_mean_and_covariance_accessors(self, rng):
+        data = rng.normal(loc=2.0, size=(25, 3))
+        incremental = IncrementalPCA(3).partial_fit(data)
+        assert np.allclose(incremental.mean, data.mean(axis=0))
+        assert incremental.covariance().shape == (3, 3)

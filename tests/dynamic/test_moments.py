@@ -1,0 +1,155 @@
+"""Tests for streaming moments."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.moments import IncrementalMoments
+from repro.linalg.covariance import covariance_matrix
+
+
+class TestIncrementalMoments:
+    def test_single_batch_matches_batch_computation(self, rng):
+        data = rng.normal(size=(50, 4))
+        moments = IncrementalMoments(4).update(data)
+        assert moments.count == 50
+        assert np.allclose(moments.mean, data.mean(axis=0))
+        assert np.allclose(moments.covariance(), covariance_matrix(data), atol=1e-10)
+
+    def test_row_by_row_matches_batch(self, rng):
+        data = rng.normal(size=(30, 3))
+        moments = IncrementalMoments(3)
+        for row in data:
+            moments.update(row)
+        assert np.allclose(moments.covariance(), covariance_matrix(data), atol=1e-9)
+
+    def test_chunked_matches_batch(self, rng):
+        data = rng.normal(size=(45, 5))
+        moments = IncrementalMoments(5)
+        for start in range(0, 45, 7):
+            moments.update(data[start : start + 7])
+        assert np.allclose(moments.mean, data.mean(axis=0), atol=1e-12)
+        assert np.allclose(moments.covariance(), covariance_matrix(data), atol=1e-9)
+
+    def test_ddof_one(self, rng):
+        data = rng.normal(size=(20, 2))
+        moments = IncrementalMoments(2).update(data)
+        assert np.allclose(
+            moments.covariance(ddof=1), np.cov(data, rowvar=False), atol=1e-10
+        )
+
+    def test_variances(self, rng):
+        data = rng.normal(size=(40, 3)) * np.array([1.0, 2.0, 3.0])
+        moments = IncrementalMoments(3).update(data)
+        assert np.allclose(moments.variances(), data.var(axis=0), atol=1e-10)
+
+    def test_merge_matches_combined(self, rng):
+        first = rng.normal(size=(25, 4))
+        second = rng.normal(loc=3.0, size=(35, 4))
+        a = IncrementalMoments(4).update(first)
+        b = IncrementalMoments(4).update(second)
+        a.merge(b)
+        combined = np.vstack([first, second])
+        assert a.count == 60
+        assert np.allclose(a.covariance(), covariance_matrix(combined), atol=1e-9)
+
+    def test_merge_into_empty(self, rng):
+        data = rng.normal(size=(10, 2))
+        a = IncrementalMoments(2)
+        b = IncrementalMoments(2).update(data)
+        a.merge(b)
+        assert a.count == 10
+        assert np.allclose(a.mean, data.mean(axis=0))
+
+    def test_merge_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            IncrementalMoments(2).merge(IncrementalMoments(3))
+
+    def test_covariance_needs_rows(self):
+        moments = IncrementalMoments(2)
+        with pytest.raises(ValueError):
+            moments.covariance()
+        moments.update(np.zeros(2))
+        with pytest.raises(ValueError):
+            moments.covariance(ddof=1)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError, match="columns"):
+            IncrementalMoments(3).update(np.zeros((2, 4)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            IncrementalMoments(2).update([np.nan, 0.0])
+
+    def test_empty_batch_is_noop(self, rng):
+        moments = IncrementalMoments(2).update(rng.normal(size=(5, 2)))
+        before = moments.covariance().copy()
+        moments.update(np.empty((0, 2)))
+        assert moments.count == 5
+        assert np.array_equal(moments.covariance(), before)
+
+    def test_numerical_stability_large_offset(self, rng):
+        # Welford-style updates must survive a huge common offset.
+        data = rng.normal(size=(100, 2)) + 1e8
+        moments = IncrementalMoments(2)
+        for start in range(0, 100, 10):
+            moments.update(data[start : start + 10])
+        assert np.allclose(
+            moments.covariance(), covariance_matrix(data), atol=1e-4
+        )
+
+
+class TestDowndate:
+    def test_inverse_of_update(self, rng):
+        data = rng.normal(size=(80, 3))
+        moments = IncrementalMoments(3).update(data)
+        moments.downdate(data[50:])
+        assert moments.count == 50
+        assert np.allclose(moments.mean, data[:50].mean(axis=0), atol=1e-10)
+        assert np.allclose(
+            moments.covariance(), covariance_matrix(data[:50]), atol=1e-9
+        )
+
+    def test_remove_everything_resets(self, rng):
+        data = rng.normal(size=(10, 2))
+        moments = IncrementalMoments(2).update(data)
+        moments.downdate(data)
+        assert moments.count == 0
+        assert np.allclose(moments.mean, 0.0)
+
+    def test_single_row_downdate(self, rng):
+        data = rng.normal(size=(20, 2))
+        moments = IncrementalMoments(2).update(data)
+        moments.downdate(data[7])
+        rest = np.delete(data, 7, axis=0)
+        assert np.allclose(moments.covariance(), covariance_matrix(rest), atol=1e-10)
+
+    def test_update_downdate_roundtrip_many_times(self, rng):
+        base = rng.normal(size=(40, 3))
+        extra = rng.normal(size=(15, 3))
+        moments = IncrementalMoments(3).update(base)
+        for _ in range(10):
+            moments.update(extra)
+            moments.downdate(extra)
+        assert moments.count == 40
+        assert np.allclose(
+            moments.covariance(), covariance_matrix(base), atol=1e-7
+        )
+
+    def test_rejects_removing_too_many(self, rng):
+        moments = IncrementalMoments(2).update(rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError, match="cannot remove"):
+            moments.downdate(rng.normal(size=(6, 2)))
+
+    def test_empty_downdate_is_noop(self, rng):
+        data = rng.normal(size=(10, 2))
+        moments = IncrementalMoments(2).update(data)
+        before = moments.covariance().copy()
+        moments.downdate(np.empty((0, 2)))
+        assert np.array_equal(moments.covariance(), before)
+
+    def test_rejects_bad_shapes(self, rng):
+        moments = IncrementalMoments(3).update(rng.normal(size=(5, 3)))
+        with pytest.raises(ValueError, match="columns"):
+            moments.downdate(np.zeros((2, 4)))
+        with pytest.raises(ValueError, match="finite"):
+            moments.downdate([np.nan, 0.0, 1.0])

@@ -1,0 +1,123 @@
+"""Tests for the feature-stripping quality protocol."""
+
+import numpy as np
+import pytest
+
+from repro.distances.metrics import squared_euclidean_matrix
+from repro.evaluation.feature_stripping import (
+    feature_stripping_accuracy,
+    knn_label_matches,
+)
+
+
+class TestKnnLabelMatches:
+    def test_hand_worked_example(self):
+        # Four points on a line: 0, 1, 10, 11 with labels a, a, b, b.
+        features = np.array([[0.0], [1.0], [10.0], [11.0]])
+        labels = np.array([0, 0, 1, 1])
+        squared = squared_euclidean_matrix(features)
+        # k=1: every point's nearest neighbor shares its label.
+        assert knn_label_matches(squared, labels, k=1) == 4
+        # k=2: each point picks its partner plus one wrong-label point.
+        assert knn_label_matches(squared, labels, k=2) == 4
+
+    def test_self_excluded(self):
+        features = np.array([[0.0], [100.0]])
+        labels = np.array([0, 1])
+        squared = squared_euclidean_matrix(features)
+        # Each point's only neighbor is the other point: no matches.
+        assert knn_label_matches(squared, labels, k=1) == 0
+
+    def test_rejects_k_too_large(self):
+        squared = squared_euclidean_matrix(np.zeros((3, 1)))
+        with pytest.raises(ValueError, match="k must"):
+            knn_label_matches(squared, np.zeros(3), k=3)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            knn_label_matches(np.zeros((2, 3)), np.zeros(2), k=1)
+
+    def test_does_not_mutate_input(self):
+        squared = squared_euclidean_matrix(np.arange(4.0).reshape(4, 1))
+        before = squared.copy()
+        knn_label_matches(squared, np.zeros(4, dtype=int), k=1)
+        assert np.array_equal(squared, before)
+
+
+class TestFeatureStrippingAccuracy:
+    def test_perfectly_separated_classes(self):
+        rng = np.random.default_rng(0)
+        features = np.vstack(
+            [rng.normal(0, 0.1, size=(30, 3)), rng.normal(100, 0.1, size=(30, 3))]
+        )
+        labels = np.array([0] * 30 + [1] * 30)
+        assert feature_stripping_accuracy(features, labels, k=3) == 1.0
+
+    def test_label_shuffled_data_near_chance(self):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(200, 5))
+        labels = rng.integers(0, 2, size=200)
+        accuracy = feature_stripping_accuracy(features, labels, k=3)
+        assert 0.35 < accuracy < 0.65
+
+    def test_value_is_pair_fraction(self):
+        # 3 points: two of class 0 close together, one of class 1 nearby.
+        features = np.array([[0.0], [0.5], [0.6]])
+        labels = np.array([0, 0, 1])
+        # k=1: matches are (0<-1), (1<-2 is closer: 0.1 < 0.5 so 1's NN
+        # is 2, mismatch), (2's NN is 1, mismatch) -> 1 match of 3.
+        accuracy = feature_stripping_accuracy(features, labels, k=1)
+        assert accuracy == pytest.approx(1.0 / 3.0)
+
+    def test_k_default_is_three(self):
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(20, 2))
+        labels = rng.integers(0, 2, size=20)
+        assert feature_stripping_accuracy(features, labels) == pytest.approx(
+            feature_stripping_accuracy(features, labels, k=3)
+        )
+
+    def test_accuracy_in_unit_interval(self, small_dataset):
+        accuracy = feature_stripping_accuracy(
+            small_dataset.features, small_dataset.labels
+        )
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError, match="labels"):
+            feature_stripping_accuracy(np.zeros((4, 2)), np.zeros(3))
+
+    def test_rejects_k_too_large(self):
+        with pytest.raises(ValueError, match="k must"):
+            feature_stripping_accuracy(np.zeros((4, 2)), np.zeros(4), k=4)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError, match="two points"):
+            feature_stripping_accuracy(np.zeros((1, 2)), np.zeros(1), k=1)
+
+    def test_invariant_to_rotation(self, rng, small_dataset):
+        # Euclidean k-NN is rotation-invariant; so is the accuracy.
+        d = small_dataset.n_dims
+        q, _ = np.linalg.qr(rng.normal(size=(d, d)))
+        a = feature_stripping_accuracy(
+            small_dataset.features, small_dataset.labels
+        )
+        b = feature_stripping_accuracy(
+            small_dataset.features @ q, small_dataset.labels
+        )
+        assert a == pytest.approx(b)
+
+    def test_higher_on_concept_space_than_noise(self, small_dataset):
+        # Reducing to the planted concepts must beat adding pure noise.
+        from repro.core.reducer import CoherenceReducer
+
+        concepts = CoherenceReducer(n_components=4, scale=True).fit_transform(
+            small_dataset.features
+        )
+        rng = np.random.default_rng(3)
+        noisy = np.hstack(
+            [concepts, rng.normal(size=(small_dataset.n_samples, 40)) * 3.0]
+        )
+        assert feature_stripping_accuracy(
+            concepts, small_dataset.labels
+        ) > feature_stripping_accuracy(noisy, small_dataset.labels)

@@ -1,0 +1,85 @@
+"""Tests for precision/recall against full-dimensional neighbors."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.precision_recall import (
+    neighbor_overlap,
+    neighbor_precision_recall,
+)
+
+
+class TestNeighborOverlap:
+    def test_identical_representations_full_overlap(self, rng):
+        features = rng.normal(size=(30, 4))
+        overlaps = neighbor_overlap(features, features.copy(), k=5)
+        assert np.all(overlaps == 5)
+
+    def test_rotation_preserves_neighbors(self, rng):
+        features = rng.normal(size=(30, 4))
+        q, _ = np.linalg.qr(rng.normal(size=(4, 4)))
+        overlaps = neighbor_overlap(features, features @ q, k=5)
+        assert np.all(overlaps == 5)
+
+    def test_unrelated_representations_low_overlap(self, rng):
+        a = rng.normal(size=(100, 5))
+        b = rng.normal(size=(100, 5))
+        overlaps = neighbor_overlap(a, b, k=3)
+        assert overlaps.mean() < 1.0
+
+    def test_overlap_bounds(self, rng):
+        a = rng.normal(size=(20, 3))
+        b = a + 0.5 * rng.normal(size=(20, 3))
+        overlaps = neighbor_overlap(a, b, k=4)
+        assert np.all(overlaps >= 0)
+        assert np.all(overlaps <= 4)
+
+    def test_rejects_row_mismatch(self, rng):
+        with pytest.raises(ValueError, match="same points"):
+            neighbor_overlap(rng.normal(size=(5, 2)), rng.normal(size=(6, 2)), k=1)
+
+    def test_rejects_bad_k(self, rng):
+        features = rng.normal(size=(5, 2))
+        with pytest.raises(ValueError, match="k must"):
+            neighbor_overlap(features, features, k=5)
+
+    def test_different_widths_allowed(self, rng):
+        # The whole point: compare full-dim vs reduced representations.
+        full = rng.normal(size=(25, 8))
+        reduced = full[:, :2]
+        overlaps = neighbor_overlap(full, reduced, k=3)
+        assert overlaps.shape == (25,)
+
+
+class TestNeighborPrecisionRecall:
+    def test_equal_precision_and_recall(self, rng):
+        a = rng.normal(size=(40, 4))
+        b = a + 0.1 * rng.normal(size=(40, 4))
+        precision, recall = neighbor_precision_recall(a, b, k=3)
+        assert precision == recall
+
+    def test_perfect_score(self, rng):
+        features = rng.normal(size=(20, 3))
+        precision, _ = neighbor_precision_recall(features, features, k=2)
+        assert precision == 1.0
+
+    def test_in_unit_interval(self, rng):
+        a, b = rng.normal(size=(30, 4)), rng.normal(size=(30, 4))
+        precision, _ = neighbor_precision_recall(a, b, k=3)
+        assert 0.0 <= precision <= 1.0
+
+    def test_aggressive_reduction_low_precision_better_quality(self):
+        # The paper's headline contrast: the coherence-optimal reduction
+        # keeps few of the original neighbors yet predicts labels better.
+        from repro.core.reducer import CoherenceReducer
+        from repro.datasets.uci_like import noisy_dataset_a
+        from repro.evaluation.feature_stripping import feature_stripping_accuracy
+
+        noisy = noisy_dataset_a(seed=0)
+        reducer = CoherenceReducer(n_components=4, ordering="coherence")
+        reduced = reducer.fit_transform(noisy.features)
+        precision, _ = neighbor_precision_recall(noisy.features, reduced, k=3)
+        assert precision < 0.5  # far from mirroring the original neighbors
+        reduced_accuracy = feature_stripping_accuracy(reduced, noisy.labels)
+        full_accuracy = feature_stripping_accuracy(noisy.features, noisy.labels)
+        assert reduced_accuracy > full_accuracy + 0.1

@@ -1,0 +1,171 @@
+"""Tests for the extended evaluation protocols."""
+
+import numpy as np
+import pytest
+
+from repro.core.reducer import CoherenceReducer
+from repro.evaluation.feature_stripping import feature_stripping_accuracy
+from repro.evaluation.protocols import (
+    bootstrap_confidence_interval,
+    holdout_accuracy,
+    per_class_accuracy,
+    train_query_split,
+)
+
+
+class TestTrainQuerySplit:
+    def test_disjoint_and_complete(self):
+        train, query = train_query_split(100, query_fraction=0.3, seed=0)
+        assert not set(train.tolist()) & set(query.tolist())
+        assert sorted(train.tolist() + query.tolist()) == list(range(100))
+
+    def test_fraction_respected(self):
+        train, query = train_query_split(200, query_fraction=0.25, seed=1)
+        assert query.size == 50
+        assert train.size == 150
+
+    def test_deterministic(self):
+        a = train_query_split(50, seed=3)
+        b = train_query_split(50, seed=3)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_tiny_dataset_keeps_one_each(self):
+        train, query = train_query_split(2, query_fraction=0.9, seed=0)
+        assert train.size == 1
+        assert query.size == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            train_query_split(1)
+        with pytest.raises(ValueError):
+            train_query_split(10, query_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_query_split(10, query_fraction=1.0)
+
+
+class TestHoldoutAccuracy:
+    def test_separable_data_scores_high(self, small_dataset):
+        reducer = CoherenceReducer(n_components=4, scale=True)
+        accuracy = holdout_accuracy(reducer, small_dataset, seed=0)
+        assert accuracy > 0.8
+
+    def test_tracks_leave_one_out_roughly(self, ionosphere):
+        reducer = CoherenceReducer(n_components=8, scale=True)
+        held_out = holdout_accuracy(reducer, ionosphere, seed=0)
+        loo = feature_stripping_accuracy(
+            CoherenceReducer(n_components=8, scale=True).fit_transform(
+                ionosphere.features
+            ),
+            ionosphere.labels,
+        )
+        assert abs(held_out - loo) < 0.12
+
+    def test_works_with_baseline_reducers(self, small_dataset):
+        from repro.baselines.random_projection import RandomProjectionReducer
+
+        accuracy = holdout_accuracy(
+            RandomProjectionReducer(n_components=4, seed=0), small_dataset
+        )
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_deterministic_given_seed(self, small_dataset):
+        a = holdout_accuracy(
+            CoherenceReducer(n_components=3), small_dataset, seed=5
+        )
+        b = holdout_accuracy(
+            CoherenceReducer(n_components=3), small_dataset, seed=5
+        )
+        assert a == b
+
+
+class TestPerClassAccuracy:
+    def test_keys_are_the_classes(self, small_dataset):
+        breakdown = per_class_accuracy(
+            small_dataset.features, small_dataset.labels
+        )
+        assert set(breakdown) == set(
+            np.unique(small_dataset.labels).tolist()
+        )
+
+    def test_values_in_unit_interval(self, small_dataset):
+        breakdown = per_class_accuracy(
+            small_dataset.features, small_dataset.labels
+        )
+        for value in breakdown.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_weighted_mean_recovers_aggregate(self, small_dataset):
+        breakdown = per_class_accuracy(
+            small_dataset.features, small_dataset.labels, k=3
+        )
+        counts = small_dataset.class_counts()
+        weighted = sum(
+            breakdown[c] * counts[c] for c in breakdown
+        ) / small_dataset.n_samples
+        aggregate = feature_stripping_accuracy(
+            small_dataset.features, small_dataset.labels, k=3
+        )
+        assert weighted == pytest.approx(aggregate, abs=1e-12)
+
+    def test_detects_a_destroyed_minority_class(self, rng):
+        # Majority class separable, minority buried inside it.
+        majority = rng.normal(size=(90, 4))
+        minority = rng.normal(size=(10, 4)) * 0.9  # overlapping
+        features = np.vstack([majority, minority])
+        labels = np.array([0] * 90 + [1] * 10)
+        breakdown = per_class_accuracy(features, labels, k=3)
+        assert breakdown[0] > breakdown[1]
+
+    def test_rejects_bad_k(self, small_dataset):
+        with pytest.raises(ValueError, match="k must"):
+            per_class_accuracy(
+                small_dataset.features,
+                small_dataset.labels,
+                k=small_dataset.n_samples,
+            )
+
+
+class TestBootstrapConfidenceInterval:
+    def test_interval_contains_estimate(self, small_dataset):
+        estimate, lower, upper = bootstrap_confidence_interval(
+            small_dataset.features, small_dataset.labels, seed=0
+        )
+        assert lower <= estimate <= upper
+
+    def test_estimate_matches_direct_accuracy(self, small_dataset):
+        estimate, _, _ = bootstrap_confidence_interval(
+            small_dataset.features, small_dataset.labels, k=3, seed=0
+        )
+        direct = feature_stripping_accuracy(
+            small_dataset.features, small_dataset.labels, k=3
+        )
+        assert estimate == pytest.approx(direct, abs=1e-12)
+
+    def test_higher_confidence_wider_interval(self, small_dataset):
+        _, lo90, hi90 = bootstrap_confidence_interval(
+            small_dataset.features, small_dataset.labels, confidence=0.9, seed=0
+        )
+        _, lo99, hi99 = bootstrap_confidence_interval(
+            small_dataset.features, small_dataset.labels, confidence=0.99, seed=0
+        )
+        assert (hi99 - lo99) >= (hi90 - lo90)
+
+    def test_deterministic_given_seed(self, small_dataset):
+        a = bootstrap_confidence_interval(
+            small_dataset.features, small_dataset.labels, seed=2
+        )
+        b = bootstrap_confidence_interval(
+            small_dataset.features, small_dataset.labels, seed=2
+        )
+        assert a == b
+
+    def test_rejects_bad_parameters(self, small_dataset):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval(
+                small_dataset.features, small_dataset.labels, confidence=1.0
+            )
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval(
+                small_dataset.features, small_dataset.labels, n_resamples=0
+            )

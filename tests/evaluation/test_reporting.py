@@ -1,0 +1,97 @@
+"""Tests for the plain-text reporting helpers."""
+
+import pytest
+
+from repro.evaluation.reporting import (
+    format_series,
+    format_table,
+    render_ascii_chart,
+)
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["bb", 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "---" in lines[1]
+        assert "1.2346" in lines[2]
+        assert "bb" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_column_alignment(self):
+        text = format_table(["a", "b"], [["xxxxx", "y"], ["z", "wwwww"]])
+        lines = text.splitlines()
+        # All rows share the same width.
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="headers"):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_multiple_series(self):
+        text = format_series(
+            [1, 2, 3],
+            {"scaled": [0.1, 0.2, 0.3], "raw": [0.0, 0.1, 0.2]},
+            x_label="dims",
+        )
+        lines = text.splitlines()
+        assert "dims" in lines[0]
+        assert "scaled" in lines[0]
+        assert "raw" in lines[0]
+        assert len(lines) == 2 + 3
+
+    def test_rejects_misaligned_series(self):
+        with pytest.raises(ValueError, match="values for"):
+            format_series([1, 2], {"a": [0.1]})
+
+
+class TestRenderAsciiChart:
+    def test_contains_markers_and_legend(self):
+        text = render_ascii_chart(
+            [1, 2, 3, 4], {"accuracy": [0.1, 0.5, 0.9, 0.7]}, height=6, width=30
+        )
+        assert "*" in text
+        assert "accuracy" in text
+
+    def test_two_series_get_distinct_markers(self):
+        text = render_ascii_chart(
+            [1, 2], {"a": [0.0, 1.0], "b": [1.0, 0.0]}, height=5, width=20
+        )
+        assert "* = a" in text
+        assert "o = b" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = render_ascii_chart([1, 2, 3], {"flat": [0.5, 0.5, 0.5]})
+        assert "flat" in text
+
+    def test_single_point(self):
+        text = render_ascii_chart([1], {"p": [0.3]})
+        assert "p" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_ascii_chart([], {"a": []})
+        with pytest.raises(ValueError):
+            render_ascii_chart([1], {})
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError, match="aligned"):
+            render_ascii_chart([1, 2], {"a": [1.0]})
+
+    def test_title_line(self):
+        text = render_ascii_chart([1, 2], {"a": [0.0, 1.0]}, title="Figure 5")
+        assert text.splitlines()[0] == "Figure 5"

@@ -1,0 +1,115 @@
+"""Tests for the nearest-neighbor stability diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.stability import (
+    nearest_neighbor_churn,
+    rank_displacement,
+)
+
+
+class TestNearestNeighborChurn:
+    def test_zero_epsilon_zero_churn(self, rng):
+        corpus = rng.normal(size=(80, 5))
+        assert nearest_neighbor_churn(corpus, epsilon=0.0, seed=0) == 0.0
+
+    def test_churn_in_unit_interval(self, rng):
+        corpus = rng.uniform(size=(100, 20))
+        churn = nearest_neighbor_churn(corpus, epsilon=0.5, seed=0)
+        assert 0.0 <= churn <= 1.0
+
+    def test_adversarial_churn_grows_with_dimensionality(self, rng):
+        low = nearest_neighbor_churn(
+            rng.uniform(size=(300, 2)), epsilon=0.3, direction="away", seed=0
+        )
+        high = nearest_neighbor_churn(
+            rng.uniform(size=(300, 100)), epsilon=0.3, direction="away", seed=0
+        )
+        assert high >= low
+
+    def test_clusters_bound_the_damage(self, rng):
+        # Tight, far-apart clusters: the exact top-k set may churn
+        # (within a tight blob all members are near-equidistant), but
+        # the old nearest neighbor stays *nearby in rank* — the query
+        # cannot leave its cluster, unlike the uniform high-d case
+        # where the old NN ends up near the far end of the ranking.
+        centers = rng.normal(size=(5, 4)) * 100.0
+        labels = rng.integers(0, 5, size=150)
+        corpus = centers[labels] + rng.normal(size=(150, 4)) * 0.01
+        displaced = rank_displacement(
+            corpus, epsilon=0.5, direction="away", seed=0
+        )
+        # Bounded by (roughly) the cluster size fraction, not ~0.9.
+        assert displaced < 0.25
+
+    def test_direction_validated(self, rng):
+        with pytest.raises(ValueError, match="direction"):
+            nearest_neighbor_churn(
+                rng.normal(size=(10, 2)), direction="toward"
+            )
+
+    def test_rejects_bad_epsilon(self, rng):
+        with pytest.raises(ValueError, match="epsilon"):
+            nearest_neighbor_churn(rng.normal(size=(10, 2)), epsilon=-1.0)
+
+    def test_rejects_tiny_corpus(self):
+        with pytest.raises(ValueError, match="3 corpus"):
+            nearest_neighbor_churn(np.zeros((2, 2)))
+
+    def test_deterministic(self, rng):
+        corpus = rng.normal(size=(60, 6))
+        assert nearest_neighbor_churn(corpus, seed=4) == nearest_neighbor_churn(
+            corpus, seed=4
+        )
+
+
+class TestRankDisplacement:
+    def test_zero_epsilon_zero_displacement(self, rng):
+        corpus = rng.normal(size=(80, 5))
+        assert rank_displacement(corpus, epsilon=0.0, seed=0) == 0.0
+
+    def test_paper_claim_nearest_becomes_farthest(self, rng):
+        # Section 1.1, verbatim: in high dimensionality the adversarial
+        # perturbation pushes the old nearest neighbor toward the far
+        # end of the ranking.
+        corpus = rng.uniform(size=(400, 150))
+        displaced = rank_displacement(
+            corpus, epsilon=0.5, direction="away", seed=0
+        )
+        assert displaced > 0.4
+
+    def test_random_direction_is_benign_in_high_d(self, rng):
+        corpus = rng.uniform(size=(400, 150))
+        displaced = rank_displacement(
+            corpus, epsilon=0.5, direction="random", seed=0
+        )
+        assert displaced < 0.1
+
+    def test_low_dimensionality_is_stable(self, rng):
+        corpus = rng.uniform(size=(400, 2))
+        displaced = rank_displacement(
+            corpus, epsilon=0.5, direction="away", seed=0
+        )
+        assert displaced < 0.05
+
+    def test_value_range(self, rng):
+        corpus = rng.normal(size=(50, 10))
+        value = rank_displacement(corpus, epsilon=1.0, seed=0)
+        assert 0.0 <= value < 1.0
+
+    def test_reduction_restores_stability(self):
+        # The operational consequence: the coherence-reduced musk space
+        # is far more stable than the full space.
+        from repro.core.reducer import CoherenceReducer
+        from repro.datasets.uci_like import musk_like
+        from repro.linalg.pca import fit_pca
+
+        data = musk_like(seed=0)
+        full = fit_pca(data.features, scale=True).transform(data.features)
+        reduced = CoherenceReducer(
+            n_components=13, ordering="coherence", scale=True
+        ).fit_transform(data.features)
+        assert rank_displacement(reduced, 0.5, seed=0) < rank_displacement(
+            full, 0.5, seed=0
+        )

@@ -1,0 +1,61 @@
+"""Tests for the Table-1 reduction summary."""
+
+import pytest
+
+from repro.evaluation.summary import reduction_summary
+
+
+class TestReductionSummary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        from repro.datasets.uci_like import ionosphere_like
+
+        return reduction_summary(ionosphere_like(seed=0))
+
+    def test_full_dimensionality(self, summary):
+        assert summary.full_dimensionality == 34
+
+    def test_optimal_beats_full(self, summary):
+        assert summary.optimal_accuracy >= summary.full_accuracy
+
+    def test_optimal_dimensionality_is_low(self, summary):
+        # The headline of Table 1: the optimum sits far below full rank.
+        assert summary.optimal_dimensionality < summary.full_dimensionality / 2
+
+    def test_threshold_keeps_nearly_everything(self, summary):
+        # 1%-thresholding is conservative: dimensionality close to full.
+        assert summary.threshold_dimensionality > summary.optimal_dimensionality
+        assert summary.threshold_accuracy <= summary.optimal_accuracy
+
+    def test_threshold_accuracy_close_to_full(self, summary):
+        assert summary.threshold_accuracy == pytest.approx(
+            summary.full_accuracy, abs=0.05
+        )
+
+    def test_variance_discarded_at_optimum(self, summary):
+        # Aggressive reduction throws away much of the variance.
+        assert summary.variance_retained_at_optimum < 0.9
+
+    def test_precision_at_optimum_is_low(self, summary):
+        # ... and does not try to mirror the original neighbors.
+        assert summary.precision_at_optimum < 0.8
+
+    def test_sweep_attached(self, summary):
+        assert summary.sweep.dataset_name == summary.dataset_name
+        assert summary.sweep.accuracy_at(
+            summary.optimal_dimensionality
+        ) == pytest.approx(summary.optimal_accuracy)
+
+    def test_coherence_ordering_variant(self):
+        from repro.datasets.uci_like import ionosphere_like
+
+        summary = reduction_summary(
+            ionosphere_like(seed=0), ordering="coherence"
+        )
+        assert summary.optimal_accuracy >= summary.full_accuracy
+        assert 0.0 <= summary.threshold_accuracy <= 1.0
+
+    def test_small_dataset_runs(self, small_dataset):
+        summary = reduction_summary(small_dataset, scale=False)
+        assert summary.full_dimensionality == small_dataset.n_dims
+        assert 1 <= summary.optimal_dimensionality <= small_dataset.n_dims

@@ -1,0 +1,110 @@
+"""Tests for the accuracy-vs-dimensionality sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.feature_stripping import feature_stripping_accuracy
+from repro.evaluation.sweeps import accuracy_sweep
+from repro.linalg.pca import fit_pca
+
+
+class TestAccuracySweep:
+    def test_grid_defaults_to_every_dimensionality(self, small_dataset):
+        sweep = accuracy_sweep(small_dataset)
+        assert list(sweep.dims) == list(range(1, small_dataset.n_dims + 1))
+        assert sweep.accuracies.shape == sweep.dims.shape
+
+    def test_custom_grid(self, small_dataset):
+        sweep = accuracy_sweep(small_dataset, dims=[1, 5, 20])
+        assert list(sweep.dims) == [1, 5, 20]
+
+    def test_grid_deduplicated_and_sorted(self, small_dataset):
+        sweep = accuracy_sweep(small_dataset, dims=[5, 1, 5])
+        assert list(sweep.dims) == [1, 5]
+
+    def test_rejects_out_of_range_grid(self, small_dataset):
+        with pytest.raises(ValueError, match="dims"):
+            accuracy_sweep(small_dataset, dims=[0, 3])
+        with pytest.raises(ValueError, match="dims"):
+            accuracy_sweep(small_dataset, dims=[small_dataset.n_dims + 1])
+
+    def test_rejects_unknown_ordering(self, small_dataset):
+        with pytest.raises(ValueError, match="ordering"):
+            accuracy_sweep(small_dataset, ordering="best")
+
+    def test_incremental_accuracy_matches_direct_measurement(self, small_dataset):
+        # The rank-1-update trick must give exactly the same numbers as
+        # projecting to m components and measuring from scratch.
+        sweep = accuracy_sweep(small_dataset, ordering="eigenvalue", scale=True)
+        pca = fit_pca(small_dataset.features, scale=True)
+        for m in (1, 4, 11, small_dataset.n_dims):
+            reduced = pca.transform(
+                small_dataset.features,
+                component_indices=sweep.component_order[:m],
+            )
+            direct = feature_stripping_accuracy(reduced, small_dataset.labels)
+            assert sweep.accuracy_at(m) == pytest.approx(direct, abs=1e-12)
+
+    def test_coherence_order_matches_direct_measurement(self, small_dataset):
+        sweep = accuracy_sweep(small_dataset, ordering="coherence", scale=False)
+        pca = fit_pca(small_dataset.features, scale=False)
+        m = 3
+        reduced = pca.transform(
+            small_dataset.features, component_indices=sweep.component_order[:m]
+        )
+        direct = feature_stripping_accuracy(reduced, small_dataset.labels)
+        assert sweep.accuracy_at(m) == pytest.approx(direct, abs=1e-12)
+
+    def test_full_dimensional_accuracy_equals_raw_accuracy(self, small_dataset):
+        # Keeping every component is a rotation; accuracy must equal the
+        # (centered) original data's accuracy.
+        sweep = accuracy_sweep(small_dataset, scale=False)
+        raw = feature_stripping_accuracy(
+            small_dataset.features, small_dataset.labels
+        )
+        assert sweep.full_dimensional_accuracy == pytest.approx(raw, abs=1e-12)
+
+    def test_optimal_returns_first_maximum(self):
+        from dataclasses import replace
+
+        sweep = accuracy_sweep(
+            _tiny_dataset(), dims=[1, 2, 3], ordering="eigenvalue"
+        )
+        # Construct a plateau by hand to pin the first-maximum rule.
+        rigged = replace(
+            sweep,
+            dims=np.array([1, 2, 3]),
+            accuracies=np.array([0.5, 0.9, 0.9]),
+        )
+        assert rigged.optimal() == (2, 0.9)
+
+    def test_accuracy_at_unmeasured_raises(self, small_dataset):
+        sweep = accuracy_sweep(small_dataset, dims=[1, 5])
+        with pytest.raises(ValueError, match="not measured"):
+            sweep.accuracy_at(3)
+
+    def test_metadata_fields(self, small_dataset):
+        sweep = accuracy_sweep(small_dataset, ordering="coherence", scale=True)
+        assert sweep.ordering == "coherence"
+        assert sweep.scaled is True
+        assert sweep.dataset_name == small_dataset.name
+        assert sweep.component_order.size == small_dataset.n_dims
+
+    def test_component_order_is_permutation(self, small_dataset):
+        sweep = accuracy_sweep(small_dataset, ordering="coherence")
+        assert sorted(sweep.component_order.tolist()) == list(
+            range(small_dataset.n_dims)
+        )
+
+    def test_concept_count_suffices_on_planted_data(self, small_dataset):
+        # With 4 planted concepts, retaining 4 scaled components should
+        # already be within a whisker of the best the curve reaches.
+        sweep = accuracy_sweep(small_dataset, ordering="eigenvalue", scale=True)
+        _, best = sweep.optimal()
+        assert sweep.accuracy_at(4) >= best - 0.05
+
+
+def _tiny_dataset():
+    from repro.datasets.synthetic import latent_concept_dataset
+
+    return latent_concept_dataset(40, 3, 2, seed=0)

@@ -1,0 +1,62 @@
+"""Contract tests for ablation experiment runners.
+
+The benchmark harness asserts the qualitative shapes; these tests pin
+the *structure* of the returned data — what a programmatic caller can
+rely on — on the fast runners (the heavy ones are exercised by the
+benches, which run in the same CI invocation).
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestFastAblationContracts:
+    def test_eigensolver_fields(self):
+        result = run_experiment("abl-eigensolver")
+        assert set(result.data) == {"spectrum_gap", "trace_gap"}
+        assert result.data["spectrum_gap"] >= 0.0
+        assert "jacobi" in result.report
+
+    def test_fractional_rows_shape(self):
+        result = run_experiment("abl-fractional")
+        rows = result.data["rows"]
+        assert [row[0] for row in rows] == [2, 10, 50, 200]
+        for row in rows:
+            assert len(row) == 5  # d + four metrics
+            assert all(value > 0 for value in row[1:])
+
+    def test_igrid_rows_labelled(self):
+        result = run_experiment("abl-igrid")
+        labels = [row[0] for row in result.data["rows"]]
+        assert any("IGrid" in label for label in labels)
+        assert any("coherence-reduced" in label for label in labels)
+        for _, accuracy in result.data["rows"]:
+            assert 0.0 <= accuracy <= 1.0
+
+    def test_text_rows_cover_budgets(self):
+        result = run_experiment("abl-text")
+        names = [row[0] for row in result.data["rows"]]
+        assert names[0] == "raw TF-IDF"
+        assert "LSI (k=5)" in names
+        assert result.data["coherence"].shape == (5,)
+
+    def test_baselines_row_layout(self):
+        result = run_experiment("abl-baselines")
+        rows = result.data["rows"]
+        assert [row[0] for row in rows] == ["ionosphere", "noisy-A"]
+        for row in rows:
+            # name, budget, 4 reducers, full-dim = 7 cells.
+            assert len(row) == 7
+
+    def test_seeds_are_honored(self):
+        a = run_experiment("abl-eigensolver", seed=0)
+        b = run_experiment("abl-eigensolver", seed=1)
+        # Different seeds build different datasets; the *contract*
+        # (near-zero gap) holds for both.
+        assert a.data["spectrum_gap"] < 1e-9
+        assert b.data["spectrum_gap"] < 1e-9
+
+    def test_unknown_ablation_id_raises(self):
+        with pytest.raises(KeyError, match="abl-contrast"):
+            run_experiment("abl-nonexistent")

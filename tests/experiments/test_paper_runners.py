@@ -1,0 +1,81 @@
+"""Tests for the paper experiment runners' structure and contracts."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import paper
+from repro.experiments.data import dataset
+
+
+class TestScatterRunner:
+    def test_top_limits_rows(self):
+        result = paper.scatter_experiment("ionosphere", seed=0, top=5)
+        # header + separator + 5 rows, then trailing commentary lines.
+        lines = result.report.splitlines()
+        assert "top 5 of 34" in lines[0]
+        assert "noise tail" in result.report
+
+    def test_top_none_prints_everything(self):
+        result = paper.scatter_experiment("ionosphere", seed=0, top=None)
+        assert "top 34 of 34" in result.report
+        assert "noise tail" not in result.report  # no tail left to summarize
+
+    def test_data_alignment(self):
+        result = paper.scatter_experiment("musk", seed=0)
+        analysis = result.data["analysis"]
+        assert analysis.eigenvalues.size == analysis.coherence_probabilities.size
+        assert result.data["n_concepts"] == 13
+
+
+class TestScalingRunner:
+    def test_lift_consistency(self):
+        result = paper.scaling_experiment("arrhythmia", seed=0)
+        assert result.data["lift"] == pytest.approx(
+            result.data["scaled_top_cp"] - result.data["raw_top_cp"]
+        )
+
+    def test_report_mentions_both_curves(self):
+        result = paper.scaling_experiment("musk", seed=0)
+        assert "raw CP" in result.report
+        assert "scaled CP" in result.report
+
+
+class TestQualityRunner:
+    def test_optima_match_sweeps(self):
+        result = paper.quality_experiment("ionosphere", seed=0)
+        assert result.data["scaled_optimum"] == result.data["scaled"].optimal()
+        assert result.data["raw_optimum"] == result.data["raw"].optimal()
+
+    def test_report_has_chart_and_numbers(self):
+        result = paper.quality_experiment("ionosphere", seed=0)
+        assert "curve shapes" in result.report
+        assert "full-dim" in result.report
+
+
+class TestNoisyRunners:
+    def test_scatter_names_corruption(self):
+        result = paper.noisy_scatter_experiment("noisy-A", seed=0)
+        assert result.data["n_corrupted"] == len(
+            dataset("noisy-A", 0).metadata["corrupted_dims"]
+        )
+        assert "planted noise" in result.report
+
+    def test_ordering_exposes_retained_set(self):
+        result = paper.noisy_ordering_experiment("noisy-B", seed=0)
+        dims, _ = result.data["coherent_optimum"]
+        assert len(result.data["retained_indices"]) == dims
+        assert 0.0 <= result.data["variance_kept_at_optimum"] <= 1.0
+
+
+class TestSubsample:
+    def test_short_grid_untouched(self):
+        grid = np.arange(10)
+        assert np.array_equal(paper._subsample(grid, max_points=24), grid)
+
+    def test_long_grid_thinned_with_endpoints(self):
+        grid = np.arange(200)
+        thinned = paper._subsample(grid, max_points=24)
+        assert thinned.size <= 24
+        assert thinned[0] == 0
+        assert thinned[-1] == 199
+        assert np.all(np.diff(thinned) > 0)

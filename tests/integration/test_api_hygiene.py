@@ -1,0 +1,114 @@
+"""API hygiene: documentation and error-behaviour contracts.
+
+Two cross-cutting guarantees a downstream user relies on:
+
+* every public module, class, function, and method carries a docstring;
+* bad input (NaN, wrong shape, empty) raises ``ValueError`` with a
+  readable message — never a silent wrong answer, never a numpy
+  broadcasting traceback from deep inside.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def _public_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "._" not in info.name:
+            names.append(info.name)
+    return names
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module_name", _public_modules())
+    def test_module_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), module_name
+
+    @pytest.mark.parametrize("module_name", _public_modules())
+    def test_public_items_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for name, item in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(item) or inspect.isfunction(item)):
+                continue
+            if getattr(item, "__module__", None) != module_name:
+                continue  # re-exports are documented at their source
+            if not (item.__doc__ and item.__doc__.strip()):
+                undocumented.append(name)
+            if inspect.isclass(item):
+                for method_name, method in vars(item).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if not inspect.isfunction(method):
+                        continue
+                    if not (method.__doc__ and method.__doc__.strip()):
+                        undocumented.append(f"{name}.{method_name}")
+        assert not undocumented, f"{module_name}: {undocumented}"
+
+
+class TestErrorContracts:
+    """Bad input raises ValueError, uniformly."""
+
+    def test_nan_features_rejected_everywhere(self):
+        bad = np.array([[1.0, np.nan], [0.0, 1.0]])
+        labels = np.array([0, 1])
+        from repro import (
+            CoherenceReducer,
+            diagnose_reducibility,
+            feature_stripping_accuracy,
+            fit_pca,
+        )
+        from repro.search import BruteForceIndex, KdTreeIndex
+
+        for action in (
+            lambda: fit_pca(bad),
+            lambda: CoherenceReducer(n_components=1).fit(bad),
+            lambda: diagnose_reducibility(bad),
+            lambda: feature_stripping_accuracy(bad, labels),
+            lambda: BruteForceIndex(bad),
+            lambda: KdTreeIndex(bad),
+        ):
+            with pytest.raises(ValueError):
+                action()
+
+    def test_shape_mismatches_rejected_everywhere(self):
+        good = np.random.default_rng(0).normal(size=(10, 3))
+        from repro import CoherenceReducer
+        from repro.search import BruteForceIndex
+
+        reducer = CoherenceReducer(n_components=2).fit(good)
+        with pytest.raises(ValueError):
+            reducer.transform(np.zeros((2, 4)))
+        index = BruteForceIndex(good)
+        with pytest.raises(ValueError):
+            index.query(np.zeros(4), k=1)
+
+    def test_empty_inputs_rejected_everywhere(self):
+        from repro import fit_pca
+        from repro.search import BruteForceIndex
+        from repro.text import CountVectorizer
+
+        with pytest.raises(ValueError):
+            fit_pca(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            BruteForceIndex(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            CountVectorizer().fit([[]])
+
+    def test_error_messages_name_the_problem(self):
+        from repro import fit_pca
+
+        with pytest.raises(ValueError, match="finite"):
+            fit_pca(np.array([[np.inf, 0.0], [1.0, 2.0]]))
+        with pytest.raises(ValueError, match="2-d"):
+            fit_pca(np.ones(5))

@@ -1,0 +1,85 @@
+"""Smoke tests: every example script runs and tells its story.
+
+Examples are user-facing documentation; a broken example is a broken
+promise.  Each test runs the script in a subprocess (exactly as a user
+would) and checks for its key conclusion in the output.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "examples",
+)
+
+
+def _run(script: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "diagnosis: reducible" in out
+        assert "improved the quality" in out
+
+    def test_noisy_data_rescue(self):
+        out = _run("noisy_data_rescue.py")
+        assert "planted noise" in out
+        assert "coherence ordering peaks" in out
+
+    def test_index_acceleration(self):
+        out = _run("index_acceleration.py")
+        assert "PRUNED" in out
+        assert "kd-tree" in out
+
+    def test_scaling_matters(self):
+        out = _run("scaling_matters.py")
+        assert "correlation PCA" in out
+        assert "studentized" in out
+
+    def test_dynamic_stream(self):
+        out = _run("dynamic_stream.py")
+        assert "refits=" in out
+        assert "drift-refit basis" in out
+
+    def test_text_concepts(self):
+        out = _run("text_concepts.py")
+        assert "semantic concept" in out
+        assert "topic accuracy" in out
+
+    def test_bring_your_own_data(self):
+        out = _run("bring_your_own_data.py")
+        assert "automatic cut-off kept" in out
+        assert "reloaded reducer answers queries" in out
+
+    def test_every_example_has_a_test(self):
+        scripts = {
+            name
+            for name in os.listdir(_EXAMPLES_DIR)
+            if name.endswith(".py")
+        }
+        tested = {
+            "quickstart.py",
+            "noisy_data_rescue.py",
+            "index_acceleration.py",
+            "scaling_matters.py",
+            "dynamic_stream.py",
+            "text_concepts.py",
+            "bring_your_own_data.py",
+        }
+        assert scripts == tested, (
+            "examples/ and this test file drifted apart; add a smoke test "
+            f"for: {scripts - tested}"
+        )

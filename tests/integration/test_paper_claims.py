@@ -1,0 +1,219 @@
+"""Integration tests pinning the paper's experimental claims.
+
+Each test asserts a *shape* from the evaluation section — who wins, in
+which regime, roughly where the crossovers fall — on the seeded synthetic
+stand-ins.  These are the claims EXPERIMENTS.md records; if a generator
+or algorithm change breaks one of them, the reproduction has drifted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.coherence import UNIFORM_BASELINE_CP, analyze_coherence
+from repro.core.diagnosis import diagnose_reducibility
+from repro.datasets.uci_like import (
+    arrhythmia_like,
+    ionosphere_like,
+    musk_like,
+    noisy_dataset_a,
+    noisy_dataset_b,
+)
+from repro.evaluation.summary import reduction_summary
+from repro.evaluation.sweeps import accuracy_sweep
+from repro.linalg.pca import fit_pca
+
+
+@pytest.fixture(scope="module")
+def noisy_a():
+    return noisy_dataset_a(seed=0)
+
+
+@pytest.fixture(scope="module")
+def noisy_b():
+    return noisy_dataset_b(seed=0)
+
+
+class TestCleanDatasetClaims:
+    """Sections 4, Figures 3-11 and Table 1."""
+
+    @pytest.mark.parametrize("make", [musk_like, ionosphere_like, arrhythmia_like])
+    def test_eigenvalue_and_coherence_agree_on_clean_data(self, make):
+        # "In all the data sets ... the coherence probability is very
+        # closely correlated with the absolute eigenvalues."
+        data = make(seed=0)
+        analysis = analyze_coherence(fit_pca(data.features, scale=True), data.features)
+        assert analysis.rank_correlation() > 0.6
+
+    @pytest.mark.parametrize("make", [musk_like, ionosphere_like, arrhythmia_like])
+    def test_optimal_accuracy_beats_full_dimensionality(self, make):
+        summary = reduction_summary(make(seed=0))
+        assert summary.optimal_accuracy > summary.full_accuracy
+
+    @pytest.mark.parametrize("make", [musk_like, ionosphere_like, arrhythmia_like])
+    def test_optimal_dimensionality_far_below_threshold_rule(self, make):
+        # Table 1: "the optimal accuracy dimensionality is significantly
+        # lower than the 1%-thresholding method ... quite close to the
+        # full dimensionality."
+        summary = reduction_summary(make(seed=0))
+        assert summary.optimal_dimensionality <= summary.threshold_dimensionality / 2
+        assert summary.threshold_dimensionality >= summary.full_dimensionality / 2
+
+    @pytest.mark.parametrize("make", [musk_like, ionosphere_like, arrhythmia_like])
+    def test_threshold_accuracy_close_to_full_but_below_optimal(self, make):
+        summary = reduction_summary(make(seed=0))
+        assert abs(summary.threshold_accuracy - summary.full_accuracy) < 0.05
+        assert summary.threshold_accuracy < summary.optimal_accuracy
+
+    def test_musk_optimum_near_thirteen(self):
+        # Figure 5: "optimal qualitative performance is reached by
+        # picking only 13 eigenvectors out of a 166 dimensional data set."
+        summary = reduction_summary(musk_like(seed=0))
+        assert 6 <= summary.optimal_dimensionality <= 20
+
+    def test_ionosphere_optimum_near_ten(self):
+        # Figure 8: the optimum arrives once the second cluster of 5
+        # eigenvalues is included (~10 of 34).
+        summary = reduction_summary(ionosphere_like(seed=0))
+        assert 5 <= summary.optimal_dimensionality <= 14
+
+    def test_arrhythmia_optimum_near_ten(self):
+        # Figure 11: "the optimum prediction accuracy is obtained by
+        # picking the top 10 eigenvectors" of 279.
+        summary = reduction_summary(arrhythmia_like(seed=0))
+        assert 5 <= summary.optimal_dimensionality <= 20
+
+    @pytest.mark.parametrize("make", [musk_like, ionosphere_like, arrhythmia_like])
+    def test_scaling_improves_reduced_space_quality(self, make):
+        # Figures 5, 8, 10-11: the scaled representation wins in the
+        # reduced space.
+        data = make(seed=0)
+        scaled = accuracy_sweep(data, ordering="eigenvalue", scale=True)
+        raw = accuracy_sweep(data, ordering="eigenvalue", scale=False)
+        assert scaled.optimal()[1] > raw.optimal()[1]
+
+    def test_scaling_raises_coherence_probability(self):
+        # Figure 4 / Section 2.2: studentizing lifts the coherence
+        # probabilities of the leading eigenvectors.
+        data = arrhythmia_like(seed=0)
+        raw = analyze_coherence(fit_pca(data.features), data.features)
+        scaled = analyze_coherence(fit_pca(data.features, scale=True), data.features)
+        assert (
+            scaled.coherence_probabilities[:10].mean()
+            > raw.coherence_probabilities[:10].mean()
+        )
+
+    @pytest.mark.parametrize("make", [musk_like, ionosphere_like, arrhythmia_like])
+    def test_aggressive_reduction_discards_variance_and_neighbors(self, make):
+        # Section 4: at the optimum much of the variance is gone and the
+        # precision w.r.t. the original neighbors is low.
+        summary = reduction_summary(make(seed=0))
+        assert summary.variance_retained_at_optimum < 0.75
+        assert summary.precision_at_optimum < 0.6
+
+
+class TestNoisyDatasetClaims:
+    """Section 4.1, Figures 12-15."""
+
+    def test_noisy_a_largest_eigenvalues_have_low_coherence(self, noisy_a):
+        # Figure 12: "the largest few eigenvalues correspond to very low
+        # coherence probability and vice-versa."
+        analysis = analyze_coherence(fit_pca(noisy_a.features), noisy_a.features)
+        n_corrupted = len(noisy_a.metadata["corrupted_dims"])
+        top = analysis.coherence_probabilities[:n_corrupted]
+        best = np.sort(analysis.coherence_probabilities)[::-1][:4]
+        assert top.max() < best.min()
+
+    def test_noisy_a_coherence_ordering_dominates(self, noisy_a):
+        # Figure 13: "the qualitative curve for the coherence probability
+        # ordering completely dominates the ... eigenvalue ordering."
+        coherent = accuracy_sweep(noisy_a, ordering="coherence", scale=False)
+        classical = accuracy_sweep(noisy_a, ordering="eigenvalue", scale=False)
+        gaps = coherent.accuracies - classical.accuracies
+        assert np.mean(gaps >= -0.02) > 0.9  # dominance up to noise
+        assert coherent.optimal()[1] > classical.optimal()[1] + 0.1
+
+    def test_noisy_a_coherence_peaks_early(self, noisy_a):
+        # Figure 13: the coherence curve peaks at ~5 of 34 dimensions.
+        coherent = accuracy_sweep(noisy_a, ordering="coherence", scale=False)
+        best_dims, _ = coherent.optimal()
+        assert best_dims <= 10
+
+    def test_noisy_a_eigenvalue_curve_never_peaks_early(self, noisy_a):
+        # Figure 13: "the curve based on the eigenvalue ordering does not
+        # peak at any point" — optimal quality needs nearly everything.
+        classical = accuracy_sweep(noisy_a, ordering="eigenvalue", scale=False)
+        best_dims, best = classical.optimal()
+        full = classical.full_dimensional_accuracy
+        # Whatever maximum exists is within noise of the full-dim value.
+        assert best <= full + 0.03
+
+    def test_noisy_a_optimal_variance_tiny(self, noisy_a):
+        # Section 4.1: "the total variance of the reduced data set was
+        # only 12.1% of the variance in the original data."
+        coherent = accuracy_sweep(noisy_a, ordering="coherence", scale=False)
+        best_dims, _ = coherent.optimal()
+        pca = fit_pca(noisy_a.features)
+        retained = pca.decomposition.energy_fraction(
+            coherent.component_order[:best_dims]
+        )
+        assert retained < 0.15
+
+    def test_noisy_b_poor_eigenvalue_coherence_matching(self, noisy_b):
+        # Figure 14: high eigenvalues pair with low coherence.
+        analysis = analyze_coherence(fit_pca(noisy_b.features), noisy_b.features)
+        n_corrupted = len(noisy_b.metadata["corrupted_dims"])
+        top_cp = analysis.coherence_probabilities[:n_corrupted].mean()
+        concept_cp = np.sort(analysis.coherence_probabilities)[::-1][:5].mean()
+        assert concept_cp > top_cp + 0.1
+
+    def test_noisy_b_coherence_ordering_dominates(self, noisy_b):
+        coherent = accuracy_sweep(noisy_b, ordering="coherence", scale=False)
+        classical = accuracy_sweep(noisy_b, ordering="eigenvalue", scale=False)
+        assert coherent.optimal()[1] > classical.optimal()[1] + 0.2
+
+    def test_noisy_b_peak_just_before_outlier_cluster(self, noisy_b):
+        # Figure 15: "the curve peaks just before including the outlier
+        # cluster of eigenvectors ... only 11 of the original set of
+        # dimensions need to be included."
+        coherent = accuracy_sweep(noisy_b, ordering="coherence", scale=False)
+        best_dims, _ = coherent.optimal()
+        assert best_dims <= 15
+        # The corrupted components are NOT among the retained prefix.
+        retained = set(coherent.component_order[:best_dims].tolist())
+        n_corrupted = len(noisy_b.metadata["corrupted_dims"])
+        assert not retained & set(range(n_corrupted))
+
+
+class TestSectionThreeClaims:
+    """Section 3: uniform data and implicit dimensionality."""
+
+    def test_uniform_coherence_flat_at_baseline(self):
+        from repro.theory.uniform import empirical_uniform_coherence
+
+        result = empirical_uniform_coherence(n_samples=800, n_dims=40, seed=0)
+        assert result["mean_probability"] == pytest.approx(
+            UNIFORM_BASELINE_CP, abs=1e-10
+        )
+        assert result["probability_spread"] < 1e-10
+
+    def test_structured_data_reducible_uniform_not(self):
+        from repro.datasets.synthetic import uniform_cube
+
+        assert (
+            diagnose_reducibility(ionosphere_like(seed=0).features).verdict
+            == "reducible"
+        )
+        assert (
+            diagnose_reducibility(uniform_cube(500, 34, seed=0).features).verdict
+            == "noisy"
+        )
+
+    def test_implicit_dimensionality_tracks_concepts(self):
+        from repro.theory.implicit_dim import participation_ratio
+
+        data = ionosphere_like(seed=0)
+        pca = fit_pca(data.features, scale=True)
+        ratio = participation_ratio(pca.decomposition.eigenvalues)
+        # 10 planted concepts: the effective dimension sits near that,
+        # far below the ambient 34.
+        assert 3 <= ratio <= 20

@@ -1,0 +1,179 @@
+"""Tests for repro.linalg.eigen — both eigensolvers."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.covariance import covariance_matrix
+from repro.linalg.eigen import (
+    EigenDecomposition,
+    decompose,
+    eigh_jacobi,
+    eigh_numpy,
+)
+
+
+def _random_symmetric(rng, d):
+    a = rng.normal(size=(d, d))
+    return (a + a.T) / 2.0
+
+
+@pytest.fixture(params=["numpy", "jacobi"])
+def solver(request):
+    return request.param
+
+
+class TestSolvers:
+    def test_identity(self, solver):
+        result = decompose(np.eye(4), method=solver)
+        assert np.allclose(result.eigenvalues, 1.0)
+
+    def test_diagonal_matrix(self, solver):
+        result = decompose(np.diag([3.0, 1.0, 2.0]), method=solver)
+        assert np.allclose(result.eigenvalues, [3.0, 2.0, 1.0])
+
+    def test_known_2x2(self, solver):
+        # Eigenvalues of [[2, 1], [1, 2]] are 3 and 1.
+        result = decompose([[2.0, 1.0], [1.0, 2.0]], method=solver)
+        assert np.allclose(result.eigenvalues, [3.0, 1.0])
+        # Leading eigenvector is (1, 1)/sqrt(2) up to sign.
+        leading = result.eigenvectors[:, 0]
+        assert abs(leading[0]) == pytest.approx(abs(leading[1]))
+
+    def test_descending_order(self, solver, rng):
+        result = decompose(_random_symmetric(rng, 8), method=solver)
+        assert np.all(np.diff(result.eigenvalues) <= 1e-12)
+
+    def test_eigen_equation(self, solver, rng):
+        matrix = _random_symmetric(rng, 7)
+        result = decompose(matrix, method=solver)
+        for i in range(7):
+            v = result.eigenvectors[:, i]
+            assert np.allclose(
+                matrix @ v, result.eigenvalues[i] * v, atol=1e-9
+            )
+
+    def test_orthonormal_eigenvectors(self, solver, rng):
+        result = decompose(_random_symmetric(rng, 9), method=solver)
+        gram = result.eigenvectors.T @ result.eigenvectors
+        assert np.allclose(gram, np.eye(9), atol=1e-10)
+
+    def test_trace_preserved(self, solver, rng):
+        matrix = _random_symmetric(rng, 6)
+        result = decompose(matrix, method=solver)
+        assert np.trace(matrix) == pytest.approx(result.total_variance)
+
+    def test_reconstruction(self, solver, rng):
+        matrix = _random_symmetric(rng, 5)
+        result = decompose(matrix, method=solver)
+        rebuilt = (
+            result.eigenvectors
+            @ np.diag(result.eigenvalues)
+            @ result.eigenvectors.T
+        )
+        assert np.allclose(rebuilt, matrix, atol=1e-9)
+
+    def test_one_by_one(self, solver):
+        result = decompose([[4.0]], method=solver)
+        assert result.eigenvalues[0] == pytest.approx(4.0)
+
+    def test_rejects_asymmetric(self, solver):
+        with pytest.raises(ValueError, match="symmetric"):
+            decompose([[1.0, 2.0], [0.0, 1.0]], method=solver)
+
+    def test_rejects_nonsquare(self, solver):
+        with pytest.raises(ValueError, match="square"):
+            decompose(np.ones((2, 3)), method=solver)
+
+    def test_rejects_nan(self, solver):
+        with pytest.raises(ValueError, match="finite"):
+            decompose([[float("nan"), 0.0], [0.0, 1.0]], method=solver)
+
+
+class TestJacobiVsNumpy:
+    def test_eigenvalues_agree(self, rng):
+        for d in (2, 5, 12, 25):
+            matrix = _random_symmetric(rng, d)
+            ours = eigh_jacobi(matrix)
+            reference = eigh_numpy(matrix)
+            assert np.allclose(
+                ours.eigenvalues, reference.eigenvalues, atol=1e-9
+            )
+
+    def test_eigenvalues_agree_on_covariance(self, rng):
+        cov = covariance_matrix(rng.normal(size=(100, 15)))
+        assert np.allclose(
+            eigh_jacobi(cov).eigenvalues,
+            eigh_numpy(cov).eigenvalues,
+            atol=1e-10,
+        )
+
+    def test_subspaces_agree(self, rng):
+        # Eigenvectors can differ by sign (or rotation within degenerate
+        # blocks); compare the projectors onto the top-3 subspace of a
+        # matrix with well-separated eigenvalues.
+        basis, _ = np.linalg.qr(rng.normal(size=(6, 6)))
+        matrix = basis @ np.diag([10.0, 7.0, 5.0, 1.0, 0.5, 0.1]) @ basis.T
+        matrix = (matrix + matrix.T) / 2.0
+        ours = eigh_jacobi(matrix).eigenvectors[:, :3]
+        reference = eigh_numpy(matrix).eigenvectors[:, :3]
+        assert np.allclose(ours @ ours.T, reference @ reference.T, atol=1e-8)
+
+    def test_jacobi_unconverged_raises(self):
+        with pytest.raises(RuntimeError, match="converge"):
+            eigh_jacobi(np.eye(3) + 0.5, max_sweeps=0)
+
+
+class TestEigenDecomposition:
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="descending"):
+            EigenDecomposition(
+                eigenvalues=np.array([1.0, 2.0]), eigenvectors=np.eye(2)
+            )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="square"):
+            EigenDecomposition(
+                eigenvalues=np.array([2.0, 1.0]), eigenvectors=np.eye(3)
+            )
+
+    def test_energy_fraction(self):
+        decomposition = EigenDecomposition(
+            eigenvalues=np.array([3.0, 2.0, 1.0]), eigenvectors=np.eye(3)
+        )
+        assert decomposition.energy_fraction([0]) == pytest.approx(0.5)
+        assert decomposition.energy_fraction([0, 1, 2]) == pytest.approx(1.0)
+        assert decomposition.energy_fraction([2]) == pytest.approx(1.0 / 6.0)
+
+    def test_energy_fraction_zero_matrix(self):
+        decomposition = EigenDecomposition(
+            eigenvalues=np.zeros(2), eigenvectors=np.eye(2)
+        )
+        assert decomposition.energy_fraction([0]) == 0.0
+
+    def test_basis_selects_columns(self):
+        decomposition = EigenDecomposition(
+            eigenvalues=np.array([2.0, 1.0]), eigenvectors=np.eye(2)
+        )
+        basis = decomposition.basis([1])
+        assert basis.shape == (2, 1)
+        assert basis[1, 0] == 1.0
+
+    def test_basis_rejects_out_of_range(self):
+        decomposition = EigenDecomposition(
+            eigenvalues=np.array([2.0, 1.0]), eigenvectors=np.eye(2)
+        )
+        with pytest.raises(ValueError):
+            decomposition.basis([2])
+        with pytest.raises(ValueError):
+            decomposition.basis([])
+
+    def test_dimensionality(self):
+        decomposition = EigenDecomposition(
+            eigenvalues=np.array([2.0, 1.0]), eigenvectors=np.eye(2)
+        )
+        assert decomposition.dimensionality == 2
+
+
+def test_decompose_unknown_method():
+    with pytest.raises(ValueError, match="unknown eigensolver"):
+        decompose(np.eye(2), method="magic")

@@ -1,0 +1,117 @@
+"""Tests for repro.linalg.pca."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.pca import fit_pca
+
+
+class TestFitPca:
+    def test_eigenvalues_descending(self, rng):
+        pca = fit_pca(rng.normal(size=(60, 5)))
+        assert np.all(np.diff(pca.decomposition.eigenvalues) <= 1e-12)
+
+    def test_eigenvalue_is_projected_variance(self, rng):
+        # The paper: the eigenvalue of e_i equals the variance of the data
+        # projected onto e_i.
+        data = rng.normal(size=(150, 4)) @ np.diag([3, 2, 1, 0.5])
+        pca = fit_pca(data)
+        projections = pca.transform(data)
+        for i in range(4):
+            assert np.var(projections[:, i]) == pytest.approx(
+                pca.decomposition.eigenvalues[i], rel=1e-9
+            )
+
+    def test_transformed_components_uncorrelated(self, rng):
+        # "The concepts show no correlations of the second order."
+        data = rng.normal(size=(100, 4)) @ rng.normal(size=(4, 4))
+        projections = fit_pca(data).transform(data)
+        cov = np.cov(projections, rowvar=False)
+        off_diagonal = cov - np.diag(np.diag(cov))
+        assert np.max(np.abs(off_diagonal)) < 1e-9
+
+    def test_transform_centers_new_points(self, rng):
+        data = rng.normal(loc=10.0, size=(50, 3))
+        pca = fit_pca(data)
+        # The training mean maps to the origin.
+        assert np.allclose(pca.transform(data.mean(axis=0)), 0.0, atol=1e-9)
+
+    def test_component_indices_subset(self, rng):
+        data = rng.normal(size=(40, 5))
+        pca = fit_pca(data)
+        full = pca.transform(data)
+        subset = pca.transform(data, component_indices=[2, 0])
+        assert np.allclose(subset[:, 0], full[:, 2])
+        assert np.allclose(subset[:, 1], full[:, 0])
+
+    def test_distances_preserved_by_full_rotation(self, rng):
+        data = rng.normal(size=(30, 6))
+        projections = fit_pca(data).transform(data)
+        original_gaps = np.linalg.norm(data[0] - data[1])
+        projected_gaps = np.linalg.norm(projections[0] - projections[1])
+        assert original_gaps == pytest.approx(projected_gaps, rel=1e-10)
+
+    def test_scaled_drops_constant_columns(self, rng):
+        data = rng.normal(size=(40, 4))
+        data[:, 2] = 5.0
+        pca = fit_pca(data, scale=True)
+        assert pca.working_dimensionality == 3
+        assert pca.input_dimensionality == 4
+        assert 2 not in set(pca.kept_columns.tolist())
+
+    def test_scaled_transform_accepts_original_width(self, rng):
+        data = rng.normal(size=(40, 4))
+        data[:, 2] = 5.0
+        pca = fit_pca(data, scale=True)
+        projections = pca.transform(data)
+        assert projections.shape == (40, 3)
+
+    def test_scaled_equals_correlation_pca(self, rng):
+        # Scaled PCA eigenvalues = eigenvalues of the correlation matrix.
+        data = rng.normal(size=(100, 4)) * np.array([1, 10, 100, 1000])
+        pca = fit_pca(data, scale=True)
+        from repro.linalg.covariance import correlation_matrix
+        from repro.linalg.eigen import eigh_numpy
+
+        reference = eigh_numpy(correlation_matrix(data))
+        assert np.allclose(
+            pca.decomposition.eigenvalues, reference.eigenvalues, atol=1e-10
+        )
+
+    def test_scaled_eigenvalues_sum_to_dimensionality(self, rng):
+        data = rng.normal(size=(80, 6)) * np.array([1, 2, 3, 4, 5, 6])
+        pca = fit_pca(data, scale=True)
+        assert pca.decomposition.total_variance == pytest.approx(6.0)
+
+    def test_scale_invariance_when_scaled(self, rng):
+        data = rng.normal(size=(50, 3))
+        scaled_data = data * np.array([1.0, 50.0, 0.02])
+        a = fit_pca(data, scale=True).decomposition.eigenvalues
+        b = fit_pca(scaled_data, scale=True).decomposition.eigenvalues
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_jacobi_method_agrees(self, rng):
+        data = rng.normal(size=(60, 6))
+        numpy_values = fit_pca(data, eigen_method="numpy").decomposition.eigenvalues
+        jacobi_values = fit_pca(data, eigen_method="jacobi").decomposition.eigenvalues
+        assert np.allclose(numpy_values, jacobi_values, atol=1e-10)
+
+    def test_preprocess_single_row(self, rng):
+        data = rng.normal(size=(20, 3))
+        pca = fit_pca(data)
+        row = pca.preprocess(data[0])
+        assert row.shape == (3,)
+        assert np.allclose(row, data[0] - data.mean(axis=0))
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError, match="two"):
+            fit_pca(np.ones((1, 3)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-d"):
+            fit_pca(np.ones(5))
+
+    def test_transform_rejects_wrong_width(self, rng):
+        pca = fit_pca(rng.normal(size=(20, 3)))
+        with pytest.raises(ValueError, match="columns"):
+            pca.transform(np.zeros((2, 4)))

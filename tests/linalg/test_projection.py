@@ -1,0 +1,112 @@
+"""Tests for repro.linalg.projection."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.covariance import covariance_matrix
+from repro.linalg.eigen import eigh_numpy
+from repro.linalg.projection import (
+    project,
+    reconstruct,
+    reconstruction_error,
+    retained_energy_fraction,
+)
+
+
+class TestProject:
+    def test_identity_basis(self, rng):
+        data = rng.normal(size=(10, 4))
+        assert np.allclose(project(data, np.eye(4)), data)
+
+    def test_single_vector(self):
+        basis = np.array([[1.0], [0.0]])
+        assert project(np.array([3.0, 5.0]), basis) == pytest.approx([3.0])
+
+    def test_matches_dot_products(self, rng):
+        data = rng.normal(size=(6, 5))
+        basis = np.linalg.qr(rng.normal(size=(5, 3)))[0]
+        coordinates = project(data, basis)
+        for i in range(6):
+            for j in range(3):
+                assert coordinates[i, j] == pytest.approx(
+                    float(data[i] @ basis[:, j])
+                )
+
+    def test_rejects_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError, match="columns"):
+            project(np.zeros((3, 4)), np.eye(5))
+
+    def test_rejects_wide_basis(self):
+        with pytest.raises(ValueError, match="more columns"):
+            project(np.zeros((3, 2)), np.ones((2, 3)))
+
+
+class TestReconstruct:
+    def test_roundtrip_full_basis(self, rng):
+        data = rng.normal(size=(8, 4))
+        basis = np.linalg.qr(rng.normal(size=(4, 4)))[0]
+        assert np.allclose(reconstruct(project(data, basis), basis), data)
+
+    def test_partial_basis_is_orthogonal_projection(self, rng):
+        data = rng.normal(size=(20, 5))
+        basis = np.linalg.qr(rng.normal(size=(5, 2)))[0]
+        approximation = reconstruct(project(data, basis), basis)
+        residual = data - approximation
+        # Residual orthogonal to the basis.
+        assert np.allclose(residual @ basis, 0.0, atol=1e-10)
+
+    def test_single_vector(self):
+        basis = np.array([[1.0, 0.0], [0.0, 1.0], [0.0, 0.0]])
+        rebuilt = reconstruct(np.array([2.0, 3.0]), basis)
+        assert np.allclose(rebuilt, [2.0, 3.0, 0.0])
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            reconstruct(np.zeros((2, 3)), np.eye(4)[:, :2])
+
+
+class TestReconstructionError:
+    def test_zero_for_full_basis(self, rng):
+        data = rng.normal(size=(15, 4))
+        basis = np.linalg.qr(rng.normal(size=(4, 4)))[0]
+        assert reconstruction_error(data, basis) == pytest.approx(0.0, abs=1e-18)
+
+    def test_equals_discarded_eigenvalues(self, rng):
+        # The paper's identity: variance lost = sum of dropped eigenvalues.
+        data = rng.normal(size=(200, 6)) @ np.diag([5, 4, 3, 2, 1, 0.5])
+        centered = data - data.mean(axis=0)
+        decomposition = eigh_numpy(covariance_matrix(data))
+        k = 3
+        basis = decomposition.eigenvectors[:, :k]
+        error = reconstruction_error(centered, basis)
+        assert error == pytest.approx(
+            float(np.sum(decomposition.eigenvalues[k:])), rel=1e-9
+        )
+
+
+class TestRetainedEnergyFraction:
+    def test_full_basis_keeps_everything(self, rng):
+        data = rng.normal(size=(30, 4))
+        data = data - data.mean(axis=0)
+        basis = np.linalg.qr(rng.normal(size=(4, 4)))[0]
+        assert retained_energy_fraction(data, basis) == pytest.approx(1.0)
+
+    def test_eigenbasis_fraction_matches_eigenvalues(self, rng):
+        data = rng.normal(size=(300, 5)) @ np.diag([4, 3, 2, 1, 0.5])
+        centered = data - data.mean(axis=0)
+        decomposition = eigh_numpy(covariance_matrix(data))
+        basis = decomposition.eigenvectors[:, :2]
+        expected = decomposition.energy_fraction([0, 1])
+        assert retained_energy_fraction(centered, basis) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_zero_data(self):
+        assert retained_energy_fraction(np.zeros((5, 3)), np.eye(3)[:, :1]) == 0.0
+
+    def test_fraction_in_unit_interval(self, rng):
+        data = rng.normal(size=(40, 6))
+        data = data - data.mean(axis=0)
+        basis = np.linalg.qr(rng.normal(size=(6, 3)))[0]
+        fraction = retained_energy_fraction(data, basis)
+        assert 0.0 <= fraction <= 1.0 + 1e-12

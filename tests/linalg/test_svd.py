@@ -1,0 +1,135 @@
+"""Tests for the from-scratch SVD."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.covariance import covariance_matrix
+from repro.linalg.eigen import eigh_numpy
+from repro.linalg.svd import (
+    SingularValueDecomposition,
+    svd_via_eigen,
+    truncated_svd_power,
+)
+
+
+class TestSvdViaEigen:
+    def test_reconstructs_full_rank(self, rng):
+        a = rng.normal(size=(12, 7))
+        result = svd_via_eigen(a)
+        assert np.allclose(result.reconstruct(), a, atol=1e-9)
+
+    def test_tall_and_wide_orientations(self, rng):
+        tall = rng.normal(size=(20, 5))
+        wide = tall.T
+        assert np.allclose(
+            svd_via_eigen(tall).singular_values,
+            svd_via_eigen(wide).singular_values,
+            atol=1e-9,
+        )
+        assert np.allclose(svd_via_eigen(wide).reconstruct(), wide, atol=1e-9)
+
+    def test_matches_numpy_singular_values(self, rng):
+        a = rng.normal(size=(15, 9))
+        ours = svd_via_eigen(a).singular_values
+        reference = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(ours, reference, atol=1e-9)
+
+    def test_singular_values_descending_nonnegative(self, rng):
+        result = svd_via_eigen(rng.normal(size=(10, 6)))
+        assert np.all(result.singular_values >= 0.0)
+        assert np.all(np.diff(result.singular_values) <= 1e-12)
+
+    def test_orthonormal_factors(self, rng):
+        result = svd_via_eigen(rng.normal(size=(14, 6)))
+        k = result.rank
+        assert np.allclose(result.left.T @ result.left, np.eye(k), atol=1e-9)
+        assert np.allclose(result.right.T @ result.right, np.eye(k), atol=1e-9)
+
+    def test_rank_deficient_matrix(self, rng):
+        base = rng.normal(size=(10, 2))
+        a = base @ rng.normal(size=(2, 8))  # rank 2
+        result = svd_via_eigen(a)
+        assert result.rank == 2
+        assert np.allclose(result.reconstruct(), a, atol=1e-8)
+
+    def test_pca_identity(self, rng):
+        # singular_value^2 / n == covariance eigenvalue, for centered data.
+        data = rng.normal(size=(100, 5)) @ np.diag([3, 2, 1.5, 1, 0.5])
+        centered = data - data.mean(axis=0)
+        svd = svd_via_eigen(centered)
+        eig = eigh_numpy(covariance_matrix(data))
+        assert np.allclose(
+            np.square(svd.singular_values) / data.shape[0],
+            eig.eigenvalues[: svd.rank],
+            atol=1e-9,
+        )
+
+    def test_jacobi_backend(self, rng):
+        a = rng.normal(size=(8, 5))
+        assert np.allclose(
+            svd_via_eigen(a, eigen_method="jacobi").singular_values,
+            svd_via_eigen(a, eigen_method="numpy").singular_values,
+            atol=1e-8,
+        )
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            svd_via_eigen(np.ones(3))
+        with pytest.raises(ValueError):
+            svd_via_eigen(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            svd_via_eigen([[np.nan, 1.0]])
+
+
+class TestTruncatedSvdPower:
+    def test_matches_exact_leading_directions(self, rng):
+        a = rng.normal(size=(40, 12)) @ np.diag(np.linspace(5, 0.1, 12))
+        exact = svd_via_eigen(a)
+        power = truncated_svd_power(a, k=3, seed=1)
+        assert np.allclose(
+            power.singular_values, exact.singular_values[:3], rtol=1e-5
+        )
+        # Subspaces agree (vectors up to sign/rotation).
+        p_exact = exact.right[:, :3] @ exact.right[:, :3].T
+        p_power = power.right @ power.right.T
+        assert np.allclose(p_exact, p_power, atol=1e-5)
+
+    def test_projection_consistency(self, rng):
+        a = rng.normal(size=(30, 8))
+        result = truncated_svd_power(a, k=2, seed=0)
+        projected = result.project_rows(a)
+        assert projected.shape == (30, 2)
+
+    def test_k_equals_full_rank(self, rng):
+        a = rng.normal(size=(10, 4))
+        result = truncated_svd_power(a, k=4, seed=0)
+        assert np.allclose(
+            result.singular_values,
+            np.linalg.svd(a, compute_uv=False),
+            rtol=1e-6,
+        )
+
+    def test_rejects_bad_k(self, rng):
+        with pytest.raises(ValueError, match="k must"):
+            truncated_svd_power(rng.normal(size=(5, 3)), k=4)
+        with pytest.raises(ValueError, match="k must"):
+            truncated_svd_power(rng.normal(size=(5, 3)), k=0)
+
+    def test_deterministic_given_seed(self, rng):
+        a = rng.normal(size=(20, 6))
+        first = truncated_svd_power(a, k=2, seed=5)
+        second = truncated_svd_power(a, k=2, seed=5)
+        assert np.allclose(first.right, second.right)
+
+
+class TestSingularValueDecompositionType:
+    def test_project_rows_single_vector(self, rng):
+        a = rng.normal(size=(10, 4))
+        result = svd_via_eigen(a)
+        row = result.project_rows(a[0])
+        assert row.shape == (1, result.rank)
+
+    def test_project_rejects_wrong_width(self, rng):
+        result = svd_via_eigen(rng.normal(size=(10, 4)))
+        with pytest.raises(ValueError, match="columns"):
+            result.project_rows(np.zeros((2, 5)))

@@ -1,0 +1,132 @@
+"""Property-based tests for the coherence model's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.coherence import coherence_factors, coherence_probabilities
+from repro.stats.hypothesis_test import null_contribution_test
+
+# Magnitudes below 1e-6 are flushed to zero: squaring a denormal-range
+# value underflows to 0.0, which breaks exact-invariance assertions for
+# reasons that are float arithmetic, not the model.
+_FINITE = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+).map(lambda v: 0.0 if abs(v) < 1e-6 else v)
+
+
+def _features(min_n=1, max_n=8, min_d=1, max_d=8):
+    return st.integers(min_n, max_n).flatmap(
+        lambda n: st.integers(min_d, max_d).flatmap(
+            lambda d: arrays(np.float64, (n, d), elements=_FINITE)
+        )
+    )
+
+
+@st.composite
+def features_and_direction(draw):
+    n = draw(st.integers(1, 6))
+    d = draw(st.integers(1, 8))
+    features = draw(arrays(np.float64, (n, d), elements=_FINITE))
+    direction = draw(
+        arrays(
+            np.float64,
+            (d, 1),
+            elements=st.floats(
+                min_value=-10, max_value=10, allow_nan=False, allow_infinity=False
+            ).map(lambda v: 0.0 if abs(v) < 1e-6 else v),
+        )
+    )
+    return features, direction
+
+
+class TestCoherenceFactorProperties:
+    @given(features_and_direction())
+    @settings(max_examples=200, deadline=None)
+    def test_bounds(self, case):
+        features, direction = case
+        factors = coherence_factors(features, direction)
+        d = features.shape[1]
+        assert np.all(factors >= 0.0)
+        assert np.all(factors <= np.sqrt(d) * (1 + 1e-9))
+
+    @given(features_and_direction())
+    @settings(max_examples=150, deadline=None)
+    def test_direction_sign_invariance(self, case):
+        features, direction = case
+        assert np.allclose(
+            coherence_factors(features, direction),
+            coherence_factors(features, -direction),
+            atol=1e-12,
+        )
+
+    @given(
+        features_and_direction(),
+        st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_direction_scale_invariance(self, case, scale):
+        features, direction = case
+        assert np.allclose(
+            coherence_factors(features, direction),
+            coherence_factors(features, direction * scale),
+            atol=1e-9,
+        )
+
+    @given(
+        features_and_direction(),
+        st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_point_scale_invariance(self, case, scale):
+        features, direction = case
+        assert np.allclose(
+            coherence_factors(features, direction),
+            coherence_factors(features * scale, direction),
+            atol=1e-9,
+        )
+
+    @given(features_and_direction(), st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_joint_permutation_invariance(self, case, random):
+        features, direction = case
+        d = features.shape[1]
+        perm = list(range(d))
+        random.shuffle(perm)
+        perm = np.asarray(perm)
+        assert np.allclose(
+            coherence_factors(features, direction),
+            coherence_factors(features[:, perm], direction[perm]),
+            atol=1e-12,
+        )
+
+    @given(features_and_direction())
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scalar_reference(self, case):
+        features, direction = case
+        factors = coherence_factors(features, direction)
+        for i in range(features.shape[0]):
+            contributions = features[i] * direction[:, 0]
+            reference = null_contribution_test(contributions).coherence_factor
+            assert factors[i, 0] == np.float64(0.0) if reference == 0.0 else True
+            assert abs(factors[i, 0] - reference) < 1e-9 * max(1.0, reference)
+
+    @given(features_and_direction())
+    @settings(max_examples=150, deadline=None)
+    def test_probabilities_in_unit_interval(self, case):
+        features, direction = case
+        probabilities = coherence_probabilities(features, direction)
+        assert np.all(probabilities >= 0.0)
+        assert np.all(probabilities <= 1.0)
+
+    @given(st.integers(1, 6), st.integers(2, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_single_axis_direction_gives_factor_at_most_one(self, n, d):
+        # With only one active dimension, CF is 0 or exactly 1.
+        rng = np.random.default_rng(n * 100 + d)
+        features = rng.normal(size=(n, d))
+        direction = np.zeros((d, 1))
+        direction[0, 0] = 1.0
+        factors = coherence_factors(features, direction)
+        assert np.all((np.abs(factors - 1.0) < 1e-12) | (factors == 0.0))

@@ -1,0 +1,79 @@
+"""Property-based tests for the streaming-moments machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dynamic.moments import IncrementalMoments
+from repro.linalg.covariance import covariance_matrix
+
+_ENTRY = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+).map(lambda v: 0.0 if abs(v) < 1e-6 else v)
+
+
+@st.composite
+def streams(draw, max_rows=30, max_d=5):
+    d = draw(st.integers(1, max_d))
+    n = draw(st.integers(2, max_rows))
+    data = draw(arrays(np.float64, (n, d), elements=_ENTRY))
+    # A cut schedule: where to split the stream into batches.
+    n_cuts = draw(st.integers(0, min(4, n - 1)))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(1, n - 1),
+                min_size=n_cuts,
+                max_size=n_cuts,
+                unique=True,
+            )
+        )
+    )
+    return data, cuts
+
+
+class TestMomentsProperties:
+    @given(streams())
+    @settings(max_examples=150, deadline=None)
+    def test_any_batching_matches_batch_computation(self, case):
+        data, cuts = case
+        moments = IncrementalMoments(data.shape[1])
+        boundaries = [0] + cuts + [data.shape[0]]
+        for start, stop in zip(boundaries, boundaries[1:]):
+            moments.update(data[start:stop])
+        scale = max(1.0, float(np.max(np.abs(data))) ** 2)
+        assert np.allclose(moments.mean, data.mean(axis=0), atol=1e-9 * scale)
+        assert np.allclose(
+            moments.covariance(), covariance_matrix(data), atol=1e-8 * scale
+        )
+
+    @given(streams(), streams())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_equals_concatenation(self, first_case, second_case):
+        first, _ = first_case
+        second, _ = second_case
+        d = min(first.shape[1], second.shape[1])
+        first, second = first[:, :d], second[:, :d]
+        a = IncrementalMoments(d).update(first)
+        b = IncrementalMoments(d).update(second)
+        a.merge(b)
+        combined = np.vstack([first, second])
+        scale = max(1.0, float(np.max(np.abs(combined))) ** 2)
+        assert a.count == combined.shape[0]
+        assert np.allclose(
+            a.covariance(), covariance_matrix(combined), atol=1e-8 * scale
+        )
+
+    @given(streams())
+    @settings(max_examples=100, deadline=None)
+    def test_covariance_stays_positive_semidefinite(self, case):
+        data, cuts = case
+        moments = IncrementalMoments(data.shape[1])
+        boundaries = [0] + cuts + [data.shape[0]]
+        for start, stop in zip(boundaries, boundaries[1:]):
+            moments.update(data[start:stop])
+            if moments.count >= 1:
+                eigenvalues = np.linalg.eigvalsh(moments.covariance())
+                scale = max(1.0, float(np.max(np.abs(data))) ** 2)
+                assert eigenvalues.min() > -1e-8 * scale

@@ -1,0 +1,99 @@
+"""Property-based tests for the text reporting helpers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.reporting import format_series, format_table, render_ascii_chart
+
+_CELL = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+        max_size=12,
+    ),
+)
+
+
+@st.composite
+def tables(draw):
+    n_columns = draw(st.integers(1, 5))
+    headers = [f"col{i}" for i in range(n_columns)]
+    n_rows = draw(st.integers(0, 8))
+    rows = [
+        [draw(_CELL) for _ in range(n_columns)] for _ in range(n_rows)
+    ]
+    return headers, rows
+
+
+class TestFormatTableProperties:
+    @given(tables())
+    @settings(max_examples=150, deadline=None)
+    def test_all_lines_equal_width(self, case):
+        headers, rows = case
+        text = format_table(headers, rows)
+        lines = text.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1
+
+    @given(tables())
+    @settings(max_examples=150, deadline=None)
+    def test_line_count(self, case):
+        headers, rows = case
+        text = format_table(headers, rows)
+        assert len(text.splitlines()) == 2 + len(rows)
+
+    @given(tables())
+    @settings(max_examples=100, deadline=None)
+    def test_every_header_appears(self, case):
+        headers, rows = case
+        text = format_table(headers, rows)
+        first_line = text.splitlines()[0]
+        for header in headers:
+            assert header in first_line
+
+
+@st.composite
+def chart_series(draw):
+    n = draw(st.integers(1, 30))
+    xs = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    n_series = draw(st.integers(1, 3))
+    series = {
+        f"s{i}": draw(
+            st.lists(
+                st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        for i in range(n_series)
+    }
+    return xs, series
+
+
+class TestChartProperties:
+    @given(chart_series())
+    @settings(max_examples=100, deadline=None)
+    def test_chart_never_crashes_and_mentions_every_series(self, case):
+        xs, series = case
+        text = render_ascii_chart(xs, series, height=8, width=40)
+        for name in series:
+            assert f"= {name}" in text
+
+    @given(chart_series())
+    @settings(max_examples=100, deadline=None)
+    def test_series_table_alignment(self, case):
+        xs, series = case
+        text = format_series(xs, {k: list(v) for k, v in series.items()})
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+        assert len(lines) == 2 + len(xs)

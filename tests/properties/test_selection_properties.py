@@ -1,0 +1,102 @@
+"""Property-based tests for the selection strategies."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.selection import (
+    select_automatic,
+    select_by_coherence,
+    select_by_eigenvalue,
+    select_by_energy,
+    select_by_threshold,
+)
+
+
+@st.composite
+def spectra(draw, max_d=20):
+    d = draw(st.integers(1, max_d))
+    values = draw(
+        arrays(
+            np.float64,
+            (d,),
+            elements=st.floats(min_value=0, max_value=1000, allow_nan=False),
+        )
+    )
+    return np.sort(values)[::-1]
+
+
+@st.composite
+def probability_vectors(draw, max_d=20):
+    d = draw(st.integers(1, max_d))
+    return draw(
+        arrays(
+            np.float64,
+            (d,),
+            elements=st.floats(min_value=0, max_value=1, allow_nan=False),
+        )
+    )
+
+
+class TestSelectionProperties:
+    @given(spectra(), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_eigenvalue_selection_is_a_prefix(self, values, data):
+        k = data.draw(st.integers(1, values.size))
+        selected = select_by_eigenvalue(values, k)
+        assert list(selected) == list(range(k))
+
+    @given(probability_vectors(), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_coherence_selection_sorted_and_unique(self, cp, data):
+        k = data.draw(st.integers(1, cp.size))
+        selected = select_by_coherence(cp, k)
+        assert len(set(selected.tolist())) == k
+        chosen = cp[selected]
+        assert np.all(np.diff(chosen) <= 1e-12)
+        # Nothing unselected beats anything selected.
+        unselected = np.setdiff1d(np.arange(cp.size), selected)
+        if unselected.size:
+            assert cp[unselected].max() <= chosen.min() + 1e-12
+
+    @given(spectra(), st.floats(min_value=0, max_value=1, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_threshold_keeps_exactly_the_qualifying_prefix(self, values, fraction):
+        selected = select_by_threshold(values, fraction)
+        cutoff = fraction * values[0]
+        expected = max(1, int(np.sum(values >= cutoff)))
+        assert selected.size == expected
+
+    @given(spectra(), st.floats(min_value=0.01, max_value=1.0, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_energy_selection_is_minimal_sufficient(self, values, energy):
+        selected = select_by_energy(values, energy)
+        total = values.sum()
+        if total == 0.0:
+            assert selected.size == 1
+            return
+        kept = values[: selected.size].sum()
+        assert kept / total >= energy - 1e-9
+        if selected.size > 1:
+            smaller = values[: selected.size - 1].sum()
+            assert smaller / total < energy + 1e-9
+
+    @given(probability_vectors())
+    @settings(max_examples=150, deadline=None)
+    def test_automatic_selection_never_splits_a_tie(self, cp):
+        selected = select_automatic(cp)
+        chosen = set(selected.tolist())
+        for i in range(cp.size):
+            for j in range(cp.size):
+                if cp[i] == cp[j]:
+                    assert (i in chosen) == (j in chosen)
+
+    @given(probability_vectors())
+    @settings(max_examples=150, deadline=None)
+    def test_automatic_selection_takes_the_top(self, cp):
+        selected = select_automatic(cp)
+        chosen = cp[selected]
+        unselected = np.setdiff1d(np.arange(cp.size), selected)
+        if unselected.size:
+            assert cp[unselected].max() < chosen.min()

@@ -1,0 +1,80 @@
+"""Property-based tests for the text substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.vectorize import CountVectorizer, tfidf_weight
+
+_TOKEN = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=0x2FF),
+    min_size=1,
+    max_size=6,
+)
+_DOCUMENT = st.lists(_TOKEN, min_size=0, max_size=15)
+_CORPUS = st.lists(_DOCUMENT, min_size=1, max_size=10).filter(
+    lambda docs: any(doc for doc in docs)
+)
+
+
+class TestCountVectorizerProperties:
+    @given(_CORPUS)
+    @settings(max_examples=150, deadline=None)
+    def test_counts_preserve_token_totals(self, documents):
+        counts = CountVectorizer().fit_transform(documents)
+        for row, document in zip(counts, documents):
+            assert row.sum() == len(document)
+
+    @given(_CORPUS)
+    @settings(max_examples=150, deadline=None)
+    def test_counts_match_manual_counting(self, documents):
+        vectorizer = CountVectorizer().fit(documents)
+        counts = vectorizer.transform(documents)
+        for row, document in zip(counts, documents):
+            for token, column in vectorizer.vocabulary_.items():
+                assert row[column] == document.count(token)
+
+    @given(_CORPUS)
+    @settings(max_examples=100, deadline=None)
+    def test_vocabulary_order_independent_of_document_order(self, documents):
+        forward = CountVectorizer().fit(documents)
+        backward = CountVectorizer().fit(list(reversed(documents)))
+        assert forward.vocabulary_ == backward.vocabulary_
+
+    @given(_CORPUS)
+    @settings(max_examples=100, deadline=None)
+    def test_transform_is_deterministic(self, documents):
+        vectorizer = CountVectorizer().fit(documents)
+        assert np.array_equal(
+            vectorizer.transform(documents), vectorizer.transform(documents)
+        )
+
+
+class TestTfidfProperties:
+    @given(_CORPUS)
+    @settings(max_examples=150, deadline=None)
+    def test_rows_unit_norm_or_zero(self, documents):
+        counts = CountVectorizer().fit_transform(documents)
+        weighted, _ = tfidf_weight(counts)
+        norms = np.linalg.norm(weighted, axis=1)
+        for norm, document in zip(norms, documents):
+            if document:
+                assert abs(norm - 1.0) < 1e-9
+            else:
+                assert norm == 0.0
+
+    @given(_CORPUS)
+    @settings(max_examples=150, deadline=None)
+    def test_weights_nonnegative_and_idf_positive(self, documents):
+        counts = CountVectorizer().fit_transform(documents)
+        weighted, idf = tfidf_weight(counts)
+        assert np.all(weighted >= 0.0)
+        assert np.all(idf > 0.0)
+
+    @given(_CORPUS)
+    @settings(max_examples=100, deadline=None)
+    def test_query_weighting_reuses_training_idf(self, documents):
+        counts = CountVectorizer().fit_transform(documents)
+        _, idf = tfidf_weight(counts)
+        _, returned = tfidf_weight(counts[:1], idf=idf)
+        assert np.array_equal(returned, idf)

@@ -1,0 +1,69 @@
+"""Tests for the brute-force k-NN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.search.bruteforce import BruteForceIndex
+
+
+class TestBruteForceIndex:
+    def test_nearest_neighbor_on_line(self):
+        index = BruteForceIndex([[0.0], [10.0], [4.0]])
+        result = index.query([3.0], k=1)
+        assert result.neighbors[0].index == 2
+        assert result.neighbors[0].distance == pytest.approx(1.0)
+
+    def test_k_results_sorted(self, random_points):
+        index = BruteForceIndex(random_points)
+        result = index.query(random_points[0], k=10)
+        assert len(result.neighbors) == 10
+        assert np.all(np.diff(result.distances) >= 0.0)
+
+    def test_self_query_returns_self_first(self, random_points):
+        index = BruteForceIndex(random_points)
+        result = index.query(random_points[42], k=1)
+        assert result.neighbors[0].index == 42
+        assert result.neighbors[0].distance == 0.0
+
+    def test_tie_break_by_lower_index(self):
+        index = BruteForceIndex([[1.0], [1.0], [1.0]])
+        result = index.query([0.0], k=2)
+        assert list(result.indices) == [0, 1]
+
+    def test_scans_everything(self, random_points):
+        index = BruteForceIndex(random_points)
+        result = index.query(random_points[0], k=3)
+        assert result.stats.points_scanned == len(random_points)
+        assert result.stats.pruning_fraction(len(random_points)) == 0.0
+
+    def test_k_equals_n(self):
+        index = BruteForceIndex([[0.0], [1.0], [2.0]])
+        result = index.query([0.0], k=3)
+        assert list(result.indices) == [0, 1, 2]
+
+    def test_rejects_k_zero(self, random_points):
+        with pytest.raises(ValueError, match="k must"):
+            BruteForceIndex(random_points).query(random_points[0], k=0)
+
+    def test_rejects_k_beyond_n(self):
+        with pytest.raises(ValueError, match="k must"):
+            BruteForceIndex([[0.0]]).query([0.0], k=2)
+
+    def test_rejects_wrong_query_width(self, random_points):
+        with pytest.raises(ValueError, match="query"):
+            BruteForceIndex(random_points).query(np.zeros(3), k=1)
+
+    def test_rejects_nan_query(self, random_points):
+        with pytest.raises(ValueError, match="finite"):
+            BruteForceIndex(random_points).query(
+                np.full(random_points.shape[1], np.nan), k=1
+            )
+
+    def test_rejects_empty_corpus(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BruteForceIndex(np.empty((0, 3)))
+
+    def test_properties(self, random_points):
+        index = BruteForceIndex(random_points)
+        assert index.n_points == random_points.shape[0]
+        assert index.dimensionality == random_points.shape[1]

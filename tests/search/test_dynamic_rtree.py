@@ -1,0 +1,239 @@
+"""Tests for the dynamically insertable R-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.search.bruteforce import BruteForceIndex
+from repro.search.dynamic_rtree import DynamicRTree
+
+
+class TestDynamicRTree:
+    def test_agrees_with_bruteforce_after_stream(self, rng):
+        points = rng.normal(size=(250, 4))
+        tree = DynamicRTree(4, page_size=8)
+        tree.extend(points)
+        reference = BruteForceIndex(points)
+        for _ in range(15):
+            query = rng.normal(size=4)
+            assert np.array_equal(
+                tree.query(query, k=5).indices,
+                reference.query(query, k=5).indices,
+            )
+
+    def test_query_correct_at_every_prefix(self, rng):
+        points = rng.normal(size=(80, 3))
+        tree = DynamicRTree(3, page_size=4)
+        query = rng.normal(size=3)
+        for i, row in enumerate(points):
+            tree.insert(row)
+            k = min(3, i + 1)
+            expected = BruteForceIndex(points[: i + 1]).query(query, k=k)
+            actual = tree.query(query, k=k)
+            assert np.array_equal(actual.indices, expected.indices)
+
+    def test_insert_returns_sequential_indices(self, rng):
+        tree = DynamicRTree(2)
+        indices = tree.extend(rng.normal(size=(10, 2)))
+        assert indices == list(range(10))
+        assert tree.insert(rng.normal(size=2)) == 10
+
+    def test_points_accumulate_in_order(self, rng):
+        tree = DynamicRTree(3)
+        rows = rng.normal(size=(20, 3))
+        tree.extend(rows)
+        assert np.array_equal(tree.points, rows)
+
+    def test_tree_grows_in_height(self, rng):
+        tree = DynamicRTree(2, page_size=4)
+        assert tree.height == 1
+        tree.extend(rng.normal(size=(300, 2)))
+        assert tree.height >= 3
+
+    def test_duplicates_and_tie_break(self):
+        tree = DynamicRTree(2, page_size=4)
+        tree.extend(np.ones((20, 2)))
+        result = tree.query(np.zeros(2), k=5)
+        assert list(result.indices) == [0, 1, 2, 3, 4]
+
+    def test_prunes_on_clustered_data(self, rng):
+        centers = rng.normal(size=(6, 3)) * 50
+        labels = rng.integers(0, 6, size=1500)
+        points = centers[labels] + rng.normal(size=(1500, 3))
+        tree = DynamicRTree(3, page_size=16)
+        tree.extend(points)
+        result = tree.query(points[7], k=3)
+        assert result.stats.points_scanned < 750
+
+    def test_empty_index_rejects_query(self):
+        tree = DynamicRTree(2)
+        with pytest.raises(ValueError, match="empty"):
+            tree.query(np.zeros(2), k=1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            DynamicRTree(0)
+        with pytest.raises(ValueError, match="page_size"):
+            DynamicRTree(3, page_size=3)
+
+    def test_rejects_wrong_width_insert(self):
+        tree = DynamicRTree(3)
+        with pytest.raises(ValueError, match="query"):
+            tree.insert(np.zeros(2))
+
+    def test_mbrs_contain_all_points(self, rng):
+        tree = DynamicRTree(3, page_size=4)
+        points = rng.normal(size=(120, 3))
+        tree.extend(points)
+
+        def check(node):
+            if node.is_leaf:
+                for index in node.entries:
+                    row = points[index]
+                    assert np.all(row >= node.lower - 1e-12)
+                    assert np.all(row <= node.upper + 1e-12)
+            else:
+                for child in node.entries:
+                    assert np.all(child.lower >= node.lower - 1e-12)
+                    assert np.all(child.upper <= node.upper + 1e-12)
+                    check(child)
+
+        check(tree._root)
+
+    def test_pairs_with_dynamic_reducer(self):
+        # The dynamic-database story end-to-end: stream raw points into
+        # the reducer, stream their reductions into the insertable index,
+        # query at any time.
+        from repro.datasets.synthetic import latent_concept_dataset
+        from repro.dynamic.reducer import DynamicReducer
+
+        data = latent_concept_dataset(200, 16, 3, noise_std=0.8, seed=0)
+        reducer = DynamicReducer(n_dims=16, n_components=3, reservoir_size=200)
+        reducer.insert(data.features[:100])
+        tree = DynamicRTree(3, page_size=8)
+        tree.extend(reducer.transform(data.features[:100]))
+        for start in range(100, 200, 20):
+            batch = data.features[start : start + 20]
+            reducer.insert(batch)
+            tree.extend(reducer.transform(batch))
+        query = reducer.transform(data.features[42])
+        result = tree.query(query, k=1)
+        assert result.neighbors[0].index == 42
+
+
+@st.composite
+def insert_streams(draw):
+    n = draw(st.integers(2, 40))
+    d = draw(st.integers(1, 4))
+    elements = st.floats(
+        min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+    ).map(lambda v: 0.0 if abs(v) < 1e-6 else v)
+    corpus = draw(arrays(np.float64, (n, d), elements=elements))
+    query = draw(arrays(np.float64, (d,), elements=elements))
+    k = draw(st.integers(1, n))
+    return corpus, query, k
+
+
+class TestDynamicRTreeProperties:
+    @given(insert_streams())
+    @settings(max_examples=80, deadline=None)
+    def test_knn_exactness(self, case):
+        corpus, query, k = case
+        tree = DynamicRTree(corpus.shape[1], page_size=4)
+        tree.extend(corpus)
+        expected = BruteForceIndex(corpus).query(query, k)
+        actual = tree.query(query, k)
+        assert np.array_equal(actual.indices, expected.indices)
+
+
+class TestDeletion:
+    def test_delete_then_query_matches_bruteforce(self, rng):
+        points = rng.normal(size=(120, 3))
+        tree = DynamicRTree(3, page_size=5)
+        tree.extend(points)
+        victims = rng.choice(120, size=60, replace=False)
+        for index in victims:
+            tree.delete(int(index))
+        keep = sorted(set(range(120)) - set(int(v) for v in victims))
+        reference = BruteForceIndex(points[keep])
+        query = rng.normal(size=3)
+        expected = [keep[i] for i in reference.query(query, k=4).indices]
+        assert tree.query(query, k=4).indices.tolist() == expected
+
+    def test_live_count_tracks_deletions(self, rng):
+        tree = DynamicRTree(2, page_size=4)
+        tree.extend(rng.normal(size=(20, 2)))
+        tree.delete(3)
+        tree.delete(17)
+        assert tree.n_live == 18
+        assert tree.n_points == 20  # indices are never reused
+
+    def test_delete_everything_then_reinsert(self, rng):
+        tree = DynamicRTree(2, page_size=4)
+        rows = rng.normal(size=(30, 2))
+        tree.extend(rows)
+        for i in range(30):
+            tree.delete(i)
+        assert tree.n_live == 0
+        with pytest.raises(ValueError, match="empty"):
+            tree.query(np.zeros(2), k=1)
+        new_index = tree.insert(np.array([1.0, 2.0]))
+        assert new_index == 30
+        assert tree.query(np.zeros(2), k=1).neighbors[0].index == 30
+
+    def test_double_delete_raises(self, rng):
+        tree = DynamicRTree(2)
+        tree.extend(rng.normal(size=(10, 2)))
+        tree.delete(4)
+        with pytest.raises(KeyError):
+            tree.delete(4)
+
+    def test_unknown_index_raises(self, rng):
+        tree = DynamicRTree(2)
+        tree.extend(rng.normal(size=(5, 2)))
+        with pytest.raises(KeyError):
+            tree.delete(99)
+
+    def test_interleaved_insert_delete_query(self, rng):
+        tree = DynamicRTree(3, page_size=4)
+        alive: dict[int, np.ndarray] = {}
+        for step in range(200):
+            if alive and rng.uniform() < 0.4:
+                victim = int(rng.choice(list(alive)))
+                tree.delete(victim)
+                del alive[victim]
+            else:
+                row = rng.normal(size=3)
+                alive[tree.insert(row)] = row
+            if alive and step % 23 == 0:
+                query = rng.normal(size=3)
+                keys = sorted(alive)
+                corpus = np.vstack([alive[key] for key in keys])
+                local = BruteForceIndex(corpus).query(query, k=1).neighbors[0]
+                expected = keys[local.index]
+                assert tree.query(query, k=1).neighbors[0].index == expected
+
+    def test_mbrs_stay_tight_after_deletions(self, rng):
+        # Deleting boundary points must shrink ancestors' boxes enough
+        # that no live point ever falls outside its leaf chain.
+        tree = DynamicRTree(2, page_size=4)
+        points = rng.normal(size=(60, 2)) * 10
+        tree.extend(points)
+        for index in range(0, 60, 2):
+            tree.delete(index)
+
+        def check(node):
+            if node.is_leaf:
+                for index in node.entries:
+                    row = points[index]
+                    assert np.all(row >= node.lower - 1e-12)
+                    assert np.all(row <= node.upper + 1e-12)
+            else:
+                for child in node.entries:
+                    assert np.all(child.lower >= node.lower - 1e-12)
+                    assert np.all(child.upper <= node.upper + 1e-12)
+                    check(child)
+
+        check(tree._root)

@@ -1,0 +1,108 @@
+"""Tests for the iDistance index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.search.bruteforce import BruteForceIndex
+from repro.search.idistance import IDistanceIndex
+
+
+class TestIDistanceIndex:
+    def test_agrees_with_bruteforce(self, rng):
+        points = rng.normal(size=(250, 5))
+        index = IDistanceIndex(points, seed=0)
+        reference = BruteForceIndex(points)
+        for _ in range(15):
+            query = rng.normal(size=5)
+            assert np.array_equal(
+                index.query(query, k=5).indices,
+                reference.query(query, k=5).indices,
+            )
+
+    def test_self_query(self, rng):
+        points = rng.normal(size=(60, 4))
+        result = IDistanceIndex(points, seed=0).query(points[9], k=1)
+        assert result.neighbors[0].index == 9
+        assert result.neighbors[0].distance == pytest.approx(0.0, abs=1e-12)
+
+    def test_tie_break_by_index(self):
+        points = np.ones((8, 3))
+        result = IDistanceIndex(points).query(np.zeros(3), k=3)
+        assert list(result.indices) == [0, 1, 2]
+
+    def test_prunes_on_clustered_data(self, rng):
+        centers = rng.normal(size=(8, 6)) * 30
+        labels = rng.integers(0, 8, size=2000)
+        points = centers[labels] + rng.normal(size=(2000, 6))
+        index = IDistanceIndex(points, n_partitions=8, seed=0)
+        result = index.query(points[5], k=3)
+        assert result.stats.points_scanned < 1000
+
+    def test_partition_count_default(self, rng):
+        index = IDistanceIndex(rng.normal(size=(400, 3)))
+        assert index.n_partitions == 10  # round(sqrt(400) / 2)
+
+    def test_single_partition_degrades_gracefully(self, rng):
+        points = rng.normal(size=(40, 3))
+        index = IDistanceIndex(points, n_partitions=1, seed=0)
+        reference = BruteForceIndex(points)
+        query = rng.normal(size=3)
+        assert np.array_equal(
+            index.query(query, k=4).indices,
+            reference.query(query, k=4).indices,
+        )
+
+    def test_k_equals_n(self, rng):
+        points = rng.normal(size=(30, 3))
+        index = IDistanceIndex(points, seed=0)
+        reference = BruteForceIndex(points)
+        query = rng.normal(size=3)
+        assert np.array_equal(
+            index.query(query, k=30).indices,
+            reference.query(query, k=30).indices,
+        )
+
+    def test_far_query(self, rng):
+        points = rng.uniform(size=(80, 4))
+        index = IDistanceIndex(points, seed=0)
+        reference = BruteForceIndex(points)
+        query = np.full(4, 1000.0)
+        assert np.array_equal(
+            index.query(query, k=3).indices,
+            reference.query(query, k=3).indices,
+        )
+
+    def test_rejects_bad_parameters(self, rng):
+        with pytest.raises(ValueError, match="n_partitions"):
+            IDistanceIndex(rng.normal(size=(5, 2)), n_partitions=6)
+        with pytest.raises(ValueError, match="n_partitions"):
+            IDistanceIndex(rng.normal(size=(5, 2)), n_partitions=0)
+        index = IDistanceIndex(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError, match="query"):
+            index.query(np.zeros(2), k=1)
+
+
+@st.composite
+def idistance_cases(draw):
+    n = draw(st.integers(2, 40))
+    d = draw(st.integers(1, 5))
+    elements = st.floats(
+        min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+    ).map(lambda v: 0.0 if abs(v) < 1e-6 else v)
+    corpus = draw(arrays(np.float64, (n, d), elements=elements))
+    query = draw(arrays(np.float64, (d,), elements=elements))
+    k = draw(st.integers(1, n))
+    return corpus, query, k
+
+
+class TestIDistanceProperties:
+    @given(idistance_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_knn_exactness(self, case):
+        corpus, query, k = case
+        expected = BruteForceIndex(corpus).query(query, k)
+        actual = IDistanceIndex(corpus, seed=0).query(query, k)
+        assert np.array_equal(actual.indices, expected.indices)

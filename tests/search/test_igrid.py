@@ -1,0 +1,109 @@
+"""Tests for the IGrid index."""
+
+import numpy as np
+import pytest
+
+from repro.search.igrid import IGridIndex
+
+
+class TestIGridIndex:
+    def test_self_query_is_top_hit_with_full_similarity(self, rng):
+        points = rng.normal(size=(100, 6))
+        index = IGridIndex(points, ranges_per_dim=4)
+        result = index.query(points[7], k=1)
+        assert result.neighbors[0].index == 7
+        # Self-similarity: every dimension shares its range at closeness 1.
+        assert -result.neighbors[0].distance == pytest.approx(6.0)
+
+    def test_similarity_symmetric(self, rng):
+        points = rng.normal(size=(60, 5))
+        index = IGridIndex(points, ranges_per_dim=3)
+        a, b = points[3], points[11]
+        assert index.similarity(a, b) == pytest.approx(index.similarity(b, a))
+
+    def test_similarity_bounds(self, rng):
+        points = rng.normal(size=(60, 5))
+        index = IGridIndex(points, ranges_per_dim=3)
+        for i in range(0, 20, 3):
+            value = index.similarity(points[i], points[i + 1])
+            assert 0.0 <= value <= 5.0
+
+    def test_identical_points_reach_maximum(self, rng):
+        points = rng.normal(size=(30, 4))
+        index = IGridIndex(points)
+        assert index.similarity(points[0], points[0]) == pytest.approx(4.0)
+
+    def test_query_scores_match_similarity_function(self, rng):
+        points = rng.normal(size=(50, 4))
+        index = IGridIndex(points, ranges_per_dim=4)
+        query = rng.normal(size=4)
+        result = index.query(query, k=5)
+        for neighbor in result.neighbors:
+            assert -neighbor.distance == pytest.approx(
+                index.similarity(query, points[neighbor.index]), abs=1e-9
+            )
+
+    def test_results_sorted_by_similarity_then_index(self, rng):
+        points = rng.normal(size=(80, 3))
+        index = IGridIndex(points)
+        result = index.query(rng.normal(size=3), k=10)
+        similarities = -result.distances
+        assert np.all(np.diff(similarities) <= 1e-12)
+
+    def test_ranked_like_euclidean_nearby(self, rng):
+        # IGrid is not Euclidean, but a point's very nearest Euclidean
+        # neighbor (well inside shared ranges) should rank highly.
+        centers = rng.normal(size=(5, 6)) * 10
+        labels = rng.integers(0, 5, size=200)
+        points = centers[labels] + rng.normal(size=(200, 6)) * 0.3
+        index = IGridIndex(points, ranges_per_dim=5)
+        hits = 0
+        for i in range(0, 40, 4):
+            result = index.query(points[i], k=4)
+            neighbor_labels = [labels[j] for j in result.indices if j != i]
+            hits += sum(1 for l in neighbor_labels if l == labels[i])
+        assert hits / 30 > 0.8
+
+    def test_equidepth_ranges_balance_occupancy(self, rng):
+        # Skewed data: equi-depth ranges keep roughly n/k points each.
+        points = np.exp(rng.normal(size=(400, 1)) * 2)
+        index = IGridIndex(points, ranges_per_dim=4)
+        occupancy = [lst.size for lst in index._lists[0]]
+        assert max(occupancy) <= 2 * min(occupancy) + 2
+
+    def test_outlier_query_lands_in_outer_range(self, rng):
+        points = rng.uniform(size=(50, 2))
+        index = IGridIndex(points, ranges_per_dim=4)
+        result = index.query(np.array([100.0, 100.0]), k=1)
+        # Far outside: shares the top range, closeness clipped to >= 0.
+        assert len(result.neighbors) == 1
+        assert -result.neighbors[0].distance >= 0.0
+
+    def test_stats_track_candidates(self, rng):
+        points = rng.normal(size=(100, 4))
+        index = IGridIndex(points, ranges_per_dim=4)
+        result = index.query(points[0], k=3)
+        assert result.stats.points_scanned + result.stats.nodes_pruned == 100
+        assert result.stats.nodes_visited == 4  # one list per dimension
+
+    def test_discrimination_survives_high_dimensionality(self, rng):
+        # The IGrid claim: similarity variance stays useful as d grows.
+        points = rng.uniform(size=(200, 100))
+        index = IGridIndex(points, ranges_per_dim=4)
+        query = rng.uniform(size=100)
+        result = index.query(query, k=200)
+        similarities = -result.distances
+        spread = similarities.max() - similarities.min()
+        assert spread > 2.0  # many dimensions of spread, not a collapse
+
+    def test_rejects_bad_parameters(self, rng):
+        points = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="ranges_per_dim"):
+            IGridIndex(points, ranges_per_dim=1)
+        with pytest.raises(ValueError, match="p must"):
+            IGridIndex(points, p=0.0)
+
+    def test_rejects_bad_query(self, rng):
+        index = IGridIndex(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError, match="query"):
+            index.query(np.zeros(2), k=1)

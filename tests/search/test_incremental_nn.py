@@ -1,0 +1,58 @@
+"""Tests for the R-tree's incremental nearest-neighbor iterator."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.search.bruteforce import BruteForceIndex
+from repro.search.rtree import RTreeIndex
+
+
+class TestIterNearest:
+    def test_full_enumeration_matches_bruteforce(self, rng):
+        points = rng.normal(size=(60, 3))
+        tree = RTreeIndex(points, page_size=8)
+        query = rng.normal(size=3)
+        incremental = [n.index for n in tree.iter_nearest(query)]
+        expected = BruteForceIndex(points).query(query, k=60).indices.tolist()
+        assert incremental == expected
+
+    def test_prefix_matches_knn(self, rng):
+        points = rng.normal(size=(100, 4))
+        tree = RTreeIndex(points, page_size=16)
+        query = rng.normal(size=4)
+        prefix = [n.index for n in itertools.islice(tree.iter_nearest(query), 7)]
+        assert prefix == tree.query(query, k=7).indices.tolist()
+
+    def test_distances_nondecreasing(self, rng):
+        points = rng.normal(size=(50, 2))
+        tree = RTreeIndex(points, page_size=4)
+        distances = [n.distance for n in tree.iter_nearest(rng.normal(size=2))]
+        assert all(a <= b + 1e-12 for a, b in zip(distances, distances[1:]))
+
+    def test_ties_emit_in_index_order(self):
+        points = np.ones((5, 2))
+        tree = RTreeIndex(points, page_size=2)
+        indices = [n.index for n in tree.iter_nearest(np.zeros(2))]
+        assert indices == [0, 1, 2, 3, 4]
+
+    def test_lazy_consumption(self, rng):
+        # Taking one neighbor from a large corpus must not enumerate it.
+        points = rng.normal(size=(5000, 3))
+        tree = RTreeIndex(points, page_size=32)
+        iterator = tree.iter_nearest(points[17])
+        first = next(iterator)
+        assert first.index == 17
+        assert first.distance == pytest.approx(0.0, abs=1e-12)
+
+    def test_iterator_exhausts(self, rng):
+        points = rng.normal(size=(10, 2))
+        tree = RTreeIndex(points, page_size=4)
+        emitted = list(tree.iter_nearest(np.zeros(2)))
+        assert len(emitted) == 10
+
+    def test_rejects_bad_query(self, rng):
+        tree = RTreeIndex(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError, match="query"):
+            next(tree.iter_nearest(np.zeros(2)))

@@ -1,0 +1,82 @@
+"""Tests for the kd-tree index."""
+
+import numpy as np
+import pytest
+
+from repro.search.bruteforce import BruteForceIndex
+from repro.search.kdtree import KdTreeIndex
+
+
+class TestKdTreeIndex:
+    def test_agrees_with_bruteforce(self, rng):
+        points = rng.normal(size=(300, 4))
+        tree = KdTreeIndex(points, leaf_size=8)
+        reference = BruteForceIndex(points)
+        for _ in range(20):
+            query = rng.normal(size=4)
+            ours = tree.query(query, k=5)
+            expected = reference.query(query, k=5)
+            assert np.array_equal(ours.indices, expected.indices)
+            assert np.allclose(ours.distances, expected.distances)
+
+    def test_agrees_on_integer_grid_with_ties(self, rng):
+        # Exact distance ties stress the tie-break parity.
+        points = rng.integers(0, 4, size=(120, 3)).astype(float)
+        tree = KdTreeIndex(points, leaf_size=4)
+        reference = BruteForceIndex(points)
+        for _ in range(15):
+            query = rng.integers(0, 4, size=3).astype(float)
+            assert np.array_equal(
+                tree.query(query, k=4).indices,
+                reference.query(query, k=4).indices,
+            )
+
+    def test_duplicate_points(self):
+        points = np.zeros((10, 2))
+        tree = KdTreeIndex(points, leaf_size=2)
+        result = tree.query(np.zeros(2), k=3)
+        assert list(result.indices) == [0, 1, 2]
+
+    def test_single_point(self):
+        tree = KdTreeIndex([[1.0, 2.0]])
+        result = tree.query([0.0, 0.0], k=1)
+        assert result.neighbors[0].index == 0
+
+    def test_prunes_in_low_dimensions(self, rng):
+        points = rng.uniform(size=(2000, 2))
+        tree = KdTreeIndex(points, leaf_size=16)
+        result = tree.query(np.array([0.5, 0.5]), k=1)
+        # In 2-d the bound is sharp: the vast majority must be pruned.
+        assert result.stats.points_scanned < 400
+
+    def test_pruning_collapses_in_high_dimensions(self, rng):
+        # The Section 1.1 phenomenon: same corpus size, dimensionality
+        # 50 — the optimistic bound stops working.
+        points = rng.uniform(size=(2000, 50))
+        tree = KdTreeIndex(points, leaf_size=16)
+        result = tree.query(rng.uniform(size=50), k=1)
+        assert result.stats.points_scanned > 1000
+
+    def test_stats_counts_consistent(self, rng):
+        points = rng.normal(size=(100, 3))
+        result = KdTreeIndex(points, leaf_size=10).query(rng.normal(size=3), k=2)
+        assert 2 <= result.stats.points_scanned <= 100
+        assert result.stats.nodes_visited >= 1
+
+    def test_rejects_bad_leaf_size(self, rng):
+        with pytest.raises(ValueError, match="leaf_size"):
+            KdTreeIndex(rng.normal(size=(10, 2)), leaf_size=0)
+
+    def test_rejects_bad_k(self, rng):
+        tree = KdTreeIndex(rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError, match="k must"):
+            tree.query(np.zeros(2), k=6)
+
+    def test_k_equals_n(self, rng):
+        points = rng.normal(size=(30, 3))
+        tree = KdTreeIndex(points, leaf_size=4)
+        reference = BruteForceIndex(points)
+        query = rng.normal(size=3)
+        assert np.array_equal(
+            tree.query(query, k=30).indices, reference.query(query, k=30).indices
+        )

@@ -1,0 +1,93 @@
+"""Tests for the E2LSH approximate index."""
+
+import numpy as np
+import pytest
+
+from repro.search.bruteforce import BruteForceIndex
+from repro.search.lsh import LshIndex
+
+
+@pytest.fixture()
+def clustered_points(rng):
+    # Clustered data: LSH has easy wins when neighbors are genuinely close.
+    centers = rng.normal(size=(10, 6)) * 20.0
+    labels = rng.integers(0, 10, size=400)
+    return centers[labels] + rng.normal(size=(400, 6))
+
+
+class TestLshIndex:
+    def test_self_query_finds_self(self, clustered_points):
+        index = LshIndex(clustered_points, bucket_width=4.0, seed=0)
+        result = index.query(clustered_points[5], k=1)
+        assert result.neighbors[0].index == 5
+
+    def test_results_sorted_and_exactly_ranked(self, clustered_points):
+        index = LshIndex(clustered_points, bucket_width=4.0, seed=0)
+        result = index.query(clustered_points[0], k=5)
+        assert np.all(np.diff(result.distances) >= 0.0)
+        # Every returned distance is the true distance.
+        for neighbor in result.neighbors:
+            true = float(
+                np.linalg.norm(clustered_points[neighbor.index] - clustered_points[0])
+            )
+            assert neighbor.distance == pytest.approx(true)
+
+    def test_recall_reasonable_on_clustered_data(self, clustered_points, rng):
+        index = LshIndex(
+            clustered_points, n_tables=12, n_hashes=4, bucket_width=4.0, seed=0
+        )
+        queries = clustered_points[rng.choice(400, size=25, replace=False)]
+        recall = index.recall_against_exact(queries, k=3)
+        assert recall > 0.7
+
+    def test_scans_fewer_points_than_bruteforce(self, clustered_points):
+        index = LshIndex(
+            clustered_points, n_tables=6, n_hashes=6, bucket_width=3.0, seed=0
+        )
+        result = index.query(clustered_points[3], k=3)
+        assert result.stats.points_scanned < 400
+
+    def test_more_hashes_fewer_candidates(self, clustered_points):
+        loose = LshIndex(clustered_points, n_hashes=2, bucket_width=4.0, seed=0)
+        tight = LshIndex(clustered_points, n_hashes=8, bucket_width=4.0, seed=0)
+        query = clustered_points[7]
+        assert (
+            tight.candidates(query).size <= loose.candidates(query).size
+        )
+
+    def test_may_return_fewer_than_k(self, rng):
+        # A far-away query can land in an empty bucket: approximation.
+        points = rng.normal(size=(50, 4))
+        index = LshIndex(points, n_tables=1, n_hashes=10, bucket_width=0.1, seed=0)
+        result = index.query(np.full(4, 1000.0), k=5)
+        assert len(result.neighbors) <= 5  # possibly zero — and that is OK
+
+    def test_deterministic_given_seed(self, clustered_points):
+        a = LshIndex(clustered_points, seed=3).query(clustered_points[0], k=4)
+        b = LshIndex(clustered_points, seed=3).query(clustered_points[0], k=4)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_rejects_bad_parameters(self, rng):
+        points = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            LshIndex(points, n_tables=0)
+        with pytest.raises(ValueError):
+            LshIndex(points, n_hashes=0)
+        with pytest.raises(ValueError, match="bucket_width"):
+            LshIndex(points, bucket_width=0.0)
+
+    def test_stats_account_for_pruning(self, clustered_points):
+        index = LshIndex(clustered_points, bucket_width=4.0, seed=0)
+        result = index.query(clustered_points[0], k=3)
+        assert (
+            result.stats.points_scanned + result.stats.nodes_pruned
+            == index.n_points
+        )
+
+    def test_wide_buckets_approach_exact(self, rng):
+        # Huge buckets put everything in one bucket: recall 1, full scan.
+        points = rng.normal(size=(100, 3))
+        index = LshIndex(points, n_tables=2, n_hashes=2, bucket_width=1e6, seed=0)
+        expected = BruteForceIndex(points).query(points[0], k=5)
+        actual = index.query(points[0], k=5)
+        assert np.array_equal(actual.indices, expected.indices)

@@ -1,0 +1,88 @@
+"""Range queries must agree exactly across all index structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.search.bruteforce import BruteForceIndex
+from repro.search.kdtree import KdTreeIndex
+from repro.search.rtree import RTreeIndex
+from repro.search.vafile import VAFileIndex
+
+_INDEXES = [
+    lambda pts: BruteForceIndex(pts),
+    lambda pts: KdTreeIndex(pts, leaf_size=4),
+    lambda pts: RTreeIndex(pts, page_size=4),
+    lambda pts: VAFileIndex(pts, bits_per_dim=3),
+]
+
+
+class TestRangeQueryBasics:
+    def test_known_answer_on_line(self):
+        points = np.array([[0.0], [1.0], [2.0], [5.0]])
+        for make in _INDEXES:
+            result = make(points).range_query([0.9], radius=1.2)
+            assert list(result.indices) == [1, 0, 2]
+
+    def test_zero_radius_finds_exact_matches(self):
+        points = np.array([[1.0, 2.0], [3.0, 4.0], [1.0, 2.0]])
+        for make in _INDEXES:
+            result = make(points).range_query([1.0, 2.0], radius=0.0)
+            assert list(result.indices) == [0, 2]
+
+    def test_radius_covers_everything(self, rng):
+        points = rng.normal(size=(50, 3))
+        for make in _INDEXES:
+            result = make(points).range_query(np.zeros(3), radius=1e6)
+            assert result.indices.size == 50
+
+    def test_empty_result(self, rng):
+        points = rng.normal(size=(30, 3))
+        for make in _INDEXES:
+            result = make(points).range_query(np.full(3, 100.0), radius=0.5)
+            assert result.indices.size == 0
+
+    def test_distances_sorted_and_within_radius(self, rng):
+        points = rng.normal(size=(80, 4))
+        for make in _INDEXES:
+            result = make(points).range_query(rng.normal(size=4), radius=2.0)
+            assert np.all(np.diff(result.distances) >= 0.0)
+            assert np.all(result.distances <= 2.0 + 1e-9)
+
+    def test_negative_radius_rejected(self, rng):
+        points = rng.normal(size=(10, 2))
+        for make in _INDEXES:
+            with pytest.raises(ValueError, match="radius"):
+                make(points).range_query(np.zeros(2), radius=-1.0)
+
+    def test_tree_indexes_prune(self, rng):
+        points = rng.uniform(size=(2000, 2))
+        for make in _INDEXES[1:3]:  # kd-tree and R-tree
+            result = make(points).range_query(np.array([0.5, 0.5]), radius=0.05)
+            assert result.stats.points_scanned < 1000
+
+
+@st.composite
+def range_cases(draw):
+    n = draw(st.integers(2, 30))
+    d = draw(st.integers(1, 4))
+    elements = st.floats(
+        min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+    )
+    corpus = draw(arrays(np.float64, (n, d), elements=elements))
+    query = draw(arrays(np.float64, (d,), elements=elements))
+    radius = draw(st.floats(min_value=0, max_value=100, allow_nan=False))
+    return corpus, query, radius
+
+
+class TestRangeQueryAgreement:
+    @given(range_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_all_indexes_agree_with_bruteforce(self, case):
+        corpus, query, radius = case
+        expected = BruteForceIndex(corpus).range_query(query, radius)
+        for make in _INDEXES[1:]:
+            actual = make(corpus).range_query(query, radius)
+            assert np.array_equal(actual.indices, expected.indices)

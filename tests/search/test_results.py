@@ -1,0 +1,65 @@
+"""Tests for the shared search result types."""
+
+import numpy as np
+import pytest
+
+from repro.search.results import (
+    KnnResult,
+    Neighbor,
+    QueryStats,
+    validate_corpus,
+    validate_k,
+    validate_query,
+)
+
+
+class TestQueryStats:
+    def test_pruning_fraction(self):
+        stats = QueryStats(points_scanned=25)
+        assert stats.pruning_fraction(100) == pytest.approx(0.75)
+
+    def test_full_scan_is_zero(self):
+        assert QueryStats(points_scanned=10).pruning_fraction(10) == 0.0
+
+    def test_overcounted_scans_clamped(self):
+        # Refinement may touch a point twice; the fraction never goes
+        # negative.
+        assert QueryStats(points_scanned=15).pruning_fraction(10) == 0.0
+
+    def test_rejects_nonpositive_total(self):
+        with pytest.raises(ValueError):
+            QueryStats().pruning_fraction(0)
+
+
+class TestKnnResult:
+    def test_index_and_distance_arrays(self):
+        result = KnnResult(
+            neighbors=(Neighbor(3, 1.5), Neighbor(7, 2.5)),
+        )
+        assert np.array_equal(result.indices, [3, 7])
+        assert np.allclose(result.distances, [1.5, 2.5])
+
+    def test_empty(self):
+        result = KnnResult(neighbors=())
+        assert result.indices.size == 0
+
+
+class TestValidators:
+    def test_validate_corpus_passes_good(self, rng):
+        array = validate_corpus(rng.normal(size=(4, 2)))
+        assert array.dtype == np.float64
+
+    def test_validate_corpus_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-d"):
+            validate_corpus([1.0, 2.0])
+
+    def test_validate_query_checks_width(self):
+        with pytest.raises(ValueError, match="length 3"):
+            validate_query([1.0], 3)
+
+    def test_validate_k_bounds(self):
+        assert validate_k(3, 5) == 3
+        with pytest.raises(ValueError):
+            validate_k(0, 5)
+        with pytest.raises(ValueError):
+            validate_k(6, 5)

@@ -1,0 +1,105 @@
+"""Tests for the STR R-tree index."""
+
+import numpy as np
+import pytest
+
+from repro.search.bruteforce import BruteForceIndex
+from repro.search.rtree import RTreeIndex, _mindist_squared
+
+
+class TestMindist:
+    def test_inside_box_is_zero(self):
+        lower, upper = np.zeros(2), np.ones(2)
+        assert _mindist_squared(lower, upper, np.array([0.5, 0.5])) == 0.0
+
+    def test_outside_along_one_axis(self):
+        lower, upper = np.zeros(2), np.ones(2)
+        assert _mindist_squared(lower, upper, np.array([2.0, 0.5])) == pytest.approx(1.0)
+
+    def test_corner_distance(self):
+        lower, upper = np.zeros(2), np.ones(2)
+        assert _mindist_squared(lower, upper, np.array([2.0, 3.0])) == pytest.approx(5.0)
+
+    def test_boundary_is_zero(self):
+        lower, upper = np.zeros(2), np.ones(2)
+        assert _mindist_squared(lower, upper, np.array([1.0, 0.0])) == 0.0
+
+
+class TestRTreeIndex:
+    def test_agrees_with_bruteforce(self, rng):
+        points = rng.normal(size=(400, 5))
+        tree = RTreeIndex(points, page_size=16)
+        reference = BruteForceIndex(points)
+        for _ in range(20):
+            query = rng.normal(size=5)
+            ours = tree.query(query, k=7)
+            expected = reference.query(query, k=7)
+            assert np.array_equal(ours.indices, expected.indices)
+            assert np.allclose(ours.distances, expected.distances)
+
+    def test_agrees_with_ties(self, rng):
+        points = rng.integers(0, 3, size=(90, 3)).astype(float)
+        tree = RTreeIndex(points, page_size=8)
+        reference = BruteForceIndex(points)
+        for _ in range(10):
+            query = rng.integers(0, 3, size=3).astype(float)
+            assert np.array_equal(
+                tree.query(query, k=5).indices,
+                reference.query(query, k=5).indices,
+            )
+
+    def test_tree_height_grows_with_corpus(self, rng):
+        small = RTreeIndex(rng.normal(size=(10, 2)), page_size=8)
+        large = RTreeIndex(rng.normal(size=(2000, 2)), page_size=8)
+        assert large.height > small.height
+
+    def test_single_point(self):
+        tree = RTreeIndex([[3.0, 4.0]])
+        result = tree.query([0.0, 0.0], k=1)
+        assert result.neighbors[0].distance == pytest.approx(5.0)
+
+    def test_duplicates(self):
+        tree = RTreeIndex(np.ones((20, 3)), page_size=4)
+        result = tree.query(np.ones(3), k=4)
+        assert list(result.indices) == [0, 1, 2, 3]
+
+    def test_prunes_in_low_dimensions(self, rng):
+        points = rng.uniform(size=(3000, 2))
+        tree = RTreeIndex(points, page_size=32)
+        result = tree.query(np.array([0.5, 0.5]), k=1)
+        assert result.stats.points_scanned < 500
+        assert result.stats.nodes_pruned > 0
+
+    def test_pruning_collapses_in_high_dimensions(self, rng):
+        points = rng.uniform(size=(3000, 60))
+        tree = RTreeIndex(points, page_size=32)
+        result = tree.query(rng.uniform(size=60), k=1)
+        assert result.stats.points_scanned > 1500
+
+    def test_rejects_small_page_size(self, rng):
+        with pytest.raises(ValueError, match="page_size"):
+            RTreeIndex(rng.normal(size=(5, 2)), page_size=1)
+
+    def test_rejects_bad_query(self, rng):
+        tree = RTreeIndex(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError, match="query"):
+            tree.query(np.zeros(2), k=1)
+
+    def test_k_equals_n(self, rng):
+        points = rng.normal(size=(50, 4))
+        tree = RTreeIndex(points, page_size=8)
+        reference = BruteForceIndex(points)
+        query = rng.normal(size=4)
+        assert np.array_equal(
+            tree.query(query, k=50).indices,
+            reference.query(query, k=50).indices,
+        )
+
+    def test_one_dimensional_corpus(self, rng):
+        points = rng.normal(size=(100, 1))
+        tree = RTreeIndex(points, page_size=8)
+        reference = BruteForceIndex(points)
+        query = rng.normal(size=1)
+        assert np.array_equal(
+            tree.query(query, k=3).indices, reference.query(query, k=3).indices
+        )

@@ -1,0 +1,91 @@
+"""Tests for the VA-file index."""
+
+import numpy as np
+import pytest
+
+from repro.search.bruteforce import BruteForceIndex
+from repro.search.vafile import VAFileIndex
+
+
+class TestVAFileIndex:
+    def test_agrees_with_bruteforce(self, rng):
+        points = rng.normal(size=(300, 6))
+        va = VAFileIndex(points, bits_per_dim=4)
+        reference = BruteForceIndex(points)
+        for _ in range(20):
+            query = rng.normal(size=6)
+            ours = va.query(query, k=5)
+            expected = reference.query(query, k=5)
+            assert np.array_equal(ours.indices, expected.indices)
+            assert np.allclose(ours.distances, expected.distances)
+
+    def test_agrees_with_coarse_quantization(self, rng):
+        # Even 1 bit per dimension must stay exact (bounds get loose,
+        # pruning gets weak, correctness is untouched).
+        points = rng.normal(size=(150, 4))
+        va = VAFileIndex(points, bits_per_dim=1)
+        reference = BruteForceIndex(points)
+        query = rng.normal(size=4)
+        assert np.array_equal(
+            va.query(query, k=3).indices, reference.query(query, k=3).indices
+        )
+
+    def test_agrees_with_ties(self, rng):
+        points = rng.integers(0, 3, size=(80, 3)).astype(float)
+        va = VAFileIndex(points, bits_per_dim=3)
+        reference = BruteForceIndex(points)
+        query = np.array([1.0, 1.0, 1.0])
+        assert np.array_equal(
+            va.query(query, k=5).indices, reference.query(query, k=5).indices
+        )
+
+    def test_refines_fewer_with_more_bits(self, rng):
+        points = rng.uniform(size=(2000, 4))
+        query = rng.uniform(size=4)
+        coarse = VAFileIndex(points, bits_per_dim=2).query(query, k=3)
+        fine = VAFileIndex(points, bits_per_dim=8).query(query, k=3)
+        assert fine.stats.points_scanned <= coarse.stats.points_scanned
+
+    def test_scans_few_vectors_in_low_dimensions(self, rng):
+        points = rng.uniform(size=(3000, 3))
+        va = VAFileIndex(points, bits_per_dim=6)
+        result = va.query(rng.uniform(size=3), k=1)
+        assert result.stats.points_scanned < 100
+
+    def test_constant_dimension_handled(self, rng):
+        points = rng.normal(size=(50, 3))
+        points[:, 1] = 5.0
+        va = VAFileIndex(points, bits_per_dim=4)
+        reference = BruteForceIndex(points)
+        query = rng.normal(size=3)
+        assert np.array_equal(
+            va.query(query, k=4).indices, reference.query(query, k=4).indices
+        )
+
+    def test_compression_ratio(self, rng):
+        va = VAFileIndex(rng.normal(size=(10, 2)), bits_per_dim=8)
+        assert va.compression_ratio() == pytest.approx(8 / 64)
+
+    def test_rejects_bad_bits(self, rng):
+        with pytest.raises(ValueError, match="bits_per_dim"):
+            VAFileIndex(rng.normal(size=(10, 2)), bits_per_dim=0)
+        with pytest.raises(ValueError, match="bits_per_dim"):
+            VAFileIndex(rng.normal(size=(10, 2)), bits_per_dim=17)
+
+    def test_query_outside_data_range(self, rng):
+        points = rng.uniform(size=(100, 3))
+        va = VAFileIndex(points, bits_per_dim=4)
+        reference = BruteForceIndex(points)
+        query = np.full(3, 10.0)  # far outside every cell
+        assert np.array_equal(
+            va.query(query, k=2).indices, reference.query(query, k=2).indices
+        )
+
+    def test_k_equals_n(self, rng):
+        points = rng.normal(size=(40, 3))
+        va = VAFileIndex(points)
+        reference = BruteForceIndex(points)
+        query = rng.normal(size=3)
+        assert np.array_equal(
+            va.query(query, k=40).indices, reference.query(query, k=40).indices
+        )

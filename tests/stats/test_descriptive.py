@@ -1,0 +1,118 @@
+"""Tests for repro.stats.descriptive."""
+
+import numpy as np
+import pytest
+
+from repro.stats.descriptive import (
+    column_means,
+    column_stds,
+    column_variances,
+    mean,
+    root_mean_square,
+    standard_deviation,
+    variance,
+    zscores,
+)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_single_value(self):
+        assert mean([7.5]) == 7.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            mean([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            mean([1.0, float("nan")])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            mean([1.0, float("inf")])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-d"):
+            mean([[1.0, 2.0]])
+
+
+class TestVariance:
+    def test_population(self):
+        assert variance([1.0, 2.0, 3.0]) == pytest.approx(2.0 / 3.0)
+
+    def test_sample(self):
+        assert variance([1.0, 2.0, 3.0], ddof=1) == pytest.approx(1.0)
+
+    def test_constant_is_zero(self):
+        assert variance([4.0, 4.0, 4.0]) == 0.0
+
+    def test_needs_enough_observations(self):
+        with pytest.raises(ValueError, match="ddof"):
+            variance([1.0], ddof=1)
+
+    def test_std_is_sqrt(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert standard_deviation(values) == pytest.approx(
+            np.sqrt(variance(values))
+        )
+
+
+class TestRootMeanSquare:
+    def test_about_zero_not_about_mean(self):
+        # RMS about zero of a constant is the constant itself, even
+        # though its variance is zero — this is the paper's sigma.
+        assert root_mean_square([3.0, 3.0, 3.0]) == 3.0
+
+    def test_mixed_signs(self):
+        assert root_mean_square([-1.0, 1.0]) == 1.0
+
+    def test_zeros(self):
+        assert root_mean_square([0.0, 0.0]) == 0.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            root_mean_square([float("nan")])
+
+
+class TestZscores:
+    def test_zero_mean_unit_std(self):
+        z = zscores([1.0, 2.0, 3.0, 4.0])
+        assert np.mean(z) == pytest.approx(0.0, abs=1e-12)
+        assert np.std(z) == pytest.approx(1.0)
+
+    def test_constant_raises(self):
+        with pytest.raises(ValueError, match="constant"):
+            zscores([2.0, 2.0])
+
+    def test_preserves_order(self):
+        z = zscores([5.0, 1.0, 3.0])
+        assert z[0] > z[2] > z[1]
+
+
+class TestColumnStatistics:
+    def test_column_means(self):
+        matrix = [[1.0, 10.0], [3.0, 30.0]]
+        assert np.allclose(column_means(matrix), [2.0, 20.0])
+
+    def test_column_variances(self):
+        matrix = [[0.0, 0.0], [2.0, 4.0]]
+        assert np.allclose(column_variances(matrix), [1.0, 4.0])
+
+    def test_column_stds(self):
+        matrix = [[0.0, 0.0], [2.0, 4.0]]
+        assert np.allclose(column_stds(matrix), [1.0, 2.0])
+
+    def test_sample_variance(self):
+        matrix = [[0.0], [2.0]]
+        assert np.allclose(column_variances(matrix, ddof=1), [2.0])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-d"):
+            column_means([1.0, 2.0])
+
+    def test_rejects_too_few_rows_for_ddof(self):
+        with pytest.raises(ValueError, match="ddof"):
+            column_variances([[1.0, 2.0]], ddof=1)

@@ -1,0 +1,132 @@
+"""Tests for repro.stats.hypothesis_test — the Hypothesis-2.1 machinery."""
+
+import numpy as np
+import pytest
+
+from repro.stats.hypothesis_test import (
+    null_contribution_test,
+    one_sample_z_test,
+)
+from repro.stats.normal import symmetric_mass
+
+
+class TestNullContributionTest:
+    def test_single_nonzero_contribution_gives_factor_one(self):
+        # The Section 3 uniform-data case: one active dimension.
+        result = null_contribution_test([0.7, 0.0, 0.0, 0.0])
+        assert result.coherence_factor == pytest.approx(1.0)
+        assert result.coherence_probability == pytest.approx(
+            symmetric_mass(1.0)
+        )
+
+    def test_single_dimension_factor_independent_of_magnitude(self):
+        small = null_contribution_test([0.001, 0.0, 0.0])
+        large = null_contribution_test([1000.0, 0.0, 0.0])
+        assert small.coherence_factor == pytest.approx(large.coherence_factor)
+
+    def test_perfect_agreement_reaches_sqrt_d(self):
+        d = 16
+        result = null_contribution_test([0.5] * d)
+        assert result.coherence_factor == pytest.approx(np.sqrt(d))
+
+    def test_perfect_cancellation_is_zero(self):
+        result = null_contribution_test([1.0, -1.0, 2.0, -2.0])
+        assert result.coherence_factor == 0.0
+        assert result.coherence_probability == 0.0
+        assert result.p_value == 1.0
+
+    def test_all_zero_contributions_carry_no_evidence(self):
+        result = null_contribution_test([0.0, 0.0, 0.0])
+        assert result.coherence_factor == 0.0
+        assert result.coherence_probability == 0.0
+        assert result.rms_about_zero == 0.0
+
+    def test_sign_flip_invariance(self):
+        values = [0.3, -0.1, 0.8, 0.2]
+        flipped = [-v for v in values]
+        assert null_contribution_test(values).coherence_factor == pytest.approx(
+            null_contribution_test(flipped).coherence_factor
+        )
+
+    def test_permutation_invariance(self):
+        values = [0.3, -0.1, 0.8, 0.2]
+        shuffled = [0.8, 0.3, 0.2, -0.1]
+        assert null_contribution_test(values).coherence_factor == pytest.approx(
+            null_contribution_test(shuffled).coherence_factor
+        )
+
+    def test_scaling_invariance(self):
+        values = np.array([0.3, -0.1, 0.8, 0.2])
+        assert null_contribution_test(values).coherence_factor == pytest.approx(
+            null_contribution_test(values * 17.0).coherence_factor
+        )
+
+    def test_p_value_complements_probability(self):
+        result = null_contribution_test([0.4, 0.5, 0.3, 0.45])
+        assert result.p_value == pytest.approx(
+            1.0 - result.coherence_probability
+        )
+
+    def test_rms_is_about_zero(self):
+        result = null_contribution_test([2.0, 2.0])
+        assert result.rms_about_zero == pytest.approx(2.0)
+
+    def test_records_dimensionality(self):
+        assert null_contribution_test([1.0, 2.0, 3.0]).n_contributions == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            null_contribution_test([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-d"):
+            null_contribution_test([[1.0, 2.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            null_contribution_test([1.0, float("nan")])
+
+    def test_random_noise_scores_low(self):
+        rng = np.random.default_rng(0)
+        probabilities = [
+            null_contribution_test(rng.normal(size=100)).coherence_probability
+            for _ in range(50)
+        ]
+        # Zero-mean noise should rarely look coherent.
+        assert np.mean(probabilities) < 0.75
+
+    def test_correlated_contributions_score_high(self):
+        rng = np.random.default_rng(0)
+        contributions = 1.0 + 0.1 * rng.normal(size=100)
+        result = null_contribution_test(contributions)
+        assert result.coherence_probability > 0.999
+
+
+class TestOneSampleZTest:
+    def test_mean_at_null_gives_zero_z(self):
+        z, p = one_sample_z_test([-1.0, 1.0], null_mean=0.0)
+        assert z == 0.0
+        assert p == pytest.approx(1.0)
+
+    def test_known_sigma(self):
+        z, p = one_sample_z_test([1.0, 1.0, 1.0, 1.0], null_mean=0.0, sigma=2.0)
+        assert z == pytest.approx(1.0)
+        assert p == pytest.approx(2 * (1 - 0.8413447460685429), rel=1e-9)
+
+    def test_large_effect_small_p(self):
+        rng = np.random.default_rng(1)
+        sample = 5.0 + rng.normal(size=200)
+        _, p = one_sample_z_test(sample, null_mean=0.0)
+        assert p < 1e-10
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            one_sample_z_test([1.0])
+
+    def test_rejects_zero_sigma(self):
+        with pytest.raises(ValueError, match="positive"):
+            one_sample_z_test([1.0, 1.0], sigma=0.0)
+
+    def test_rejects_constant_sample_without_sigma(self):
+        with pytest.raises(ValueError, match="positive"):
+            one_sample_z_test([1.0, 1.0])

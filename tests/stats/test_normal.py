@@ -1,0 +1,192 @@
+"""Tests for repro.stats.normal — the from-scratch normal distribution."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.normal import (
+    erf,
+    erfc,
+    norm_cdf,
+    norm_pdf,
+    norm_quantile,
+    symmetric_mass,
+)
+
+
+class TestErf:
+    def test_zero(self):
+        assert erf(0.0) == 0.0
+
+    def test_known_value_one(self):
+        # erf(1) from tables.
+        assert erf(1.0) == pytest.approx(0.8427007929497149, abs=1e-14)
+
+    def test_known_value_two(self):
+        assert erf(2.0) == pytest.approx(0.9953222650189527, abs=1e-14)
+
+    def test_known_value_half(self):
+        assert erf(0.5) == pytest.approx(0.5204998778130465, abs=1e-14)
+
+    def test_odd_symmetry(self):
+        for x in (0.1, 0.9, 2.5, 7.0):
+            assert erf(-x) == -erf(x)
+
+    def test_saturates_to_one(self):
+        assert erf(30.0) == 1.0
+        assert erf(-30.0) == -1.0
+
+    def test_matches_stdlib_across_range(self):
+        # The from-scratch scalar implementation against C math.erf.
+        for x in np.linspace(-6, 6, 241):
+            assert erf(float(x)) == pytest.approx(math.erf(x), abs=1e-14)
+
+    def test_continuity_at_series_cf_boundary(self):
+        # The implementation switches algorithms at |x| = 2.
+        below = erf(2.0 - 1e-12)
+        above = erf(2.0 + 1e-12)
+        assert abs(above - below) < 1e-11
+
+    def test_array_input_returns_array(self):
+        values = erf(np.array([0.0, 1.0, -1.0]))
+        assert isinstance(values, np.ndarray)
+        assert values[0] == 0.0
+        assert values[1] == pytest.approx(-values[2])
+
+    def test_nan_propagates(self):
+        assert math.isnan(erf(float("nan")))
+
+    @given(st.floats(min_value=-10, max_value=10))
+    @settings(max_examples=200)
+    def test_bounded_and_monotone_nearby(self, x):
+        value = erf(x)
+        assert -1.0 <= value <= 1.0
+        assert erf(x + 1e-3) >= value - 1e-12
+
+
+class TestErfc:
+    def test_complements_erf(self):
+        for x in (-3.0, -0.5, 0.0, 0.5, 1.7, 2.5):
+            assert erfc(x) == pytest.approx(1.0 - erf(x), abs=1e-12)
+
+    def test_reflection(self):
+        assert erfc(-1.3) == pytest.approx(2.0 - erfc(1.3), abs=1e-14)
+
+    def test_deep_tail_no_cancellation(self):
+        # 1 - erf(6) cancels catastrophically; erfc(6) must not.
+        assert erfc(6.0) == pytest.approx(2.1519736712498913e-17, rel=1e-10)
+
+    def test_matches_stdlib(self):
+        for x in np.linspace(-5, 8, 131):
+            assert erfc(float(x)) == pytest.approx(math.erfc(x), rel=1e-12, abs=1e-300)
+
+    def test_array_input(self):
+        values = erfc(np.array([0.0, 10.0]))
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] < 1e-40
+
+
+class TestNormPdf:
+    def test_peak_value(self):
+        assert norm_pdf(0.0) == pytest.approx(1.0 / math.sqrt(2 * math.pi))
+
+    def test_symmetry(self):
+        assert norm_pdf(1.234) == pytest.approx(norm_pdf(-1.234))
+
+    def test_integrates_to_one(self):
+        zs = np.linspace(-10, 10, 40001)
+        integral = np.trapezoid(norm_pdf(zs), zs)
+        assert integral == pytest.approx(1.0, abs=1e-10)
+
+
+class TestNormCdf:
+    def test_center(self):
+        assert norm_cdf(0.0) == pytest.approx(0.5)
+
+    def test_one_sigma(self):
+        assert norm_cdf(1.0) == pytest.approx(0.8413447460685429, abs=1e-12)
+
+    def test_symmetry(self):
+        assert norm_cdf(-1.5) == pytest.approx(1.0 - norm_cdf(1.5), abs=1e-14)
+
+    def test_limits(self):
+        assert norm_cdf(-40.0) == 0.0
+        assert norm_cdf(40.0) == 1.0
+
+    def test_monotone_array(self):
+        zs = np.linspace(-5, 5, 101)
+        values = norm_cdf(zs)
+        assert np.all(np.diff(values) >= 0.0)
+
+    def test_derivative_matches_pdf(self):
+        h = 1e-6
+        for z in (-2.0, -0.3, 0.0, 1.1, 2.7):
+            numeric = (norm_cdf(z + h) - norm_cdf(z - h)) / (2 * h)
+            assert numeric == pytest.approx(norm_pdf(z), rel=1e-5)
+
+
+class TestSymmetricMass:
+    def test_zero_is_zero(self):
+        assert symmetric_mass(0.0) == 0.0
+
+    def test_one_sigma_value(self):
+        # The paper's uniform-data coherence probability, Eq. 5.
+        assert symmetric_mass(1.0) == pytest.approx(0.6826894921370859, abs=1e-12)
+
+    def test_two_sigma_value(self):
+        assert symmetric_mass(2.0) == pytest.approx(0.9544997361036416, abs=1e-12)
+
+    def test_equals_two_phi_minus_one(self):
+        for z in (0.3, 1.0, 2.2, 4.0):
+            assert symmetric_mass(z) == pytest.approx(2 * norm_cdf(z) - 1, abs=1e-13)
+
+    def test_array(self):
+        values = symmetric_mass(np.array([0.0, 1.0, 100.0]))
+        assert values[0] == 0.0
+        assert values[2] == 1.0
+
+    @given(st.floats(min_value=0, max_value=50))
+    @settings(max_examples=200)
+    def test_range_and_monotonicity(self, z):
+        value = symmetric_mass(z)
+        assert 0.0 <= value <= 1.0
+        assert symmetric_mass(z + 0.01) >= value
+
+
+class TestNormQuantile:
+    def test_median(self):
+        assert norm_quantile(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_values(self):
+        assert norm_quantile(0.975) == pytest.approx(1.959963984540054, abs=1e-9)
+        assert norm_quantile(0.8413447460685429) == pytest.approx(1.0, abs=1e-9)
+
+    def test_symmetry(self):
+        assert norm_quantile(0.25) == pytest.approx(-norm_quantile(0.75), abs=1e-12)
+
+    def test_roundtrip_with_cdf(self):
+        for p in (1e-8, 0.001, 0.3, 0.5, 0.7, 0.999, 1 - 1e-8):
+            assert norm_cdf(norm_quantile(p)) == pytest.approx(p, rel=1e-9)
+
+    def test_boundaries(self):
+        assert norm_quantile(0.0) == -math.inf
+        assert norm_quantile(1.0) == math.inf
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            norm_quantile(-0.1)
+        with pytest.raises(ValueError):
+            norm_quantile(1.1)
+
+    def test_array(self):
+        values = norm_quantile(np.array([0.1, 0.5, 0.9]))
+        assert values[1] == pytest.approx(0.0, abs=1e-12)
+        assert values[0] == pytest.approx(-values[2], abs=1e-10)
+
+    @given(st.floats(min_value=1e-6, max_value=1 - 1e-6))
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, p):
+        assert norm_cdf(norm_quantile(p)) == pytest.approx(p, rel=1e-6, abs=1e-9)

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestDiagnoseCommand:
+    def test_preset(self, capsys):
+        assert main(["diagnose", "ionosphere", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "reducible" in out
+        assert "coherence probability" in out
+
+    def test_uniform_is_noisy(self, capsys):
+        assert main(["diagnose", "uniform"]) == 0
+        assert "noisy" in capsys.readouterr().out
+
+    def test_csv_input(self, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        rows = [
+            ",".join(f"{v:.4f}" for v in rng.normal(size=6)) + f",{i % 2}"
+            for i in range(40)
+        ]
+        path = tmp_path / "data.csv"
+        path.write_text("\n".join(rows) + "\n")
+        assert main(["diagnose", str(path)]) == 0
+        assert "data.csv" in capsys.readouterr().out
+
+    def test_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit, match="neither a preset"):
+            main(["diagnose", "no-such-dataset"])
+
+
+class TestEvaluateCommand:
+    def test_noisy_preset_with_coherence_ordering(self, capsys):
+        assert main(
+            ["evaluate", "noisy-a", "--ordering", "coherence", "--no-scale"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "optimal accuracy" in out
+        assert "1%-threshold" in out
+
+
+class TestSweepCommand:
+    def test_prints_curve_and_optimum(self, capsys):
+        assert main(["sweep", "ionosphere", "--points", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy vs dimensionality" in out
+        assert "optimum:" in out
+
+
+class TestReduceCommand:
+    def test_writes_csv(self, tmp_path, capsys):
+        output = tmp_path / "reduced.csv"
+        assert main(
+            ["reduce", "ionosphere", "--components", "4", "-o", str(output)]
+        ) == 0
+        lines = output.read_text().strip().splitlines()
+        header = lines[0].split(",")
+        assert len(header) == 5  # 4 components + label
+        assert header[-1] == "label"
+        assert len(lines) == 1 + 351
+        assert "wrote 351 rows" in capsys.readouterr().out
+
+    def test_automatic_budget_default(self, tmp_path):
+        output = tmp_path / "auto.csv"
+        assert main(["reduce", "noisy-b", "--no-scale", "-o", str(output)]) == 0
+        header = output.read_text().splitlines()[0].split(",")
+        assert 2 <= len(header) <= 20  # automatic cut picks the concepts
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_ordering(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "ionosphere", "--ordering", "best"])
+
+
+class TestExperimentCommand:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig03" in out
+        assert "table1" in out
+        assert "sec3" in out
+
+    def test_run_single(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "sec3"]) == 0
+        out = capsys.readouterr().out
+        assert "Eq. 5 prediction" in out
+        assert "0.6827" in out
+
+    def test_unknown_id_exits(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["experiment", "fig99"])
+
+
+class TestExperimentSaveDir:
+    def test_reports_written(self, tmp_path, capsys):
+        from repro.cli import main
+
+        save_dir = str(tmp_path / "reports")
+        assert main(["experiment", "sec3", "--save-dir", save_dir]) == 0
+        report = (tmp_path / "reports" / "sec3.txt").read_text()
+        assert "Eq. 5 prediction" in report
+        assert "reports written" in capsys.readouterr().out

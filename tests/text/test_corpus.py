@@ -1,0 +1,88 @@
+"""Tests for the synthetic topic corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.text.corpus import synthetic_topic_corpus
+
+
+class TestSyntheticTopicCorpus:
+    def test_shapes(self):
+        corpus = synthetic_topic_corpus(n_documents=50, n_topics=3, seed=0)
+        assert corpus.n_documents == 50
+        assert corpus.labels.shape == (50,)
+        assert corpus.n_topics <= 3
+        assert all(len(doc) == 20 for doc in corpus.documents)
+
+    def test_deterministic(self):
+        a = synthetic_topic_corpus(n_documents=20, seed=4)
+        b = synthetic_topic_corpus(n_documents=20, seed=4)
+        assert a.documents == b.documents
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_vocabulary_covers_all_tokens(self):
+        corpus = synthetic_topic_corpus(n_documents=40, seed=1)
+        vocabulary = set(corpus.vocabulary)
+        for document in corpus.documents:
+            assert set(document) <= vocabulary
+
+    def test_polysemy_shares_terms_across_topics(self):
+        corpus = synthetic_topic_corpus(
+            n_documents=10, n_topics=3, polysemy_fraction=0.3, seed=0
+        )
+        # Some topic-0 terms must be emittable by topic-1 documents; the
+        # generator encodes sharing via term names staying topic0_*.
+        topic1_docs = [
+            doc for doc, label in zip(corpus.documents, corpus.labels) if label == 1
+        ]
+        if topic1_docs:  # seed-dependent, but the vocabulary always shares
+            all_terms = {t for doc in corpus.documents for t in doc}
+            assert any(t.startswith("topic") for t in all_terms)
+
+    def test_no_polysemy_keeps_topics_disjoint(self):
+        corpus = synthetic_topic_corpus(
+            n_documents=200,
+            n_topics=2,
+            topic_purity=1.0,
+            polysemy_fraction=0.0,
+            seed=0,
+        )
+        topic0_terms = set()
+        topic1_terms = set()
+        for doc, label in zip(corpus.documents, corpus.labels):
+            (topic0_terms if label == 0 else topic1_terms).update(doc)
+        assert not topic0_terms & topic1_terms
+
+    def test_purity_controls_topical_fraction(self):
+        pure = synthetic_topic_corpus(
+            n_documents=100, topic_purity=0.95, seed=0
+        )
+        noisy = synthetic_topic_corpus(
+            n_documents=100, topic_purity=0.3, seed=0
+        )
+
+        def topical_fraction(corpus):
+            total = own = 0
+            for doc, label in zip(corpus.documents, corpus.labels):
+                for token in doc:
+                    total += 1
+                    if token.startswith(f"topic{label}_"):
+                        own += 1
+            return own / total
+
+        assert topical_fraction(pure) > topical_fraction(noisy) + 0.3
+
+    def test_metadata(self):
+        corpus = synthetic_topic_corpus(n_documents=10, seed=9)
+        assert corpus.metadata["seed"] == 9
+        assert corpus.metadata["n_topics"] == 5
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            synthetic_topic_corpus(n_documents=0)
+        with pytest.raises(ValueError):
+            synthetic_topic_corpus(topic_purity=0.0)
+        with pytest.raises(ValueError):
+            synthetic_topic_corpus(polysemy_fraction=1.0)
+        with pytest.raises(ValueError):
+            synthetic_topic_corpus(document_length=0)

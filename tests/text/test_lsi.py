@@ -1,0 +1,83 @@
+"""Tests for the Latent Semantic Index."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.feature_stripping import feature_stripping_accuracy
+from repro.text.corpus import synthetic_topic_corpus
+from repro.text.lsi import LatentSemanticIndex
+from repro.text.vectorize import CountVectorizer, tfidf_weight
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return synthetic_topic_corpus(n_documents=300, n_topics=5, seed=0)
+
+
+@pytest.fixture(scope="module")
+def lsi(corpus):
+    return LatentSemanticIndex(n_concepts=5).fit(corpus.documents)
+
+
+class TestLatentSemanticIndex:
+    def test_document_vectors_shape(self, corpus, lsi):
+        assert lsi.document_vectors_.shape == (corpus.n_documents, 5)
+
+    def test_self_query_returns_self_first(self, corpus, lsi):
+        results = lsi.query(corpus.documents[3], k=3)
+        assert results[0][0] == 3
+        assert results[0][1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_retrieved_documents_share_topic(self, corpus, lsi):
+        hits = 0
+        for i in range(0, 60, 3):
+            results = lsi.query(corpus.documents[i], k=4)
+            neighbor_labels = [corpus.labels[j] for j, _ in results[1:]]
+            hits += sum(
+                1 for label in neighbor_labels if label == corpus.labels[i]
+            )
+        assert hits / (20 * 3) > 0.8
+
+    def test_lsi_improves_on_raw_terms(self, corpus, lsi):
+        # The paper's motivating observation: reduced-space neighbors are
+        # topically better than raw term-space neighbors.
+        vectorizer = CountVectorizer().fit(corpus.documents)
+        tfidf, _ = tfidf_weight(vectorizer.transform(corpus.documents))
+        raw = feature_stripping_accuracy(tfidf, corpus.labels, k=3)
+        reduced = feature_stripping_accuracy(
+            lsi.document_vectors_, corpus.labels, k=3
+        )
+        assert reduced > raw + 0.03
+
+    def test_concept_coherence_clears_baseline(self, lsi):
+        from repro.core.coherence import UNIFORM_BASELINE_CP
+
+        coherence = lsi.concept_coherence()
+        # The semantic (topic) directions are strongly coherent; with 5
+        # topics, at least 3 of 5 kept directions clear the baseline.
+        assert np.sum(coherence > UNIFORM_BASELINE_CP + 0.05) >= 3
+
+    def test_embed_new_documents(self, corpus, lsi):
+        vectors = lsi.embed([corpus.documents[0], corpus.documents[1]])
+        assert vectors.shape == (2, 5)
+        assert np.allclose(vectors[0], lsi.document_vectors_[0], atol=1e-9)
+
+    def test_unknown_vocabulary_query_returns_empty(self, lsi):
+        assert lsi.query(["completely", "unknown", "words"], k=3) == []
+
+    def test_query_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LatentSemanticIndex().query(["a"])
+
+    def test_rejects_bad_k(self, corpus, lsi):
+        with pytest.raises(ValueError, match="k must"):
+            lsi.query(corpus.documents[0], k=0)
+
+    def test_rejects_bad_n_concepts(self):
+        with pytest.raises(ValueError, match="n_concepts"):
+            LatentSemanticIndex(n_concepts=0)
+
+    def test_concept_budget_clamped_to_rank(self):
+        tiny = synthetic_topic_corpus(n_documents=6, n_topics=2, seed=0)
+        index = LatentSemanticIndex(n_concepts=50).fit(tiny.documents)
+        assert index.document_vectors_.shape[1] <= 6

@@ -1,0 +1,79 @@
+"""Tests for bag-of-words vectorization and TF-IDF."""
+
+import numpy as np
+import pytest
+
+from repro.text.vectorize import CountVectorizer, tfidf_weight
+
+
+class TestCountVectorizer:
+    def test_counts(self):
+        documents = [["a", "b", "a"], ["b", "c"]]
+        counts = CountVectorizer().fit_transform(documents)
+        # Sorted vocabulary: a, b, c.
+        assert np.array_equal(counts, [[2, 1, 0], [0, 1, 1]])
+
+    def test_vocabulary_sorted_and_stable(self):
+        vectorizer = CountVectorizer().fit([["zebra", "apple"], ["mango"]])
+        assert list(vectorizer.vocabulary_) == ["apple", "mango", "zebra"]
+
+    def test_unseen_terms_ignored(self):
+        vectorizer = CountVectorizer().fit([["a", "b"]])
+        counts = vectorizer.transform([["a", "unknown", "unknown"]])
+        assert np.array_equal(counts, [[1, 0]])
+
+    def test_empty_document_is_zero_row(self):
+        vectorizer = CountVectorizer().fit([["a"]])
+        counts = vectorizer.transform([[]])
+        assert np.array_equal(counts, [[0]])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            CountVectorizer().transform([["a"]])
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError, match="no terms"):
+            CountVectorizer().fit([[], []])
+
+    def test_accepts_generator_input(self):
+        counts = CountVectorizer().fit_transform(
+            iter([("a", "b"), ("b",)])
+        )
+        assert counts.shape == (2, 2)
+
+
+class TestTfidfWeight:
+    def test_rows_unit_normalized(self):
+        counts = np.array([[3.0, 1.0, 0.0], [0.0, 2.0, 2.0]])
+        weighted, _ = tfidf_weight(counts)
+        norms = np.linalg.norm(weighted, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_rare_terms_weighted_up(self):
+        # Term 0 appears in every document, term 1 in only one.
+        counts = np.array([[1.0, 1.0], [1.0, 0.0], [1.0, 0.0]])
+        weighted, idf = tfidf_weight(counts)
+        assert idf[1] > idf[0]
+        # Within document 0 (equal counts), the rare term dominates.
+        assert weighted[0, 1] > weighted[0, 0]
+
+    def test_zero_document_stays_zero(self):
+        counts = np.array([[1.0, 0.0], [0.0, 0.0]])
+        weighted, _ = tfidf_weight(counts)
+        assert np.array_equal(weighted[1], [0.0, 0.0])
+
+    def test_query_weighting_reuses_training_idf(self):
+        train = np.array([[1.0, 1.0], [1.0, 0.0], [1.0, 0.0]])
+        _, idf = tfidf_weight(train)
+        query_counts = np.array([[1.0, 1.0]])
+        weighted, returned = tfidf_weight(query_counts, idf=idf)
+        assert np.array_equal(returned, idf)
+        assert weighted[0, 1] > weighted[0, 0]
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            tfidf_weight(np.array([[-1.0]]))
+
+    def test_rejects_misaligned_idf(self):
+        with pytest.raises(ValueError, match="idf"):
+            tfidf_weight(np.ones((2, 3)), idf=np.ones(2))

@@ -1,0 +1,108 @@
+"""Tests for the implicit-dimensionality estimators."""
+
+import numpy as np
+import pytest
+
+from repro.theory.implicit_dim import (
+    correlation_dimension,
+    dimension_at_energy,
+    entropy_dimension,
+    participation_ratio,
+)
+
+
+class TestParticipationRatio:
+    def test_flat_spectrum_equals_d(self):
+        assert participation_ratio(np.ones(17)) == pytest.approx(17.0)
+
+    def test_single_spike_is_one(self):
+        assert participation_ratio([5.0, 0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_k_equal_spikes(self):
+        spectrum = [2.0, 2.0, 2.0, 0.0, 0.0, 0.0]
+        assert participation_ratio(spectrum) == pytest.approx(3.0)
+
+    def test_scale_invariance(self):
+        spectrum = np.array([4.0, 2.0, 1.0])
+        assert participation_ratio(spectrum) == pytest.approx(
+            participation_ratio(spectrum * 100)
+        )
+
+    def test_rejects_zero_spectrum(self):
+        with pytest.raises(ValueError):
+            participation_ratio(np.zeros(3))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            participation_ratio([1.0, -2.0])
+
+
+class TestEntropyDimension:
+    def test_flat_spectrum_equals_d(self):
+        assert entropy_dimension(np.ones(9)) == pytest.approx(9.0)
+
+    def test_single_spike_is_one(self):
+        assert entropy_dimension([1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_between_one_and_d(self):
+        spectrum = [5.0, 3.0, 1.0, 0.1]
+        value = entropy_dimension(spectrum)
+        assert 1.0 <= value <= 4.0
+
+    def test_scale_invariance(self):
+        spectrum = np.array([3.0, 2.0, 1.0])
+        assert entropy_dimension(spectrum) == pytest.approx(
+            entropy_dimension(spectrum * 7)
+        )
+
+
+class TestDimensionAtEnergy:
+    def test_simple(self):
+        assert dimension_at_energy([4.0, 3.0, 2.0, 1.0], 0.5) == 2
+
+    def test_unsorted_input(self):
+        assert dimension_at_energy([1.0, 4.0, 3.0, 2.0], 0.5) == 2
+
+    def test_full_energy(self):
+        assert dimension_at_energy([1.0, 1.0], 1.0) == 2
+
+    def test_tiny_energy_keeps_one(self):
+        assert dimension_at_energy([4.0, 3.0], 0.01) == 1
+
+    def test_rejects_bad_energy(self):
+        with pytest.raises(ValueError):
+            dimension_at_energy([1.0], 0.0)
+
+
+class TestCorrelationDimension:
+    def test_line_in_high_dim(self, rng):
+        t = rng.uniform(size=(400, 1))
+        direction = rng.normal(size=(1, 10))
+        points = t @ direction + 1e-4 * rng.normal(size=(400, 10))
+        estimate = correlation_dimension(points, seed=0)
+        assert 0.5 < estimate < 1.6
+
+    def test_plane_in_high_dim(self, rng):
+        coordinates = rng.uniform(size=(500, 2))
+        embedding = rng.normal(size=(2, 12))
+        points = coordinates @ embedding
+        estimate = correlation_dimension(points, seed=0)
+        assert 1.4 < estimate < 2.8
+
+    def test_full_dimensional_cube(self, rng):
+        points = rng.uniform(size=(500, 3))
+        estimate = correlation_dimension(points, seed=0)
+        assert 2.0 < estimate < 4.0
+
+    def test_subsampling_respects_cap(self, rng):
+        points = rng.uniform(size=(2000, 4))
+        estimate = correlation_dimension(points, max_points=100, seed=1)
+        assert estimate > 0.0
+
+    def test_rejects_tiny_input(self, rng):
+        with pytest.raises(ValueError, match="10 rows"):
+            correlation_dimension(rng.normal(size=(5, 2)))
+
+    def test_rejects_all_duplicates(self):
+        with pytest.raises(ValueError):
+            correlation_dimension(np.ones((50, 3)))

@@ -1,0 +1,63 @@
+"""Tests for the Section-3 closed-form results."""
+
+import numpy as np
+import pytest
+
+from repro.theory.uniform import (
+    empirical_uniform_coherence,
+    uniform_coherence_factor,
+    uniform_coherence_probability,
+)
+
+
+class TestClosedForm:
+    def test_factor_is_one(self):
+        # Equation 4.
+        assert uniform_coherence_factor() == 1.0
+
+    def test_probability_value(self):
+        # Equation 5: 2 Phi(1) - 1.
+        assert uniform_coherence_probability() == pytest.approx(
+            0.6826894921370859, abs=1e-12
+        )
+
+
+class TestEmpiricalUniformCoherence:
+    def test_matches_closed_form_exactly(self):
+        # The derivation is coordinate-free: every point with a nonzero
+        # coordinate contributes CF exactly 1, so the empirical value
+        # equals the prediction at machine precision.
+        result = empirical_uniform_coherence(n_samples=500, n_dims=25, seed=0)
+        assert result["mean_probability"] == pytest.approx(
+            result["predicted_probability"], abs=1e-12
+        )
+
+    def test_every_axis_equal(self):
+        result = empirical_uniform_coherence(n_samples=300, n_dims=15, seed=1)
+        assert result["probability_spread"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_independent_of_dimensionality(self):
+        low = empirical_uniform_coherence(n_samples=200, n_dims=5, seed=2)
+        high = empirical_uniform_coherence(n_samples=200, n_dims=80, seed=2)
+        assert low["mean_probability"] == pytest.approx(
+            high["mean_probability"], abs=1e-12
+        )
+
+    def test_factors_are_all_one(self):
+        result = empirical_uniform_coherence(n_samples=100, n_dims=10, seed=3)
+        assert np.allclose(result["coherence_factors"], 1.0)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            empirical_uniform_coherence(n_samples=1)
+        with pytest.raises(ValueError):
+            empirical_uniform_coherence(n_dims=0)
+
+    def test_no_direction_can_be_called_a_concept(self):
+        # The operational consequence Section 3 draws: on uniform data
+        # the reducibility diagnosis must refuse to prune anything.
+        from repro.core.diagnosis import diagnose_reducibility
+        from repro.datasets.synthetic import uniform_cube
+
+        data = uniform_cube(600, 30, seed=4)
+        assert diagnose_reducibility(data.features).verdict == "noisy"
