@@ -2,13 +2,15 @@
 
 The pruning-fraction bench counts logical work; this one times actual
 queries for every index in the library, on the musk-like data at full
-dimensionality and after coherence reduction.  pytest-benchmark's table
-carries the headline timing; the report records per-index microseconds
-per query so the speedup of "reduce, then index" is visible next to the
-structural statistics.
+dimensionality and after coherence reduction.  All per-index timings run
+through the batch engine (``query_batch``), which is how a real workload
+would issue them; a dedicated section times the vectorized brute-force
+batch path against the one-query-at-a-time loop on a 1,000-query ×
+10,000-point corpus and reports the speedup.
 
-No timing assertions (wall-clock is machine-dependent); the assertions
-check only result-consistency across indexes.
+The speedup assertion (>= 10x) is the only timing assertion — it checks
+an algorithmic property (BLAS matmul vs. Python loop), not a
+machine-speed constant.  Everything else asserts result consistency.
 """
 
 import time
@@ -34,12 +36,18 @@ _FAMILIES = [
     ("iDistance", IDistanceIndex),
 ]
 
+# Batch-vs-loop showcase: large enough that the BLAS path's fixed costs
+# amortize, small enough to keep the bench under a few seconds.
+_SPEEDUP_QUERIES = 1_000
+_SPEEDUP_POINTS = 10_000
+_SPEEDUP_DIMS = 16
 
-def _time_queries(index, queries, k=3):
+
+def _time_batch(index, queries, k=3):
     start = time.perf_counter()
-    results = [index.query(q, k=k) for q in queries]
+    batch = index.query_batch(queries, k=k)
     elapsed = time.perf_counter() - start
-    return elapsed / len(queries) * 1e6, results  # microseconds per query
+    return elapsed / len(queries) * 1e6, batch  # microseconds per query
 
 
 def _run():
@@ -61,8 +69,8 @@ def _run():
         reference = None
         for index_name, cls in _FAMILIES:
             index = cls(features)
-            per_query_us, results = _time_queries(index, queries)
-            indices = [tuple(r.indices.tolist()) for r in results]
+            per_query_us, batch = _time_batch(index, queries)
+            indices = [tuple(r.indices.tolist()) for r in batch]
             if reference is None:
                 reference = indices
             consistency[(rep_name, index_name)] = indices == reference
@@ -70,12 +78,47 @@ def _run():
     return rows, consistency
 
 
+def _run_speedup():
+    """Brute-force batch engine vs. query-at-a-time loop, same answers."""
+    rng = np.random.default_rng(exp.SEED)
+    corpus = rng.standard_normal((_SPEEDUP_POINTS, _SPEEDUP_DIMS))
+    queries = rng.standard_normal((_SPEEDUP_QUERIES, _SPEEDUP_DIMS))
+    index = BruteForceIndex(corpus)
+
+    start = time.perf_counter()
+    looped = [index.query(q, k=3) for q in queries]
+    loop_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = index.query_batch(queries, k=3)
+    batch_seconds = time.perf_counter() - start
+
+    identical = all(
+        tuple(a.indices.tolist()) == tuple(b.indices.tolist())
+        and tuple(a.distances.tolist()) == tuple(b.distances.tolist())
+        for a, b in zip(looped, batch)
+    )
+    return loop_seconds, batch_seconds, identical
+
+
 def test_ablation_index_latency(benchmark, capsys):
     rows, consistency = benchmark.pedantic(_run, rounds=1, iterations=1)
+    loop_seconds, batch_seconds, identical = _run_speedup()
+    speedup = loop_seconds / batch_seconds
+
     report = format_table(
-        ["representation", "index", "microseconds / 3-NN query"],
+        ["representation", "index", "microseconds / 3-NN query (batched)"],
         rows,
         title="Query latency across the exact-index family (musk-like, 476 points)",
+    )
+    report += (
+        "\n\nbrute-force batch engine, "
+        f"{_SPEEDUP_QUERIES:,} queries x {_SPEEDUP_POINTS:,} points "
+        f"(d={_SPEEDUP_DIMS}, k=3):\n"
+        f"  looped query():  {loop_seconds:8.3f} s\n"
+        f"  query_batch():   {batch_seconds:8.3f} s\n"
+        f"  speedup:         {speedup:8.1f}x  "
+        f"(results bit-identical: {'yes' if identical else 'NO'})"
     )
     report += (
         "\nnote: wall-clock numbers are machine-dependent; the structural "
@@ -86,3 +129,7 @@ def test_ablation_index_latency(benchmark, capsys):
     # Every exact index returns the brute-force answer in both spaces.
     for key, agrees in consistency.items():
         assert agrees, f"{key} diverged from brute force"
+    assert identical, "batch results diverged from looped query()"
+    assert speedup >= 10.0, (
+        f"batch engine only {speedup:.1f}x faster than the loop"
+    )

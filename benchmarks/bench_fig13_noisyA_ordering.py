@@ -6,8 +6,6 @@ are needed to reach its best), while the coherence curve peaks at ~5 of
 34 dimensions — and the reduced data keeps only ~12% of the variance.
 """
 
-import numpy as np
-
 import _experiments as exp
 from repro.experiments import run_experiment
 

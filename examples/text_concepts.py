@@ -12,8 +12,6 @@ the semantic directions.
 Run with:  python examples/text_concepts.py
 """
 
-import numpy as np
-
 from repro import UNIFORM_BASELINE_CP, feature_stripping_accuracy
 from repro.text import (
     CountVectorizer,

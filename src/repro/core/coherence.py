@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.stats.descriptive import fractional_ranks
 from repro.stats.normal import symmetric_mass
 
 # CP of an eigenvector that behaves like uncorrelated noise (CF = 1).
@@ -155,12 +156,20 @@ class CoherenceAnalysis:
         Near 1 on clean data (eigenvalue magnitude and coherence agree,
         Section 4); low or negative on noisy data (Section 4.1), which is
         precisely when the coherence ordering pays off.
+
+        Ties receive average (fractional) ranks, the standard Spearman
+        treatment.  This matters here: coherence probabilities saturate
+        at exactly 1.0 on strongly coherent eigenvectors (the paper's
+        own scatter figures show saturated bands), and ranking those
+        ties arbitrarily would turn the reported correlation into noise.
+        A fully saturated (all-equal) coherence profile has no ordering
+        information at all and yields 0.0.
         """
         m = self.n_components
         if m < 2:
             raise ValueError("need at least two components for a correlation")
-        eig_ranks = np.argsort(np.argsort(self.eigenvalues))
-        cp_ranks = np.argsort(np.argsort(self.coherence_probabilities))
+        eig_ranks = fractional_ranks(self.eigenvalues)
+        cp_ranks = fractional_ranks(self.coherence_probabilities)
         eig_centered = eig_ranks - eig_ranks.mean()
         cp_centered = cp_ranks - cp_ranks.mean()
         denominator = np.sqrt(

@@ -17,7 +17,7 @@ from repro.search.bruteforce import BruteForceIndex
 from repro.search.idistance import IDistanceIndex
 from repro.search.kdtree import KdTreeIndex
 from repro.search.pyramid import PyramidIndex
-from repro.search.results import KnnResult
+from repro.search.results import BatchKnnResult, KnnResult
 from repro.search.rtree import RTreeIndex
 from repro.search.vafile import VAFileIndex
 
@@ -87,16 +87,40 @@ class SimilaritySearchPipeline:
         return self._reduced_corpus.shape[1]
 
     def query(self, query, k: int = 1) -> KnnResult:
-        """k-NN of an original-space query in the reduced space.
+        """k-NN of a single original-space query in the reduced space.
 
-        Neighbor indices refer to rows of the fitted corpus.
+        Neighbor indices refer to rows of the fitted corpus.  ``query``
+        must be one-dimensional; a batch of queries belongs in
+        :meth:`query_batch` (silently accepting a 2-d array here and
+        answering for its first row hid real caller bugs).
         """
         self._require_fitted()
-        reduced = self.reducer.transform(np.atleast_2d(query))[0]
+        vector = np.asarray(query, dtype=np.float64)
+        if vector.ndim != 1:
+            raise ValueError(
+                f"query must be 1-d, got shape {vector.shape}; "
+                f"use query_batch() for multiple queries"
+            )
+        reduced = self.reducer.transform(vector[np.newaxis, :])[0]
         return self._index.query(reduced, k=k)
 
-    def query_batch(self, queries, k: int = 1) -> list[KnnResult]:
-        """k-NN for each row of ``queries``."""
+    def query_batch(
+        self, queries, k: int = 1, *, n_workers: int | None = None
+    ) -> BatchKnnResult:
+        """k-NN for each row of ``queries`` via the index's batch engine.
+
+        Returns a :class:`BatchKnnResult` — iterable of per-query
+        :class:`KnnResult` objects (so existing ``for result in …`` code
+        keeps working) with aggregated :class:`QueryStats` on top.
+        ``n_workers`` sets the thread fan-out for tree-structured
+        indexes; the vectorized indexes (bruteforce, vafile) ignore it.
+        """
         self._require_fitted()
-        reduced = self.reducer.transform(queries)
-        return [self._index.query(row, k=k) for row in reduced]
+        array = np.asarray(queries, dtype=np.float64)
+        if array.ndim != 2:
+            raise ValueError(
+                f"queries must be 2-d (one query per row), got shape "
+                f"{array.shape}"
+            )
+        reduced = self.reducer.transform(array)
+        return self._index.query_batch(reduced, k=k, n_workers=n_workers)

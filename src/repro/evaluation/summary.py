@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.selection import select_by_threshold
 from repro.evaluation.feature_stripping import DEFAULT_K
 from repro.evaluation.precision_recall import neighbor_precision_recall

@@ -10,7 +10,13 @@ bounds stop pruning, and aggressive dimensionality reduction restores
 index effectiveness.
 """
 
-from repro.search.results import KnnResult, Neighbor, QueryStats
+from repro.search.results import (
+    BatchKnnResult,
+    KnnResult,
+    Neighbor,
+    QueryStats,
+    combine_stats,
+)
 from repro.search.bruteforce import BruteForceIndex
 from repro.search.dynamic_rtree import DynamicRTree
 from repro.search.idistance import IDistanceIndex
@@ -22,7 +28,9 @@ from repro.search.rtree import RTreeIndex
 from repro.search.vafile import VAFileIndex
 
 __all__ = [
+    "BatchKnnResult",
     "BruteForceIndex",
+    "combine_stats",
     "DynamicRTree",
     "IDistanceIndex",
     "IGridIndex",

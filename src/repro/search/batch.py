@@ -1,0 +1,81 @@
+"""Shared batch-query execution for the exact k-NN indexes.
+
+Every exact index exposes ``query_batch(queries, k)`` returning a
+:class:`~repro.search.results.BatchKnnResult`.  Two execution strategies
+live here:
+
+* :func:`sequential_query_batch` — loop ``index.query`` over the rows.
+  The default for the tree-based indexes, whose traversal state
+  (recursion, priority queues) does not vectorize.
+* :func:`threaded_query_batch` — fan the rows out over a
+  ``ThreadPoolExecutor``.  Queries are read-only over a static corpus,
+  so they are trivially safe to run concurrently; the leaf scans and
+  bound computations are numpy calls that release the GIL, which is
+  where the overlap comes from.
+
+The matrix-friendly indexes (brute force, VA-file) override
+``query_batch`` with truly vectorized implementations instead — see
+:mod:`repro.search.bruteforce` and :mod:`repro.search.vafile`.
+
+Both strategies preserve query order and produce results bit-identical
+to calling ``query`` row by row; the batch API never trades accuracy
+for throughput.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.search.results import (
+    BatchKnnResult,
+    KnnResult,
+    combine_stats,
+    validate_k,
+    validate_queries,
+)
+
+
+def validate_n_workers(n_workers: int | None) -> int | None:
+    """Validate the optional thread-pool width (``None`` = sequential)."""
+    if n_workers is None:
+        return None
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be positive, got {n_workers}")
+    return int(n_workers)
+
+
+def sequential_query_batch(index, queries, k: int) -> BatchKnnResult:
+    """Answer a batch by looping ``index.query`` over the rows."""
+    array = validate_queries(queries, index.dimensionality)
+    k = validate_k(k, index.n_points)
+    results = tuple(index.query(row, k=k) for row in array)
+    return _package(results)
+
+
+def threaded_query_batch(
+    index, queries, k: int, n_workers: int
+) -> BatchKnnResult:
+    """Answer a batch by fanning rows out over a thread pool."""
+    array = validate_queries(queries, index.dimensionality)
+    k = validate_k(k, index.n_points)
+    if array.shape[0] == 0:
+        return _package(())
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        results = tuple(pool.map(lambda row: index.query(row, k=k), array))
+    return _package(results)
+
+
+def dispatch_query_batch(
+    index, queries, k: int, n_workers: int | None
+) -> BatchKnnResult:
+    """Route to the sequential or threaded strategy by ``n_workers``."""
+    n_workers = validate_n_workers(n_workers)
+    if n_workers is None or n_workers == 1:
+        return sequential_query_batch(index, queries, k)
+    return threaded_query_batch(index, queries, k, n_workers)
+
+
+def _package(results: tuple[KnnResult, ...]) -> BatchKnnResult:
+    return BatchKnnResult(
+        results=results, stats=combine_stats(r.stats for r in results)
+    )

@@ -5,13 +5,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.search.results import (
+    BatchKnnResult,
     KnnResult,
     Neighbor,
     QueryStats,
+    combine_stats,
     validate_corpus,
     validate_k,
+    validate_queries,
     validate_query,
 )
+
+# Block size for batched queries, in distance-matrix entries: query rows
+# are processed in blocks of ``_BLOCK_ENTRIES // n`` so the ``(q, n)``
+# scratch matrices stay around 32 MB regardless of batch size.
+_BLOCK_ENTRIES = 4_194_304
 
 
 class BruteForceIndex:
@@ -23,6 +31,15 @@ class BruteForceIndex:
 
     def __init__(self, points) -> None:
         self._points = validate_corpus(points)
+        # ||p||^2 per corpus row, for the batched Gram expansion.
+        self._sq_norms = np.einsum(
+            "nd,nd->n", self._points, self._points
+        )
+        self._max_sq_norm = float(self._sq_norms.max())
+        # float32 shadow corpus for batched candidate scoring, built on
+        # first use so purely sequential callers pay nothing.
+        self._points_f32: np.ndarray | None = None
+        self._sq_norms_f32: np.ndarray | None = None
 
     @property
     def n_points(self) -> int:
@@ -53,6 +70,120 @@ class BruteForceIndex:
         )
         stats = QueryStats(points_scanned=self.n_points)
         return KnnResult(neighbors=neighbors, stats=stats)
+
+    def query_batch(
+        self, queries, k: int = 1, *, n_workers: int | None = None
+    ) -> BatchKnnResult:
+        """Vectorized k-NN for every row of ``queries``.
+
+        One BLAS matrix multiply produces all squared distances at once
+        via ``||q - p||^2 = ||q||^2 - 2 q.p + ||p||^2``; ``argpartition``
+        narrows each row to its top-k candidates.  Because the expansion
+        loses a few ulps to cancellation, candidate selection keeps a
+        conservative margin around the k-th partitioned value and the
+        survivors' distances are recomputed with the same subtract-square
+        arithmetic the sequential path uses — so the returned neighbors,
+        distances, and tie-breaks are bit-identical to looping
+        :meth:`query`.
+
+        ``n_workers`` is accepted for protocol uniformity across the
+        index family and ignored: the vectorized path outruns any thread
+        fan-out.
+        """
+        del n_workers
+        array = validate_queries(queries, self.dimensionality)
+        k = validate_k(k, self.n_points)
+        block = max(1, _BLOCK_ENTRIES // self.n_points)
+        results: list[KnnResult] = []
+        for start in range(0, array.shape[0], block):
+            results.extend(self._query_block(array[start : start + block], k))
+        return BatchKnnResult(
+            results=tuple(results),
+            stats=combine_stats(r.stats for r in results),
+        )
+
+    def _candidate_mask(
+        self, rows: np.ndarray, q_sq: np.ndarray, k: int
+    ) -> np.ndarray:
+        """Boolean ``(q, n)`` mask of exact-top-k candidates per query.
+
+        The scores only *select* candidates — exact distances are
+        recomputed afterwards — so the (memory-bound) score matrix runs
+        in float32 when magnitudes permit, with a margin around the k-th
+        partitioned value that dominates the combined cancellation and
+        precision error.  Every point whose exact distance ties or beats
+        the exact k-th therefore survives the mask.
+        """
+        d = self.dimensionality
+        use_f32 = (
+            self._max_sq_norm < 1e30 and float(q_sq.max(initial=0.0)) < 1e30
+        )
+        if use_f32:
+            if self._points_f32 is None:
+                self._points_f32 = self._points.astype(np.float32)
+                self._sq_norms_f32 = self._sq_norms.astype(np.float32)
+            # In-place expansion: every avoided temporary is a full pass
+            # over the (q, n) matrix.
+            approx = rows.astype(np.float32) @ self._points_f32.T
+            approx *= -2.0
+            approx += q_sq.astype(np.float32)[:, None]
+            approx += self._sq_norms_f32
+            margin = 1e-5 * (d + 100.0) * (q_sq + self._max_sq_norm) + 1e-30
+        else:
+            approx = rows @ self._points.T
+            approx *= -2.0
+            approx += q_sq[:, None]
+            approx += self._sq_norms
+            margin = 1e-14 * (d + 100.0) * (q_sq + self._max_sq_norm) + 1e-30
+        kth = np.partition(approx, k - 1, axis=1)[:, k - 1]
+        # Doubled margin: the k-th value itself carries the same error as
+        # the scores it is compared against.
+        limit = kth.astype(np.float64) + 2.0 * margin
+        return approx <= limit.astype(approx.dtype)[:, None]
+
+    def _query_block(self, rows: np.ndarray, k: int) -> list[KnnResult]:
+        """Exact top-k for a block of query rows (the vectorized core)."""
+        corpus = self._points
+        q_sq = np.einsum("qd,qd->q", rows, rows)
+        mask = self._candidate_mask(rows, q_sq, k)
+
+        # Flat exact recompute over the surviving candidates only, in
+        # bounded chunks (tie-heavy corpora can make the mask wide).
+        row_of, col_of = np.nonzero(mask)
+        exact_flat = np.empty(row_of.size)
+        step = max(1, _BLOCK_ENTRIES // max(1, corpus.shape[1]))
+        for flat_start in range(0, row_of.size, step):
+            piece = slice(flat_start, flat_start + step)
+            gaps = corpus[col_of[piece]] - rows[row_of[piece]]
+            exact_flat[piece] = np.sum(np.square(gaps), axis=1)
+
+        # Scatter into a padded (q, width) table.  np.nonzero emits the
+        # columns of each row in ascending order, so a *stable* argsort
+        # on the exact distances reproduces the sequential tie-break
+        # (equal distances resolve to the lower corpus index).
+        counts = mask.sum(axis=1)
+        width = int(counts.max())
+        position = np.arange(row_of.size) - (np.cumsum(counts) - counts)[row_of]
+        exact = np.full((rows.shape[0], width), np.inf)
+        candidates = np.zeros((rows.shape[0], width), dtype=np.intp)
+        exact[row_of, position] = exact_flat
+        candidates[row_of, position] = col_of
+
+        order = np.argsort(exact, axis=1, kind="stable")[:, :k]
+        top_indices = np.take_along_axis(candidates, order, axis=1)
+        top_distances = np.sqrt(np.take_along_axis(exact, order, axis=1))
+
+        results = []
+        for query_row in range(rows.shape[0]):
+            neighbors = tuple(
+                Neighbor(index=int(idx), distance=float(dist))
+                for idx, dist in zip(
+                    top_indices[query_row], top_distances[query_row]
+                )
+            )
+            stats = QueryStats(points_scanned=self.n_points)
+            results.append(KnnResult(neighbors=neighbors, stats=stats))
+        return results
 
     def range_query(self, query, radius: float) -> KnnResult:
         """All corpus points within ``radius`` of ``query`` (Euclidean).

@@ -25,7 +25,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.clustering.kmeans import kmeans
+from repro.search.batch import dispatch_query_batch
 from repro.search.results import (
+    BatchKnnResult,
     KnnResult,
     Neighbor,
     QueryStats,
@@ -148,3 +150,11 @@ class IDistanceIndex:
             "iDistance ring expansion did not converge; corpus extent may "
             "be degenerate"
         )
+
+    def query_batch(
+        self, queries, k: int = 1, *, n_workers: int | None = None
+    ) -> BatchKnnResult:
+        """k-NN for every row of ``queries``; bit-identical to looping
+        :meth:`query`.  ``n_workers`` > 1 fans the rows out over a
+        thread pool (ring expansion does not vectorize)."""
+        return dispatch_query_batch(self, queries, k, n_workers)

@@ -15,7 +15,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.search.batch import dispatch_query_batch
 from repro.search.results import (
+    BatchKnnResult,
     KnnResult,
     Neighbor,
     QueryStats,
@@ -155,6 +157,14 @@ class KdTreeIndex:
             for negated, tie in ordered
         )
         return KnnResult(neighbors=neighbors, stats=stats)
+
+    def query_batch(
+        self, queries, k: int = 1, *, n_workers: int | None = None
+    ) -> BatchKnnResult:
+        """k-NN for every row of ``queries``; bit-identical to looping
+        :meth:`query`.  ``n_workers`` > 1 fans the rows out over a
+        thread pool (the traversal itself does not vectorize)."""
+        return dispatch_query_batch(self, queries, k, n_workers)
 
     def range_query(self, query, radius: float) -> KnnResult:
         """All corpus points within ``radius`` of ``query``.

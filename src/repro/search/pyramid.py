@@ -30,7 +30,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.search.batch import dispatch_query_batch
 from repro.search.results import (
+    BatchKnnResult,
     KnnResult,
     Neighbor,
     QueryStats,
@@ -173,28 +175,66 @@ class PyramidIndex:
         return KnnResult(neighbors=neighbors, stats=stats)
 
     def query(self, query, k: int = 1) -> KnnResult:
-        """Exact k-NN by geometric radius expansion over range queries."""
+        """Exact k-NN by geometric radius expansion over range scans.
+
+        Each expansion widens the pyramid/height intervals and scans only
+        the candidates not already examined: a point's exact distance is
+        computed (and counted in ``points_scanned``) at most once, no
+        matter how many rounds the expansion takes.
+        """
         vector = validate_query(query, self.dimensionality)
         k = validate_k(k, self.n_points)
+        stats = QueryStats()
+
+        # inf = not yet examined; exact squared distance once scanned.
+        distance_sq = np.full(self.n_points, np.inf)
 
         # Starting radius: reach the k-th candidate along the pyramid
         # scalar ordering near the query, or a span-based guess.
         radius = float(np.min(self._span)) / 16.0
-        total_stats = QueryStats()
         for _ in range(64):
-            result = self.range_query(vector, radius)
-            total_stats.points_scanned += result.stats.points_scanned
-            total_stats.nodes_visited += result.stats.nodes_visited
-            if len(result.neighbors) >= k:
-                neighbors = result.neighbors[:k]
-                # Exactness guard: the k-th distance must be within the
-                # searched radius (it is, by construction of range_query).
-                total_stats.nodes_pruned = max(
-                    0, self.n_points - total_stats.points_scanned
+            radius_sq = radius * radius
+            low = self._normalize((vector - radius).reshape(1, -1))[0]
+            high = self._normalize((vector + radius).reshape(1, -1))[0]
+            for pyramid_id, h_lo, h_hi in self._query_intervals(low, high):
+                heights = self._heights[pyramid_id]
+                start = int(np.searchsorted(heights, h_lo - 1e-12, side="left"))
+                stop = int(np.searchsorted(heights, h_hi + 1e-12, side="right"))
+                stats.nodes_visited += 1
+                candidates = self._members[pyramid_id][start:stop]
+                fresh = candidates[np.isinf(distance_sq[candidates])]
+                if fresh.size == 0:
+                    continue
+                gaps = self._points[fresh] - vector
+                distance_sq[fresh] = np.sum(np.square(gaps), axis=1)
+                stats.points_scanned += int(fresh.size)
+            # Exactness guard: a confirmed k-th distance within the
+            # searched radius cannot be beaten by any unscanned point
+            # (range scans are complete within their radius).
+            within = np.flatnonzero(distance_sq <= radius_sq)
+            if within.size >= k:
+                order = within[
+                    np.argsort(distance_sq[within], kind="stable")
+                ][:k]
+                neighbors = tuple(
+                    Neighbor(
+                        index=int(idx),
+                        distance=float(np.sqrt(distance_sq[idx])),
+                    )
+                    for idx in order
                 )
-                return KnnResult(neighbors=neighbors, stats=total_stats)
+                stats.nodes_pruned = self.n_points - stats.points_scanned
+                return KnnResult(neighbors=neighbors, stats=stats)
             radius *= 2.0
         raise RuntimeError(
             "pyramid k-NN radius expansion did not converge; corpus extent "
             "may be degenerate"
         )
+
+    def query_batch(
+        self, queries, k: int = 1, *, n_workers: int | None = None
+    ) -> BatchKnnResult:
+        """k-NN for every row of ``queries``; bit-identical to looping
+        :meth:`query`.  ``n_workers`` > 1 fans the rows out over a
+        thread pool (radius expansion does not vectorize)."""
+        return dispatch_query_batch(self, queries, k, n_workers)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,10 +39,23 @@ class QueryStats:
     nodes_pruned: int = 0
 
     def pruning_fraction(self, total_points: int) -> float:
-        """Fraction of the corpus never exactly scanned."""
+        """Fraction of the corpus never exactly scanned.
+
+        Raises:
+            ValueError: when ``points_scanned`` exceeds ``total_points``.
+                A query cannot scan more distinct points than the corpus
+                holds, so an excess is always an accounting bug in the
+                index (double-counted refinements); clamping it silently
+                would report a fake 0.0 and hide the defect.
+        """
         if total_points <= 0:
             raise ValueError("total_points must be positive")
-        return 1.0 - min(self.points_scanned, total_points) / total_points
+        if self.points_scanned > total_points:
+            raise ValueError(
+                f"points_scanned ({self.points_scanned}) exceeds the corpus "
+                f"size ({total_points}); the index double-counted scans"
+            )
+        return 1.0 - self.points_scanned / total_points
 
 
 @dataclass(frozen=True)
@@ -58,6 +72,51 @@ class KnnResult:
     @property
     def distances(self) -> np.ndarray:
         return np.asarray([n.distance for n in self.neighbors], dtype=np.float64)
+
+
+def combine_stats(per_query: Iterable[QueryStats]) -> QueryStats:
+    """Sum work accounting across queries (for batch aggregation)."""
+    total = QueryStats()
+    for stats in per_query:
+        total.points_scanned += stats.points_scanned
+        total.nodes_visited += stats.nodes_visited
+        total.nodes_pruned += stats.nodes_pruned
+    return total
+
+
+@dataclass(frozen=True)
+class BatchKnnResult:
+    """Results of a batch of k-NN queries, one :class:`KnnResult` per row.
+
+    Behaves as a sequence of the per-query results (``len``, iteration,
+    indexing), so call sites written against ``list[KnnResult]`` keep
+    working.  ``stats`` aggregates the per-query work accounting by
+    summation — the natural unit for batch workloads, where
+    ``stats.points_scanned / (len(batch) * n_points)`` is the batch-level
+    scan fraction.
+    """
+
+    results: tuple[KnnResult, ...]
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[KnnResult]:
+        return iter(self.results)
+
+    def __getitem__(self, item: int) -> KnnResult:
+        return self.results[item]
+
+    @property
+    def indices(self) -> np.ndarray:
+        """``(q, k)`` neighbor indices (rows are queries)."""
+        return np.asarray([r.indices for r in self.results], dtype=np.intp)
+
+    @property
+    def distances(self) -> np.ndarray:
+        """``(q, k)`` neighbor distances (rows are queries)."""
+        return np.asarray([r.distances for r in self.results], dtype=np.float64)
 
 
 def validate_corpus(points) -> np.ndarray:
@@ -83,6 +142,23 @@ def validate_query(query, dimensionality: int) -> np.ndarray:
     if not np.all(np.isfinite(vector)):
         raise ValueError("query must be finite")
     return vector
+
+
+def validate_queries(queries, dimensionality: int) -> np.ndarray:
+    """Common validation for batches of query vectors (rows are queries).
+
+    An empty batch (zero rows) is permitted: production callers routinely
+    flush whatever accumulated, including nothing.
+    """
+    array = np.asarray(queries, dtype=np.float64)
+    if array.ndim != 2 or array.shape[1] != dimensionality:
+        raise ValueError(
+            f"queries must be a 2-d (q, {dimensionality}) matrix, "
+            f"got shape {array.shape}"
+        )
+    if not np.all(np.isfinite(array)):
+        raise ValueError("queries must be finite")
+    return array
 
 
 def validate_k(k: int, corpus_size: int) -> int:

@@ -21,13 +21,20 @@ import heapq
 import numpy as np
 
 from repro.search.results import (
+    BatchKnnResult,
     KnnResult,
     Neighbor,
     QueryStats,
+    combine_stats,
     validate_corpus,
     validate_k,
+    validate_queries,
     validate_query,
 )
+
+# Block size for batched phase-1 bound computation, in (query, point,
+# dimension) scratch entries — keeps the broadcast temporaries ~32 MB.
+_BLOCK_ENTRIES = 4_194_304
 
 
 class VAFileIndex:
@@ -60,6 +67,17 @@ class VAFileIndex:
         np.clip(cells, 0, self._n_cells - 1, out=cells)
         self._cells = cells
 
+        # Reconstructed cell boxes, padded by a relative epsilon:
+        # floating-point rounding can place a point that sits exactly on
+        # a cell boundary a few ulps *outside* the reconstructed box,
+        # which would make the "lower bound" exceed the true distance and
+        # wrongly prune the point.  The padding keeps the bounds
+        # conservative.  Static per corpus, so built once.
+        span = self._cell_width * self._n_cells
+        pad = 1e-9 * np.maximum(span, np.abs(self._origin) + span)
+        self._cell_low = self._origin + self._cells * self._cell_width - pad
+        self._cell_high = self._cell_low + self._cell_width + 2.0 * pad
+
     @property
     def n_points(self) -> int:
         return self._points.shape[0]
@@ -73,34 +91,46 @@ class VAFileIndex:
         return self._bits / 64.0
 
     def _bounds_squared(self, query: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Per-point squared lower/upper distance bounds from the cells.
-
-        Cell boxes are padded by a relative epsilon: floating-point
-        rounding can place a point that sits exactly on a cell boundary
-        a few ulps *outside* the reconstructed box, which would make the
-        "lower bound" exceed the true distance and wrongly prune the
-        point.  The padding keeps the bounds conservative.
-        """
-        span = self._cell_width * self._n_cells
-        pad = 1e-9 * np.maximum(span, np.abs(self._origin) + span)
-        cell_low = self._origin + self._cells * self._cell_width - pad
-        cell_high = cell_low + self._cell_width + 2.0 * pad
-
-        below = np.maximum(cell_low - query, 0.0)
-        above = np.maximum(query - cell_high, 0.0)
+        """Per-point squared lower/upper distance bounds from the cells."""
+        below = np.maximum(self._cell_low - query, 0.0)
+        above = np.maximum(query - self._cell_high, 0.0)
         lower_sq = np.sum(np.square(below) + np.square(above), axis=1)
 
-        far_corner = np.maximum(np.abs(query - cell_low), np.abs(cell_high - query))
+        far_corner = np.maximum(
+            np.abs(query - self._cell_low), np.abs(self._cell_high - query)
+        )
         upper_sq = np.sum(np.square(far_corner), axis=1)
         return lower_sq, upper_sq
 
-    def query(self, query, k: int = 1) -> KnnResult:
-        """Exact k-NN with two-phase VA-file filtering."""
-        vector = validate_query(query, self.dimensionality)
-        k = validate_k(k, self.n_points)
-        stats = QueryStats()
+    def _bounds_squared_block(
+        self, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Phase-1 bounds for a block of queries at once: ``(q, n)`` each.
 
-        lower_sq, upper_sq = self._bounds_squared(vector)
+        Same arithmetic as :meth:`_bounds_squared` broadcast over the
+        query axis, so every entry is bit-identical to the per-query
+        path — the reductions run over the same (last) axis.
+        """
+        queries = rows[:, None, :]
+        below = np.maximum(self._cell_low - queries, 0.0)
+        above = np.maximum(queries - self._cell_high, 0.0)
+        lower_sq = np.sum(np.square(below) + np.square(above), axis=2)
+
+        far_corner = np.maximum(
+            np.abs(queries - self._cell_low), np.abs(self._cell_high - queries)
+        )
+        upper_sq = np.sum(np.square(far_corner), axis=2)
+        return lower_sq, upper_sq
+
+    def _refine(
+        self,
+        vector: np.ndarray,
+        lower_sq: np.ndarray,
+        upper_sq: np.ndarray,
+        k: int,
+    ) -> KnnResult:
+        """Two-phase filtering given precomputed bounds for one query."""
+        stats = QueryStats()
         stats.nodes_visited = self.n_points  # every approximation is read
 
         # Phase 1: k-th smallest upper bound prunes hopeless candidates.
@@ -133,6 +163,47 @@ class VAFileIndex:
             for negated, tie in ordered
         )
         return KnnResult(neighbors=neighbors, stats=stats)
+
+    def query(self, query, k: int = 1) -> KnnResult:
+        """Exact k-NN with two-phase VA-file filtering."""
+        vector = validate_query(query, self.dimensionality)
+        k = validate_k(k, self.n_points)
+        lower_sq, upper_sq = self._bounds_squared(vector)
+        return self._refine(vector, lower_sq, upper_sq, k)
+
+    def query_batch(
+        self, queries, k: int = 1, *, n_workers: int | None = None
+    ) -> BatchKnnResult:
+        """Batched k-NN with vectorized phase-1 bound computation.
+
+        The bound matrices for a whole block of queries come from one
+        broadcast pass over the approximation cells — the scan that
+        Weber et al.'s argument says should amortize across queries —
+        and phase 2 then refines each query's few surviving candidates.
+        Results are bit-identical to looping :meth:`query`.
+
+        ``n_workers`` is accepted for protocol uniformity across the
+        index family and ignored: the shared phase-1 scan is the batch
+        win here.
+        """
+        del n_workers
+        array = validate_queries(queries, self.dimensionality)
+        k = validate_k(k, self.n_points)
+        block = max(
+            1, _BLOCK_ENTRIES // (self.n_points * self.dimensionality)
+        )
+        results: list[KnnResult] = []
+        for start in range(0, array.shape[0], block):
+            rows = array[start : start + block]
+            lower_sq, upper_sq = self._bounds_squared_block(rows)
+            results.extend(
+                self._refine(rows[i], lower_sq[i], upper_sq[i], k)
+                for i in range(rows.shape[0])
+            )
+        return BatchKnnResult(
+            results=tuple(results),
+            stats=combine_stats(r.stats for r in results),
+        )
 
     def range_query(self, query, radius: float) -> KnnResult:
         """All corpus points within ``radius`` of ``query``.

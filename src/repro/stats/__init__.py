@@ -10,6 +10,7 @@ from repro.stats.descriptive import (
     column_means,
     column_stds,
     column_variances,
+    fractional_ranks,
     mean,
     root_mean_square,
     standard_deviation,
@@ -37,6 +38,7 @@ __all__ = [
     "column_variances",
     "erf",
     "erfc",
+    "fractional_ranks",
     "mean",
     "norm_cdf",
     "norm_pdf",

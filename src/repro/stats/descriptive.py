@@ -75,6 +75,28 @@ def zscores(values, ddof: int = 0) -> np.ndarray:
     return (array - np.mean(array)) / spread
 
 
+def fractional_ranks(values) -> np.ndarray:
+    """Average (fractional) ranks of a 1-d collection, 1-based.
+
+    Tied values all receive the mean of the positions they occupy —
+    ``[10, 20, 20, 30]`` ranks as ``[1, 2.5, 2.5, 4]``.  This is the
+    ranking Spearman's correlation is defined over; ranking ties
+    arbitrarily (e.g. via ``argsort(argsort(...))``) injects noise into
+    the correlation exactly when ties are common.
+    """
+    array = _as_clean_array(values)
+    if array.ndim != 1:
+        raise ValueError(f"expected a 1-d collection, got shape {array.shape}")
+    _, inverse, counts = np.unique(
+        array, return_inverse=True, return_counts=True
+    )
+    # For the group holding sorted positions [start, start + count), the
+    # average 1-based rank is start + (count + 1) / 2 = csum - (count-1)/2.
+    cumulative = np.cumsum(counts)
+    average = cumulative - (counts - 1) / 2.0
+    return average[inverse]
+
+
 def column_means(matrix) -> np.ndarray:
     """Per-column means of a 2-d data matrix (rows are observations)."""
     array = _as_clean_array(matrix, "matrix")

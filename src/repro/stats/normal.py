@@ -106,11 +106,92 @@ def _erfc_scalar(x: float) -> float:
     return _erfc_continued_fraction_scalar(x)
 
 
-# Array paths go through the C-implemented math.erf/math.erfc for speed;
-# the from-scratch scalar implementations above are the reference and the
-# test suite pins the two against each other to ~1e-14.
-_erf_vectorized = np.vectorize(math.erf, otypes=[np.float64])
-_erfc_vectorized = np.vectorize(math.erfc, otypes=[np.float64])
+# Array paths run the same series/continued-fraction algorithms as the
+# scalar reference, but with whole-array numpy iterations instead of a
+# Python call per element (np.vectorize(math.erf) costs a Python frame
+# per entry, which made batched coherence scoring erf-bound).  Each loop
+# iteration advances *every* element; iteration stops when the slowest
+# element converges, which the bounded extra multiplications leave
+# accurate to well under the ~1e-14 the test suite pins.
+
+
+def _erf_series_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized Taylor series for ``erf`` on ``|x| <= 2``."""
+    total = x.copy()
+    term = x.copy()
+    x_squared = np.square(x)
+    n = 0
+    while True:
+        n += 1
+        term *= -x_squared / n
+        contribution = term / (2 * n + 1)
+        total += contribution
+        if np.all(np.abs(contribution) <= 1e-17 * np.abs(total)):
+            return 2.0 / _SQRT_PI * total
+        if n > 64:  # pragma: no cover - |x| <= 2 converges by ~40 terms
+            return 2.0 / _SQRT_PI * total
+
+
+def _erfc_continued_fraction_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized Lentz continued fraction for ``erfc`` on ``x > 2``.
+
+    Each element is frozen the first time its ``delta`` meets the
+    convergence criterion — exactly where the scalar loop stops.  The
+    per-element freeze is load-bearing: a converged element's delta can
+    drift back above the threshold on later iterations, so a joint
+    "all currently converged" test can spin forever.  The fraction
+    value ``f`` matches the scalar path bit-for-bit; the final result
+    can differ by an ulp where ``np.exp`` and ``math.exp`` round
+    differently.
+    """
+    tiny = 1e-300
+    f = np.where(x != 0.0, x, tiny)
+    c = f.copy()
+    d = np.zeros_like(x)
+    done = np.zeros(x.shape, dtype=bool)
+    n = 0
+    while not done.all():
+        n += 1
+        a_n = n / 2.0
+        d = x + a_n * d
+        d[d == 0.0] = tiny
+        c = x + a_n / c
+        c[c == 0.0] = tiny
+        d = 1.0 / d
+        delta = np.where(done, 1.0, c * d)
+        f *= delta
+        done |= np.abs(delta - 1.0) < 1e-16
+        if n > 10_000:  # pragma: no cover - defensive, never reached
+            break
+    return np.exp(-np.square(x)) / _SQRT_PI / f
+
+
+def _erf_array(x: np.ndarray) -> np.ndarray:
+    values = np.empty_like(x)
+    magnitude = np.abs(x)
+    small = magnitude <= _ERF_SERIES_LIMIT
+    saturated = magnitude > _ERF_SATURATION
+    mid = ~small & ~saturated & ~np.isnan(x)
+    values[small] = _erf_series_array(magnitude[small])
+    values[mid] = 1.0 - _erfc_continued_fraction_array(magnitude[mid])
+    values[saturated] = 1.0
+    values[np.isnan(x)] = np.nan
+    return np.copysign(values, x)
+
+
+def _erfc_array(x: np.ndarray) -> np.ndarray:
+    values = np.empty_like(x)
+    negative = x < 0.0
+    magnitude = np.abs(x)
+    small = magnitude <= _ERF_SERIES_LIMIT
+    saturated = magnitude > _ERF_SATURATION
+    mid = ~small & ~saturated & ~np.isnan(x)
+    values[small] = 1.0 - _erf_series_array(magnitude[small])
+    values[mid] = _erfc_continued_fraction_array(magnitude[mid])
+    values[saturated] = 0.0
+    values[negative] = 2.0 - values[negative]
+    values[np.isnan(x)] = np.nan
+    return values
 
 
 def erf(x):
@@ -120,14 +201,14 @@ def erf(x):
     """
     if np.isscalar(x):
         return _erf_scalar(float(x))
-    return _erf_vectorized(np.asarray(x, dtype=np.float64))
+    return _erf_array(np.asarray(x, dtype=np.float64))
 
 
 def erfc(x):
     """Complementary error function ``1 - erf(x)`` without cancellation."""
     if np.isscalar(x):
         return _erfc_scalar(float(x))
-    return _erfc_vectorized(np.asarray(x, dtype=np.float64))
+    return _erfc_array(np.asarray(x, dtype=np.float64))
 
 
 def norm_pdf(z):
@@ -144,7 +225,7 @@ def norm_cdf(z):
     if np.isscalar(z):
         return 0.5 * _erfc_scalar(-float(z) / _SQRT_2)
     z = np.asarray(z, dtype=np.float64)
-    return 0.5 * _erfc_vectorized(-z / _SQRT_2)
+    return 0.5 * _erfc_array(-z / _SQRT_2)
 
 
 def symmetric_mass(z):
@@ -158,7 +239,7 @@ def symmetric_mass(z):
     if np.isscalar(z):
         return _erf_scalar(float(z) / _SQRT_2)
     z = np.asarray(z, dtype=np.float64)
-    return _erf_vectorized(z / _SQRT_2)
+    return _erf_array(z / _SQRT_2)
 
 
 # Coefficients of Acklam's rational approximation to the inverse normal

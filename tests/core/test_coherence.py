@@ -215,6 +215,50 @@ class TestAnalyzeCoherence:
         )
         assert analysis.rank_correlation() == pytest.approx(-1.0)
 
+    def test_rank_correlation_ties_use_average_ranks(self):
+        # Hand-computed Spearman with a tied pair of eigenvalues:
+        # eigenvalue ranks are [2.5, 2.5, 1], CP ranks are [3, 2, 1],
+        # so r = 1.5 / sqrt(1.5 * 2) = sqrt(3)/2.  The old
+        # argsort-of-argsort ranking broke the tie arbitrarily and
+        # reported 1.0 here.
+        from repro.core.coherence import CoherenceAnalysis
+
+        analysis = CoherenceAnalysis(
+            eigenvalues=np.array([2.0, 2.0, 1.0]),
+            coherence_probabilities=np.array([0.9, 0.8, 0.7]),
+            mean_coherence_factors=np.zeros(3),
+            scaled=False,
+        )
+        assert analysis.rank_correlation() == pytest.approx(
+            np.sqrt(3.0) / 2.0
+        )
+
+    def test_rank_correlation_matched_ties_are_perfect(self):
+        # Ties in the same places on both sides carry no disagreement.
+        from repro.core.coherence import CoherenceAnalysis
+
+        analysis = CoherenceAnalysis(
+            eigenvalues=np.array([2.0, 2.0, 1.0]),
+            coherence_probabilities=np.array([0.9, 0.9, 0.5]),
+            mean_coherence_factors=np.zeros(3),
+            scaled=False,
+        )
+        assert analysis.rank_correlation() == pytest.approx(1.0)
+
+    def test_rank_correlation_saturated_profile_is_zero(self):
+        # All coherence probabilities saturated at 1.0: no ordering
+        # information, so the correlation is defined as 0, not NaN and
+        # not the arbitrary value tie-blind ranking used to produce.
+        from repro.core.coherence import CoherenceAnalysis
+
+        analysis = CoherenceAnalysis(
+            eigenvalues=np.array([3.0, 2.0, 1.0]),
+            coherence_probabilities=np.ones(3),
+            mean_coherence_factors=np.zeros(3),
+            scaled=False,
+        )
+        assert analysis.rank_correlation() == 0.0
+
     def test_rank_correlation_needs_two(self):
         from repro.core.coherence import CoherenceAnalysis
 

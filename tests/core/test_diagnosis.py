@@ -1,6 +1,5 @@
 """Tests for repro.core.diagnosis — the reducibility verdict."""
 
-import numpy as np
 import pytest
 
 from repro.core.coherence import UNIFORM_BASELINE_CP

@@ -1,7 +1,6 @@
 """Tests for the UCI-like presets — the paper's evaluation datasets."""
 
 import numpy as np
-import pytest
 
 from repro.datasets.uci_like import (
     NOISY_AMPLITUDE,

@@ -5,11 +5,7 @@ import pytest
 
 from repro.linalg.covariance import covariance_matrix
 from repro.linalg.eigen import eigh_numpy
-from repro.linalg.svd import (
-    SingularValueDecomposition,
-    svd_via_eigen,
-    truncated_svd_power,
-)
+from repro.linalg.svd import svd_via_eigen, truncated_svd_power
 
 
 class TestSvdViaEigen:

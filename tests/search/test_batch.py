@@ -1,0 +1,188 @@
+"""Batch-query engine: equivalence with sequential queries, for every index.
+
+The batch API's contract is strict: for any corpus, query set, and ``k``,
+``index.query_batch(queries, k)`` returns exactly what looping
+``index.query`` would — same neighbor indices, bit-identical distances,
+same tie-breaks — and its aggregate stats are the per-query sums.  These
+tests exercise the contract over adversarial corpora (ties, duplicates,
+extreme magnitudes) where the vectorized brute-force/VA-file paths could
+plausibly diverge from the scalar arithmetic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.search.bruteforce import BruteForceIndex
+from repro.search.idistance import IDistanceIndex
+from repro.search.kdtree import KdTreeIndex
+from repro.search.pyramid import PyramidIndex
+from repro.search.results import BatchKnnResult, QueryStats, combine_stats
+from repro.search.rtree import RTreeIndex
+from repro.search.vafile import VAFileIndex
+
+ALL_INDEXES = [
+    BruteForceIndex,
+    KdTreeIndex,
+    RTreeIndex,
+    VAFileIndex,
+    PyramidIndex,
+    IDistanceIndex,
+]
+
+
+def assert_batch_matches_sequential(index, queries, k, **kwargs):
+    batch = index.query_batch(queries, k=k, **kwargs)
+    sequential = [index.query(q, k=k) for q in np.asarray(queries)]
+    assert isinstance(batch, BatchKnnResult)
+    assert len(batch) == len(sequential)
+    for got, expected in zip(batch, sequential):
+        assert tuple(got.indices.tolist()) == tuple(expected.indices.tolist())
+        # Bit-identical, not approximately equal: the batch path must
+        # reproduce the sequential arithmetic exactly.
+        assert tuple(got.distances.tolist()) == tuple(
+            expected.distances.tolist()
+        )
+    expected_stats = combine_stats(r.stats for r in sequential)
+    assert batch.stats.points_scanned == expected_stats.points_scanned
+    assert batch.stats.nodes_visited == expected_stats.nodes_visited
+    assert batch.stats.nodes_pruned == expected_stats.nodes_pruned
+
+
+@pytest.mark.parametrize("cls", ALL_INDEXES)
+class TestBatchSequentialEquivalence:
+    def test_random_cloud(self, cls, rng):
+        corpus = rng.normal(size=(150, 6))
+        index = cls(corpus)
+        queries = rng.normal(size=(23, 6))
+        assert_batch_matches_sequential(index, queries, k=5)
+
+    def test_self_queries_with_ties(self, cls, rng):
+        # Duplicated corpus rows force distance ties on every query.
+        base = rng.normal(size=(40, 4))
+        corpus = np.concatenate([base, base[:20]])
+        index = cls(corpus)
+        assert_batch_matches_sequential(index, base[:15], k=4)
+
+    def test_all_duplicate_corpus(self, cls):
+        corpus = np.ones((30, 3))
+        index = cls(corpus)
+        queries = np.zeros((5, 3))
+        assert_batch_matches_sequential(index, queries, k=7)
+
+    def test_k_equals_n(self, cls, rng):
+        corpus = rng.normal(size=(25, 5))
+        index = cls(corpus)
+        assert_batch_matches_sequential(index, rng.normal(size=(4, 5)), k=25)
+
+    def test_single_query_batch(self, cls, rng):
+        corpus = rng.normal(size=(60, 8))
+        index = cls(corpus)
+        assert_batch_matches_sequential(index, corpus[:1], k=3)
+
+    def test_empty_batch(self, cls, rng):
+        corpus = rng.normal(size=(20, 3))
+        batch = cls(corpus).query_batch(np.empty((0, 3)), k=2)
+        assert len(batch) == 0
+        assert batch.stats.points_scanned == 0
+
+    def test_threaded_path_matches(self, cls, rng):
+        corpus = rng.normal(size=(80, 5))
+        index = cls(corpus)
+        queries = rng.normal(size=(17, 5))
+        assert_batch_matches_sequential(index, queries, k=3, n_workers=4)
+
+    def test_rejects_1d_queries(self, cls, rng):
+        corpus = rng.normal(size=(20, 4))
+        with pytest.raises(ValueError, match="2-d"):
+            cls(corpus).query_batch(np.zeros(4), k=1)
+
+    def test_rejects_wrong_width(self, cls, rng):
+        corpus = rng.normal(size=(20, 4))
+        with pytest.raises(ValueError, match="2-d"):
+            cls(corpus).query_batch(np.zeros((3, 5)), k=1)
+
+    def test_rejects_nan_queries(self, cls, rng):
+        corpus = rng.normal(size=(20, 4))
+        with pytest.raises(ValueError, match="finite"):
+            cls(corpus).query_batch(np.full((2, 4), np.nan), k=1)
+
+    def test_rejects_bad_n_workers(self, cls, rng):
+        corpus = rng.normal(size=(20, 4))
+        # Vectorized indexes ignore n_workers entirely, which is part of
+        # the protocol; only the dispatching indexes validate it.
+        if cls in (BruteForceIndex, VAFileIndex):
+            pytest.skip("vectorized index ignores n_workers")
+        with pytest.raises(ValueError, match="n_workers"):
+            cls(corpus).query_batch(np.zeros((2, 4)), k=1, n_workers=0)
+
+
+class TestVectorizedEdgeCases:
+    """Corner cases aimed at the Gram-expansion brute-force path."""
+
+    @pytest.mark.parametrize("cls", [BruteForceIndex, VAFileIndex])
+    def test_huge_magnitudes(self, cls, rng):
+        corpus = rng.normal(size=(50, 3)) * 1e18
+        index = cls(corpus)
+        queries = rng.normal(size=(6, 3)) * 1e18
+        assert_batch_matches_sequential(index, queries, k=4)
+
+    @pytest.mark.parametrize("cls", [BruteForceIndex, VAFileIndex])
+    def test_tiny_magnitudes(self, cls, rng):
+        corpus = rng.normal(size=(50, 3)) * 1e-18
+        index = cls(corpus)
+        queries = rng.normal(size=(6, 3)) * 1e-18
+        assert_batch_matches_sequential(index, queries, k=4)
+
+    def test_near_tie_distances(self, rng):
+        # Points at almost-equal distances: the candidate margin must be
+        # wide enough that the exact re-ranking sees all contenders.
+        center = rng.normal(size=8)
+        directions = rng.normal(size=(100, 8))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        radii = 1.0 + rng.uniform(-1e-9, 1e-9, size=(100, 1))
+        corpus = center + radii * directions
+        index = BruteForceIndex(corpus)
+        assert_batch_matches_sequential(index, center[np.newaxis, :], k=10)
+
+    def test_batch_larger_than_block(self, rng):
+        # More query rows than one block holds, exercising the chunk loop.
+        corpus = rng.normal(size=(500, 4))
+        index = BruteForceIndex(corpus)
+        queries = rng.normal(size=(300, 4))
+        batch = index.query_batch(queries, k=2)
+        assert len(batch) == 300
+        sample = [0, 150, 299]
+        for i in sample:
+            expected = index.query(queries[i], k=2)
+            assert tuple(batch[i].indices.tolist()) == tuple(
+                expected.indices.tolist()
+            )
+
+
+class TestBatchKnnResult:
+    def test_sequence_protocol(self, rng):
+        corpus = rng.normal(size=(30, 3))
+        index = BruteForceIndex(corpus)
+        batch = index.query_batch(corpus[:5], k=2)
+        assert len(batch) == 5
+        assert [r.neighbors[0].index for r in batch] == [0, 1, 2, 3, 4]
+        assert batch[3].neighbors[0].index == 3
+
+    def test_matrix_views(self, rng):
+        corpus = rng.normal(size=(30, 3))
+        index = BruteForceIndex(corpus)
+        batch = index.query_batch(corpus[:5], k=2)
+        assert batch.indices.shape == (5, 2)
+        assert batch.distances.shape == (5, 2)
+        assert batch.indices.tolist()[0][0] == 0
+        assert batch.distances[0, 0] == 0.0
+
+    def test_aggregated_stats_sum(self, rng):
+        corpus = rng.normal(size=(30, 3))
+        index = BruteForceIndex(corpus)
+        batch = index.query_batch(corpus[:5], k=2)
+        assert batch.stats.points_scanned == 5 * 30
+
+    def test_combine_stats_empty(self):
+        total = combine_stats([])
+        assert total == QueryStats()

@@ -84,6 +84,19 @@ class TestPyramidIndex:
         with pytest.raises(ValueError, match="query"):
             PyramidIndex(rng.normal(size=(10, 3))).query(np.zeros(2), k=1)
 
+    def test_knn_never_scans_a_point_twice(self, rng):
+        # Radius-doubling k-NN revisits cells across rounds; each point
+        # must still be scanned (and counted) at most once, or
+        # pruning_fraction blows up on the over-count.
+        points = rng.normal(size=(300, 4))
+        index = PyramidIndex(points)
+        for _ in range(10):
+            # Far-away queries force several expansion rounds.
+            query = rng.normal(size=4) * 5.0
+            stats = index.query(query, k=7).stats
+            assert stats.points_scanned <= index.n_points
+            assert stats.pruning_fraction(index.n_points) >= 0.0
+
     def test_one_dimensional(self, rng):
         points = rng.normal(size=(100, 1))
         pyramid = PyramidIndex(points)

@@ -21,10 +21,11 @@ class TestQueryStats:
     def test_full_scan_is_zero(self):
         assert QueryStats(points_scanned=10).pruning_fraction(10) == 0.0
 
-    def test_overcounted_scans_clamped(self):
-        # Refinement may touch a point twice; the fraction never goes
-        # negative.
-        assert QueryStats(points_scanned=15).pruning_fraction(10) == 0.0
+    def test_overcounted_scans_raise(self):
+        # Scanning more distinct points than the corpus holds is always
+        # an index accounting bug; surfacing it beats a silent 0.0.
+        with pytest.raises(ValueError, match="double-counted"):
+            QueryStats(points_scanned=15).pruning_fraction(10)
 
     def test_rejects_nonpositive_total(self):
         with pytest.raises(ValueError):

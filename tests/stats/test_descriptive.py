@@ -7,12 +7,43 @@ from repro.stats.descriptive import (
     column_means,
     column_stds,
     column_variances,
+    fractional_ranks,
     mean,
     root_mean_square,
     standard_deviation,
     variance,
     zscores,
 )
+
+
+class TestFractionalRanks:
+    def test_distinct_values(self):
+        assert fractional_ranks([30.0, 10.0, 20.0]).tolist() == [3.0, 1.0, 2.0]
+
+    def test_tied_pair_gets_average(self):
+        # The textbook example: [10, 20, 20, 30] -> [1, 2.5, 2.5, 4].
+        assert fractional_ranks([10.0, 20.0, 20.0, 30.0]).tolist() == [
+            1.0,
+            2.5,
+            2.5,
+            4.0,
+        ]
+
+    def test_all_equal(self):
+        assert fractional_ranks(np.ones(5)).tolist() == [3.0] * 5
+
+    def test_ranks_sum_is_invariant(self, rng):
+        # Average ranks always sum to n(n+1)/2, ties or not.
+        values = rng.integers(0, 5, size=40).astype(float)
+        assert fractional_ranks(values).sum() == 40 * 41 / 2
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-d"):
+            fractional_ranks(np.ones((2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            fractional_ranks([1.0, float("nan")])
 
 
 class TestMean:
