@@ -1,0 +1,303 @@
+"""Ablation — time-to-first-query: vectorized construction + snapshot load.
+
+Two claims drive the persistence layer, and this bench measures both:
+
+1. **Construction is vectorized.**  The naive reference builders below
+   replicate the pre-vectorization implementations (recursive
+   object-node kd-tree with per-node masks, per-point/per-table dict
+   fill for LSH) and are timed against the shipping builds.
+2. **Loading beats rebuilding.**  For every index the bench times
+   build → save → load and the first query on each side; the
+   time-to-first-query ratio (build + query vs. load + query) is what a
+   restarting serving process experiences.  Loaded indexes must answer
+   ``query_batch`` bit-identically to the freshly built originals — the
+   identity check runs at every scale.
+
+Results land in ``benchmarks/results/BENCH_build_latency.json`` (schema
+``bench_build_latency/v1``) plus a human-readable text report.  Set
+``REPRO_BENCH_BUILD_SCALE=smoke`` to run tiny corpora and skip the
+machine-speed assertions (identity is still enforced) — that is what the
+CI smoke job does.
+"""
+
+import json
+import os
+import tempfile
+import time
+from collections import defaultdict
+
+import numpy as np
+
+import _experiments as exp
+from repro.evaluation.reporting import format_table
+from repro.search import (
+    BruteForceIndex,
+    IDistanceIndex,
+    IGridIndex,
+    KdTreeIndex,
+    LshIndex,
+    PyramidIndex,
+    RTreeIndex,
+    VAFileIndex,
+)
+
+_SMOKE = os.environ.get("REPRO_BENCH_BUILD_SCALE", "").lower() == "smoke"
+_SIZES = [(200, 8), (500, 8)] if _SMOKE else [(5_000, 16), (20_000, 16)]
+_K = 3
+_N_QUERIES = 8
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_JSON_NAME = "BENCH_build_latency.json"
+
+_FAMILIES = [
+    ("bruteforce", BruteForceIndex, lambda pts: BruteForceIndex(pts)),
+    ("kdtree", KdTreeIndex, lambda pts: KdTreeIndex(pts)),
+    ("rtree", RTreeIndex, lambda pts: RTreeIndex(pts)),
+    ("vafile", VAFileIndex, lambda pts: VAFileIndex(pts)),
+    ("pyramid", PyramidIndex, lambda pts: PyramidIndex(pts)),
+    ("idistance", IDistanceIndex, lambda pts: IDistanceIndex(pts, seed=0)),
+    ("igrid", IGridIndex, lambda pts: IGridIndex(pts)),
+    ("lsh", LshIndex, lambda pts: LshIndex(pts, seed=0)),
+]
+
+
+def _naive_kdtree_build(points, leaf_size=16):
+    """The pre-vectorization kd-tree build: object nodes, per-node masks."""
+
+    class Node:
+        __slots__ = ("indices", "split_dim", "split_value", "left", "right")
+
+    def build(indices):
+        node = Node()
+        if indices.size <= leaf_size:
+            node.indices = indices
+            return node
+        subset = points[indices]
+        spreads = subset.max(axis=0) - subset.min(axis=0)
+        split_dim = int(np.argmax(spreads))
+        if spreads[split_dim] == 0.0:
+            node.indices = indices
+            return node
+        values = subset[:, split_dim]
+        split_value = float(np.median(values))
+        left_mask = values <= split_value
+        if left_mask.all() or not left_mask.any():
+            left_mask = values < split_value
+            if not left_mask.any():
+                node.indices = indices
+                return node
+        node.indices = None
+        node.split_dim = split_dim
+        node.split_value = split_value
+        node.left = build(indices[left_mask])
+        node.right = build(indices[~left_mask])
+        return node
+
+    return build(np.arange(points.shape[0], dtype=np.intp))
+
+
+def _naive_lsh_fill(index):
+    """The pre-vectorization LSH table fill: per-point dict appends."""
+    tables = []
+    for t in range(index.n_tables):
+        projected = index._points @ index._projections[t].T
+        quantized = np.floor(
+            (projected + index._offsets[t]) / index.bucket_width
+        ).astype(np.int64)
+        keys = [tuple(row) for row in quantized]
+        table = defaultdict(list)
+        for i, key in enumerate(keys):
+            table[key].append(i)
+        tables.append(dict(table))
+    return tables
+
+
+def _timed(callable_):
+    start = time.perf_counter()
+    value = callable_()
+    return time.perf_counter() - start, value
+
+
+def _best_of(callable_, repeats=3):
+    """Best-of-N wall time — the construction comparisons use this so a
+    single scheduler hiccup cannot flip a speedup assertion."""
+    return min(_timed(callable_)[0] for _ in range(repeats))
+
+
+def _identical(built, loaded, queries, k):
+    fresh = built.query_batch(queries, k=k)
+    reloaded = loaded.query_batch(queries, k=k)
+    return all(
+        tuple(a.indices.tolist()) == tuple(b.indices.tolist())
+        and tuple(a.distances.tolist()) == tuple(b.distances.tolist())
+        and a.stats == b.stats
+        for a, b in zip(fresh, reloaded)
+    )
+
+
+def _run():
+    rng = np.random.default_rng(exp.SEED)
+    per_index = []
+    construction = []
+    ttfq = []
+    with tempfile.TemporaryDirectory() as workdir:
+        for n, d in _SIZES:
+            corpus = rng.standard_normal((n, d))
+            queries = rng.standard_normal((_N_QUERIES, d))
+            build_total = 0.0
+            load_total = 0.0
+            for name, cls, build in _FAMILIES:
+                path = os.path.join(workdir, f"{name}-{n}.npz")
+                build_seconds, index = _timed(lambda build=build: build(corpus))
+                save_seconds, _ = _timed(lambda index=index: index.save(path))
+                load_seconds, loaded = _timed(
+                    lambda cls=cls: cls.load(path)
+                )
+                query_built_seconds, _ = _timed(
+                    lambda index=index: index.query(queries[0], k=_K)
+                )
+                query_loaded_seconds, _ = _timed(
+                    lambda loaded=loaded: loaded.query(queries[0], k=_K)
+                )
+                identical = _identical(index, loaded, queries, _K)
+                ttfq_build = build_seconds + query_built_seconds
+                ttfq_load = load_seconds + query_loaded_seconds
+                build_total += ttfq_build
+                load_total += ttfq_load
+                per_index.append(
+                    {
+                        "corpus_size": n,
+                        "dims": d,
+                        "index": name,
+                        "build_seconds": build_seconds,
+                        "save_seconds": save_seconds,
+                        "load_seconds": load_seconds,
+                        "first_query_built_seconds": query_built_seconds,
+                        "first_query_loaded_seconds": query_loaded_seconds,
+                        "ttfq_build_seconds": ttfq_build,
+                        "ttfq_load_seconds": ttfq_load,
+                        "load_vs_build_speedup": ttfq_build / ttfq_load,
+                        "identical": identical,
+                    }
+                )
+            ttfq.append(
+                {
+                    "corpus_size": n,
+                    "build_total_seconds": build_total,
+                    "load_total_seconds": load_total,
+                    "speedup": build_total / load_total,
+                }
+            )
+
+            # Construction speedups against the pre-vectorization builds.
+            naive_kd_seconds = _best_of(lambda: _naive_kdtree_build(corpus))
+            vec_kd_seconds = _best_of(lambda: KdTreeIndex(corpus))
+            construction.append(
+                {
+                    "corpus_size": n,
+                    "index": "kdtree",
+                    "naive_seconds": naive_kd_seconds,
+                    "vectorized_seconds": vec_kd_seconds,
+                    "speedup": naive_kd_seconds / vec_kd_seconds,
+                }
+            )
+            lsh = LshIndex(corpus, seed=0)
+            naive_lsh_seconds = _best_of(lambda: _naive_lsh_fill(lsh))
+            vec_lsh_seconds = _best_of(lambda: LshIndex(corpus, seed=0))
+            construction.append(
+                {
+                    "corpus_size": n,
+                    "index": "lsh",
+                    "naive_seconds": naive_lsh_seconds,
+                    "vectorized_seconds": vec_lsh_seconds,
+                    "speedup": naive_lsh_seconds / vec_lsh_seconds,
+                }
+            )
+    return per_index, construction, ttfq
+
+
+def _emit_json(per_index, construction, ttfq):
+    payload = {
+        "schema": "bench_build_latency/v1",
+        "config": {
+            "scale": "smoke" if _SMOKE else "full",
+            "corpus_sizes": [list(size) for size in _SIZES],
+            "k": _K,
+            "n_queries": _N_QUERIES,
+            "seed": exp.SEED,
+        },
+        "per_index": per_index,
+        "construction_speedups": construction,
+        "ttfq": ttfq,
+        "ttfq_overall_speedup": sum(
+            row["build_total_seconds"] for row in ttfq
+        ) / sum(row["load_total_seconds"] for row in ttfq),
+    }
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(_RESULTS_DIR, _JSON_NAME), "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def test_ablation_build_latency(benchmark, capsys):
+    per_index, construction, ttfq = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    _emit_json(per_index, construction, ttfq)
+
+    rows = [
+        (
+            row["corpus_size"],
+            row["index"],
+            f"{row['build_seconds'] * 1e3:.2f}",
+            f"{row['load_seconds'] * 1e3:.2f}",
+            f"{row['load_vs_build_speedup']:.1f}x",
+            "yes" if row["identical"] else "NO",
+        )
+        for row in per_index
+    ]
+    report = format_table(
+        ["n", "index", "build ms", "load ms", "ttfq speedup", "bit-identical"],
+        rows,
+        title="Build vs. snapshot-load time-to-first-query, all eight indexes",
+    )
+    report += "\n\nconstruction vs. pre-vectorization builders:\n" + "\n".join(
+        f"  {row['index']:>7} n={row['corpus_size']:>6,}: "
+        f"naive {row['naive_seconds'] * 1e3:8.2f} ms  "
+        f"vectorized {row['vectorized_seconds'] * 1e3:8.2f} ms  "
+        f"({row['speedup']:.1f}x)"
+        for row in construction
+    )
+    report += "\n\naggregate time-to-first-query across the family:\n" + "\n".join(
+        f"  n={row['corpus_size']:>6,}: build {row['build_total_seconds']:.3f} s"
+        f"  load {row['load_total_seconds']:.3f} s  ({row['speedup']:.1f}x)"
+        for row in ttfq
+    )
+    if _SMOKE:
+        report += "\nnote: smoke scale — timing assertions skipped"
+    exp.emit(report, "ablation_build_latency", capsys)
+
+    # Identity is non-negotiable at every scale: a snapshot that answers
+    # differently from its origin is corrupt, not slow.
+    for row in per_index:
+        assert row["identical"], (
+            f"{row['index']} (n={row['corpus_size']}) loaded snapshot "
+            "diverged from the freshly built index"
+        )
+    if _SMOKE:
+        return
+    for row in construction:
+        assert row["speedup"] >= 5.0, (
+            f"{row['index']} vectorized build only {row['speedup']:.1f}x "
+            f"faster than the naive builder at n={row['corpus_size']}"
+        )
+    # The headline persistence claim: across the whole family and every
+    # corpus size, restoring from snapshots gets to the first answer
+    # >= 10x sooner than rebuilding.  (Per-size ratios are recorded in
+    # the JSON; the small-corpus ratio is diluted by the fixed per-query
+    # cost that both sides pay, so the assertion is on the aggregate.)
+    build_total = sum(row["build_total_seconds"] for row in ttfq)
+    load_total = sum(row["load_total_seconds"] for row in ttfq)
+    overall = build_total / load_total
+    assert overall >= 10.0, (
+        f"aggregate load-vs-build time-to-first-query only {overall:.1f}x"
+    )

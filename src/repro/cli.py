@@ -8,6 +8,10 @@ Four subcommands covering the workflow of the paper:
 * ``repro sweep <dataset>`` — the full accuracy-vs-dimensionality curve.
 * ``repro reduce <dataset> -o out.csv`` — write the reduced
   representation (plus labels) as CSV.
+* ``repro index build <dataset> -o out.npz --index kdtree`` — build a
+  similarity-search index over the dataset and snapshot it to disk.
+* ``repro index info out.npz`` — inspect a snapshot without rebuilding
+  anything.
 
 ``<dataset>`` is either a built-in preset name (``musk``, ``ionosphere``,
 ``arrhythmia``, ``noisy-a``, ``noisy-b``, ``uniform``) or a path to a
@@ -183,6 +187,71 @@ def _command_experiment(args) -> int:
     return 0
 
 
+def _index_classes():
+    from repro.search import (
+        BruteForceIndex,
+        IDistanceIndex,
+        IGridIndex,
+        KdTreeIndex,
+        LshIndex,
+        PyramidIndex,
+        RTreeIndex,
+        VAFileIndex,
+    )
+
+    return {
+        "bruteforce": BruteForceIndex,
+        "kdtree": KdTreeIndex,
+        "rtree": RTreeIndex,
+        "vafile": VAFileIndex,
+        "pyramid": PyramidIndex,
+        "idistance": IDistanceIndex,
+        "igrid": IGridIndex,
+        "lsh": LshIndex,
+    }
+
+
+def _command_index_build(args) -> int:
+    data = _resolve_dataset(args.dataset, args.seed, args.label_column)
+    cls = _index_classes()[args.index]
+    index = cls(data.features)
+    index.save(args.output)
+    size = os.path.getsize(args.output)
+    print(
+        f"built {args.index} over {data.name} "
+        f"({data.n_samples} x {data.n_dims}) -> {args.output} "
+        f"({size / 1024:.1f} KiB)"
+    )
+    return 0
+
+
+def _command_index_info(args) -> int:
+    from repro.search import SnapshotError, load_index, snapshot_kind
+
+    try:
+        kind = snapshot_kind(args.path)
+        # mmap keeps the corpus on disk: inspecting a snapshot should
+        # not cost a full load of its points.
+        index = load_index(args.path, mmap_points=True)
+    except SnapshotError as error:
+        raise SystemExit(f"error: {error}") from None
+    print(
+        format_table(
+            ["field", "value"],
+            [
+                ("path", args.path),
+                ("kind", kind),
+                ("class", type(index).__name__),
+                ("points", index.n_points),
+                ("dimensionality", index.dimensionality),
+                ("file size", f"{os.path.getsize(args.path) / 1024:.1f} KiB"),
+            ],
+            title="index snapshot",
+        )
+    )
+    return 0
+
+
 def _command_reduce(args) -> int:
     data = _resolve_dataset(args.dataset, args.seed, args.label_column)
     if args.components is not None:
@@ -278,6 +347,35 @@ def build_parser() -> argparse.ArgumentParser:
     reduce.add_argument("--no-scale", action="store_true")
     reduce.add_argument("-o", "--output", required=True, help="output CSV path")
     reduce.set_defaults(handler=_command_reduce)
+
+    index = commands.add_parser(
+        "index", help="build or inspect similarity-search index snapshots"
+    )
+    index_commands = index.add_subparsers(dest="index_command", required=True)
+
+    index_build = index_commands.add_parser(
+        "build", help="build an index over a dataset and snapshot it"
+    )
+    _add_dataset_arguments(index_build)
+    index_build.add_argument(
+        "--index",
+        default="kdtree",
+        choices=[
+            "bruteforce", "kdtree", "rtree", "vafile",
+            "pyramid", "idistance", "igrid", "lsh",
+        ],
+        help="index structure to build (default: kdtree)",
+    )
+    index_build.add_argument(
+        "-o", "--output", required=True, help="output .npz snapshot path"
+    )
+    index_build.set_defaults(handler=_command_index_build)
+
+    index_info = index_commands.add_parser(
+        "info", help="describe a snapshot without rebuilding anything"
+    )
+    index_info.add_argument("path", help="path to a .npz index snapshot")
+    index_info.set_defaults(handler=_command_index_info)
 
     return parser
 

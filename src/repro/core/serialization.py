@@ -8,6 +8,12 @@ statistics (mean/scales/kept columns), the full eigendecomposition, the
 coherence analysis, and the selection — everything :meth:`transform`
 needs, so a loaded reducer projects new queries bit-identically to the
 original.
+
+The search indexes persist the same way through the snapshot layer; its
+entry points (:func:`~repro.search.snapshot.save_index`,
+:func:`~repro.search.snapshot.load_index`,
+:class:`~repro.search.snapshot.SnapshotError`) are re-exported here so
+one module covers everything a serving process ships to disk.
 """
 
 from __future__ import annotations
@@ -18,6 +24,11 @@ from repro.core.coherence import CoherenceAnalysis
 from repro.core.reducer import CoherenceReducer
 from repro.linalg.eigen import EigenDecomposition
 from repro.linalg.pca import PrincipalComponents
+from repro.search.snapshot import (  # noqa: F401  (re-exported API)
+    SnapshotError,
+    load_index,
+    save_index,
+)
 
 _FORMAT_VERSION = 1
 

@@ -8,8 +8,19 @@ and Hjaltason & Samet), and a VA-file.  The per-query statistics
 paper's Section 1.1 argument: in high dimensionality the optimistic
 bounds stop pruning, and aggressive dimensionality reduction restores
 index effectiveness.
+
+Every static index also persists to a single-file snapshot
+(:func:`save_index` / :func:`load_index`): structures are stored as flat
+arrays, so a loaded index is query-ready with zero rebuilding and
+answers bit-identically to the freshly built original.
 """
 
+from repro.search.snapshot import (
+    SnapshotError,
+    load_index,
+    save_index,
+    snapshot_kind,
+)
 from repro.search.results import (
     BatchKnnResult,
     KnnResult,
@@ -36,10 +47,14 @@ __all__ = [
     "IGridIndex",
     "KdTreeIndex",
     "KnnResult",
+    "load_index",
     "LshIndex",
     "Neighbor",
     "PyramidIndex",
     "QueryStats",
     "RTreeIndex",
+    "save_index",
+    "snapshot_kind",
+    "SnapshotError",
     "VAFileIndex",
 ]

@@ -15,6 +15,9 @@ from repro.search.results import (
     validate_queries,
     validate_query,
 )
+from repro.search.snapshot import read_snapshot, write_snapshot
+
+_SNAPSHOT_KIND = "bruteforce"
 
 # Block size for batched queries, in distance-matrix entries: query rows
 # are processed in blocks of ``_BLOCK_ENTRIES // n`` so the ``(q, n)``
@@ -48,6 +51,35 @@ class BruteForceIndex:
     @property
     def dimensionality(self) -> int:
         return self._points.shape[1]
+
+    def save(self, path: str) -> None:
+        """Persist the index to ``path`` (``.npz`` snapshot)."""
+        write_snapshot(
+            path,
+            _SNAPSHOT_KIND,
+            {"points": self._points, "sq_norms": self._sq_norms},
+        )
+
+    @classmethod
+    def load(cls, path: str, *, mmap_points: bool = False) -> "BruteForceIndex":
+        """Load a snapshot saved by :meth:`save`; query-ready immediately.
+
+        ``mmap_points=True`` maps the corpus from the file instead of
+        reading it into memory.
+        """
+        data = read_snapshot(
+            path,
+            _SNAPSHOT_KIND,
+            required=("points", "sq_norms"),
+            mmap_points=mmap_points,
+        )
+        index = cls.__new__(cls)
+        index._points = data["points"]
+        index._sq_norms = data["sq_norms"]
+        index._max_sq_norm = float(index._sq_norms.max())
+        index._points_f32 = None
+        index._sq_norms_f32 = None
+        return index
 
     def query(self, query, k: int = 1) -> KnnResult:
         """Return the ``k`` nearest corpus points to ``query`` (Euclidean).

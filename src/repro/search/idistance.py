@@ -35,6 +35,9 @@ from repro.search.results import (
     validate_k,
     validate_query,
 )
+from repro.search.snapshot import read_snapshot, write_snapshot
+
+_SNAPSHOT_KIND = "idistance"
 
 
 class IDistanceIndex:
@@ -63,13 +66,71 @@ class IDistanceIndex:
         gaps = self._points - self._references[clustering.labels]
         heights = np.sqrt(np.sum(np.square(gaps), axis=1))
 
-        self._members: list[np.ndarray] = []
-        self._heights: list[np.ndarray] = []
-        for p in range(n_partitions):
-            rows = np.flatnonzero(clustering.labels == p)
-            order = rows[np.argsort(heights[rows], kind="stable")]
-            self._members.append(order)
-            self._heights.append(heights[order])
+        # CSR layout: one corpus-row permutation ordered by (partition,
+        # height) — lexsort is stable, so equal heights keep ascending
+        # corpus index — plus partition start offsets into it.
+        labels = np.asarray(clustering.labels, dtype=np.int64)
+        order = np.lexsort((heights, labels))
+        self._member_order = order
+        self._height_keys = heights[order]
+        self._starts = np.searchsorted(
+            labels[order], np.arange(n_partitions + 1)
+        ).astype(np.int64)
+        self._set_partition_views()
+
+    def _set_partition_views(self) -> None:
+        """Per partition: member rows sorted by height, and the heights."""
+        starts = self._starts
+        self._members = [
+            self._member_order[starts[p]:starts[p + 1]]
+            for p in range(starts.size - 1)
+        ]
+        self._heights = [
+            self._height_keys[starts[p]:starts[p + 1]]
+            for p in range(starts.size - 1)
+        ]
+
+    def save(self, path: str) -> None:
+        """Persist the index to ``path`` (``.npz`` snapshot).
+
+        The snapshot stores the fitted reference points and the CSR
+        member/height arrays, so :meth:`load` never reruns k-means —
+        typically the dominant build cost of this index.
+        """
+        write_snapshot(
+            path,
+            _SNAPSHOT_KIND,
+            {
+                "points": self._points,
+                "references": self._references,
+                "n_partitions": np.int64(self.n_partitions),
+                "member_order": self._member_order,
+                "height_keys": self._height_keys,
+                "starts": self._starts,
+            },
+        )
+
+    @classmethod
+    def load(cls, path: str, *, mmap_points: bool = False) -> "IDistanceIndex":
+        """Load a snapshot saved by :meth:`save`; query-ready immediately."""
+        data = read_snapshot(
+            path,
+            _SNAPSHOT_KIND,
+            required=(
+                "points", "references", "n_partitions", "member_order",
+                "height_keys", "starts",
+            ),
+            mmap_points=mmap_points,
+        )
+        index = cls.__new__(cls)
+        index._points = data["points"]
+        index._references = data["references"]
+        index.n_partitions = int(data["n_partitions"])
+        index._member_order = data["member_order"].astype(np.intp, copy=False)
+        index._height_keys = data["height_keys"]
+        index._starts = data["starts"]
+        index._set_partition_views()
+        return index
 
     @property
     def n_points(self) -> int:

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.search.batch import dispatch_query_batch
 from repro.search.results import (
+    BatchKnnResult,
     KnnResult,
     Neighbor,
     QueryStats,
@@ -33,6 +35,9 @@ from repro.search.results import (
     validate_k,
     validate_query,
 )
+from repro.search.snapshot import read_snapshot, write_snapshot
+
+_SNAPSHOT_KIND = "igrid"
 
 
 class IGridIndex:
@@ -80,16 +85,70 @@ class IGridIndex:
         widths = np.where(widths > 0.0, widths, fallback / ranges_per_dim)
         self._widths = widths  # (k, d)
 
-        self._assignments = self._assign(self._points)  # (n, d) range ids
-        # Inverted lists: for each dimension, a list of arrays of corpus
-        # rows per range.
-        self._lists: list[list[np.ndarray]] = []
-        for j in range(d):
-            per_range = [
-                np.flatnonzero(self._assignments[:, j] == r)
-                for r in range(ranges_per_dim)
+        assignments = self._assign(self._points)  # (n, d) range ids
+        # Inverted lists in CSR form: per dimension, the corpus rows in
+        # range order (stable argsort keeps ascending row index within a
+        # range, matching a per-range flatnonzero) plus range offsets.
+        order = np.argsort(assignments, axis=0, kind="stable")
+        self._list_order = np.ascontiguousarray(order.T)  # (d, n)
+        counts = np.bincount(
+            (assignments + ranges_per_dim * np.arange(d)).ravel(),
+            minlength=ranges_per_dim * d,
+        ).reshape(d, ranges_per_dim)
+        starts = np.zeros((d, ranges_per_dim + 1), dtype=np.int64)
+        np.cumsum(counts, axis=1, out=starts[:, 1:])
+        self._list_starts = starts
+        self._set_list_views()
+
+    def _set_list_views(self) -> None:
+        """Per (dimension, range): the corpus rows falling there."""
+        starts = self._list_starts
+        self._lists = [
+            [
+                self._list_order[j, starts[j, r]:starts[j, r + 1]]
+                for r in range(starts.shape[1] - 1)
             ]
-            self._lists.append(per_range)
+            for j in range(starts.shape[0])
+        ]
+
+    def save(self, path: str) -> None:
+        """Persist the index to ``path`` (``.npz`` snapshot)."""
+        write_snapshot(
+            path,
+            _SNAPSHOT_KIND,
+            {
+                "points": self._points,
+                "ranges_per_dim": np.int64(self.ranges_per_dim),
+                "p": np.float64(self.p),
+                "edges": self._edges,
+                "widths": self._widths,
+                "list_order": self._list_order,
+                "list_starts": self._list_starts,
+            },
+        )
+
+    @classmethod
+    def load(cls, path: str, *, mmap_points: bool = False) -> "IGridIndex":
+        """Load a snapshot saved by :meth:`save`; query-ready immediately."""
+        data = read_snapshot(
+            path,
+            _SNAPSHOT_KIND,
+            required=(
+                "points", "ranges_per_dim", "p", "edges", "widths",
+                "list_order", "list_starts",
+            ),
+            mmap_points=mmap_points,
+        )
+        index = cls.__new__(cls)
+        index._points = data["points"]
+        index.ranges_per_dim = int(data["ranges_per_dim"])
+        index.p = float(data["p"])
+        index._edges = data["edges"]
+        index._widths = data["widths"]
+        index._list_order = data["list_order"].astype(np.intp, copy=False)
+        index._list_starts = data["list_starts"]
+        index._set_list_views()
+        return index
 
     @property
     def n_points(self) -> int:
@@ -162,3 +221,11 @@ class IGridIndex:
             Neighbor(index=int(i), distance=float(-scores[i])) for i in order
         )
         return KnnResult(neighbors=neighbors, stats=stats)
+
+    def query_batch(
+        self, queries, k: int = 1, *, n_workers: int | None = None
+    ) -> BatchKnnResult:
+        """Top-``k`` by IGrid similarity for every row of ``queries``;
+        bit-identical to looping :meth:`query`.  ``n_workers`` > 1 fans
+        the rows out over a thread pool."""
+        return dispatch_query_batch(self, queries, k, n_workers)

@@ -8,6 +8,14 @@ Euclidean metric); ``n_hashes`` functions are concatenated per table and
 ``n_tables`` tables are probed per query.  Candidates from the probed
 buckets are ranked by exact distance.
 
+The tables live in CSR-style arrays rather than dicts of Python tuples:
+per table a ``(B, n_hashes)`` matrix of the distinct bucket keys in
+lexicographic order, bucket start offsets, and one corpus-row permutation
+grouped by bucket.  The fill is a single matmul over all tables followed
+by one ``lexsort`` per table; a query finds its bucket with ``n_hashes``
+binary-search range narrowings.  Arrays also mean snapshots
+(:mod:`repro.search.snapshot`) load with zero reconstruction.
+
 Results are **approximate**: a true neighbor hashed into a different
 bucket in every table is missed.  The comparison benches measure the
 recall/work trade-off against the exact indexes — and against the
@@ -17,11 +25,12 @@ paper's alternative of reducing first and searching exactly.
 from __future__ import annotations
 
 import heapq
-from collections import defaultdict
 
 import numpy as np
 
+from repro.search.batch import dispatch_query_batch
 from repro.search.results import (
+    BatchKnnResult,
     KnnResult,
     Neighbor,
     QueryStats,
@@ -29,6 +38,9 @@ from repro.search.results import (
     validate_k,
     validate_query,
 )
+from repro.search.snapshot import read_snapshot, write_snapshot
+
+_SNAPSHOT_KIND = "lsh"
 
 
 class LshIndex:
@@ -68,13 +80,55 @@ class LshIndex:
         self._projections = rng.normal(size=(n_tables, n_hashes, d))
         self._offsets = rng.uniform(0.0, bucket_width, size=(n_tables, n_hashes))
 
-        self._tables: list[dict[tuple, list[int]]] = []
-        keys = self._bucket_keys(self._points)
-        for t in range(n_tables):
-            table: dict[tuple, list[int]] = defaultdict(list)
-            for i in range(self.n_points):
-                table[keys[t][i]].append(i)
-            self._tables.append(dict(table))
+        self._fill_tables()
+
+    def _fill_tables(self) -> None:
+        """One matmul + one lexsort per table replaces the per-point loop.
+
+        For each table the corpus keys are sorted lexicographically
+        (stable, so rows within a bucket stay in ascending corpus order)
+        and run boundaries mark the distinct buckets — the classic
+        sort-based CSR group-by.
+        """
+        n = self.n_points
+        keys = self._bucket_keys(self._points)  # (n, n_tables, n_hashes)
+        self._table_keys: list[np.ndarray] = []
+        self._table_starts: list[np.ndarray] = []
+        self._table_members: list[np.ndarray] = []
+        for t in range(self.n_tables):
+            table_keys = keys[:, t, :]
+            # When the per-column key ranges fit, pack each row into one
+            # int64 with a monotone lexicographic encoding so a single-key
+            # argsort replaces the multi-pass lexsort; both orderings are
+            # identical (stable, ties to ascending corpus index).
+            kmin = table_keys.min(axis=0)
+            kmax = table_keys.max(axis=0)
+            spans = [int(hi - lo) + 1 for lo, hi in zip(kmin, kmax)]
+            total = 1
+            for span in spans:
+                total *= span
+            if total <= 2**62:
+                packed = table_keys[:, 0] - kmin[0]
+                for h in range(1, self.n_hashes):
+                    packed = packed * spans[h] + (table_keys[:, h] - kmin[h])
+                order = np.argsort(packed, kind="stable")
+                sorted_packed = packed[order]
+                boundary = np.r_[
+                    True, sorted_packed[1:] != sorted_packed[:-1]
+                ]
+            else:
+                # lexsort's last key is primary: feed columns reversed so
+                # rows sort lexicographically by hash position 0, 1, ...
+                order = np.lexsort(table_keys.T[::-1])
+                sorted_wide = table_keys[order]
+                boundary = np.r_[
+                    True, np.any(sorted_wide[1:] != sorted_wide[:-1], axis=1)
+                ]
+            sorted_keys = table_keys[order]
+            starts = np.flatnonzero(boundary)
+            self._table_keys.append(np.ascontiguousarray(sorted_keys[starts]))
+            self._table_starts.append(np.r_[starts, n].astype(np.int64))
+            self._table_members.append(order.astype(np.intp, copy=False))
 
     @property
     def n_points(self) -> int:
@@ -84,29 +138,111 @@ class LshIndex:
     def dimensionality(self) -> int:
         return self._points.shape[1]
 
-    def _bucket_keys(self, rows: np.ndarray) -> list[list[tuple]]:
-        """Bucket key of every row in every table."""
+    def _bucket_keys(self, rows: np.ndarray) -> np.ndarray:
+        """``(m, n_tables, n_hashes)`` bucket key of every row.
+
+        One matmul against all tables' projections at once; build and
+        query go through this same arithmetic, so a corpus point and an
+        identical query always land in the same bucket.
+        """
         single = rows.ndim == 1
         if single:
             rows = rows.reshape(1, -1)
-        keys_per_table = []
-        for t in range(self.n_tables):
-            # (n, n_hashes) quantized projections.
-            projected = rows @ self._projections[t].T
-            quantized = np.floor(
-                (projected + self._offsets[t]) / self.bucket_width
-            ).astype(np.int64)
-            keys_per_table.append([tuple(row) for row in quantized])
-        return keys_per_table
+        flat = self._projections.reshape(-1, self.dimensionality)
+        projected = rows @ flat.T  # (m, n_tables * n_hashes)
+        quantized = np.floor(
+            (projected + self._offsets.reshape(1, -1)) / self.bucket_width
+        ).astype(np.int64)
+        return quantized.reshape(rows.shape[0], self.n_tables, self.n_hashes)
+
+    def _bucket_slice(self, t: int, key: np.ndarray) -> tuple[int, int] | None:
+        """``[start, stop)`` of ``key``'s bucket in table ``t``, if any.
+
+        The distinct-key matrix is in lexicographic order, so the bucket
+        is located by narrowing a row range with two binary searches per
+        hash position — no dict, nothing to rebuild at load time.
+        """
+        uniq = self._table_keys[t]
+        lo, hi = 0, uniq.shape[0]
+        for h in range(self.n_hashes):
+            column = uniq[lo:hi, h]
+            value = key[h]
+            left = int(np.searchsorted(column, value, side="left"))
+            right = int(np.searchsorted(column, value, side="right"))
+            lo, hi = lo + left, lo + right
+            if lo == hi:
+                return None
+        starts = self._table_starts[t]
+        return int(starts[lo]), int(starts[lo + 1])
 
     def candidates(self, query) -> np.ndarray:
         """Union of corpus indices sharing a bucket with the query."""
         vector = validate_query(query, self.dimensionality)
-        keys = self._bucket_keys(vector.reshape(1, -1))
-        found: set[int] = set()
+        keys = self._bucket_keys(vector.reshape(1, -1))[0]
+        chunks: list[np.ndarray] = []
         for t in range(self.n_tables):
-            found.update(self._tables[t].get(keys[t][0], ()))
-        return np.fromiter(sorted(found), dtype=np.intp, count=len(found))
+            found = self._bucket_slice(t, keys[t])
+            if found is not None:
+                chunks.append(self._table_members[t][found[0]:found[1]])
+        if not chunks:
+            return np.empty(0, dtype=np.intp)
+        return np.unique(np.concatenate(chunks)).astype(np.intp, copy=False)
+
+    def save(self, path: str) -> None:
+        """Persist the index to ``path`` (``.npz`` snapshot).
+
+        The per-table CSR arrays are stored concatenated (bucket counts
+        recorded so :meth:`load` can split them back); the hash functions
+        themselves ride along so queries hash identically after a load.
+        """
+        write_snapshot(
+            path,
+            _SNAPSHOT_KIND,
+            {
+                "points": self._points,
+                "n_tables": np.int64(self.n_tables),
+                "n_hashes": np.int64(self.n_hashes),
+                "bucket_width": np.float64(self.bucket_width),
+                "projections": self._projections,
+                "offsets": self._offsets,
+                "table_keys": np.concatenate(self._table_keys, axis=0),
+                "table_n_buckets": np.asarray(
+                    [keys.shape[0] for keys in self._table_keys],
+                    dtype=np.int64,
+                ),
+                "table_starts": np.concatenate(self._table_starts),
+                "table_members": np.stack(self._table_members),
+            },
+        )
+
+    @classmethod
+    def load(cls, path: str, *, mmap_points: bool = False) -> "LshIndex":
+        """Load a snapshot saved by :meth:`save`; query-ready immediately."""
+        data = read_snapshot(
+            path,
+            _SNAPSHOT_KIND,
+            required=(
+                "points", "n_tables", "n_hashes", "bucket_width",
+                "projections", "offsets", "table_keys", "table_n_buckets",
+                "table_starts", "table_members",
+            ),
+            mmap_points=mmap_points,
+        )
+        index = cls.__new__(cls)
+        index._points = data["points"]
+        index.n_tables = int(data["n_tables"])
+        index.n_hashes = int(data["n_hashes"])
+        index.bucket_width = float(data["bucket_width"])
+        index._projections = data["projections"]
+        index._offsets = data["offsets"]
+        counts = data["table_n_buckets"]
+        key_splits = np.cumsum(counts)[:-1]
+        start_splits = np.cumsum(counts + 1)[:-1]
+        index._table_keys = np.split(data["table_keys"], key_splits)
+        index._table_starts = np.split(data["table_starts"], start_splits)
+        members = data["table_members"].astype(np.intp, copy=False)
+        index._table_members = list(members)
+        return index
 
     def query(self, query, k: int = 1) -> KnnResult:
         """Approximate k-NN: rank the probed buckets' candidates exactly.
@@ -136,6 +272,14 @@ class LshIndex:
         )
         return KnnResult(neighbors=neighbors, stats=stats)
 
+    def query_batch(
+        self, queries, k: int = 1, *, n_workers: int | None = None
+    ) -> BatchKnnResult:
+        """Approximate k-NN for every row of ``queries``; bit-identical
+        to looping :meth:`query`.  ``n_workers`` > 1 fans the rows out
+        over a thread pool."""
+        return dispatch_query_batch(self, queries, k, n_workers)
+
     def recall_against_exact(self, queries, k: int = 3) -> float:
         """Mean fraction of true k-NN retrieved, over a query batch."""
         from repro.search.bruteforce import BruteForceIndex
@@ -144,9 +288,12 @@ class LshIndex:
         batch = np.asarray(queries, dtype=np.float64)
         if batch.ndim == 1:
             batch = batch.reshape(1, -1)
-        recalls = []
-        for row in batch:
-            truth = set(reference.query(row, k=k).indices.tolist())
-            mine = set(self.query(row, k=k).indices.tolist())
-            recalls.append(len(truth & mine) / k)
+        truth_batch = reference.query_batch(batch, k=k)
+        mine_batch = self.query_batch(batch, k=k)
+        recalls = [
+            len(
+                set(truth.indices.tolist()) & set(mine.indices.tolist())
+            ) / k
+            for truth, mine in zip(truth_batch.results, mine_batch.results)
+        ]
         return float(np.mean(recalls))

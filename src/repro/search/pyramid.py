@@ -40,6 +40,9 @@ from repro.search.results import (
     validate_k,
     validate_query,
 )
+from repro.search.snapshot import read_snapshot, write_snapshot
+
+_SNAPSHOT_KIND = "pyramid"
 
 
 class PyramidIndex:
@@ -62,15 +65,65 @@ class PyramidIndex:
         normalized = self._normalize(self._points)
         pyramid_ids, heights = self._pyramid_values(normalized)
 
-        # Per pyramid: corpus rows sorted by height, plus the sorted
-        # heights themselves for binary search.
-        self._members: list[np.ndarray] = []
-        self._heights: list[np.ndarray] = []
-        for p in range(2 * d):
-            rows = np.flatnonzero(pyramid_ids == p)
-            order = rows[np.argsort(heights[rows], kind="stable")]
-            self._members.append(order)
-            self._heights.append(heights[order])
+        # CSR layout: one corpus-row permutation ordered by (pyramid,
+        # height) — lexsort is stable, so equal heights keep ascending
+        # corpus index — plus pyramid start offsets into it.
+        order = np.lexsort((heights, pyramid_ids))
+        self._member_order = order
+        self._height_keys = heights[order]
+        self._starts = np.searchsorted(
+            pyramid_ids[order], np.arange(2 * d + 1)
+        ).astype(np.int64)
+        self._set_pyramid_views()
+
+    def _set_pyramid_views(self) -> None:
+        """Per pyramid: member rows sorted by height, and those heights."""
+        starts = self._starts
+        self._members = [
+            self._member_order[starts[p]:starts[p + 1]]
+            for p in range(starts.size - 1)
+        ]
+        self._heights = [
+            self._height_keys[starts[p]:starts[p + 1]]
+            for p in range(starts.size - 1)
+        ]
+
+    def save(self, path: str) -> None:
+        """Persist the index to ``path`` (``.npz`` snapshot)."""
+        write_snapshot(
+            path,
+            _SNAPSHOT_KIND,
+            {
+                "points": self._points,
+                "lower": self._lower,
+                "span": self._span,
+                "member_order": self._member_order,
+                "height_keys": self._height_keys,
+                "starts": self._starts,
+            },
+        )
+
+    @classmethod
+    def load(cls, path: str, *, mmap_points: bool = False) -> "PyramidIndex":
+        """Load a snapshot saved by :meth:`save`; query-ready immediately."""
+        data = read_snapshot(
+            path,
+            _SNAPSHOT_KIND,
+            required=(
+                "points", "lower", "span", "member_order", "height_keys",
+                "starts",
+            ),
+            mmap_points=mmap_points,
+        )
+        index = cls.__new__(cls)
+        index._points = data["points"]
+        index._lower = data["lower"]
+        index._span = data["span"]
+        index._member_order = data["member_order"].astype(np.intp, copy=False)
+        index._height_keys = data["height_keys"]
+        index._starts = data["starts"]
+        index._set_pyramid_views()
+        return index
 
     @property
     def n_points(self) -> int:

@@ -1,0 +1,274 @@
+"""Zero-rebuild snapshot persistence for the k-NN indexes.
+
+A production serving process should not pay index construction on every
+startup: the corpus is static, the structure is deterministic, so the
+built index can be shipped as an artifact.  Every index in this package
+exposes ``save(path)`` and a classmethod ``load(path)`` built on the two
+primitives here:
+
+* :func:`write_snapshot` — persist a dict of numpy arrays to a single
+  uncompressed ``.npz`` stamped with a magic marker, a format version,
+  and the index kind.  Tree structures are stored as flattened node
+  arrays and the bucket/partition structures as CSR-style (starts +
+  members) arrays, so there is nothing to rebuild at load time.
+* :func:`read_snapshot` — load and validate such a file, rejecting
+  anything that is not a snapshot (wrong magic), the wrong structure
+  (kind mismatch), from the future (version mismatch), or damaged
+  (unreadable / truncated / missing arrays) with :class:`SnapshotError`.
+
+Loaded indexes answer ``query`` / ``query_batch`` **bit-identically** to
+the freshly built original — same neighbors, same distances, same
+:class:`~repro.search.results.QueryStats` — because the snapshot stores
+the exact structure arrays, not the inputs used to derive them.
+
+``mmap_points=True`` maps the corpus member of the archive directly from
+disk instead of materializing it: ``np.savez`` stores members
+uncompressed, so the raw ``.npy`` payload can be wrapped in a read-only
+``np.memmap`` after parsing the zip and npy headers.  A serving process
+then becomes query-ready without reading the (typically dominant) corpus
+bytes at all; pages fault in as leaves are scanned.
+
+:func:`save_index` / :func:`load_index` are the generic entry points: a
+snapshot records which of the eight index kinds wrote it, and
+``load_index`` dispatches to the right class.
+"""
+
+from __future__ import annotations
+
+import struct
+import zipfile
+
+import numpy as np
+
+SNAPSHOT_VERSION = 1
+
+_MAGIC = b"repro-index-snapshot"
+_RESERVED = ("__magic__", "__version__", "__kind__")
+
+
+class SnapshotError(ValueError):
+    """A file is not a readable index snapshot of the expected kind."""
+
+
+def write_snapshot(path: str, kind: str, arrays: dict) -> None:
+    """Persist ``arrays`` as an index snapshot of the given ``kind``.
+
+    Scalars should be passed as 0-d numpy values; everything is stored
+    uncompressed so that :func:`read_snapshot` can memory-map members.
+    """
+    for name in _RESERVED:
+        if name in arrays:
+            raise ValueError(f"array name {name!r} is reserved")
+    np.savez(
+        path,
+        __magic__=np.frombuffer(_MAGIC, dtype=np.uint8),
+        __version__=np.int64(SNAPSHOT_VERSION),
+        __kind__=np.bytes_(kind.encode()),
+        **arrays,
+    )
+
+
+def read_snapshot(
+    path: str,
+    kind: str | None,
+    *,
+    required: tuple[str, ...] = (),
+    mmap_points: bool = False,
+) -> dict:
+    """Load a snapshot written by :func:`write_snapshot`.
+
+    Args:
+        path: the ``.npz`` file.
+        kind: expected index kind; ``None`` accepts any kind (the caller
+            reads it from the returned dict under ``"__kind__"``).
+        required: array names that must be present.
+        mmap_points: replace the ``"points"`` entry with a read-only
+            ``np.memmap`` view of the archive member instead of loading
+            it into memory.
+
+    Raises:
+        SnapshotError: for anything that is not a valid snapshot of the
+            expected kind — unreadable or truncated files, foreign
+            ``.npz`` archives, version or kind mismatches, and missing
+            arrays.
+    """
+    try:
+        archive = np.load(path)
+    except Exception as error:
+        raise SnapshotError(
+            f"{path}: not a readable index snapshot ({error})"
+        ) from error
+    try:
+        with archive:
+            files = set(archive.files)
+            if not set(_RESERVED) <= files:
+                raise SnapshotError(
+                    f"{path}: not an index snapshot (magic marker missing)"
+                )
+            try:
+                magic = archive["__magic__"].tobytes()
+                version = int(archive["__version__"])
+                found_kind = bytes(archive["__kind__"]).decode()
+                data: dict = {
+                    name: archive[name]
+                    for name in archive.files
+                    if name not in _RESERVED
+                }
+            except SnapshotError:
+                raise
+            except Exception as error:
+                raise SnapshotError(
+                    f"{path}: snapshot is corrupted or truncated ({error})"
+                ) from error
+    except SnapshotError:
+        raise
+    except Exception as error:
+        raise SnapshotError(
+            f"{path}: snapshot is corrupted or truncated ({error})"
+        ) from error
+    if magic != _MAGIC:
+        raise SnapshotError(
+            f"{path}: not an index snapshot (magic marker mismatch)"
+        )
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"{path}: unsupported snapshot version {version} "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    if kind is not None and found_kind != kind:
+        raise SnapshotError(
+            f"{path}: snapshot holds a {found_kind!r} index, "
+            f"expected {kind!r}"
+        )
+    missing = [name for name in required if name not in data]
+    if missing:
+        raise SnapshotError(
+            f"{path}: snapshot is missing required arrays {missing}"
+        )
+    data["__kind__"] = found_kind
+    if mmap_points:
+        data["points"] = _memmap_member(path, "points")
+    return data
+
+
+def _memmap_member(path: str, name: str) -> np.memmap:
+    """Memory-map one uncompressed ``.npy`` member of a ``.npz`` archive.
+
+    ``np.savez`` stores members without compression, so the member's raw
+    bytes are a valid ``.npy`` file at a fixed offset inside the zip:
+    local file header, then the npy magic/header, then the array data.
+    Parsing those headers yields the data offset for a read-only
+    ``np.memmap`` over the archive file itself.
+    """
+    member = name + ".npy"
+    try:
+        with zipfile.ZipFile(path) as zf:
+            info = zf.getinfo(member)
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise SnapshotError(
+                    f"{path}: member {member!r} is compressed and cannot "
+                    "be memory-mapped"
+                )
+            header_offset = info.header_offset
+        with open(path, "rb") as handle:
+            handle.seek(header_offset)
+            local = handle.read(30)
+            if len(local) < 30 or local[:4] != b"PK\x03\x04":
+                raise SnapshotError(
+                    f"{path}: malformed zip entry for member {member!r}"
+                )
+            name_len, extra_len = struct.unpack("<HH", local[26:30])
+            handle.seek(header_offset + 30 + name_len + extra_len)
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(
+                    handle
+                )
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(
+                    handle
+                )
+            else:
+                raise SnapshotError(
+                    f"{path}: unsupported npy format version {version} "
+                    f"for member {member!r}"
+                )
+            offset = handle.tell()
+    except SnapshotError:
+        raise
+    except Exception as error:
+        raise SnapshotError(
+            f"{path}: cannot memory-map member {member!r} ({error})"
+        ) from error
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=offset,
+        shape=shape,
+        order="F" if fortran else "C",
+    )
+
+
+def _registry() -> dict:
+    """Kind → index class, imported lazily to avoid circular imports."""
+    from repro.search.bruteforce import BruteForceIndex
+    from repro.search.idistance import IDistanceIndex
+    from repro.search.igrid import IGridIndex
+    from repro.search.kdtree import KdTreeIndex
+    from repro.search.lsh import LshIndex
+    from repro.search.pyramid import PyramidIndex
+    from repro.search.rtree import RTreeIndex
+    from repro.search.vafile import VAFileIndex
+
+    return {
+        "bruteforce": BruteForceIndex,
+        "kdtree": KdTreeIndex,
+        "rtree": RTreeIndex,
+        "vafile": VAFileIndex,
+        "pyramid": PyramidIndex,
+        "idistance": IDistanceIndex,
+        "igrid": IGridIndex,
+        "lsh": LshIndex,
+    }
+
+
+def snapshot_kind(path: str) -> str:
+    """The index kind recorded in a snapshot, without loading its arrays."""
+    try:
+        with np.load(path) as archive:
+            if "__magic__" not in archive.files:
+                raise SnapshotError(
+                    f"{path}: not an index snapshot (magic marker missing)"
+                )
+            if archive["__magic__"].tobytes() != _MAGIC:
+                raise SnapshotError(
+                    f"{path}: not an index snapshot (magic marker mismatch)"
+                )
+            return bytes(archive["__kind__"]).decode()
+    except SnapshotError:
+        raise
+    except Exception as error:
+        raise SnapshotError(
+            f"{path}: not a readable index snapshot ({error})"
+        ) from error
+
+
+def save_index(index, path: str) -> None:
+    """Persist any of the eight indexes to ``path`` (``.npz``)."""
+    if not hasattr(index, "save"):
+        raise TypeError(f"{type(index).__name__} does not support snapshots")
+    index.save(path)
+
+
+def load_index(path: str, *, mmap_points: bool = False):
+    """Load whichever index kind a snapshot holds.
+
+    Dispatches on the recorded kind; the returned object is an instance
+    of the matching index class, query-ready without any rebuilding.
+    """
+    kind = snapshot_kind(path)
+    registry = _registry()
+    if kind not in registry:
+        raise SnapshotError(f"{path}: unknown index kind {kind!r}")
+    return registry[kind].load(path, mmap_points=mmap_points)

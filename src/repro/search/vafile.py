@@ -31,6 +31,9 @@ from repro.search.results import (
     validate_queries,
     validate_query,
 )
+from repro.search.snapshot import read_snapshot, write_snapshot
+
+_SNAPSHOT_KIND = "vafile"
 
 # Block size for batched phase-1 bound computation, in (query, point,
 # dimension) scratch entries — keeps the broadcast temporaries ~32 MB.
@@ -66,7 +69,9 @@ class VAFileIndex:
         cells = np.floor(scaled).astype(np.int64)
         np.clip(cells, 0, self._n_cells - 1, out=cells)
         self._cells = cells
+        self._set_cell_bounds()
 
+    def _set_cell_bounds(self) -> None:
         # Reconstructed cell boxes, padded by a relative epsilon:
         # floating-point rounding can place a point that sits exactly on
         # a cell boundary a few ulps *outside* the reconstructed box,
@@ -77,6 +82,41 @@ class VAFileIndex:
         pad = 1e-9 * np.maximum(span, np.abs(self._origin) + span)
         self._cell_low = self._origin + self._cells * self._cell_width - pad
         self._cell_high = self._cell_low + self._cell_width + 2.0 * pad
+
+    def save(self, path: str) -> None:
+        """Persist the index to ``path`` (``.npz`` snapshot)."""
+        write_snapshot(
+            path,
+            _SNAPSHOT_KIND,
+            {
+                "points": self._points,
+                "bits_per_dim": np.int64(self._bits),
+                "origin": self._origin,
+                "cell_width": self._cell_width,
+                # 1..16 bits per dimension fit in uint16; the cell boxes
+                # are rederived at load with the constructor arithmetic.
+                "cells": self._cells.astype(np.uint16),
+            },
+        )
+
+    @classmethod
+    def load(cls, path: str, *, mmap_points: bool = False) -> "VAFileIndex":
+        """Load a snapshot saved by :meth:`save`; query-ready immediately."""
+        data = read_snapshot(
+            path,
+            _SNAPSHOT_KIND,
+            required=("points", "bits_per_dim", "origin", "cell_width", "cells"),
+            mmap_points=mmap_points,
+        )
+        index = cls.__new__(cls)
+        index._points = data["points"]
+        index._bits = int(data["bits_per_dim"])
+        index._n_cells = 2**index._bits
+        index._origin = data["origin"]
+        index._cell_width = data["cell_width"]
+        index._cells = data["cells"].astype(np.int64)
+        index._set_cell_bounds()
+        return index
 
     @property
     def n_points(self) -> int:

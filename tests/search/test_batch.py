@@ -14,7 +14,9 @@ import pytest
 
 from repro.search.bruteforce import BruteForceIndex
 from repro.search.idistance import IDistanceIndex
+from repro.search.igrid import IGridIndex
 from repro.search.kdtree import KdTreeIndex
+from repro.search.lsh import LshIndex
 from repro.search.pyramid import PyramidIndex
 from repro.search.results import BatchKnnResult, QueryStats, combine_stats
 from repro.search.rtree import RTreeIndex
@@ -27,6 +29,8 @@ ALL_INDEXES = [
     VAFileIndex,
     PyramidIndex,
     IDistanceIndex,
+    IGridIndex,
+    LshIndex,
 ]
 
 

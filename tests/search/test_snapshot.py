@@ -1,0 +1,230 @@
+"""Snapshot persistence: save → load → bit-identical answers, all indexes.
+
+The snapshot contract has two halves.  Loading must be *exact*: a loaded
+index answers ``query``/``query_batch`` with the same neighbors, the
+same bit-identical distances, and the same :class:`QueryStats` as the
+instance that wrote the file — over adversarial corpora (duplicate
+points, a single-point corpus, d=1) where any structural drift would
+surface as a changed tie-break or prune count.  Rejection must be
+*loud*: anything that is not a healthy snapshot of the expected kind —
+missing, truncated, garbage, foreign ``.npz``, wrong index kind, future
+version — raises :class:`SnapshotError` instead of producing a
+half-initialized index.
+"""
+
+import numpy as np
+import pytest
+
+from repro.search import (
+    BruteForceIndex,
+    IDistanceIndex,
+    IGridIndex,
+    KdTreeIndex,
+    LshIndex,
+    PyramidIndex,
+    RTreeIndex,
+    SnapshotError,
+    VAFileIndex,
+    load_index,
+    save_index,
+    snapshot_kind,
+)
+
+# (kind, class, builder) for all eight snapshot-capable indexes; builders
+# use non-default parameters where that exercises more structure.
+INDEX_SPECS = [
+    ("bruteforce", BruteForceIndex, lambda pts: BruteForceIndex(pts)),
+    ("kdtree", KdTreeIndex, lambda pts: KdTreeIndex(pts, leaf_size=4)),
+    ("rtree", RTreeIndex, lambda pts: RTreeIndex(pts, page_size=4)),
+    ("vafile", VAFileIndex, lambda pts: VAFileIndex(pts, bits_per_dim=3)),
+    ("pyramid", PyramidIndex, lambda pts: PyramidIndex(pts)),
+    ("idistance", IDistanceIndex, lambda pts: IDistanceIndex(pts, seed=0)),
+    ("igrid", IGridIndex, lambda pts: IGridIndex(pts, ranges_per_dim=3)),
+    (
+        "lsh",
+        LshIndex,
+        lambda pts: LshIndex(
+            pts, n_tables=4, n_hashes=3, bucket_width=2.0, seed=0
+        ),
+    ),
+]
+
+IDS = [spec[0] for spec in INDEX_SPECS]
+
+
+def corpora(rng):
+    """Adversarial corpora: ties, degenerate extent, minimal n and d."""
+    base = rng.normal(size=(30, 4))
+    return {
+        "random": rng.normal(size=(60, 5)),
+        "duplicates": np.concatenate([base, base[:15]]),
+        "single_point": rng.normal(size=(1, 3)),
+        "d1": rng.normal(size=(40, 1)),
+    }
+
+
+def assert_same_answers(built, loaded, queries, k):
+    fresh = built.query_batch(queries, k=k)
+    reloaded = loaded.query_batch(queries, k=k)
+    assert len(fresh) == len(reloaded)
+    for a, b in zip(fresh, reloaded):
+        assert tuple(a.indices.tolist()) == tuple(b.indices.tolist())
+        # Bit-identical, not approximately equal: the snapshot stores the
+        # exact structure arrays, so nothing may drift.
+        assert tuple(a.distances.tolist()) == tuple(b.distances.tolist())
+        assert a.stats == b.stats
+    assert fresh.stats == reloaded.stats
+
+
+@pytest.mark.parametrize("kind,cls,build", INDEX_SPECS, ids=IDS)
+class TestRoundTrip:
+    def test_bit_identity_across_corpora(self, kind, cls, build, rng, tmp_path):
+        for name, corpus in corpora(rng).items():
+            index = build(corpus)
+            path = str(tmp_path / f"{kind}-{name}.npz")
+            index.save(path)
+            loaded = cls.load(path)
+            k = min(5, corpus.shape[0])
+            queries = np.concatenate(
+                [corpus[:3], rng.normal(size=(4, corpus.shape[1]))]
+            )
+            assert_same_answers(index, loaded, queries, k)
+
+    def test_load_index_dispatches_to_class(self, kind, cls, build, rng, tmp_path):
+        corpus = rng.normal(size=(25, 3))
+        index = build(corpus)
+        path = str(tmp_path / "dispatch.npz")
+        save_index(index, path)
+        assert snapshot_kind(path) == kind
+        loaded = load_index(path)
+        assert type(loaded) is cls
+        assert_same_answers(index, loaded, corpus[:5], k=3)
+
+    def test_mmap_points_round_trip(self, kind, cls, build, rng, tmp_path):
+        corpus = rng.normal(size=(40, 4))
+        index = build(corpus)
+        path = str(tmp_path / "mapped.npz")
+        index.save(path)
+        loaded = cls.load(path, mmap_points=True)
+        assert isinstance(loaded._points, np.memmap)
+        assert not loaded._points.flags.writeable
+        assert_same_answers(index, loaded, corpus[:6], k=4)
+
+    def test_wrong_kind_is_rejected(self, kind, cls, build, rng, tmp_path):
+        corpus = rng.normal(size=(20, 3))
+        path = str(tmp_path / "other.npz")
+        if kind == "kdtree":
+            RTreeIndex(corpus).save(path)
+        else:
+            KdTreeIndex(corpus).save(path)
+        with pytest.raises(SnapshotError, match="expected"):
+            cls.load(path)
+
+
+class TestRejection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="not a readable"):
+            load_index(str(tmp_path / "nowhere.npz"))
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_text("this is not a zip archive")
+        with pytest.raises(SnapshotError):
+            load_index(str(path))
+
+    def test_truncated_file(self, rng, tmp_path):
+        path = tmp_path / "cut.npz"
+        KdTreeIndex(rng.normal(size=(50, 4))).save(str(path))
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(SnapshotError):
+            KdTreeIndex.load(str(path))
+
+    def test_foreign_npz_without_magic(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, data=np.arange(10))
+        with pytest.raises(SnapshotError, match="magic"):
+            load_index(str(path))
+
+    def test_future_version(self, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez(
+            path,
+            __magic__=np.frombuffer(b"repro-index-snapshot", dtype=np.uint8),
+            __version__=np.int64(999),
+            __kind__=np.bytes_(b"kdtree"),
+        )
+        with pytest.raises(SnapshotError, match="version"):
+            KdTreeIndex.load(str(path))
+
+    def test_missing_required_array(self, rng, tmp_path):
+        path = tmp_path / "hollow.npz"
+        np.savez(
+            path,
+            __magic__=np.frombuffer(b"repro-index-snapshot", dtype=np.uint8),
+            __version__=np.int64(1),
+            __kind__=np.bytes_(b"bruteforce"),
+            points=rng.normal(size=(5, 2)),
+        )
+        with pytest.raises(SnapshotError, match="missing required"):
+            BruteForceIndex.load(str(path))
+
+    def test_unknown_kind_in_dispatch(self, tmp_path):
+        path = tmp_path / "alien.npz"
+        np.savez(
+            path,
+            __magic__=np.frombuffer(b"repro-index-snapshot", dtype=np.uint8),
+            __version__=np.int64(1),
+            __kind__=np.bytes_(b"xtree"),
+        )
+        with pytest.raises(SnapshotError, match="unknown index kind"):
+            load_index(str(path))
+
+    def test_save_index_requires_snapshot_support(self):
+        with pytest.raises(TypeError, match="snapshot"):
+            save_index(object(), "anywhere.npz")
+
+
+class TestStructurePreservation:
+    """Loaded structure matches beyond the query path."""
+
+    def test_rtree_height_and_ranges_survive(self, rng, tmp_path):
+        corpus = rng.normal(size=(200, 3))
+        index = RTreeIndex(corpus, page_size=4)
+        path = str(tmp_path / "rt.npz")
+        index.save(path)
+        loaded = RTreeIndex.load(path)
+        assert loaded.height == index.height
+        got = loaded.range_query(corpus[0], radius=0.8)
+        expected = index.range_query(corpus[0], radius=0.8)
+        assert tuple(got.indices.tolist()) == tuple(expected.indices.tolist())
+        assert got.stats == expected.stats
+
+    def test_kdtree_range_query_survives(self, rng, tmp_path):
+        corpus = rng.normal(size=(150, 4))
+        index = KdTreeIndex(corpus, leaf_size=4)
+        path = str(tmp_path / "kd.npz")
+        index.save(path)
+        loaded = KdTreeIndex.load(path)
+        got = loaded.range_query(corpus[1], radius=1.1)
+        expected = index.range_query(corpus[1], radius=1.1)
+        assert tuple(got.indices.tolist()) == tuple(expected.indices.tolist())
+        assert got.stats == expected.stats
+
+    def test_lsh_candidates_survive(self, rng, tmp_path):
+        corpus = rng.normal(size=(120, 6))
+        index = LshIndex(corpus, n_tables=6, n_hashes=3, bucket_width=2.0)
+        path = str(tmp_path / "lsh.npz")
+        index.save(path)
+        loaded = LshIndex.load(path)
+        for row in corpus[:10]:
+            assert np.array_equal(index.candidates(row), loaded.candidates(row))
+
+    def test_igrid_similarity_survives(self, rng, tmp_path):
+        corpus = rng.normal(size=(80, 5))
+        index = IGridIndex(corpus, ranges_per_dim=3)
+        path = str(tmp_path / "ig.npz")
+        index.save(path)
+        loaded = IGridIndex.load(path)
+        for a, b in zip(corpus[:5], corpus[5:10]):
+            assert index.similarity(a, b) == loaded.similarity(a, b)
