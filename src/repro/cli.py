@@ -12,6 +12,9 @@ Four subcommands covering the workflow of the paper:
   similarity-search index over the dataset and snapshot it to disk.
 * ``repro index info out.npz`` — inspect a snapshot without rebuilding
   anything.
+* ``repro serve-bench --index bruteforce --workers 4`` — measure the
+  micro-batched serving layer against the closed-loop one-query-per-call
+  baseline on a synthetic corpus.
 
 ``<dataset>`` is either a built-in preset name (``musk``, ``ionosphere``,
 ``arrhythmia``, ``noisy-a``, ``noisy-b``, ``uniform``) or a path to a
@@ -151,7 +154,11 @@ def _command_sweep(args) -> int:
 
 
 def _command_experiment(args) -> int:
-    from repro.experiments import list_experiments, run_experiment
+    from repro.experiments import (
+        get_experiment,
+        list_experiments,
+        run_experiment,
+    )
 
     if args.experiment_id == "list":
         print(
@@ -168,14 +175,36 @@ def _command_experiment(args) -> int:
     if args.experiment_id == "all":
         ids = [e.experiment_id for e in list_experiments()]
     else:
-        ids = [args.experiment_id]
-    if args.save_dir:
-        os.makedirs(args.save_dir, exist_ok=True)
+        ids = [part for part in args.experiment_id.split(",") if part]
+    if args.jobs < 1:
+        raise SystemExit(f"error: --jobs must be positive, got {args.jobs}")
+    # Validate every id before spending time on any of them.
     for experiment_id in ids:
         try:
-            result = run_experiment(experiment_id, seed=args.seed)
+            get_experiment(experiment_id)
         except KeyError as error:
             raise SystemExit(f"error: {error.args[0]}") from None
+    if args.save_dir:
+        os.makedirs(args.save_dir, exist_ok=True)
+    if args.jobs > 1 and len(ids) > 1:
+        # Fan the experiments out over a process pool.  map() preserves
+        # input order, so reports print deterministically no matter
+        # which worker finishes first.
+        from concurrent.futures import ProcessPoolExecutor
+        from functools import partial
+
+        with ProcessPoolExecutor(
+            max_workers=min(args.jobs, len(ids))
+        ) as pool:
+            results = list(
+                pool.map(partial(run_experiment, seed=args.seed), ids)
+            )
+    else:
+        results = [
+            run_experiment(experiment_id, seed=args.seed)
+            for experiment_id in ids
+        ]
+    for experiment_id, result in zip(ids, results):
         print(result.report)
         print()
         if args.save_dir:
@@ -250,6 +279,76 @@ def _command_index_info(args) -> int:
         )
     )
     return 0
+
+
+def _command_serve_bench(args) -> int:
+    import tempfile
+
+    from repro.serve import BatchPolicy
+    from repro.serve.bench import compare_serving
+
+    if args.workers < 0:
+        raise SystemExit(
+            f"error: --workers must be non-negative, got {args.workers}"
+        )
+    try:
+        policy = BatchPolicy(
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+    rng = np.random.default_rng(args.seed)
+    corpus = rng.standard_normal((args.n, args.dims))
+    queries = rng.standard_normal((args.queries, args.dims))
+    index = _index_classes()[args.index](corpus)
+    with tempfile.TemporaryDirectory() as workdir:
+        path = os.path.join(workdir, f"{args.index}.npz")
+        index.save(path)
+        comparison = compare_serving(
+            index,
+            path,
+            queries,
+            args.k,
+            n_workers=args.workers,
+            policy=policy,
+            cache_capacity=args.cache_size,
+        )
+    report = comparison.report
+    histogram = ", ".join(
+        f"{size}x{count}"
+        for size, count in sorted(report.batch_size_histogram.items())
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("index", args.index),
+                ("corpus", f"{args.n} x {args.dims}"),
+                ("queries / k", f"{args.queries} / {args.k}"),
+                ("workers", args.workers or "in-process"),
+                ("policy", f"max_batch={args.max_batch}, "
+                           f"max_wait_ms={args.max_wait_ms}"),
+                ("closed-loop throughput",
+                 f"{comparison.closed_loop_qps:.0f} q/s"),
+                ("micro-batched throughput",
+                 f"{comparison.served_qps:.0f} q/s"),
+                ("speedup", f"{comparison.speedup:.1f}x"),
+                ("latency p50/p95/p99",
+                 f"{report.latency_p50_ms:.2f} / {report.latency_p95_ms:.2f}"
+                 f" / {report.latency_p99_ms:.2f} ms"),
+                ("batches (size x count)", histogram or "none"),
+                ("mean batch size", f"{report.mean_batch_size:.1f}"),
+                ("cache hits/misses/evictions",
+                 f"{report.cache_hits} / {report.cache_misses} / "
+                 f"{report.cache_evictions}"),
+                ("points scanned", report.query_stats.points_scanned),
+                ("bit-identical to sequential",
+                 "yes" if comparison.identical else "NO"),
+            ],
+            title="micro-batched serving vs closed-loop baseline",
+        )
+    )
+    return 0 if comparison.identical else 1
 
 
 def _command_reduce(args) -> int:
@@ -334,7 +433,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each report to <save-dir>/<id>.txt",
     )
+    experiment.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run experiments across a process pool of N workers "
+        "(reports still print in input order)",
+    )
     experiment.set_defaults(handler=_command_experiment)
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="micro-batched serving vs closed-loop one-query-per-call",
+    )
+    serve_bench.add_argument("--index", default="bruteforce",
+                             choices=[
+                                 "bruteforce", "kdtree", "rtree", "vafile",
+                                 "pyramid", "idistance", "igrid", "lsh",
+                             ])
+    serve_bench.add_argument("--n", type=int, default=10_000,
+                             help="synthetic corpus size")
+    serve_bench.add_argument("--dims", type=int, default=16,
+                             help="corpus dimensionality")
+    serve_bench.add_argument("--queries", type=int, default=2_000,
+                             help="single-query requests to serve")
+    serve_bench.add_argument("--k", type=int, default=3)
+    serve_bench.add_argument("--workers", type=int, default=2,
+                             help="worker processes (0 = in-process)")
+    serve_bench.add_argument("--max-batch", type=int, default=128,
+                             help="micro-batch flush size")
+    serve_bench.add_argument("--max-wait-ms", type=float, default=2.0,
+                             help="micro-batch flush deadline")
+    serve_bench.add_argument("--cache-size", type=int, default=0,
+                             help="LRU result-cache entries (0 = off)")
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.set_defaults(handler=_command_serve_bench)
 
     reduce = commands.add_parser(
         "reduce", help="write the reduced representation as CSV"

@@ -7,11 +7,18 @@ live here:
 * :func:`sequential_query_batch` — loop ``index.query`` over the rows.
   The default for the tree-based indexes, whose traversal state
   (recursion, priority queues) does not vectorize.
-* :func:`threaded_query_batch` — fan the rows out over a
+* :func:`threaded_query_batch` — split the rows into contiguous chunks
+  and fan the chunks out over a process-lifetime shared
   ``ThreadPoolExecutor``.  Queries are read-only over a static corpus,
   so they are trivially safe to run concurrently; the leaf scans and
   bound computations are numpy calls that release the GIL, which is
-  where the overlap comes from.
+  where the overlap comes from.  The executor is created once and
+  reused — a serving process answering thousands of small batches must
+  not pay thread spawn/teardown per call — and the effective fan-out is
+  capped at the number of query rows, so tiny batches never produce
+  idle workers.  Requests wider than the shared pool
+  (:data:`_POOL_WIDTH` threads) still complete; concurrency simply
+  saturates at the pool width.
 
 The matrix-friendly indexes (brute force, VA-file) override
 ``query_batch`` with truly vectorized implementations instead — see
@@ -24,6 +31,9 @@ for throughput.
 
 from __future__ import annotations
 
+import itertools
+import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.search.results import (
@@ -33,6 +43,27 @@ from repro.search.results import (
     validate_k,
     validate_queries,
 )
+
+# Width of the process-wide shared executor.  Beyond the CPU count,
+# extra GIL-releasing numpy threads stop helping; the floor keeps some
+# overlap available on small machines and the cap bounds idle threads
+# on large ones.  Threads are created lazily by the executor, so an
+# unused width costs nothing.
+_POOL_WIDTH = min(32, max(4, os.cpu_count() or 1))
+
+_POOL_LOCK = threading.Lock()
+_POOL: ThreadPoolExecutor | None = None
+
+
+def _shared_executor() -> ThreadPoolExecutor:
+    """The process-lifetime thread pool all batch calls share."""
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is None:
+            _POOL = ThreadPoolExecutor(
+                max_workers=_POOL_WIDTH, thread_name_prefix="repro-batch"
+            )
+        return _POOL
 
 
 def validate_n_workers(n_workers: int | None) -> int | None:
@@ -52,16 +83,33 @@ def sequential_query_batch(index, queries, k: int) -> BatchKnnResult:
     return _package(results)
 
 
+def _query_rows(index, rows, k: int) -> list[KnnResult]:
+    return [index.query(row, k=k) for row in rows]
+
+
 def threaded_query_batch(
     index, queries, k: int, n_workers: int
 ) -> BatchKnnResult:
-    """Answer a batch by fanning rows out over a thread pool."""
+    """Answer a batch by fanning row chunks out over the shared pool."""
     array = validate_queries(queries, index.dimensionality)
     k = validate_k(k, index.n_points)
-    if array.shape[0] == 0:
+    rows = array.shape[0]
+    if rows == 0:
         return _package(())
-    with ThreadPoolExecutor(max_workers=n_workers) as pool:
-        results = tuple(pool.map(lambda row: index.query(row, k=k), array))
+    # Never spawn more chunks than rows: a 3-row batch with
+    # n_workers=16 runs as 3 single-row tasks, not 13 idle ones.
+    width = min(n_workers, rows)
+    if width == 1:
+        return _package(tuple(index.query(row, k=k) for row in array))
+    bounds = [rows * i // width for i in range(width + 1)]
+    pool = _shared_executor()
+    futures = [
+        pool.submit(_query_rows, index, array[bounds[i] : bounds[i + 1]], k)
+        for i in range(width)
+    ]
+    results = tuple(
+        itertools.chain.from_iterable(f.result() for f in futures)
+    )
     return _package(results)
 
 

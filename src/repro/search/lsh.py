@@ -280,16 +280,23 @@ class LshIndex:
         over a thread pool."""
         return dispatch_query_batch(self, queries, k, n_workers)
 
-    def recall_against_exact(self, queries, k: int = 3) -> float:
-        """Mean fraction of true k-NN retrieved, over a query batch."""
+    def recall_against_exact(
+        self, queries, k: int = 3, *, n_workers: int | None = None
+    ) -> float:
+        """Mean fraction of true k-NN retrieved, over a query batch.
+
+        ``n_workers`` controls the batch fan-out on both sides of the
+        comparison (the exact reference and this index), so callers can
+        set the batch width end to end.
+        """
         from repro.search.bruteforce import BruteForceIndex
 
         reference = BruteForceIndex(self._points)
         batch = np.asarray(queries, dtype=np.float64)
         if batch.ndim == 1:
             batch = batch.reshape(1, -1)
-        truth_batch = reference.query_batch(batch, k=k)
-        mine_batch = self.query_batch(batch, k=k)
+        truth_batch = reference.query_batch(batch, k=k, n_workers=n_workers)
+        mine_batch = self.query_batch(batch, k=k, n_workers=n_workers)
         recalls = [
             len(
                 set(truth.indices.tolist()) & set(mine.indices.tolist())

@@ -1,0 +1,54 @@
+"""Query serving: micro-batching, worker pools, caching, and stats.
+
+The paper's operational argument (Sections 4-6) is that a well-chosen
+reduced representation makes similarity *queries* cheap; this package
+turns the repo's batch kernels and snapshot persistence into a serving
+stack that realizes the claim for single-query traffic:
+
+* :class:`MicroBatcher` — coalesces individually arriving ``(query, k)``
+  requests into ``query_batch`` calls under a size/deadline policy
+  (:class:`BatchPolicy`), so one-at-a-time traffic inherits the
+  vectorized batch speedup.
+* :class:`WorkerPool` — N OS processes, each ``load()``-ing the same
+  index snapshot with ``mmap_points=True``.  The corpus pages are shared
+  read-only through the page cache, so N workers cost roughly one
+  corpus, not N.
+* :class:`ResultCache` — an LRU over ``(query bytes, k, snapshot
+  fingerprint)`` with hit/miss/eviction counters.
+* :class:`ServingStats` / :class:`ServingReport` — throughput, latency
+  percentiles, batch-size histogram, and summed
+  :class:`~repro.search.results.QueryStats`.
+* :class:`IndexServer` — the facade wiring all of the above together.
+
+Every layer preserves the repo-wide contract: served answers are
+bit-identical to sequential ``index.query`` — batching and caching never
+trade accuracy for throughput.
+"""
+
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.bench import ServingComparison, compare_serving
+from repro.serve.cache import (
+    CacheCounters,
+    ResultCache,
+    result_cache_key,
+    snapshot_fingerprint,
+)
+from repro.serve.pool import WorkerError, WorkerPool
+from repro.serve.server import IndexServer
+from repro.serve.stats import ServingReport, ServingStats
+
+__all__ = [
+    "BatchPolicy",
+    "CacheCounters",
+    "compare_serving",
+    "ServingComparison",
+    "IndexServer",
+    "MicroBatcher",
+    "ResultCache",
+    "result_cache_key",
+    "ServingReport",
+    "ServingStats",
+    "snapshot_fingerprint",
+    "WorkerError",
+    "WorkerPool",
+]

@@ -1,0 +1,172 @@
+"""Dynamic micro-batching of individually arriving k-NN requests.
+
+Single-query traffic pays per-call overhead that the vectorized
+``query_batch`` kernels amortize away; the :class:`MicroBatcher` closes
+that gap by coalescing requests that arrive within a short window into
+one batch.  The policy is the classic size-or-deadline rule: a batch is
+flushed as soon as it holds :attr:`BatchPolicy.max_batch` requests *or*
+its oldest request has waited :attr:`BatchPolicy.max_wait_ms`,
+whichever happens first.  Requests with different ``k`` never share a
+batch (``query_batch`` takes one ``k``), so pending requests are grouped
+per ``k``.
+
+Batching is a latency/throughput trade only — the flushed batch goes
+through the same ``query_batch`` engine whose answers are bit-identical
+to sequential ``query``, and rows keep their arrival order inside a
+batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Flush policy for the micro-batcher.
+
+    Attributes:
+        max_batch: flush a group as soon as it holds this many requests.
+        max_wait_ms: flush a group once its oldest request has waited
+            this long, even if the batch is not full.  ``0`` disables
+            artificial waiting: a group is flushed as soon as the
+            flusher thread gets to it, which still yields natural
+            batching while a previous flush is in flight.
+    """
+
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be positive, got {self.max_batch}"
+            )
+        if self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be non-negative, got {self.max_wait_ms}"
+            )
+
+
+class _Group:
+    """Pending requests sharing one ``k`` (rows kept in arrival order)."""
+
+    __slots__ = ("rows", "futures", "deadline")
+
+    def __init__(self, deadline: float) -> None:
+        self.rows: list[np.ndarray] = []
+        self.futures: list[Future] = []
+        self.deadline = deadline
+
+
+class MicroBatcher:
+    """Coalesce single ``(query, k)`` requests into batch flushes.
+
+    Args:
+        flush: callable ``flush(queries, k, futures)`` invoked on the
+            batcher's background thread with a ``(rows, d)`` float64
+            matrix and the matching per-row futures.  It must resolve
+            every future (result or exception); an exception escaping
+            ``flush`` itself is routed to the batch's futures.
+        policy: the size/deadline flush policy.
+
+    ``submit`` never blocks on query execution — it enqueues and wakes
+    the flusher.  Batches never exceed ``policy.max_batch`` rows: when
+    requests outrun the flusher, an oversized group is split and the
+    remainder is re-armed with a fresh deadline.
+    """
+
+    def __init__(self, flush, policy: BatchPolicy | None = None) -> None:
+        self._flush = flush
+        self.policy = policy if policy is not None else BatchPolicy()
+        self._cond = threading.Condition()
+        self._pending: dict[int, _Group] = {}
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="repro-microbatcher", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, query: np.ndarray, k: int) -> Future:
+        """Enqueue one request; the future resolves to its KnnResult."""
+        future: Future = Future()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            group = self._pending.get(k)
+            if group is None:
+                deadline = time.perf_counter() + self.policy.max_wait_ms / 1e3
+                group = _Group(deadline)
+                self._pending[k] = group
+                self._cond.notify()
+            group.rows.append(query)
+            group.futures.append(future)
+            if len(group.rows) >= self.policy.max_batch:
+                self._cond.notify()
+        return future
+
+    def close(self) -> None:
+        """Flush everything still pending and stop the flusher thread."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify()
+        self._thread.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _pop_ready(self, now: float) -> tuple[int, list, list] | None:
+        """Detach one flushable ``(k, rows, futures)`` under the lock."""
+        for k, group in self._pending.items():
+            full = len(group.rows) >= self.policy.max_batch
+            if not (full or group.deadline <= now or self._closed):
+                continue
+            if len(group.rows) > self.policy.max_batch:
+                rows = group.rows[: self.policy.max_batch]
+                futures = group.futures[: self.policy.max_batch]
+                group.rows = group.rows[self.policy.max_batch :]
+                group.futures = group.futures[self.policy.max_batch :]
+                # The survivors arrived while the flusher was busy; give
+                # them a full wait window rather than an instant flush.
+                group.deadline = now + self.policy.max_wait_ms / 1e3
+                return k, rows, futures
+            del self._pending[k]
+            return k, group.rows, group.futures
+        return None
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while True:
+                    now = time.perf_counter()
+                    ready = self._pop_ready(now)
+                    if ready is not None:
+                        break
+                    if self._closed and not self._pending:
+                        return
+                    deadlines = [
+                        g.deadline for g in self._pending.values()
+                    ]
+                    timeout = min(deadlines) - now if deadlines else None
+                    if timeout is None or timeout > 0:
+                        self._cond.wait(timeout)
+            k, rows, futures = ready
+            self._flush_one(k, rows, futures)
+
+    def _flush_one(self, k: int, rows: list, futures: list) -> None:
+        try:
+            self._flush(np.stack(rows), k, futures)
+        except Exception as error:  # route to the waiting callers
+            for future in futures:
+                if not future.done():
+                    future.set_exception(error)

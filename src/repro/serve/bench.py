@@ -1,0 +1,138 @@
+"""Closed-loop vs micro-batched serving comparison.
+
+Shared by ``repro serve-bench`` (CLI) and
+``benchmarks/bench_ablation_serving.py`` so both measure the same way:
+
+* **closed loop** — one ``index.query`` call per query, sequentially:
+  the one-query-per-call baseline a naive deployment pays.
+* **served** — the same queries submitted one at a time to a running
+  :class:`~repro.serve.server.IndexServer`, which coalesces them into
+  ``query_batch`` calls; wall time covers first submit to last result
+  (server startup is excluded — serving throughput is a warm-process
+  property).
+
+Both paths answer from the same index structure, and
+:func:`identical_results` checks the served answers are bit-identical
+to the closed-loop ones — the serving layer is not allowed to buy
+throughput with accuracy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.batcher import BatchPolicy
+from repro.serve.server import IndexServer
+from repro.serve.stats import ServingReport
+
+
+def identical_results(expected, observed) -> bool:
+    """True when two result sequences match bit-for-bit.
+
+    Compares neighbor indices, distances, and per-query stats — the
+    full observable surface of a :class:`KnnResult`.
+    """
+    expected = list(expected)
+    observed = list(observed)
+    if len(expected) != len(observed):
+        return False
+    return all(
+        tuple(a.indices.tolist()) == tuple(b.indices.tolist())
+        and tuple(a.distances.tolist()) == tuple(b.distances.tolist())
+        and a.stats == b.stats
+        for a, b in zip(expected, observed)
+    )
+
+
+def closed_loop_run(index, queries, k: int) -> tuple[float, list]:
+    """Sequential one-query-per-call baseline: (seconds, results)."""
+    array = np.asarray(queries, dtype=np.float64)
+    started = time.perf_counter()
+    results = [index.query(row, k=k) for row in array]
+    return time.perf_counter() - started, results
+
+
+def served_run(
+    server: IndexServer, queries, k: int
+) -> tuple[float, list, ServingReport]:
+    """Submit every query individually; gather: (seconds, results, report).
+
+    The server's stats are reset at the start so the returned report
+    describes exactly this run.
+    """
+    array = np.asarray(queries, dtype=np.float64)
+    server.reset_stats()
+    started = time.perf_counter()
+    futures = [server.submit(row, k=k) for row in array]
+    results = [future.result() for future in futures]
+    seconds = time.perf_counter() - started
+    return seconds, results, server.stats()
+
+
+@dataclass(frozen=True)
+class ServingComparison:
+    """Closed-loop vs served measurements for one configuration."""
+
+    index_kind: str
+    n_points: int
+    dims: int
+    n_queries: int
+    k: int
+    n_workers: int
+    closed_loop_seconds: float
+    closed_loop_qps: float
+    served_seconds: float
+    served_qps: float
+    speedup: float
+    identical: bool
+    report: ServingReport
+
+
+def compare_serving(
+    index,
+    snapshot_path: str,
+    queries,
+    k: int,
+    *,
+    n_workers: int,
+    policy: BatchPolicy | None = None,
+    cache_capacity: int = 0,
+    start_method: str | None = None,
+) -> ServingComparison:
+    """Measure closed-loop vs micro-batched serving for one index.
+
+    ``index`` is the locally built structure (the baseline); the server
+    loads ``snapshot_path``, which must be a snapshot of that same
+    index so the bit-identity check is meaningful.
+    """
+    array = np.asarray(queries, dtype=np.float64)
+    closed_seconds, closed_results = closed_loop_run(index, array, k)
+    with IndexServer(
+        snapshot_path,
+        n_workers=n_workers,
+        policy=policy,
+        cache_capacity=cache_capacity,
+        start_method=start_method,
+    ) as server:
+        served_seconds, served_results, report = served_run(
+            server, array, k
+        )
+    n_queries = array.shape[0]
+    return ServingComparison(
+        index_kind=type(index).__name__,
+        n_points=index.n_points,
+        dims=index.dimensionality,
+        n_queries=n_queries,
+        k=k,
+        n_workers=n_workers,
+        closed_loop_seconds=closed_seconds,
+        closed_loop_qps=n_queries / closed_seconds if closed_seconds else 0.0,
+        served_seconds=served_seconds,
+        served_qps=n_queries / served_seconds if served_seconds else 0.0,
+        speedup=closed_seconds / served_seconds if served_seconds else 0.0,
+        identical=identical_results(closed_results, served_results),
+        report=report,
+    )

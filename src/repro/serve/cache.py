@@ -1,0 +1,104 @@
+"""LRU result cache for served k-NN queries.
+
+Keys bind the answer to everything that determines it: the exact query
+bytes, ``k``, and a fingerprint of the index snapshot being served — so
+a cache can never return an answer computed by a *different* index.
+Cached values are the immutable :class:`~repro.search.results.KnnResult`
+objects themselves; a hit is therefore bit-identical to recomputing, and
+the cache never trades accuracy for throughput.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+def snapshot_fingerprint(path: str) -> str:
+    """SHA-256 of a snapshot file's bytes (streamed; hex digest).
+
+    Two serving processes pointed at byte-identical snapshots share a
+    fingerprint, so externally persisted cache entries stay portable.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def result_cache_key(query, k: int, fingerprint: str) -> tuple:
+    """Cache key for one ``(query, k)`` request against one snapshot.
+
+    ``query`` must already be the validated float64 vector the index
+    will see — the raw bytes of that canonical form are what is hashed,
+    so ``[1, 2]`` and ``np.array([1.0, 2.0])`` share an entry.
+    """
+    return (fingerprint, int(k), query.tobytes())
+
+
+@dataclass(frozen=True)
+class CacheCounters:
+    """Point-in-time cache statistics."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+
+
+class ResultCache:
+    """Thread-safe LRU mapping request keys to query results.
+
+    Args:
+        capacity: maximum number of entries; the least recently *used*
+            entry is evicted when a new key would exceed it.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key):
+        """The cached value for ``key``, or ``None`` (counted either way)."""
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self._misses += 1
+            return None
+
+    def put(self, key, value) -> None:
+        """Insert (or refresh) ``key``; evicts the LRU entry when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    @property
+    def counters(self) -> CacheCounters:
+        with self._lock:
+            return CacheCounters(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+            )

@@ -1,0 +1,343 @@
+"""Multiprocess workers serving one mmap'd index snapshot.
+
+Each worker process ``load()``s the same snapshot with
+``mmap_points=True``: the (typically dominant) corpus member stays on
+disk and its pages are shared read-only through the OS page cache, so N
+workers cost roughly one corpus of memory, not N.  Transport is plain
+``multiprocessing`` queues — one request and one response queue per
+worker, so a crashed worker can be replaced together with its queues
+without another worker's traffic ever touching a lock the casualty may
+have corrupted.
+
+Reliability model:
+
+* every submitted batch is tracked until its response arrives;
+* a worker that dies (crash, OOM-kill, ``kill -9``) is detected by the
+  dispatcher, its responses already produced are drained, a fresh
+  worker is started in its slot, and the unanswered batches are
+  resubmitted to the replacement — queries are read-only, so
+  re-execution is always safe;
+* a worker that cannot even load the snapshot marks its slot fatal
+  instead of entering a restart storm;
+* :meth:`WorkerPool.close` shuts workers down gracefully (sentinel,
+  join, then terminate stragglers) and fails any still-pending futures
+  with :class:`WorkerError`; :meth:`WorkerPool.drain` lets callers wait
+  for in-flight work first.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+
+import numpy as np
+
+from repro.search.snapshot import snapshot_kind
+
+
+class WorkerError(RuntimeError):
+    """A batch failed in (or never reached) a worker process."""
+
+
+def _worker_main(
+    snapshot_path: str, mmap_points: bool, requests, responses
+) -> None:
+    """Worker loop: load the snapshot once, answer batches forever."""
+    from repro.search.snapshot import load_index
+
+    try:
+        index = load_index(snapshot_path, mmap_points=mmap_points)
+    except Exception as error:
+        responses.put((None, "fatal", f"{type(error).__name__}: {error}"))
+        return
+    while True:
+        item = requests.get()
+        if item is None:
+            return
+        batch_id, queries, k = item
+        try:
+            batch = index.query_batch(queries, k=k)
+            responses.put((batch_id, "ok", batch))
+        except Exception as error:
+            responses.put(
+                (batch_id, "error", f"{type(error).__name__}: {error}")
+            )
+
+
+class _Slot:
+    """One worker position: process + its private queues + assignments."""
+
+    __slots__ = ("process", "requests", "responses", "assigned", "fatal")
+
+    def __init__(self, process, requests, responses) -> None:
+        self.process = process
+        self.requests = requests
+        self.responses = responses
+        self.assigned: set[int] = set()
+        self.fatal = False
+
+
+class _Inflight:
+    __slots__ = ("queries", "k", "future")
+
+    def __init__(self, queries, k, future) -> None:
+        self.queries = queries
+        self.k = k
+        self.future = future
+
+
+def _default_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class WorkerPool:
+    """A fixed-size pool of snapshot-serving worker processes.
+
+    Args:
+        snapshot_path: ``.npz`` index snapshot every worker loads; it is
+            validated up front so a typo fails in the caller, not in N
+            workers.
+        n_workers: worker processes (>= 1).
+        mmap_points: forwarded to ``load_index`` in each worker; the
+            default ``True`` is what makes the pool memory-cheap.
+        start_method: multiprocessing start method; default prefers
+            ``"fork"`` (fast, shares the parent's page-cache warmth) and
+            falls back to ``"spawn"`` where fork is unavailable.
+        restart_crashed: replace dead workers and resubmit their
+            unanswered batches (default).  When ``False`` a crash fails
+            the affected futures with :class:`WorkerError` instead.
+    """
+
+    _POLL_SECONDS = 0.002
+    _LIVENESS_PERIOD_SECONDS = 0.05
+
+    def __init__(
+        self,
+        snapshot_path: str,
+        n_workers: int = 1,
+        *,
+        mmap_points: bool = True,
+        start_method: str | None = None,
+        restart_crashed: bool = True,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        snapshot_kind(snapshot_path)  # raises SnapshotError early
+        self.snapshot_path = snapshot_path
+        self.n_workers = int(n_workers)
+        self.mmap_points = bool(mmap_points)
+        self.restart_crashed = bool(restart_crashed)
+        self._ctx = multiprocessing.get_context(
+            start_method or _default_start_method()
+        )
+        self._lock = threading.Lock()
+        self._inflight: dict[int, _Inflight] = {}
+        self._ids = itertools.count()
+        self._rr = itertools.count()
+        self._restarts = 0
+        self._closing = threading.Event()
+        self._slots = [self._start_slot() for _ in range(self.n_workers)]
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-pool-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _start_slot(self) -> _Slot:
+        requests = self._ctx.Queue()
+        responses = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self.snapshot_path, self.mmap_points, requests, responses),
+            daemon=True,
+        )
+        process.start()
+        return _Slot(process, requests, responses)
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait until no batches are in flight; ``True`` on success."""
+        deadline = time.perf_counter() + timeout
+        while time.perf_counter() < deadline:
+            with self._lock:
+                if not self._inflight:
+                    return True
+            time.sleep(self._POLL_SECONDS)
+        with self._lock:
+            return not self._inflight
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop workers, fail leftover futures, join the dispatcher."""
+        if self._closing.is_set():
+            return
+        self._closing.set()
+        for slot in self._slots:
+            try:
+                slot.requests.put(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.perf_counter() + timeout
+        for slot in self._slots:
+            slot.process.join(max(0.0, deadline - time.perf_counter()))
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join(1.0)
+        self._dispatcher.join(timeout)
+        with self._lock:
+            leftovers = list(self._inflight.values())
+            self._inflight.clear()
+        for entry in leftovers:
+            _fail(entry.future, WorkerError("worker pool is closed"))
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, queries, k: int) -> Future:
+        """Send one batch to a worker; resolves to a ``BatchKnnResult``.
+
+        The rows are forwarded verbatim to ``index.query_batch`` in the
+        worker, so answers (and validation errors, surfaced as
+        :class:`WorkerError`) match a local call exactly.
+        """
+        array = np.asarray(queries, dtype=np.float64)
+        future: Future = Future()
+        with self._lock:
+            if self._closing.is_set():
+                raise WorkerError("worker pool is closed")
+            usable = [s for s in self._slots if not s.fatal]
+            if not usable:
+                raise WorkerError(
+                    "no usable workers (snapshot failed to load)"
+                )
+            # Least-loaded slot; rotate the tie-break so equally idle
+            # workers share traffic.
+            offset = next(self._rr) % len(usable)
+            slot = min(
+                (usable[(i + offset) % len(usable)]
+                 for i in range(len(usable))),
+                key=lambda s: len(s.assigned),
+            )
+            batch_id = next(self._ids)
+            self._inflight[batch_id] = _Inflight(array, k, future)
+            slot.assigned.add(batch_id)
+            slot.requests.put((batch_id, array, k))
+        return future
+
+    @property
+    def n_restarts(self) -> int:
+        """Workers replaced after a crash, over the pool's lifetime."""
+        return self._restarts
+
+    def worker_pids(self) -> list[int]:
+        """Current worker process ids (test/ops hook)."""
+        return [slot.process.pid for slot in self._slots]
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        last_liveness = time.perf_counter()
+        while not self._closing.is_set():
+            progressed = False
+            for slot in self._slots:
+                try:
+                    item = slot.responses.get_nowait()
+                except (queue_module.Empty, OSError, ValueError):
+                    continue
+                progressed = True
+                self._resolve(slot, item)
+            now = time.perf_counter()
+            if (
+                not progressed
+                or now - last_liveness > self._LIVENESS_PERIOD_SECONDS
+            ):
+                self._check_workers()
+                last_liveness = now
+            if not progressed:
+                time.sleep(self._POLL_SECONDS)
+
+    def _resolve(self, slot: _Slot, item) -> None:
+        batch_id, status, payload = item
+        if batch_id is None:  # the worker could not load the snapshot
+            slot.fatal = True
+            self._fail_slot(slot, WorkerError(payload))
+            return
+        with self._lock:
+            entry = self._inflight.pop(batch_id, None)
+            slot.assigned.discard(batch_id)
+        if entry is None:  # duplicate after a crash-resubmit race
+            return
+        if status == "ok":
+            _complete(entry.future, payload)
+        else:
+            _fail(entry.future, WorkerError(payload))
+
+    def _fail_slot(self, slot: _Slot, error: WorkerError) -> None:
+        with self._lock:
+            pending = [
+                self._inflight.pop(batch_id)
+                for batch_id in sorted(slot.assigned)
+                if batch_id in self._inflight
+            ]
+            slot.assigned.clear()
+        for entry in pending:
+            _fail(entry.future, error)
+
+    def _check_workers(self) -> None:
+        for position, slot in enumerate(self._slots):
+            if slot.process.is_alive() or self._closing.is_set():
+                continue
+            # Resolve whatever the worker managed to answer before dying.
+            while True:
+                try:
+                    item = slot.responses.get_nowait()
+                except (queue_module.Empty, OSError, ValueError):
+                    break
+                self._resolve(slot, item)
+            if slot.fatal:
+                continue  # known-unserviceable snapshot; never restart
+            exitcode = slot.process.exitcode
+            if not self.restart_crashed:
+                slot.fatal = True
+                self._fail_slot(
+                    slot,
+                    WorkerError(f"worker died (exit code {exitcode})"),
+                )
+                continue
+            replacement = self._start_slot()
+            with self._lock:
+                self._restarts += 1
+                orphaned = sorted(slot.assigned)
+                self._slots[position] = replacement
+                for batch_id in orphaned:
+                    entry = self._inflight.get(batch_id)
+                    if entry is None:
+                        continue
+                    replacement.assigned.add(batch_id)
+                    replacement.requests.put(
+                        (batch_id, entry.queries, entry.k)
+                    )
+
+
+def _complete(future: Future, value) -> None:
+    try:
+        future.set_result(value)
+    except InvalidStateError:  # caller cancelled it meanwhile
+        pass
+
+
+def _fail(future: Future, error: Exception) -> None:
+    try:
+        future.set_exception(error)
+    except InvalidStateError:
+        pass

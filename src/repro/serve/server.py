@@ -1,0 +1,240 @@
+"""The serving facade: snapshot in, bit-identical answers out.
+
+:class:`IndexServer` wires the serving layers together:
+
+    snapshot --> [LRU cache] --> micro-batcher --> worker pool
+                                         \\-> in-process index (0 workers)
+
+``submit(query, k)`` returns a future for one
+:class:`~repro.search.results.KnnResult`; ``query`` is the blocking
+convenience.  Requests are validated synchronously (bad input raises in
+the caller, exactly like ``index.query``), then either answered from the
+LRU cache or coalesced by the micro-batcher into ``query_batch`` calls
+executed by the worker pool — or in-process when ``n_workers=0``, which
+keeps the micro-batching win without any IPC.
+
+Everything downstream preserves the repo-wide bit-identity contract:
+the batch kernels answer exactly like sequential ``query``, snapshot
+loading is bit-identical to the builder, and the cache stores the very
+result objects it replays — so a served answer never differs from
+``index.query(query, k)`` on the freshly built index.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+
+from repro.search.results import (
+    BatchKnnResult,
+    KnnResult,
+    validate_k,
+    validate_queries,
+    validate_query,
+)
+from repro.search.snapshot import load_index, snapshot_kind
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.cache import (
+    ResultCache,
+    result_cache_key,
+    snapshot_fingerprint,
+)
+from repro.serve.pool import WorkerPool
+from repro.serve.stats import ServingReport, ServingStats
+
+
+class IndexServer:
+    """Serve single-query k-NN traffic from an index snapshot.
+
+    Args:
+        snapshot_path: ``.npz`` snapshot of any of the eight index kinds.
+        n_workers: worker processes.  ``0`` serves in-process (no IPC,
+            still micro-batched); ``>= 1`` runs a :class:`WorkerPool`
+            whose workers share the mmap'd corpus through the page
+            cache.
+        policy: micro-batching flush policy (default
+            :class:`BatchPolicy`).
+        cache_capacity: LRU result-cache entries; ``0`` disables the
+            cache.
+        mmap_points: map the corpus from disk instead of loading it
+            (both in workers and for the in-process/metadata copy).
+        start_method / restart_crashed: forwarded to :class:`WorkerPool`.
+    """
+
+    def __init__(
+        self,
+        snapshot_path: str,
+        *,
+        n_workers: int = 1,
+        policy: BatchPolicy | None = None,
+        cache_capacity: int = 0,
+        mmap_points: bool = True,
+        start_method: str | None = None,
+        restart_crashed: bool = True,
+    ) -> None:
+        if n_workers < 0:
+            raise ValueError(
+                f"n_workers must be non-negative, got {n_workers}"
+            )
+        if cache_capacity < 0:
+            raise ValueError(
+                f"cache_capacity must be non-negative, got {cache_capacity}"
+            )
+        self.snapshot_path = snapshot_path
+        self.kind = snapshot_kind(snapshot_path)
+        self.n_workers = int(n_workers)
+        # The local copy answers in-process traffic (n_workers=0) and
+        # supplies metadata for request validation; with mmap the corpus
+        # bytes are shared with the workers rather than duplicated.
+        self._local = load_index(snapshot_path, mmap_points=mmap_points)
+        self.fingerprint = snapshot_fingerprint(snapshot_path)
+        self._cache = (
+            ResultCache(cache_capacity) if cache_capacity else None
+        )
+        self._stats = ServingStats()
+        self._pool = (
+            WorkerPool(
+                snapshot_path,
+                n_workers,
+                mmap_points=mmap_points,
+                start_method=start_method,
+                restart_crashed=restart_crashed,
+            )
+            if n_workers >= 1
+            else None
+        )
+        self._batcher = MicroBatcher(self._flush, policy)
+        self._closed = False
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        return self._local.n_points
+
+    @property
+    def dimensionality(self) -> int:
+        return self._local.dimensionality
+
+    @property
+    def policy(self) -> BatchPolicy:
+        return self._batcher.policy
+
+    def stats(self) -> ServingReport:
+        """Current serving metrics (cache counters merged in)."""
+        counters = (0, 0, 0)
+        if self._cache is not None:
+            c = self._cache.counters
+            counters = (c.hits, c.misses, c.evictions)
+        return self._stats.report(cache_counters=counters)
+
+    def reset_stats(self) -> None:
+        """Restart the metrics clock (cache counters are lifetime)."""
+        self._stats.reset()
+
+    # -- request paths -------------------------------------------------
+
+    def submit(self, query, k: int = 1) -> Future:
+        """Enqueue one query; the future resolves to its KnnResult.
+
+        Validation happens here, synchronously — malformed queries and
+        out-of-range ``k`` raise ``ValueError`` exactly like
+        ``index.query`` would.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        vector = validate_query(query, self.dimensionality)
+        k = validate_k(k, self.n_points)
+        started = time.perf_counter()
+        key = None
+        if self._cache is not None:
+            key = result_cache_key(vector, k, self.fingerprint)
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._stats.record_request(time.perf_counter() - started)
+                future: Future = Future()
+                future.set_result(hit)
+                return future
+        future = self._batcher.submit(vector, k)
+        future.add_done_callback(
+            lambda f: self._finish_request(f, key, started)
+        )
+        return future
+
+    def query(self, query, k: int = 1) -> KnnResult:
+        """Blocking single-query convenience around :meth:`submit`."""
+        return self.submit(query, k=k).result()
+
+    def query_batch(self, queries, k: int = 1) -> BatchKnnResult:
+        """One explicit batch, bypassing the micro-batcher.
+
+        Callers that already hold a batch should not pay the coalescing
+        wait; the batch goes to a worker (or the in-process index) as
+        one ``query_batch`` call.  Recorded in the batch histogram but
+        not in the single-request latency percentiles.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        array = validate_queries(queries, self.dimensionality)
+        k = validate_k(k, self.n_points)
+        if self._pool is None or array.shape[0] == 0:
+            batch = self._local.query_batch(array, k=k)
+        else:
+            batch = self._pool.submit(array, k).result()
+        self._stats.record_batch(len(batch), batch.stats)
+        return batch
+
+    # -- internals -----------------------------------------------------
+
+    def _finish_request(self, future: Future, key, started: float) -> None:
+        if (
+            key is not None
+            and not future.cancelled()
+            and future.exception() is None
+        ):
+            self._cache.put(key, future.result())
+        self._stats.record_request(time.perf_counter() - started)
+
+    def _flush(self, queries, k: int, futures: list) -> None:
+        """Micro-batcher flush hook: run one coalesced batch."""
+        if self._pool is None:
+            batch = self._local.query_batch(queries, k=k)
+            self._distribute(batch, futures)
+            return
+        pooled = self._pool.submit(queries, k)
+        pooled.add_done_callback(
+            lambda f: self._distribute_pooled(f, futures)
+        )
+
+    def _distribute(self, batch: BatchKnnResult, futures: list) -> None:
+        self._stats.record_batch(len(futures), batch.stats)
+        for future, result in zip(futures, batch.results):
+            if not future.done():
+                future.set_result(result)
+
+    def _distribute_pooled(self, pooled: Future, futures: list) -> None:
+        error = pooled.exception()
+        if error is not None:
+            for future in futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        self._distribute(pooled.result(), futures)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Flush pending requests, drain workers, stop everything."""
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+        if self._pool is not None:
+            self._pool.drain(timeout)
+            self._pool.close()
+
+    def __enter__(self) -> "IndexServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

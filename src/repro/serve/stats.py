@@ -1,0 +1,138 @@
+"""Serving-side instrumentation: throughput, latency, batch shapes.
+
+:class:`ServingStats` is the mutable accumulator the server records
+into; :class:`ServingReport` is the immutable snapshot handed to
+callers (and printed by ``repro serve-bench``).  Latency percentiles use
+the nearest-rank method so a report is a deterministic function of the
+recorded samples.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.search.results import QueryStats, combine_stats
+
+
+def nearest_rank_percentile(samples: np.ndarray, q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100])."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must lie in [0, 100], got {q}")
+    if samples.size == 0:
+        return 0.0
+    ordered = np.sort(samples)
+    rank = max(1, int(np.ceil(q / 100.0 * ordered.size)))
+    return float(ordered[rank - 1])
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Immutable summary of a serving run.
+
+    Attributes:
+        n_requests: single-query requests answered (cache hits included).
+        n_batches: ``query_batch`` calls issued downstream.
+        elapsed_seconds: wall time since the stats were started/reset.
+        throughput_qps: ``n_requests / elapsed_seconds``.
+        latency_p50_ms / latency_p95_ms / latency_p99_ms: request latency
+            percentiles (submit to completed future), milliseconds.
+        batch_size_histogram: batch size -> number of flushed batches.
+        mean_batch_size: request rows per flushed batch, averaged.
+        query_stats: summed work accounting across every served batch.
+        cache_hits / cache_misses / cache_evictions: LRU counters (all
+            zero when the server runs without a cache).
+    """
+
+    n_requests: int
+    n_batches: int
+    elapsed_seconds: float
+    throughput_qps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    batch_size_histogram: dict[int, int]
+    mean_batch_size: float
+    query_stats: QueryStats = field(default_factory=QueryStats)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+
+
+class ServingStats:
+    """Thread-safe accumulator for the serving metrics.
+
+    The server calls :meth:`record_request` once per completed request
+    (with the submit-to-completion latency) and :meth:`record_batch`
+    once per flushed batch.  :meth:`report` snapshots everything.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+        self._latencies: list[float] = []
+        self._histogram: dict[int, int] = {}
+        self._batch_stats: list[QueryStats] = []
+        self._n_requests = 0
+        self._n_batches = 0
+        self._n_rows = 0
+
+    def record_request(self, latency_seconds: float) -> None:
+        """Account one completed single-query request."""
+        with self._lock:
+            self._n_requests += 1
+            self._latencies.append(latency_seconds)
+
+    def record_batch(self, size: int, stats: QueryStats | None = None) -> None:
+        """Account one flushed batch of ``size`` request rows."""
+        if size < 0:
+            raise ValueError(f"batch size must be non-negative, got {size}")
+        with self._lock:
+            self._n_batches += 1
+            self._n_rows += size
+            self._histogram[size] = self._histogram.get(size, 0) + 1
+            if stats is not None:
+                self._batch_stats.append(stats)
+
+    def reset(self) -> None:
+        """Discard all samples and restart the wall clock."""
+        with self._lock:
+            self._started = time.perf_counter()
+            self._latencies.clear()
+            self._histogram.clear()
+            self._batch_stats.clear()
+            self._n_requests = 0
+            self._n_batches = 0
+            self._n_rows = 0
+
+    def report(
+        self, *, cache_counters: tuple[int, int, int] = (0, 0, 0)
+    ) -> ServingReport:
+        """Snapshot the accumulated metrics into a :class:`ServingReport`."""
+        with self._lock:
+            elapsed = time.perf_counter() - self._started
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            histogram = dict(self._histogram)
+            total = combine_stats(self._batch_stats)
+            n_requests = self._n_requests
+            n_batches = self._n_batches
+            n_rows = self._n_rows
+        hits, misses, evictions = cache_counters
+        return ServingReport(
+            n_requests=n_requests,
+            n_batches=n_batches,
+            elapsed_seconds=elapsed,
+            throughput_qps=n_requests / elapsed if elapsed > 0 else 0.0,
+            latency_p50_ms=nearest_rank_percentile(latencies, 50.0) * 1e3,
+            latency_p95_ms=nearest_rank_percentile(latencies, 95.0) * 1e3,
+            latency_p99_ms=nearest_rank_percentile(latencies, 99.0) * 1e3,
+            batch_size_histogram=histogram,
+            mean_batch_size=n_rows / n_batches if n_batches else 0.0,
+            query_stats=total,
+            cache_hits=hits,
+            cache_misses=misses,
+            cache_evictions=evictions,
+        )

@@ -1,0 +1,107 @@
+"""Property: served answers are bit-identical to ``index.query``.
+
+For every index kind, any stream of single-query requests pushed
+through the serving stack — micro-batched, cached, in-process or over
+worker processes — must produce exactly what sequential ``index.query``
+on the freshly built index produces: same neighbor indices, same
+distances bit-for-bit, same per-query stats.  The streams here randomize
+arrival grouping and ``k`` per request, and replay a subset so the
+cache-hit path is exercised too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.search.bruteforce import BruteForceIndex
+from repro.search.idistance import IDistanceIndex
+from repro.search.igrid import IGridIndex
+from repro.search.kdtree import KdTreeIndex
+from repro.search.lsh import LshIndex
+from repro.search.pyramid import PyramidIndex
+from repro.search.rtree import RTreeIndex
+from repro.search.vafile import VAFileIndex
+from repro.serve import BatchPolicy, IndexServer
+
+ALL_INDEXES = [
+    BruteForceIndex,
+    KdTreeIndex,
+    RTreeIndex,
+    VAFileIndex,
+    PyramidIndex,
+    IDistanceIndex,
+    IGridIndex,
+    LshIndex,
+]
+
+# A small max_batch forces multiple flushes per stream; the short
+# deadline keeps partial batches moving.
+_POLICY = BatchPolicy(max_batch=4, max_wait_ms=1.0)
+
+
+def assert_result_matches(got, expected, context):
+    assert tuple(got.indices.tolist()) == tuple(
+        expected.indices.tolist()
+    ), context
+    assert tuple(got.distances.tolist()) == tuple(
+        expected.distances.tolist()
+    ), context
+    assert got.stats == expected.stats, context
+
+
+@pytest.mark.parametrize("cls", ALL_INDEXES)
+def test_served_stream_is_bit_identical(cls, tmp_path, rng):
+    corpus = rng.normal(size=(90, 5))
+    index = cls(corpus)
+    path = str(tmp_path / "index.npz")
+    index.save(path)
+
+    # Randomized request stream: fresh queries and corpus points
+    # (distance ties), each with its own k, submitted in permuted order.
+    fresh = rng.normal(size=(20, 5))
+    stream = [(row, int(k)) for row, k in zip(fresh, rng.integers(1, 6, 20))]
+    stream += [(corpus[i], 3) for i in rng.integers(0, 90, 5)]
+    order = rng.permutation(len(stream))
+
+    with IndexServer(
+        path, n_workers=0, policy=_POLICY, cache_capacity=64
+    ) as server:
+        futures = [
+            (stream[i][0], stream[i][1], server.submit(*stream[i]))
+            for i in order
+        ]
+        for query, k, future in futures:
+            assert_result_matches(
+                future.result(timeout=30),
+                index.query(query, k=k),
+                f"{cls.__name__} diverged at k={k}",
+            )
+        # Replay a slice once the originals are cached: the hit path
+        # must hand back the same bit-identical results.
+        for query, k in stream[:8]:
+            assert_result_matches(
+                server.query(query, k=k),
+                index.query(query, k=k),
+                f"{cls.__name__} cache replay diverged at k={k}",
+            )
+        report = server.stats()
+    assert report.n_requests == len(stream) + 8
+    assert report.cache_hits >= 8
+
+
+def test_served_stream_over_worker_pool(tmp_path, rng):
+    corpus = rng.normal(size=(150, 6))
+    index = BruteForceIndex(corpus)
+    path = str(tmp_path / "bruteforce.npz")
+    index.save(path)
+    queries = rng.normal(size=(30, 6))
+    ks = rng.integers(1, 5, 30)
+    with IndexServer(path, n_workers=2, policy=_POLICY) as server:
+        futures = [
+            server.submit(q, k=int(k)) for q, k in zip(queries, ks)
+        ]
+        for q, k, future in zip(queries, ks, futures):
+            assert_result_matches(
+                future.result(timeout=30),
+                index.query(q, k=int(k)),
+                f"pooled serving diverged at k={k}",
+            )

@@ -1,0 +1,149 @@
+"""Micro-batcher: size/deadline flushing, per-k grouping, error routing."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchPolicy, MicroBatcher
+
+
+class Recorder:
+    """A flush target that resolves futures with (row, k) echoes."""
+
+    def __init__(self):
+        self.batches = []
+        self.lock = threading.Lock()
+
+    def __call__(self, queries, k, futures):
+        with self.lock:
+            self.batches.append((queries.copy(), k))
+        for row, future in zip(queries, futures):
+            future.set_result((row.copy(), k))
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestBatchPolicy:
+    def test_defaults(self):
+        policy = BatchPolicy()
+        assert policy.max_batch == 64
+        assert policy.max_wait_ms == 2.0
+
+    def test_rejects_nonpositive_max_batch(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchPolicy(max_batch=0)
+
+    def test_rejects_negative_wait(self):
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            BatchPolicy(max_wait_ms=-1.0)
+
+
+class TestFlushTriggers:
+    def test_full_batch_flushes_immediately(self):
+        recorder = Recorder()
+        # A wait long enough that only the size trigger can explain the
+        # flush arriving quickly.
+        policy = BatchPolicy(max_batch=4, max_wait_ms=60_000.0)
+        with MicroBatcher(recorder, policy) as batcher:
+            futures = [
+                batcher.submit(np.full(3, float(i)), 2) for i in range(4)
+            ]
+            assert wait_for(lambda: all(f.done() for f in futures))
+        assert len(recorder.batches) == 1
+        queries, k = recorder.batches[0]
+        assert queries.shape == (4, 3)
+        assert k == 2
+
+    def test_deadline_flushes_partial_batch(self):
+        recorder = Recorder()
+        policy = BatchPolicy(max_batch=1_000, max_wait_ms=5.0)
+        with MicroBatcher(recorder, policy) as batcher:
+            future = batcher.submit(np.zeros(2), 1)
+            assert wait_for(future.done)
+        assert len(recorder.batches) == 1
+        assert recorder.batches[0][0].shape == (1, 2)
+
+    def test_rows_keep_arrival_order(self):
+        recorder = Recorder()
+        policy = BatchPolicy(max_batch=8, max_wait_ms=60_000.0)
+        with MicroBatcher(recorder, policy) as batcher:
+            futures = [
+                batcher.submit(np.full(2, float(i)), 3) for i in range(8)
+            ]
+            assert wait_for(lambda: all(f.done() for f in futures))
+        queries, _ = recorder.batches[0]
+        assert queries[:, 0].tolist() == [float(i) for i in range(8)]
+        for i, future in enumerate(futures):
+            row, _ = future.result()
+            assert row[0] == float(i)
+
+    def test_different_k_never_share_a_batch(self):
+        recorder = Recorder()
+        policy = BatchPolicy(max_batch=64, max_wait_ms=5.0)
+        with MicroBatcher(recorder, policy) as batcher:
+            futures = [
+                batcher.submit(np.zeros(2), 1 + (i % 3)) for i in range(9)
+            ]
+            assert wait_for(lambda: all(f.done() for f in futures))
+        assert {k for _, k in recorder.batches} == {1, 2, 3}
+        for queries, _ in recorder.batches:
+            assert queries.shape[0] == 3
+
+    def test_oversized_group_splits_at_max_batch(self):
+        gate = threading.Event()
+        recorder = Recorder()
+
+        def slow_flush(queries, k, futures):
+            gate.wait(5.0)  # let submissions pile up past max_batch
+            recorder(queries, k, futures)
+
+        policy = BatchPolicy(max_batch=4, max_wait_ms=1.0)
+        with MicroBatcher(slow_flush, policy) as batcher:
+            futures = [batcher.submit(np.zeros(1), 1) for _ in range(11)]
+            gate.set()
+            assert wait_for(lambda: all(f.done() for f in futures))
+        sizes = sorted(q.shape[0] for q, _ in recorder.batches)
+        assert sum(sizes) == 11
+        assert max(sizes) <= 4
+
+
+class TestLifecycleAndErrors:
+    def test_close_flushes_pending(self):
+        recorder = Recorder()
+        policy = BatchPolicy(max_batch=1_000, max_wait_ms=60_000.0)
+        batcher = MicroBatcher(recorder, policy)
+        futures = [batcher.submit(np.zeros(2), 1) for _ in range(3)]
+        batcher.close()
+        assert all(f.done() for f in futures)
+        assert sum(q.shape[0] for q, _ in recorder.batches) == 3
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(Recorder())
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(np.zeros(2), 1)
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(Recorder())
+        batcher.close()
+        batcher.close()
+
+    def test_flush_exception_routes_to_futures(self):
+        def broken(queries, k, futures):
+            raise RuntimeError("flush exploded")
+
+        policy = BatchPolicy(max_batch=2, max_wait_ms=5.0)
+        with MicroBatcher(broken, policy) as batcher:
+            future = batcher.submit(np.zeros(2), 1)
+            assert wait_for(future.done)
+        with pytest.raises(RuntimeError, match="flush exploded"):
+            future.result()

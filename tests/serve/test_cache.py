@@ -1,0 +1,82 @@
+"""LRU result cache: eviction order, counters, key derivation."""
+
+import numpy as np
+import pytest
+
+from repro.search.bruteforce import BruteForceIndex
+from repro.serve import ResultCache, result_cache_key, snapshot_fingerprint
+
+
+class TestResultCache:
+    def test_roundtrip_and_counters(self):
+        cache = ResultCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        counters = cache.counters
+        assert (counters.hits, counters.misses) == (1, 1)
+        assert counters.evictions == 0
+        assert counters.size == 1
+        assert len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh: "b" is now the LRU entry
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.counters.evictions == 1
+
+    def test_refreshing_existing_key_does_not_evict(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # update in place, still 2 entries
+        assert cache.counters.evictions == 0
+        assert cache.get("a") == 10
+        assert cache.get("b") == 2
+
+    def test_capacity_bound_holds(self):
+        cache = ResultCache(3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert cache.counters.evictions == 7
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ResultCache(0)
+
+
+class TestCacheKeys:
+    def test_distinguishes_query_k_and_fingerprint(self):
+        q1 = np.array([1.0, 2.0])
+        q2 = np.array([1.0, 3.0])
+        base = result_cache_key(q1, 3, "fp")
+        assert result_cache_key(q1, 3, "fp") == base
+        assert result_cache_key(q2, 3, "fp") != base
+        assert result_cache_key(q1, 4, "fp") != base
+        assert result_cache_key(q1, 3, "other") != base
+
+    def test_canonical_float64_forms_share_an_entry(self):
+        a = np.array([1.0, 2.0], dtype=np.float64)
+        b = np.asarray([1, 2], dtype=np.float64)
+        assert result_cache_key(a, 2, "fp") == result_cache_key(b, 2, "fp")
+
+
+class TestSnapshotFingerprint:
+    def test_stable_and_content_sensitive(self, tmp_path, rng):
+        points = rng.normal(size=(30, 4))
+        first = tmp_path / "a.npz"
+        second = tmp_path / "b.npz"
+        BruteForceIndex(points).save(str(first))
+        BruteForceIndex(points * 2.0).save(str(second))
+        assert snapshot_fingerprint(str(first)) == snapshot_fingerprint(
+            str(first)
+        )
+        assert snapshot_fingerprint(str(first)) != snapshot_fingerprint(
+            str(second)
+        )

@@ -1,0 +1,153 @@
+"""Worker pool: correctness over IPC, crash restart, fatal snapshots."""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.search.bruteforce import BruteForceIndex
+from repro.search.snapshot import SnapshotError, write_snapshot
+from repro.serve import WorkerError, WorkerPool
+
+
+def wait_for(predicate, timeout=10.0):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return np.random.default_rng(7).normal(size=(120, 5))
+
+
+@pytest.fixture(scope="module")
+def snapshot(corpus, tmp_path_factory):
+    path = tmp_path_factory.mktemp("pool") / "bruteforce.npz"
+    BruteForceIndex(corpus).save(str(path))
+    return str(path)
+
+
+def assert_matches_local(corpus, batch, queries, k):
+    local = BruteForceIndex(corpus).query_batch(queries, k=k)
+    assert len(batch) == len(local)
+    for got, expected in zip(batch, local):
+        assert tuple(got.indices.tolist()) == tuple(expected.indices.tolist())
+        assert tuple(got.distances.tolist()) == tuple(
+            expected.distances.tolist()
+        )
+        assert got.stats == expected.stats
+
+
+class TestSubmission:
+    def test_batch_matches_local_query_batch(self, corpus, snapshot, rng):
+        queries = rng.normal(size=(9, 5))
+        with WorkerPool(snapshot, 1) as pool:
+            batch = pool.submit(queries, 3).result(timeout=30)
+        assert_matches_local(corpus, batch, queries, 3)
+
+    def test_many_batches_across_two_workers(self, corpus, snapshot, rng):
+        batches = [rng.normal(size=(4, 5)) for _ in range(10)]
+        with WorkerPool(snapshot, 2) as pool:
+            futures = [pool.submit(b, 2) for b in batches]
+            results = [f.result(timeout=30) for f in futures]
+        for queries, batch in zip(batches, results):
+            assert_matches_local(corpus, batch, queries, 2)
+
+    def test_worker_side_validation_error_surfaces(self, snapshot, rng):
+        with WorkerPool(snapshot, 1) as pool:
+            future = pool.submit(rng.normal(size=(3, 9)), 2)  # wrong width
+            with pytest.raises(WorkerError, match="ValueError"):
+                future.result(timeout=30)
+
+    def test_pool_is_reusable_after_worker_error(self, corpus, snapshot, rng):
+        with WorkerPool(snapshot, 1) as pool:
+            bad = pool.submit(rng.normal(size=(2, 9)), 1)
+            with pytest.raises(WorkerError):
+                bad.result(timeout=30)
+            queries = rng.normal(size=(3, 5))
+            good = pool.submit(queries, 1).result(timeout=30)
+        assert_matches_local(corpus, good, queries, 1)
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_restarted(self, corpus, snapshot, rng):
+        with WorkerPool(snapshot, 1) as pool:
+            queries = rng.normal(size=(3, 5))
+            pool.submit(queries, 2).result(timeout=30)
+            (pid,) = pool.worker_pids()
+            os.kill(pid, signal.SIGKILL)
+            assert wait_for(lambda: pool.n_restarts >= 1)
+            assert wait_for(lambda: pool.worker_pids() != [pid])
+            batch = pool.submit(queries, 2).result(timeout=30)
+        assert_matches_local(corpus, batch, queries, 2)
+
+    def test_no_restart_marks_slot_fatal(self, snapshot, rng):
+        with WorkerPool(snapshot, 1, restart_crashed=False) as pool:
+            (pid,) = pool.worker_pids()
+            os.kill(pid, signal.SIGKILL)
+
+            def all_dead():
+                try:
+                    pool.submit(rng.normal(size=(1, 5)), 1)
+                except WorkerError:
+                    return True
+                return False
+
+            assert wait_for(all_dead)
+            assert pool.n_restarts == 0
+
+
+class TestSnapshotValidation:
+    def test_bad_path_fails_in_the_caller(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            WorkerPool(str(tmp_path / "missing.npz"), 1)
+
+    def test_unloadable_snapshot_marks_workers_fatal(self, tmp_path, rng):
+        # Passes the up-front kind check but is missing the arrays the
+        # loader needs, so the worker reports fatal instead of looping
+        # through restarts.
+        path = str(tmp_path / "hollow.npz")
+        write_snapshot(
+            path, "bruteforce", {"decoy": rng.normal(size=(3, 2))}
+        )
+        with WorkerPool(path, 1) as pool:
+            def fatal():
+                try:
+                    pool.submit(rng.normal(size=(1, 2)), 1)
+                except WorkerError:
+                    return True
+                return False
+
+            assert wait_for(fatal)
+            assert pool.n_restarts == 0
+
+
+class TestLifecycle:
+    def test_rejects_nonpositive_workers(self, snapshot):
+        with pytest.raises(ValueError, match="n_workers"):
+            WorkerPool(snapshot, 0)
+
+    def test_submit_after_close_raises(self, snapshot, rng):
+        pool = WorkerPool(snapshot, 1)
+        pool.close()
+        with pytest.raises(WorkerError, match="closed"):
+            pool.submit(rng.normal(size=(1, 5)), 1)
+
+    def test_close_is_idempotent(self, snapshot):
+        pool = WorkerPool(snapshot, 1)
+        pool.close()
+        pool.close()
+
+    def test_drain_waits_for_inflight_work(self, snapshot, rng):
+        with WorkerPool(snapshot, 2) as pool:
+            futures = [
+                pool.submit(rng.normal(size=(5, 5)), 2) for _ in range(6)
+            ]
+            assert pool.drain(timeout=30.0)
+            assert all(f.done() for f in futures)

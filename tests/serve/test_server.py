@@ -1,0 +1,190 @@
+"""IndexServer: bit-identity, caching, validation, stats, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.search.bruteforce import BruteForceIndex
+from repro.serve import BatchPolicy, IndexServer
+
+_FAST = BatchPolicy(max_batch=8, max_wait_ms=1.0)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return np.random.default_rng(11).normal(size=(100, 4))
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    return BruteForceIndex(corpus)
+
+
+@pytest.fixture(scope="module")
+def snapshot(index, tmp_path_factory):
+    path = tmp_path_factory.mktemp("server") / "bruteforce.npz"
+    index.save(str(path))
+    return str(path)
+
+
+def assert_result_matches(got, expected):
+    assert tuple(got.indices.tolist()) == tuple(expected.indices.tolist())
+    assert tuple(got.distances.tolist()) == tuple(expected.distances.tolist())
+    assert got.stats == expected.stats
+
+
+class TestBitIdentity:
+    def test_individually_submitted_queries(self, index, snapshot, rng):
+        queries = rng.normal(size=(25, 4))
+        with IndexServer(snapshot, n_workers=0, policy=_FAST) as server:
+            futures = [server.submit(q, k=3) for q in queries]
+            for q, future in zip(queries, futures):
+                assert_result_matches(
+                    future.result(timeout=30), index.query(q, k=3)
+                )
+
+    def test_mixed_k_traffic(self, index, snapshot, rng):
+        queries = rng.normal(size=(18, 4))
+        ks = [1 + (i % 4) for i in range(18)]
+        with IndexServer(snapshot, n_workers=0, policy=_FAST) as server:
+            futures = [
+                server.submit(q, k=k) for q, k in zip(queries, ks)
+            ]
+            for q, k, future in zip(queries, ks, futures):
+                assert_result_matches(
+                    future.result(timeout=30), index.query(q, k=k)
+                )
+
+    def test_pooled_serving_matches(self, index, snapshot, rng):
+        queries = rng.normal(size=(12, 4))
+        with IndexServer(snapshot, n_workers=2, policy=_FAST) as server:
+            futures = [server.submit(q, k=2) for q in queries]
+            for q, future in zip(queries, futures):
+                assert_result_matches(
+                    future.result(timeout=30), index.query(q, k=2)
+                )
+
+    def test_explicit_batch_bypasses_batcher(self, index, snapshot, rng):
+        queries = rng.normal(size=(7, 4))
+        with IndexServer(snapshot, n_workers=0) as server:
+            batch = server.query_batch(queries, k=3)
+        expected = index.query_batch(queries, k=3)
+        for got, want in zip(batch, expected):
+            assert_result_matches(got, want)
+
+    def test_empty_explicit_batch(self, snapshot):
+        with IndexServer(snapshot, n_workers=0) as server:
+            batch = server.query_batch(np.empty((0, 4)), k=2)
+        assert len(batch) == 0
+
+
+class TestCache:
+    def test_repeats_hit_and_stay_identical(self, index, snapshot, rng):
+        queries = rng.normal(size=(6, 4))
+        with IndexServer(
+            snapshot, n_workers=0, policy=_FAST, cache_capacity=32
+        ) as server:
+            first = [server.query(q, k=2) for q in queries]
+            second = [server.query(q, k=2) for q in queries]
+            report = server.stats()
+        assert report.cache_hits == 6
+        assert report.cache_misses == 6
+        for q, one, two in zip(queries, first, second):
+            assert_result_matches(one, index.query(q, k=2))
+            assert_result_matches(two, one)
+
+    def test_eviction_counters_surface_in_report(self, snapshot, rng):
+        queries = rng.normal(size=(10, 4))
+        with IndexServer(
+            snapshot, n_workers=0, policy=_FAST, cache_capacity=4
+        ) as server:
+            for q in queries:
+                server.query(q, k=1)
+            report = server.stats()
+        assert report.cache_misses == 10
+        assert report.cache_evictions == 6
+
+    def test_same_query_different_k_misses(self, snapshot, rng):
+        query = rng.normal(size=4)
+        with IndexServer(
+            snapshot, n_workers=0, policy=_FAST, cache_capacity=8
+        ) as server:
+            server.query(query, k=1)
+            server.query(query, k=2)
+            report = server.stats()
+        assert report.cache_hits == 0
+        assert report.cache_misses == 2
+
+
+class TestValidation:
+    def test_bad_query_raises_synchronously(self, snapshot):
+        with IndexServer(snapshot, n_workers=0) as server:
+            with pytest.raises(ValueError):
+                server.submit(np.zeros(9), k=1)
+
+    def test_nan_query_raises(self, snapshot):
+        with IndexServer(snapshot, n_workers=0) as server:
+            with pytest.raises(ValueError, match="finite"):
+                server.submit(np.full(4, np.nan), k=1)
+
+    def test_out_of_range_k_raises(self, snapshot):
+        with IndexServer(snapshot, n_workers=0) as server:
+            with pytest.raises(ValueError):
+                server.submit(np.zeros(4), k=0)
+            with pytest.raises(ValueError):
+                server.submit(np.zeros(4), k=101)
+
+    def test_constructor_rejects_bad_arguments(self, snapshot):
+        with pytest.raises(ValueError, match="n_workers"):
+            IndexServer(snapshot, n_workers=-1)
+        with pytest.raises(ValueError, match="cache_capacity"):
+            IndexServer(snapshot, cache_capacity=-1)
+
+
+class TestStats:
+    def test_report_accounts_every_request(self, snapshot, rng):
+        queries = rng.normal(size=(20, 4))
+        with IndexServer(snapshot, n_workers=0, policy=_FAST) as server:
+            futures = [server.submit(q, k=2) for q in queries]
+            for future in futures:
+                future.result(timeout=30)
+            report = server.stats()
+        assert report.n_requests == 20
+        assert sum(
+            size * count
+            for size, count in report.batch_size_histogram.items()
+        ) == 20
+        assert max(report.batch_size_histogram) <= _FAST.max_batch
+        assert 0.0 <= report.latency_p50_ms <= report.latency_p95_ms
+        assert report.latency_p95_ms <= report.latency_p99_ms
+        assert report.query_stats.points_scanned == 20 * 100
+        assert report.throughput_qps > 0
+
+    def test_reset_clears_samples(self, snapshot, rng):
+        with IndexServer(snapshot, n_workers=0, policy=_FAST) as server:
+            server.query(rng.normal(size=4), k=1)
+            server.reset_stats()
+            report = server.stats()
+        assert report.n_requests == 0
+        assert report.n_batches == 0
+
+
+class TestLifecycle:
+    def test_metadata(self, snapshot):
+        with IndexServer(snapshot, n_workers=0) as server:
+            assert server.kind == "bruteforce"
+            assert server.n_points == 100
+            assert server.dimensionality == 4
+            assert len(server.fingerprint) == 64
+
+    def test_submit_after_close_raises(self, snapshot, rng):
+        server = IndexServer(snapshot, n_workers=0)
+        server.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit(rng.normal(size=4), k=1)
+        with pytest.raises(RuntimeError, match="closed"):
+            server.query_batch(rng.normal(size=(2, 4)), k=1)
+
+    def test_close_is_idempotent(self, snapshot):
+        server = IndexServer(snapshot, n_workers=0)
+        server.close()
+        server.close()

@@ -106,6 +106,55 @@ class TestExperimentCommand:
             main(["experiment", "fig99"])
 
 
+class TestExperimentJobs:
+    def test_comma_separated_ids_in_order(self, capsys):
+        assert main(["experiment", "sec3,sec3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Eq. 5 prediction") == 2
+
+    def test_process_pool_output_matches_serial(self, capsys):
+        assert main(["experiment", "sec3,sec3"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["experiment", "sec3,sec3", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(SystemExit, match="jobs"):
+            main(["experiment", "sec3", "--jobs", "0"])
+
+    def test_unknown_id_fails_before_any_run(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["experiment", "sec3,fig99", "--jobs", "2"])
+
+
+class TestServeBenchCommand:
+    def test_in_process_smoke(self, capsys):
+        assert main(
+            [
+                "serve-bench", "--n", "120", "--dims", "4", "--queries",
+                "20", "--workers", "0", "--cache-size", "8",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical to sequential" in out
+        assert "in-process" in out
+        assert "cache hits" in out
+
+    def test_non_default_index_kind(self, capsys):
+        assert main(
+            [
+                "serve-bench", "--index", "kdtree", "--n", "100", "--dims",
+                "4", "--queries", "12", "--workers", "0",
+            ]
+        ) == 0
+        assert "kdtree" in capsys.readouterr().out
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["serve-bench", "--workers", "-1", "--n", "50"])
+
+
 class TestExperimentSaveDir:
     def test_reports_written(self, tmp_path, capsys):
         from repro.cli import main
