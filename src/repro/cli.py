@@ -293,10 +293,17 @@ def _command_serve_bench(args) -> int:
         )
     try:
         policy = BatchPolicy(
-            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_pending=args.max_pending,
+            shed_policy=args.shed_policy,
         )
     except ValueError as error:
         raise SystemExit(f"error: {error}") from None
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        raise SystemExit(
+            f"error: --deadline-ms must be positive, got {args.deadline_ms}"
+        )
     rng = np.random.default_rng(args.seed)
     corpus = rng.standard_normal((args.n, args.dims))
     queries = rng.standard_normal((args.queries, args.dims))
@@ -312,6 +319,10 @@ def _command_serve_bench(args) -> int:
             n_workers=args.workers,
             policy=policy,
             cache_capacity=args.cache_size,
+            deadline_ms=args.deadline_ms,
+            heartbeat_timeout=(
+                args.heartbeat_timeout if args.heartbeat_timeout > 0 else None
+            ),
         )
     report = comparison.report
     histogram = ", ".join(
@@ -342,6 +353,12 @@ def _command_serve_bench(args) -> int:
                  f"{report.cache_hits} / {report.cache_misses} / "
                  f"{report.cache_evictions}"),
                 ("points scanned", report.query_stats.points_scanned),
+                ("answered / shed / deadline / failed",
+                 f"{report.n_requests} / {report.n_shed} / "
+                 f"{report.n_deadline_exceeded} / {report.n_failed}"),
+                ("restarts / hung kills / resubmitted",
+                 f"{report.n_restarts} / {report.n_hung_kills} / "
+                 f"{report.n_resubmitted}"),
                 ("bit-identical to sequential",
                  "yes" if comparison.identical else "NO"),
             ],
@@ -464,6 +481,21 @@ def build_parser() -> argparse.ArgumentParser:
                              help="micro-batch flush size")
     serve_bench.add_argument("--max-wait-ms", type=float, default=2.0,
                              help="micro-batch flush deadline")
+    serve_bench.add_argument("--max-pending", type=int, default=None,
+                             help="admission bound on queued requests "
+                                  "(default: unbounded)")
+    serve_bench.add_argument("--shed-policy", default="reject-new",
+                             choices=["reject-new", "drop-oldest"],
+                             help="what to shed when the admission queue "
+                                  "is full")
+    serve_bench.add_argument("--deadline-ms", type=float, default=None,
+                             help="end-to-end deadline per request; past "
+                                  "it the request fails with "
+                                  "DeadlineExceeded (default: none)")
+    serve_bench.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                             help="seconds a worker may hold one batch "
+                                  "before it is killed and replaced; "
+                                  "<= 0 disables hang detection")
     serve_bench.add_argument("--cache-size", type=int, default=0,
                              help="LRU result-cache entries (0 = off)")
     serve_bench.add_argument("--seed", type=int, default=0)

@@ -8,21 +8,33 @@ stack that realizes the claim for single-query traffic:
 * :class:`MicroBatcher` — coalesces individually arriving ``(query, k)``
   requests into ``query_batch`` calls under a size/deadline policy
   (:class:`BatchPolicy`), so one-at-a-time traffic inherits the
-  vectorized batch speedup.
+  vectorized batch speedup.  The same queue enforces per-request
+  deadlines and the bounded admission/load-shedding policy.
 * :class:`WorkerPool` — N OS processes, each ``load()``-ing the same
   index snapshot with ``mmap_points=True``.  The corpus pages are shared
   read-only through the page cache, so N workers cost roughly one
-  corpus, not N.
+  corpus, not N.  Crashed workers restart; hung workers are killed by a
+  per-batch heartbeat into the same restart-plus-bounded-resubmission
+  path.
 * :class:`ResultCache` — an LRU over ``(query bytes, k, snapshot
   fingerprint)`` with hit/miss/eviction counters.
 * :class:`ServingStats` / :class:`ServingReport` — throughput, latency
-  percentiles, batch-size histogram, and summed
-  :class:`~repro.search.results.QueryStats`.
+  percentiles over a bounded deterministic reservoir, batch-size
+  histogram, summed :class:`~repro.search.results.QueryStats`, and the
+  full degradation ledger (failed / shed / deadline-exceeded /
+  restarted / resubmitted).
 * :class:`IndexServer` — the facade wiring all of the above together.
+* :mod:`repro.serve.errors` — the typed failure taxonomy
+  (:class:`DeadlineExceeded`, :class:`ServerOverloaded`,
+  :class:`ServerClosedError`, :class:`WorkerError`).
+* :mod:`repro.serve.faults` — deterministic fault injection
+  (:class:`FaultPlan`, :class:`FaultyIndex`, :class:`FaultyLoader`) for
+  the robustness tests and ``bench_ablation_robustness.py``.
 
 Every layer preserves the repo-wide contract: served answers are
-bit-identical to sequential ``index.query`` — batching and caching never
-trade accuracy for throughput.
+bit-identical to sequential ``index.query`` — batching, caching, and
+process hops never trade accuracy for throughput, and degradation sheds
+or fails requests loudly instead of answering approximately.
 """
 
 from repro.serve.batcher import BatchPolicy, MicroBatcher
@@ -33,19 +45,40 @@ from repro.serve.cache import (
     result_cache_key,
     snapshot_fingerprint,
 )
+from repro.serve.errors import (
+    DeadlineExceeded,
+    ServerClosedError,
+    ServerOverloaded,
+    ServingError,
+)
+from repro.serve.faults import (
+    FaultPlan,
+    FaultyIndex,
+    FaultyLoader,
+    InjectedFault,
+)
 from repro.serve.pool import WorkerError, WorkerPool
 from repro.serve.server import IndexServer
-from repro.serve.stats import ServingReport, ServingStats
+from repro.serve.stats import LatencyReservoir, ServingReport, ServingStats
 
 __all__ = [
     "BatchPolicy",
     "CacheCounters",
     "compare_serving",
-    "ServingComparison",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultyIndex",
+    "FaultyLoader",
     "IndexServer",
+    "InjectedFault",
+    "LatencyReservoir",
     "MicroBatcher",
     "ResultCache",
     "result_cache_key",
+    "ServerClosedError",
+    "ServerOverloaded",
+    "ServingComparison",
+    "ServingError",
     "ServingReport",
     "ServingStats",
     "snapshot_fingerprint",

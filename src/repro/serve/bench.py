@@ -25,15 +25,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.serve.batcher import BatchPolicy
+from repro.serve.errors import ServerOverloaded, ServingError
 from repro.serve.server import IndexServer
 from repro.serve.stats import ServingReport
 
 
 def identical_results(expected, observed) -> bool:
-    """True when two result sequences match bit-for-bit.
+    """True when every delivered result matches bit-for-bit.
 
     Compares neighbor indices, distances, and per-query stats — the
-    full observable surface of a :class:`KnnResult`.
+    full observable surface of a :class:`KnnResult`.  ``None`` entries
+    in ``observed`` mark requests that were shed or failed with a typed
+    serving error; they are skipped, because the degradation contract is
+    "fail loudly, never answer wrong" — an undelivered answer is not a
+    divergence, a *different* answer is.
     """
     expected = list(expected)
     observed = list(observed)
@@ -44,6 +49,7 @@ def identical_results(expected, observed) -> bool:
         and tuple(a.distances.tolist()) == tuple(b.distances.tolist())
         and a.stats == b.stats
         for a, b in zip(expected, observed)
+        if b is not None
     )
 
 
@@ -56,18 +62,35 @@ def closed_loop_run(index, queries, k: int) -> tuple[float, list]:
 
 
 def served_run(
-    server: IndexServer, queries, k: int
+    server: IndexServer, queries, k: int, *, deadline_ms: float | None = None
 ) -> tuple[float, list, ServingReport]:
     """Submit every query individually; gather: (seconds, results, report).
 
     The server's stats are reset at the start so the returned report
-    describes exactly this run.
+    describes exactly this run.  Requests resolved with a typed serving
+    error (shed by admission control, expired deadline, worker failure)
+    appear as ``None`` in the result list; the report's
+    ``n_shed`` / ``n_deadline_exceeded`` / ``n_failed`` counters say
+    why.
     """
     array = np.asarray(queries, dtype=np.float64)
     server.reset_stats()
     started = time.perf_counter()
-    futures = [server.submit(row, k=k) for row in array]
-    results = [future.result() for future in futures]
+    futures: list = []
+    for row in array:
+        try:
+            futures.append(server.submit(row, k=k, deadline_ms=deadline_ms))
+        except ServerOverloaded:
+            futures.append(None)
+    results = []
+    for future in futures:
+        if future is None:
+            results.append(None)
+            continue
+        try:
+            results.append(future.result())
+        except ServingError:
+            results.append(None)
     seconds = time.perf_counter() - started
     return seconds, results, server.stats()
 
@@ -101,12 +124,20 @@ def compare_serving(
     policy: BatchPolicy | None = None,
     cache_capacity: int = 0,
     start_method: str | None = None,
+    deadline_ms: float | None = None,
+    heartbeat_timeout: float | None = 30.0,
+    max_resubmits: int = 1,
 ) -> ServingComparison:
     """Measure closed-loop vs micro-batched serving for one index.
 
     ``index`` is the locally built structure (the baseline); the server
     loads ``snapshot_path``, which must be a snapshot of that same
-    index so the bit-identity check is meaningful.
+    index so the bit-identity check is meaningful.  The hardening knobs
+    (``deadline_ms``, admission bounds on ``policy``,
+    ``heartbeat_timeout``, ``max_resubmits``) are forwarded so
+    ``repro serve-bench`` can exercise degradation behavior; shed or
+    failed requests are excluded from the identity check and show up in
+    the report counters instead.
     """
     array = np.asarray(queries, dtype=np.float64)
     closed_seconds, closed_results = closed_loop_run(index, array, k)
@@ -116,9 +147,11 @@ def compare_serving(
         policy=policy,
         cache_capacity=cache_capacity,
         start_method=start_method,
+        heartbeat_timeout=heartbeat_timeout,
+        max_resubmits=max_resubmits,
     ) as server:
         served_seconds, served_results, report = served_run(
-            server, array, k
+            server, array, k, deadline_ms=deadline_ms
         )
     n_queries = array.shape[0]
     return ServingComparison(

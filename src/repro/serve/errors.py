@@ -1,0 +1,44 @@
+"""Typed error taxonomy for the serving stack.
+
+The serving layer's degradation contract is: shed or fail a request
+*loudly*, never answer it approximately or drop it silently.  Every
+degradation path therefore resolves the affected future (or raises in
+the submitting caller) with one of the types below, so callers can
+branch on *what* went wrong instead of parsing message strings:
+
+* :class:`DeadlineExceeded` — the request's end-to-end deadline passed
+  before its answer was delivered.  The work may still complete
+  downstream (queries are read-only, so that is harmless), but the
+  caller is released at the deadline instead of waiting forever.
+* :class:`ServerOverloaded` — the bounded admission queue was full and
+  the load-shedding policy sacrificed this request: raised
+  synchronously from ``submit`` under ``reject-new``, set on the oldest
+  queued future under ``drop-oldest``.
+* :class:`ServerClosedError` — work was submitted after ``close()``.
+* :class:`~repro.serve.pool.WorkerError` — a batch failed in (or was
+  abandoned by) a worker process; also derives from
+  :class:`ServingError`.
+
+All of them subclass :class:`RuntimeError` so existing callers that
+catch broadly keep working; none of them is ever paired with a partial
+or approximate answer — an error future carries *no* result, and a
+result future is always bit-identical to sequential ``index.query``.
+"""
+
+from __future__ import annotations
+
+
+class ServingError(RuntimeError):
+    """Base class for every typed serving-layer failure."""
+
+
+class DeadlineExceeded(ServingError):
+    """The request's deadline passed before an answer was delivered."""
+
+
+class ServerOverloaded(ServingError):
+    """The bounded admission queue was full and this request was shed."""
+
+
+class ServerClosedError(ServingError):
+    """Work was submitted to a server (or layer) after ``close()``."""

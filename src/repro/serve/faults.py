@@ -1,0 +1,168 @@
+"""Deterministic fault injection for the serving stack.
+
+The hardening features — heartbeat hung-worker recovery, bounded
+resubmission, deadlines, load shedding — are only trustworthy if they
+can be *demonstrated*, repeatably, against real failures.  This module
+provides the test doubles that inject those failures at the one seam
+the worker pool exposes (``index_loader``):
+
+* :class:`FaultPlan` — a declarative, picklable schedule of what goes
+  wrong on which ``query_batch`` call (1-based ordinals, counted per
+  :class:`FaultyIndex` instance, i.e. per worker-process lifetime):
+  hang, crash the process, raise :class:`InjectedFault`, or sleep
+  before answering.
+* :class:`FaultyIndex` — wraps a real index and executes the plan; any
+  call the plan does not claim is delegated verbatim, so every answer
+  that *is* produced stays bit-identical to the clean index.
+* :class:`FaultyLoader` — a picklable ``index_loader`` for
+  :class:`~repro.serve.pool.WorkerPool` / ``IndexServer`` (works under
+  both ``fork`` and ``spawn``).  With ``marker_path`` set, only the
+  *first* worker to load (atomically claimed via ``open(..., "x")``)
+  gets the faults; replacement workers load clean — which is how the
+  tests prove that recovery re-answers the orphaned batch correctly
+  instead of tripping the same fault forever.
+
+Determinism: the plan is a pure function of the per-process call
+ordinal, the marker claim is an atomic filesystem operation, and no
+randomness is involved anywhere — the same scenario replays the same
+way every run, which is what lets ``bench_ablation_robustness.py``
+assert exact recovery behavior in CI.
+
+In-process caveat: ``crash`` would exit the *serving* process and
+``hang`` would wedge the batcher's flusher thread when used with
+``n_workers=0`` — use those two only against worker pools.  ``raise``
+and delays are safe everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.serve.errors import ServingError
+
+_HANG_SECONDS = 3600.0
+_CRASH_EXIT_CODE = 170
+
+
+class InjectedFault(ServingError):
+    """The deliberate failure a :class:`FaultPlan` ``raise_on`` raises."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Schedule of injected faults, keyed by 1-based batch ordinal.
+
+    Attributes:
+        hang_on: ordinals on which ``query_batch`` blocks (effectively)
+            forever — the hung-worker case the heartbeat must catch.
+        crash_on: ordinals on which the worker process dies hard
+            (``os._exit``), modelling a segfault/OOM-kill.
+        raise_on: ordinals on which :class:`InjectedFault` is raised —
+            a failing batch whose error must surface, typed, in the
+            caller's future.
+        delay_on: ``(ordinal, seconds)`` pairs: sleep, then answer
+            normally — for deadline-expiry and backlog scenarios.
+        delay_all: seconds to sleep before *every* batch (composable
+            with the per-ordinal schedules) — for sustained-overload
+            scenarios.
+    """
+
+    hang_on: tuple[int, ...] = ()
+    crash_on: tuple[int, ...] = ()
+    raise_on: tuple[int, ...] = ()
+    delay_on: tuple[tuple[int, float], ...] = ()
+    delay_all: float = 0.0
+
+    def __post_init__(self) -> None:
+        for ordinal in (*self.hang_on, *self.crash_on, *self.raise_on,
+                        *(o for o, _ in self.delay_on)):
+            if ordinal < 1:
+                raise ValueError(
+                    f"fault ordinals are 1-based, got {ordinal}"
+                )
+        for _, seconds in self.delay_on:
+            if seconds < 0:
+                raise ValueError(f"delay must be non-negative, got {seconds}")
+        if self.delay_all < 0:
+            raise ValueError(
+                f"delay_all must be non-negative, got {self.delay_all}"
+            )
+
+
+class FaultyIndex:
+    """An index wrapper that misbehaves on scheduled ``query_batch`` calls.
+
+    Everything the plan does not claim is delegated verbatim to the
+    wrapped index, so the answers a faulty index *does* produce are
+    bit-identical to the clean one — degradation never changes results.
+    """
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self._inner = inner
+        self.plan = plan
+        self._calls = 0
+
+    @property
+    def n_points(self) -> int:
+        return self._inner.n_points
+
+    @property
+    def dimensionality(self) -> int:
+        return self._inner.dimensionality
+
+    @property
+    def calls(self) -> int:
+        """``query_batch`` invocations so far (fault ordinals index this)."""
+        return self._calls
+
+    def query(self, query, k: int = 1):
+        """Delegate a single query verbatim (faults only target batches)."""
+        return self._inner.query(query, k=k)
+
+    def query_batch(self, queries, k: int = 1):
+        """Run the fault schedule for this ordinal, then delegate."""
+        self._calls += 1
+        ordinal = self._calls
+        if self.plan.delay_all:
+            time.sleep(self.plan.delay_all)
+        for when, seconds in self.plan.delay_on:
+            if when == ordinal:
+                time.sleep(seconds)
+        if ordinal in self.plan.raise_on:
+            raise InjectedFault(f"injected failure on batch {ordinal}")
+        if ordinal in self.plan.crash_on:
+            os._exit(_CRASH_EXIT_CODE)
+        if ordinal in self.plan.hang_on:
+            time.sleep(_HANG_SECONDS)
+        return self._inner.query_batch(queries, k=k)
+
+
+@dataclass(frozen=True)
+class FaultyLoader:
+    """A picklable ``index_loader`` that wraps the snapshot in faults.
+
+    Args:
+        plan: the fault schedule every claimed load executes.
+        marker_path: when set, only the first process to atomically
+            create this file gets the plan; later loads (replacement
+            workers after a kill/crash) get the clean index.  Leave
+            ``None`` to make *every* worker faulty — e.g. to prove the
+            bounded-resubmission guard trips on a poison batch.
+    """
+
+    plan: FaultPlan
+    marker_path: str | None = None
+
+    def __call__(self, snapshot_path: str, mmap_points: bool):
+        from repro.search.snapshot import load_index
+
+        index = load_index(snapshot_path, mmap_points=mmap_points)
+        if self.marker_path is not None:
+            try:
+                with open(self.marker_path, "x"):
+                    pass
+            except FileExistsError:
+                return index  # a previous worker already took the faults
+        return FaultyIndex(index, self.plan)

@@ -17,12 +17,31 @@ Reliability model:
   worker is started in its slot, and the unanswered batches are
   resubmitted to the replacement — queries are read-only, so
   re-execution is always safe;
+* a worker that *hangs* (stuck syscall, livelock, adversarial input) is
+  detected by the per-batch heartbeat: when ``heartbeat_timeout`` is
+  set and a batch has been in a worker's hands longer than that, the
+  worker is killed (SIGKILL) and the crash path above takes over —
+  restart plus resubmission;
+* resubmission is bounded: a batch that has already been resubmitted
+  ``max_resubmits`` times is failed with :class:`WorkerError` instead
+  of being handed to yet another worker, so a poison batch cannot cycle
+  the pool forever;
+* a batch submitted with a ``deadline`` whose response has not arrived
+  by then fails with :class:`~repro.serve.errors.DeadlineExceeded`
+  (the worker's late answer, if any, is discarded — never delivered as
+  a stale result);
 * a worker that cannot even load the snapshot marks its slot fatal
   instead of entering a restart storm;
 * :meth:`WorkerPool.close` shuts workers down gracefully (sentinel,
   join, then terminate stragglers) and fails any still-pending futures
   with :class:`WorkerError`; :meth:`WorkerPool.drain` lets callers wait
   for in-flight work first.
+
+Timeout granularity: deadline and heartbeat checks run on the
+dispatcher's liveness cadence (every poll iteration when idle, at least
+every ``_LIVENESS_PERIOD_SECONDS`` under load), so enforcement lags the
+nominal instant by at most that period — bounded, and documented rather
+than hidden.
 """
 
 from __future__ import annotations
@@ -37,20 +56,27 @@ from concurrent.futures import Future, InvalidStateError
 import numpy as np
 
 from repro.search.snapshot import snapshot_kind
+from repro.serve.errors import DeadlineExceeded, ServingError
 
 
-class WorkerError(RuntimeError):
-    """A batch failed in (or never reached) a worker process."""
+class WorkerError(ServingError):
+    """A batch failed in (or never reached, or was abandoned by) a worker."""
+
+
+def _load_snapshot_index(snapshot_path: str, mmap_points: bool):
+    """Default worker-side loader: the plain snapshot round trip."""
+    from repro.search.snapshot import load_index
+
+    return load_index(snapshot_path, mmap_points=mmap_points)
 
 
 def _worker_main(
-    snapshot_path: str, mmap_points: bool, requests, responses
+    snapshot_path: str, mmap_points: bool, requests, responses, index_loader
 ) -> None:
     """Worker loop: load the snapshot once, answer batches forever."""
-    from repro.search.snapshot import load_index
-
+    loader = index_loader if index_loader is not None else _load_snapshot_index
     try:
-        index = load_index(snapshot_path, mmap_points=mmap_points)
+        index = loader(snapshot_path, mmap_points)
     except Exception as error:
         responses.put((None, "fatal", f"{type(error).__name__}: {error}"))
         return
@@ -82,12 +108,16 @@ class _Slot:
 
 
 class _Inflight:
-    __slots__ = ("queries", "k", "future")
+    __slots__ = ("queries", "k", "future", "deadline", "dispatched_at",
+                 "resubmits")
 
-    def __init__(self, queries, k, future) -> None:
+    def __init__(self, queries, k, future, deadline, dispatched_at) -> None:
         self.queries = queries
         self.k = k
         self.future = future
+        self.deadline = deadline
+        self.dispatched_at = dispatched_at
+        self.resubmits = 0
 
 
 def _default_start_method() -> str:
@@ -103,14 +133,27 @@ class WorkerPool:
             validated up front so a typo fails in the caller, not in N
             workers.
         n_workers: worker processes (>= 1).
-        mmap_points: forwarded to ``load_index`` in each worker; the
-            default ``True`` is what makes the pool memory-cheap.
+        mmap_points: forwarded to the worker-side loader; the default
+            ``True`` is what makes the pool memory-cheap.
         start_method: multiprocessing start method; default prefers
             ``"fork"`` (fast, shares the parent's page-cache warmth) and
             falls back to ``"spawn"`` where fork is unavailable.
         restart_crashed: replace dead workers and resubmit their
             unanswered batches (default).  When ``False`` a crash fails
             the affected futures with :class:`WorkerError` instead.
+        heartbeat_timeout: seconds a worker may hold one batch without
+            responding before it is declared hung, killed, and replaced
+            (its batches are resubmitted like a crash).  ``None``
+            disables hang detection — a genuinely stuck worker then
+            strands its batches, which is the pre-hardening behavior.
+        max_resubmits: how many times one batch may be handed to a
+            replacement worker after crashes/hangs before it is failed
+            with :class:`WorkerError` (default 1 — one bounded retry).
+        index_loader: picklable ``loader(snapshot_path, mmap_points)``
+            callable each worker uses instead of the default snapshot
+            load.  This is the fault-injection seam used by
+            :mod:`repro.serve.faults` and the robustness bench; leave
+            ``None`` in production.
     """
 
     _POLL_SECONDS = 0.002
@@ -124,14 +167,29 @@ class WorkerPool:
         mmap_points: bool = True,
         start_method: str | None = None,
         restart_crashed: bool = True,
+        heartbeat_timeout: float | None = None,
+        max_resubmits: int = 1,
+        index_loader=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be positive, got {n_workers}")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError(
+                "heartbeat_timeout must be positive or None, "
+                f"got {heartbeat_timeout}"
+            )
+        if max_resubmits < 0:
+            raise ValueError(
+                f"max_resubmits must be non-negative, got {max_resubmits}"
+            )
         snapshot_kind(snapshot_path)  # raises SnapshotError early
         self.snapshot_path = snapshot_path
         self.n_workers = int(n_workers)
         self.mmap_points = bool(mmap_points)
         self.restart_crashed = bool(restart_crashed)
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_resubmits = int(max_resubmits)
+        self._index_loader = index_loader
         self._ctx = multiprocessing.get_context(
             start_method or _default_start_method()
         )
@@ -140,6 +198,8 @@ class WorkerPool:
         self._ids = itertools.count()
         self._rr = itertools.count()
         self._restarts = 0
+        self._hung_kills = 0
+        self._resubmitted = 0
         self._closing = threading.Event()
         self._slots = [self._start_slot() for _ in range(self.n_workers)]
         self._dispatcher = threading.Thread(
@@ -155,7 +215,8 @@ class WorkerPool:
         responses = self._ctx.Queue()
         process = self._ctx.Process(
             target=_worker_main,
-            args=(self.snapshot_path, self.mmap_points, requests, responses),
+            args=(self.snapshot_path, self.mmap_points, requests, responses,
+                  self._index_loader),
             daemon=True,
         )
         process.start()
@@ -203,15 +264,20 @@ class WorkerPool:
 
     # -- submission ----------------------------------------------------
 
-    def submit(self, queries, k: int) -> Future:
+    def submit(self, queries, k: int, *, deadline: float | None = None) -> Future:
         """Send one batch to a worker; resolves to a ``BatchKnnResult``.
 
         The rows are forwarded verbatim to ``index.query_batch`` in the
         worker, so answers (and validation errors, surfaced as
-        :class:`WorkerError`) match a local call exactly.
+        :class:`WorkerError`) match a local call exactly.  ``deadline``
+        is an absolute ``time.perf_counter()`` value: if no response has
+        arrived by then the future fails with
+        :class:`~repro.serve.errors.DeadlineExceeded` and any late
+        worker answer is discarded.
         """
         array = np.asarray(queries, dtype=np.float64)
         future: Future = Future()
+        now = time.perf_counter()
         with self._lock:
             if self._closing.is_set():
                 raise WorkerError("worker pool is closed")
@@ -229,15 +295,27 @@ class WorkerPool:
                 key=lambda s: len(s.assigned),
             )
             batch_id = next(self._ids)
-            self._inflight[batch_id] = _Inflight(array, k, future)
+            self._inflight[batch_id] = _Inflight(
+                array, k, future, deadline, now
+            )
             slot.assigned.add(batch_id)
             slot.requests.put((batch_id, array, k))
         return future
 
     @property
     def n_restarts(self) -> int:
-        """Workers replaced after a crash, over the pool's lifetime."""
+        """Workers replaced after a crash or hang, over the pool's lifetime."""
         return self._restarts
+
+    @property
+    def n_hung_kills(self) -> int:
+        """Workers killed by the heartbeat for holding a batch too long."""
+        return self._hung_kills
+
+    @property
+    def n_resubmitted(self) -> int:
+        """Orphaned batches handed to a replacement worker."""
+        return self._resubmitted
 
     def worker_pids(self) -> list[int]:
         """Current worker process ids (test/ops hook)."""
@@ -261,6 +339,7 @@ class WorkerPool:
                 not progressed
                 or now - last_liveness > self._LIVENESS_PERIOD_SECONDS
             ):
+                self._check_timeouts(now)
                 self._check_workers()
                 last_liveness = now
             if not progressed:
@@ -275,8 +354,8 @@ class WorkerPool:
         with self._lock:
             entry = self._inflight.pop(batch_id, None)
             slot.assigned.discard(batch_id)
-        if entry is None:  # duplicate after a crash-resubmit race
-            return
+        if entry is None:  # duplicate after a crash-resubmit race, or a
+            return        # late answer for an expired-deadline batch
         if status == "ok":
             _complete(entry.future, payload)
         else:
@@ -292,6 +371,41 @@ class WorkerPool:
             slot.assigned.clear()
         for entry in pending:
             _fail(entry.future, error)
+
+    def _check_timeouts(self, now: float) -> None:
+        """Enforce batch deadlines and the hung-worker heartbeat."""
+        expired: list[_Inflight] = []
+        hung: list[_Slot] = []
+        with self._lock:
+            for batch_id, entry in list(self._inflight.items()):
+                if entry.deadline is not None and now > entry.deadline:
+                    expired.append(self._inflight.pop(batch_id))
+                    for slot in self._slots:
+                        slot.assigned.discard(batch_id)
+            if self.heartbeat_timeout is not None:
+                for slot in self._slots:
+                    if slot.fatal or not slot.process.is_alive():
+                        continue
+                    if any(
+                        now - self._inflight[batch_id].dispatched_at
+                        > self.heartbeat_timeout
+                        for batch_id in slot.assigned
+                        if batch_id in self._inflight
+                    ):
+                        hung.append(slot)
+        for entry in expired:
+            _fail(
+                entry.future,
+                DeadlineExceeded(
+                    "batch deadline passed before a worker answered"
+                ),
+            )
+        for slot in hung:
+            # SIGKILL, not SIGTERM: a hung worker may be unresponsive to
+            # polite signals.  The dead-worker path below then drains
+            # its completed answers, restarts the slot, and resubmits.
+            self._hung_kills += 1
+            slot.process.kill()
 
     def _check_workers(self) -> None:
         for position, slot in enumerate(self._slots):
@@ -315,18 +429,38 @@ class WorkerPool:
                 )
                 continue
             replacement = self._start_slot()
+            doomed: list[_Inflight] = []
             with self._lock:
                 self._restarts += 1
                 orphaned = sorted(slot.assigned)
                 self._slots[position] = replacement
+                now = time.perf_counter()
                 for batch_id in orphaned:
                     entry = self._inflight.get(batch_id)
                     if entry is None:
                         continue
+                    if entry.resubmits >= self.max_resubmits:
+                        # Poison-batch guard: this batch has already
+                        # consumed its retry budget across worker
+                        # failures; fail it loudly instead of cycling
+                        # the pool forever.
+                        doomed.append(self._inflight.pop(batch_id))
+                        continue
+                    entry.resubmits += 1
+                    entry.dispatched_at = now
+                    self._resubmitted += 1
                     replacement.assigned.add(batch_id)
                     replacement.requests.put(
                         (batch_id, entry.queries, entry.k)
                     )
+            for entry in doomed:
+                _fail(
+                    entry.future,
+                    WorkerError(
+                        f"batch abandoned after {entry.resubmits + 1} worker "
+                        f"failures (max_resubmits={self.max_resubmits})"
+                    ),
+                )
 
 
 def _complete(future: Future, value) -> None:

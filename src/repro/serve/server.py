@@ -13,17 +13,34 @@ LRU cache or coalesced by the micro-batcher into ``query_batch`` calls
 executed by the worker pool — or in-process when ``n_workers=0``, which
 keeps the micro-batching win without any IPC.
 
+Failure model — every degradation path is loud and typed, and every
+submitted future resolves:
+
+* ``deadline_ms`` (per request, or the server-wide default) bounds the
+  end-to-end wait; a request that cannot be answered in time fails with
+  :class:`~repro.serve.errors.DeadlineExceeded` — while queued, while a
+  worker holds it, or at delivery if the answer arrived too late.
+* ``policy.max_pending`` bounds admission; an overflowing request is
+  shed per ``policy.shed_policy`` with
+  :class:`~repro.serve.errors.ServerOverloaded`.
+* crashed workers restart and their batches are resubmitted (bounded by
+  ``max_resubmits``); a *hung* worker is detected by the
+  ``heartbeat_timeout`` and killed into the same recovery path.
+* submission after ``close()`` raises
+  :class:`~repro.serve.errors.ServerClosedError`.
+
 Everything downstream preserves the repo-wide bit-identity contract:
 the batch kernels answer exactly like sequential ``query``, snapshot
 loading is bit-identical to the builder, and the cache stores the very
 result objects it replays — so a served answer never differs from
-``index.query(query, k)`` on the freshly built index.
+``index.query(query, k)`` on the freshly built index.  Degradation
+sheds or fails requests; it never answers approximately.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 
 from repro.search.results import (
     BatchKnnResult,
@@ -32,14 +49,19 @@ from repro.search.results import (
     validate_queries,
     validate_query,
 )
-from repro.search.snapshot import load_index, snapshot_kind
+from repro.search.snapshot import snapshot_kind
 from repro.serve.batcher import BatchPolicy, MicroBatcher
 from repro.serve.cache import (
     ResultCache,
     result_cache_key,
     snapshot_fingerprint,
 )
-from repro.serve.pool import WorkerPool
+from repro.serve.errors import (
+    DeadlineExceeded,
+    ServerClosedError,
+    ServerOverloaded,
+)
+from repro.serve.pool import WorkerPool, _load_snapshot_index
 from repro.serve.stats import ServingReport, ServingStats
 
 
@@ -52,13 +74,28 @@ class IndexServer:
             still micro-batched); ``>= 1`` runs a :class:`WorkerPool`
             whose workers share the mmap'd corpus through the page
             cache.
-        policy: micro-batching flush policy (default
-            :class:`BatchPolicy`).
+        policy: micro-batching flush policy plus the admission bound
+            (default :class:`BatchPolicy`).
         cache_capacity: LRU result-cache entries; ``0`` disables the
             cache.
         mmap_points: map the corpus from disk instead of loading it
             (both in workers and for the in-process/metadata copy).
         start_method / restart_crashed: forwarded to :class:`WorkerPool`.
+        heartbeat_timeout: seconds a worker may hold one batch before it
+            is declared hung and killed into the restart path (default
+            30; ``None`` disables hang detection).  Only meaningful with
+            ``n_workers >= 1`` — in-process flushes run on the batcher
+            thread and cannot be preempted.
+        max_resubmits: retry budget per batch across worker
+            crashes/hangs before its requests fail with ``WorkerError``.
+        default_deadline_ms: deadline applied to every ``submit`` that
+            does not pass its own; ``None`` means no deadline.
+        index_loader: fault-injection/test seam — a picklable
+            ``loader(snapshot_path, mmap_points)`` used for whatever
+            executes the queries: the in-process index when
+            ``n_workers=0``, otherwise each pool worker.  The local
+            metadata/validation copy always loads clean (see
+            :mod:`repro.serve.faults`).
     """
 
     def __init__(
@@ -71,6 +108,10 @@ class IndexServer:
         mmap_points: bool = True,
         start_method: str | None = None,
         restart_crashed: bool = True,
+        heartbeat_timeout: float | None = 30.0,
+        max_resubmits: int = 1,
+        default_deadline_ms: float | None = None,
+        index_loader=None,
     ) -> None:
         if n_workers < 0:
             raise ValueError(
@@ -80,13 +121,27 @@ class IndexServer:
             raise ValueError(
                 f"cache_capacity must be non-negative, got {cache_capacity}"
             )
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError(
+                "default_deadline_ms must be positive or None, "
+                f"got {default_deadline_ms}"
+            )
         self.snapshot_path = snapshot_path
         self.kind = snapshot_kind(snapshot_path)
         self.n_workers = int(n_workers)
+        self.default_deadline_ms = default_deadline_ms
         # The local copy answers in-process traffic (n_workers=0) and
         # supplies metadata for request validation; with mmap the corpus
-        # bytes are shared with the workers rather than duplicated.
-        self._local = load_index(snapshot_path, mmap_points=mmap_points)
+        # bytes are shared with the workers rather than duplicated.  The
+        # index_loader seam only wraps whatever executes queries, so a
+        # pooled server's metadata copy must not consume the fault plan
+        # (or its one-shot marker claim) that is meant for the workers.
+        loader = (
+            index_loader
+            if index_loader is not None and n_workers == 0
+            else _load_snapshot_index
+        )
+        self._local = loader(snapshot_path, mmap_points)
         self.fingerprint = snapshot_fingerprint(snapshot_path)
         self._cache = (
             ResultCache(cache_capacity) if cache_capacity else None
@@ -99,6 +154,9 @@ class IndexServer:
                 mmap_points=mmap_points,
                 start_method=start_method,
                 restart_crashed=restart_crashed,
+                heartbeat_timeout=heartbeat_timeout,
+                max_resubmits=max_resubmits,
+                index_loader=index_loader,
             )
             if n_workers >= 1
             else None
@@ -121,31 +179,56 @@ class IndexServer:
         return self._batcher.policy
 
     def stats(self) -> ServingReport:
-        """Current serving metrics (cache counters merged in)."""
+        """Current serving metrics (cache and pool counters merged in)."""
         counters = (0, 0, 0)
         if self._cache is not None:
             c = self._cache.counters
             counters = (c.hits, c.misses, c.evictions)
-        return self._stats.report(cache_counters=counters)
+        pool_counters = (0, 0, 0)
+        if self._pool is not None:
+            pool_counters = (
+                self._pool.n_restarts,
+                self._pool.n_hung_kills,
+                self._pool.n_resubmitted,
+            )
+        return self._stats.report(
+            cache_counters=counters, pool_counters=pool_counters
+        )
 
     def reset_stats(self) -> None:
-        """Restart the metrics clock (cache counters are lifetime)."""
+        """Restart the metrics clock (cache/pool counters are lifetime)."""
         self._stats.reset()
 
     # -- request paths -------------------------------------------------
 
-    def submit(self, query, k: int = 1) -> Future:
+    def submit(
+        self, query, k: int = 1, *, deadline_ms: float | None = None
+    ) -> Future:
         """Enqueue one query; the future resolves to its KnnResult.
 
         Validation happens here, synchronously — malformed queries and
         out-of-range ``k`` raise ``ValueError`` exactly like
-        ``index.query`` would.
+        ``index.query`` would; a full admission queue raises
+        :class:`~repro.serve.errors.ServerOverloaded` under the
+        ``reject-new`` policy.  ``deadline_ms`` (falling back to the
+        server's ``default_deadline_ms``) bounds the end-to-end wait:
+        past it the future fails with
+        :class:`~repro.serve.errors.DeadlineExceeded` instead of waiting
+        forever.
         """
-        if self._closed:
-            raise RuntimeError("server is closed")
+        self._require_open()
         vector = validate_query(query, self.dimensionality)
         k = validate_k(k, self.n_points)
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be positive or None, got {deadline_ms}"
+            )
         started = time.perf_counter()
+        deadline = (
+            started + deadline_ms / 1e3 if deadline_ms is not None else None
+        )
         key = None
         if self._cache is not None:
             key = result_cache_key(vector, k, self.fingerprint)
@@ -155,15 +238,19 @@ class IndexServer:
                 future: Future = Future()
                 future.set_result(hit)
                 return future
-        future = self._batcher.submit(vector, k)
+        try:
+            future = self._batcher.submit(vector, k, deadline=deadline)
+        except ServerOverloaded:
+            self._stats.record_shed()
+            raise
         future.add_done_callback(
             lambda f: self._finish_request(f, key, started)
         )
         return future
 
-    def query(self, query, k: int = 1) -> KnnResult:
+    def query(self, query, k: int = 1, *, deadline_ms: float | None = None) -> KnnResult:
         """Blocking single-query convenience around :meth:`submit`."""
-        return self.submit(query, k=k).result()
+        return self.submit(query, k=k, deadline_ms=deadline_ms).result()
 
     def query_batch(self, queries, k: int = 1) -> BatchKnnResult:
         """One explicit batch, bypassing the micro-batcher.
@@ -171,10 +258,10 @@ class IndexServer:
         Callers that already hold a batch should not pay the coalescing
         wait; the batch goes to a worker (or the in-process index) as
         one ``query_batch`` call.  Recorded in the batch histogram but
-        not in the single-request latency percentiles.
+        not in the single-request latency percentiles.  Explicit batches
+        also bypass admission control and deadlines.
         """
-        if self._closed:
-            raise RuntimeError("server is closed")
+        self._require_open()
         array = validate_queries(queries, self.dimensionality)
         k = validate_k(k, self.n_points)
         if self._pool is None or array.shape[0] == 0:
@@ -186,40 +273,87 @@ class IndexServer:
 
     # -- internals -----------------------------------------------------
 
-    def _finish_request(self, future: Future, key, started: float) -> None:
-        if (
-            key is not None
-            and not future.cancelled()
-            and future.exception() is None
-        ):
-            self._cache.put(key, future.result())
-        self._stats.record_request(time.perf_counter() - started)
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServerClosedError("server is closed")
 
-    def _flush(self, queries, k: int, futures: list) -> None:
-        """Micro-batcher flush hook: run one coalesced batch."""
+    def _finish_request(self, future: Future, key, started: float) -> None:
+        """Done-callback: classify the outcome and account it exactly once.
+
+        Guarded by ``future.exception()`` so a failed batch can never
+        raise inside the callback (which ``concurrent.futures`` would
+        swallow into a log line), skip the cache put, *and* vanish from
+        the stats — failures are first-class counted outcomes.
+        """
+        latency = time.perf_counter() - started
+        if future.cancelled():
+            return
+        error = future.exception()
+        if error is None:
+            if key is not None:
+                self._cache.put(key, future.result())
+            self._stats.record_request(latency)
+        elif isinstance(error, DeadlineExceeded):
+            self._stats.record_deadline_exceeded()
+        elif isinstance(error, ServerOverloaded):
+            self._stats.record_shed()
+        else:
+            self._stats.record_failure()
+
+    def _flush(self, queries, k: int, futures: list, deadlines: list) -> None:
+        """Micro-batcher flush hook: run one coalesced batch.
+
+        The pool-side batch deadline is the latest member deadline (no
+        member is failed before its own deadline); it is only set when
+        *every* member carries one, because a deadline-less request must
+        never inherit a neighbor's.  Members are individually checked
+        again at delivery.
+        """
         if self._pool is None:
             batch = self._local.query_batch(queries, k=k)
-            self._distribute(batch, futures)
+            self._distribute(batch, futures, deadlines)
             return
-        pooled = self._pool.submit(queries, k)
+        finite = [d for d in deadlines if d is not None]
+        batch_deadline = (
+            max(finite) if len(finite) == len(deadlines) and finite else None
+        )
+        pooled = self._pool.submit(queries, k, deadline=batch_deadline)
         pooled.add_done_callback(
-            lambda f: self._distribute_pooled(f, futures)
+            lambda f: self._distribute_pooled(f, futures, deadlines)
         )
 
-    def _distribute(self, batch: BatchKnnResult, futures: list) -> None:
+    def _distribute(
+        self, batch: BatchKnnResult, futures: list, deadlines: list
+    ) -> None:
         self._stats.record_batch(len(futures), batch.stats)
-        for future, result in zip(futures, batch.results):
-            if not future.done():
-                future.set_result(result)
+        now = time.perf_counter()
+        for future, result, deadline in zip(
+            futures, batch.results, deadlines
+        ):
+            if future.done():
+                continue
+            if deadline is not None and now > deadline:
+                # The answer exists but arrived late.  Deadline
+                # semantics stay strict and uniform: resolve-with-result
+                # happens before the deadline or not at all.
+                _fail(
+                    future,
+                    DeadlineExceeded(
+                        "answer arrived after the request deadline"
+                    ),
+                )
+            else:
+                _complete(future, result)
 
-    def _distribute_pooled(self, pooled: Future, futures: list) -> None:
+    def _distribute_pooled(
+        self, pooled: Future, futures: list, deadlines: list
+    ) -> None:
         error = pooled.exception()
         if error is not None:
             for future in futures:
-                if not future.done():
-                    future.set_exception(error)
+                _fail(future, error)
             return
-        self._distribute(pooled.result(), futures)
+        self._distribute(pooled.result(), futures, deadlines)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -238,3 +372,17 @@ class IndexServer:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def _complete(future: Future, value) -> None:
+    try:
+        future.set_result(value)
+    except InvalidStateError:  # resolved concurrently (e.g. cancelled)
+        pass
+
+
+def _fail(future: Future, error: Exception) -> None:
+    try:
+        future.set_exception(error)
+    except InvalidStateError:
+        pass

@@ -4,11 +4,28 @@
 into; :class:`ServingReport` is the immutable snapshot handed to
 callers (and printed by ``repro serve-bench``).  Latency percentiles use
 the nearest-rank method so a report is a deterministic function of the
-recorded samples.
+retained samples.
+
+Latency samples live in a :class:`LatencyReservoir` — a fixed-size
+uniform reservoir (Vitter's Algorithm R) driven by a *seeded* RNG, so
+memory stays O(reservoir capacity) no matter how long the server runs
+**and** the retained sample set (hence every percentile report) is a
+deterministic function of the recorded sequence: feed two accumulators
+the same latencies and their reports are identical.  The pre-hardening
+implementation appended every sample to a list for the life of the
+server, which is an unbounded leak under sustained traffic.
+
+Besides successes, the accumulator counts every degradation outcome the
+hardened server can produce — failed batches, shed requests, expired
+deadlines — plus the worker-pool recovery counters (restarts, hung-
+worker kills, resubmissions), so a report always accounts for every
+submitted request: ``n_requests + n_failed + n_shed +
+n_deadline_exceeded`` equals the number of completed submissions.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from dataclasses import dataclass, field
@@ -29,22 +46,90 @@ def nearest_rank_percentile(samples: np.ndarray, q: float) -> float:
     return float(ordered[rank - 1])
 
 
+class LatencyReservoir:
+    """Fixed-size uniform sample of a stream (Algorithm R, seeded).
+
+    The first ``capacity`` values are kept verbatim; the i-th value
+    thereafter replaces a uniformly chosen retained sample with
+    probability ``capacity / i``.  Because the RNG is seeded, the
+    retained set is a deterministic function of the ``add`` sequence —
+    two reservoirs fed the same stream hold identical samples, so
+    percentile reports are reproducible run to run while memory stays
+    O(capacity).
+
+    Args:
+        capacity: samples retained (default 4096 — percentile error on
+            a p99 estimate is well under a percentile point at this
+            size).
+        seed: RNG seed; ``reset`` re-seeds so a reset reservoir replays
+            identically.
+    """
+
+    def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+        self._samples: list[float] = []
+        self._n_seen = 0
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def n_seen(self) -> int:
+        """Values offered to the reservoir over its lifetime."""
+        return self._n_seen
+
+    def add(self, value: float) -> None:
+        """Offer one value; it is retained with probability capacity/n_seen."""
+        self._n_seen += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+            return
+        slot = self._rng.randrange(self._n_seen)
+        if slot < self.capacity:
+            self._samples[slot] = value
+
+    def snapshot(self) -> np.ndarray:
+        """The retained samples as a float64 array (copy)."""
+        return np.asarray(self._samples, dtype=np.float64)
+
+    def reset(self) -> None:
+        """Drop every sample and re-seed, so a fresh run replays identically."""
+        self._rng = random.Random(self.seed)
+        self._samples.clear()
+        self._n_seen = 0
+
+
 @dataclass(frozen=True)
 class ServingReport:
     """Immutable summary of a serving run.
 
     Attributes:
-        n_requests: single-query requests answered (cache hits included).
+        n_requests: single-query requests answered successfully (cache
+            hits included).
         n_batches: ``query_batch`` calls issued downstream.
         elapsed_seconds: wall time since the stats were started/reset.
         throughput_qps: ``n_requests / elapsed_seconds``.
         latency_p50_ms / latency_p95_ms / latency_p99_ms: request latency
-            percentiles (submit to completed future), milliseconds.
+            percentiles (submit to completed future), milliseconds,
+            computed over the deterministic latency reservoir.
         batch_size_histogram: batch size -> number of flushed batches.
         mean_batch_size: request rows per flushed batch, averaged.
         query_stats: summed work accounting across every served batch.
         cache_hits / cache_misses / cache_evictions: LRU counters (all
             zero when the server runs without a cache).
+        n_failed: requests whose future resolved with an error other
+            than shedding or a deadline (worker failures, injected
+            faults, validation errors surfaced downstream).
+        n_shed: requests sacrificed by the bounded admission queue
+            (``ServerOverloaded`` — rejected new or dropped oldest).
+        n_deadline_exceeded: requests that failed with
+            ``DeadlineExceeded`` at any stage.
+        n_restarts / n_hung_kills / n_resubmitted: worker-pool recovery
+            counters (zero for in-process serving).
     """
 
     n_requests: int
@@ -60,31 +145,67 @@ class ServingReport:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    n_failed: int = 0
+    n_shed: int = 0
+    n_deadline_exceeded: int = 0
+    n_restarts: int = 0
+    n_hung_kills: int = 0
+    n_resubmitted: int = 0
 
 
 class ServingStats:
     """Thread-safe accumulator for the serving metrics.
 
-    The server calls :meth:`record_request` once per completed request
-    (with the submit-to-completion latency) and :meth:`record_batch`
-    once per flushed batch.  :meth:`report` snapshots everything.
+    The server calls :meth:`record_request` once per successfully
+    completed request (with the submit-to-completion latency),
+    :meth:`record_batch` once per flushed batch, and one of
+    :meth:`record_failure` / :meth:`record_shed` /
+    :meth:`record_deadline_exceeded` per degraded request.
+    :meth:`report` snapshots everything.
+
+    Args:
+        reservoir_capacity / reservoir_seed: forwarded to the
+            :class:`LatencyReservoir` that bounds latency-sample memory.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, *, reservoir_capacity: int = 4096, reservoir_seed: int = 0
+    ) -> None:
         self._lock = threading.Lock()
         self._started = time.perf_counter()
-        self._latencies: list[float] = []
+        self._latencies = LatencyReservoir(reservoir_capacity, reservoir_seed)
         self._histogram: dict[int, int] = {}
-        self._batch_stats: list[QueryStats] = []
+        # Folded on the fly (QueryStats addition is associative), so the
+        # accumulator holds one total instead of a per-batch list — the
+        # same unbounded-growth fix the latency reservoir applies.
+        self._batch_stats = QueryStats()
         self._n_requests = 0
         self._n_batches = 0
         self._n_rows = 0
+        self._n_failed = 0
+        self._n_shed = 0
+        self._n_deadline_exceeded = 0
 
     def record_request(self, latency_seconds: float) -> None:
-        """Account one completed single-query request."""
+        """Account one successfully completed single-query request."""
         with self._lock:
             self._n_requests += 1
-            self._latencies.append(latency_seconds)
+            self._latencies.add(latency_seconds)
+
+    def record_failure(self) -> None:
+        """Account one request whose future resolved with an error."""
+        with self._lock:
+            self._n_failed += 1
+
+    def record_shed(self) -> None:
+        """Account one request shed by the bounded admission queue."""
+        with self._lock:
+            self._n_shed += 1
+
+    def record_deadline_exceeded(self) -> None:
+        """Account one request that missed its end-to-end deadline."""
+        with self._lock:
+            self._n_deadline_exceeded += 1
 
     def record_batch(self, size: int, stats: QueryStats | None = None) -> None:
         """Account one flushed batch of ``size`` request rows."""
@@ -95,32 +216,47 @@ class ServingStats:
             self._n_rows += size
             self._histogram[size] = self._histogram.get(size, 0) + 1
             if stats is not None:
-                self._batch_stats.append(stats)
+                self._batch_stats = combine_stats([self._batch_stats, stats])
 
     def reset(self) -> None:
         """Discard all samples and restart the wall clock."""
         with self._lock:
             self._started = time.perf_counter()
-            self._latencies.clear()
+            self._latencies.reset()
             self._histogram.clear()
-            self._batch_stats.clear()
+            self._batch_stats = QueryStats()
             self._n_requests = 0
             self._n_batches = 0
             self._n_rows = 0
+            self._n_failed = 0
+            self._n_shed = 0
+            self._n_deadline_exceeded = 0
 
     def report(
-        self, *, cache_counters: tuple[int, int, int] = (0, 0, 0)
+        self,
+        *,
+        cache_counters: tuple[int, int, int] = (0, 0, 0),
+        pool_counters: tuple[int, int, int] = (0, 0, 0),
     ) -> ServingReport:
-        """Snapshot the accumulated metrics into a :class:`ServingReport`."""
+        """Snapshot the accumulated metrics into a :class:`ServingReport`.
+
+        ``pool_counters`` is ``(n_restarts, n_hung_kills,
+        n_resubmitted)`` from the worker pool, merged in the same way
+        the cache counters are.
+        """
         with self._lock:
             elapsed = time.perf_counter() - self._started
-            latencies = np.asarray(self._latencies, dtype=np.float64)
+            latencies = self._latencies.snapshot()
             histogram = dict(self._histogram)
-            total = combine_stats(self._batch_stats)
+            total = combine_stats([self._batch_stats])
             n_requests = self._n_requests
             n_batches = self._n_batches
             n_rows = self._n_rows
+            n_failed = self._n_failed
+            n_shed = self._n_shed
+            n_deadline = self._n_deadline_exceeded
         hits, misses, evictions = cache_counters
+        restarts, hung_kills, resubmitted = pool_counters
         return ServingReport(
             n_requests=n_requests,
             n_batches=n_batches,
@@ -135,4 +271,10 @@ class ServingStats:
             cache_hits=hits,
             cache_misses=misses,
             cache_evictions=evictions,
+            n_failed=n_failed,
+            n_shed=n_shed,
+            n_deadline_exceeded=n_deadline,
+            n_restarts=restarts,
+            n_hung_kills=hung_kills,
+            n_resubmitted=resubmitted,
         )

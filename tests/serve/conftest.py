@@ -1,0 +1,37 @@
+"""Shared fixtures for the serving tests.
+
+The serving stack runs real threads and worker processes, and its
+failure-path tests deliberately create hung workers; a bug in the
+recovery code could otherwise wedge the whole test session.  Since the
+environment has no ``pytest-timeout``, an autouse SIGALRM watchdog
+gives every test in this package a hard wall-clock budget on POSIX.
+"""
+
+import signal
+
+import pytest
+
+_TEST_TIMEOUT_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def _watchdog(request):
+    """Fail (rather than hang) any serve test that exceeds the budget."""
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - POSIX only
+        yield
+        return
+
+    def _expired(signum, frame):
+        pytest.fail(
+            f"{request.node.nodeid} exceeded the "
+            f"{_TEST_TIMEOUT_SECONDS}s serve-test watchdog",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(_TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,4 +1,5 @@
-"""Micro-batcher: size/deadline flushing, per-k grouping, error routing."""
+"""Micro-batcher: size/deadline flushing, per-k grouping, error routing,
+request deadlines, and bounded admission with load shedding."""
 
 import threading
 import time
@@ -6,7 +7,13 @@ import time
 import numpy as np
 import pytest
 
-from repro.serve import BatchPolicy, MicroBatcher
+from repro.serve import (
+    BatchPolicy,
+    DeadlineExceeded,
+    MicroBatcher,
+    ServerClosedError,
+    ServerOverloaded,
+)
 
 
 class Recorder:
@@ -16,7 +23,7 @@ class Recorder:
         self.batches = []
         self.lock = threading.Lock()
 
-    def __call__(self, queries, k, futures):
+    def __call__(self, queries, k, futures, deadlines):
         with self.lock:
             self.batches.append((queries.copy(), k))
         for row, future in zip(queries, futures):
@@ -37,6 +44,8 @@ class TestBatchPolicy:
         policy = BatchPolicy()
         assert policy.max_batch == 64
         assert policy.max_wait_ms == 2.0
+        assert policy.max_pending is None
+        assert policy.shed_policy == "reject-new"
 
     def test_rejects_nonpositive_max_batch(self):
         with pytest.raises(ValueError, match="max_batch"):
@@ -45,6 +54,14 @@ class TestBatchPolicy:
     def test_rejects_negative_wait(self):
         with pytest.raises(ValueError, match="max_wait_ms"):
             BatchPolicy(max_wait_ms=-1.0)
+
+    def test_rejects_nonpositive_max_pending(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            BatchPolicy(max_pending=0)
+
+    def test_rejects_unknown_shed_policy(self):
+        with pytest.raises(ValueError, match="shed_policy"):
+            BatchPolicy(shed_policy="drop-newest")
 
 
 class TestFlushTriggers:
@@ -102,9 +119,9 @@ class TestFlushTriggers:
         gate = threading.Event()
         recorder = Recorder()
 
-        def slow_flush(queries, k, futures):
+        def slow_flush(queries, k, futures, deadlines):
             gate.wait(5.0)  # let submissions pile up past max_batch
-            recorder(queries, k, futures)
+            recorder(queries, k, futures, deadlines)
 
         policy = BatchPolicy(max_batch=4, max_wait_ms=1.0)
         with MicroBatcher(slow_flush, policy) as batcher:
@@ -114,6 +131,135 @@ class TestFlushTriggers:
         sizes = sorted(q.shape[0] for q, _ in recorder.batches)
         assert sum(sizes) == 11
         assert max(sizes) <= 4
+
+
+class TestRequestDeadlines:
+    def test_expired_request_fails_with_deadline_exceeded(self):
+        recorder = Recorder()
+        # The flush deadline is an hour away: only per-request deadline
+        # enforcement can resolve the future quickly.
+        policy = BatchPolicy(max_batch=1_000, max_wait_ms=3_600_000.0)
+        with MicroBatcher(recorder, policy) as batcher:
+            future = batcher.submit(
+                np.zeros(2), 1, deadline=time.perf_counter() + 0.02
+            )
+            assert wait_for(future.done, timeout=5.0)
+            with pytest.raises(DeadlineExceeded):
+                future.result()
+        assert recorder.batches == []
+
+    def test_unexpired_requests_survive_a_neighbors_expiry(self):
+        recorder = Recorder()
+        policy = BatchPolicy(max_batch=1_000, max_wait_ms=150.0)
+        with MicroBatcher(recorder, policy) as batcher:
+            doomed = batcher.submit(
+                np.zeros(2), 1, deadline=time.perf_counter() + 0.02
+            )
+            safe = batcher.submit(np.ones(2), 1)
+            assert wait_for(lambda: doomed.done() and safe.done())
+        with pytest.raises(DeadlineExceeded):
+            doomed.result()
+        row, _ = safe.result()
+        assert row.tolist() == [1.0, 1.0]
+        # The expired row never reached the flush target.
+        assert [q.shape[0] for q, _ in recorder.batches] == [1]
+
+    def test_rearmed_split_remainder_still_honors_request_deadlines(self):
+        # Covers the oversized-group re-arm: the survivors get a fresh
+        # *flush* deadline, but their own request deadlines keep
+        # counting and must still fail them with DeadlineExceeded.
+        gate = threading.Event()
+        recorder = Recorder()
+
+        def slow_flush(queries, k, futures, deadlines):
+            gate.wait(5.0)
+            recorder(queries, k, futures, deadlines)
+
+        policy = BatchPolicy(max_batch=4, max_wait_ms=1.0)
+        with MicroBatcher(slow_flush, policy) as batcher:
+            head = [batcher.submit(np.zeros(1), 1) for _ in range(4)]
+            tail = [
+                batcher.submit(
+                    np.ones(1), 1, deadline=time.perf_counter() + 0.05
+                )
+                for _ in range(3)
+            ]
+            time.sleep(0.15)  # flusher is stuck in gate; tail expires
+            gate.set()
+            assert wait_for(
+                lambda: all(f.done() for f in head + tail)
+            )
+        for future in head:
+            assert future.exception() is None
+        for future in tail:
+            with pytest.raises(DeadlineExceeded):
+                future.result()
+        # Only the head rows were ever flushed.
+        assert sum(q.shape[0] for q, _ in recorder.batches) == 4
+
+
+class TestAdmissionControl:
+    def test_reject_new_raises_server_overloaded(self):
+        gate = threading.Event()
+
+        def blocked_flush(queries, k, futures, deadlines):
+            gate.wait(5.0)
+            for future in futures:
+                future.set_result(None)
+
+        policy = BatchPolicy(
+            max_batch=2, max_wait_ms=1.0, max_pending=3,
+            shed_policy="reject-new",
+        )
+        with MicroBatcher(blocked_flush, policy) as batcher:
+            admitted = [batcher.submit(np.zeros(1), 1) for _ in range(2)]
+            # The flusher detaches the first full batch and blocks; now
+            # fill the queue back up to the bound and overflow it.
+            assert wait_for(lambda: batcher.n_pending == 0)
+            overflow_at = policy.max_pending
+            admitted += [
+                batcher.submit(np.zeros(1), 1) for _ in range(overflow_at)
+            ]
+            with pytest.raises(ServerOverloaded):
+                batcher.submit(np.zeros(1), 1)
+            gate.set()
+            assert wait_for(lambda: all(f.done() for f in admitted))
+        assert all(f.exception() is None for f in admitted)
+
+    def test_drop_oldest_sheds_the_oldest_queued_request(self):
+        gate = threading.Event()
+
+        def blocked_flush(queries, k, futures, deadlines):
+            gate.wait(5.0)
+            for row, future in zip(queries, futures):
+                future.set_result(float(row[0]))
+
+        policy = BatchPolicy(
+            max_batch=100, max_wait_ms=3_600_000.0, max_pending=3,
+            shed_policy="drop-oldest",
+        )
+        with MicroBatcher(blocked_flush, policy) as batcher:
+            first = [
+                batcher.submit(np.full(1, float(i)), 1) for i in range(3)
+            ]
+            newcomer = batcher.submit(np.full(1, 99.0), 1)
+            # The oldest queued request was sacrificed for the newcomer.
+            assert wait_for(first[0].done)
+            with pytest.raises(ServerOverloaded):
+                first[0].result()
+            assert not newcomer.done()
+            gate.set()
+        assert first[1].result() == 1.0
+        assert first[2].result() == 2.0
+        assert newcomer.result() == 99.0
+
+    def test_unbounded_policy_never_sheds(self):
+        recorder = Recorder()
+        policy = BatchPolicy(max_batch=4, max_wait_ms=1.0)
+        with MicroBatcher(recorder, policy) as batcher:
+            futures = [batcher.submit(np.zeros(1), 1) for _ in range(200)]
+            assert wait_for(lambda: all(f.done() for f in futures))
+        assert all(f.exception() is None for f in futures)
 
 
 class TestLifecycleAndErrors:
@@ -126,9 +272,12 @@ class TestLifecycleAndErrors:
         assert all(f.done() for f in futures)
         assert sum(q.shape[0] for q, _ in recorder.batches) == 3
 
-    def test_submit_after_close_raises(self):
+    def test_submit_after_close_raises_typed_error(self):
         batcher = MicroBatcher(Recorder())
         batcher.close()
+        with pytest.raises(ServerClosedError, match="closed"):
+            batcher.submit(np.zeros(2), 1)
+        # The typed error still honors the historical contract.
         with pytest.raises(RuntimeError, match="closed"):
             batcher.submit(np.zeros(2), 1)
 
@@ -138,7 +287,7 @@ class TestLifecycleAndErrors:
         batcher.close()
 
     def test_flush_exception_routes_to_futures(self):
-        def broken(queries, k, futures):
+        def broken(queries, k, futures, deadlines):
             raise RuntimeError("flush exploded")
 
         policy = BatchPolicy(max_batch=2, max_wait_ms=5.0)

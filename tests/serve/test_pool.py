@@ -9,7 +9,13 @@ import pytest
 
 from repro.search.bruteforce import BruteForceIndex
 from repro.search.snapshot import SnapshotError, write_snapshot
-from repro.serve import WorkerError, WorkerPool
+from repro.serve import (
+    DeadlineExceeded,
+    FaultPlan,
+    FaultyLoader,
+    WorkerError,
+    WorkerPool,
+)
 
 
 def wait_for(predicate, timeout=10.0):
@@ -101,6 +107,73 @@ class TestCrashRecovery:
 
             assert wait_for(all_dead)
             assert pool.n_restarts == 0
+
+
+class TestHungWorkerRecovery:
+    def test_hung_worker_is_killed_and_batch_reanswered(
+        self, corpus, snapshot, tmp_path, rng
+    ):
+        # The first worker hangs on its first batch; the heartbeat must
+        # kill it, start a replacement (clean, because the marker was
+        # claimed), and resubmit the orphaned batch — whose answer must
+        # match a local query_batch exactly.
+        loader = FaultyLoader(
+            FaultPlan(hang_on=(1,)), marker_path=str(tmp_path / "claim")
+        )
+        queries = rng.normal(size=(5, 5))
+        with WorkerPool(
+            snapshot, 1, heartbeat_timeout=0.25, index_loader=loader
+        ) as pool:
+            batch = pool.submit(queries, 2).result(timeout=30)
+            assert pool.n_hung_kills >= 1
+            assert pool.n_restarts >= 1
+            assert pool.n_resubmitted >= 1
+        assert_matches_local(corpus, batch, queries, 2)
+
+    def test_bounded_resubmission_fails_poison_batch(self, snapshot, rng):
+        # No marker: EVERY worker (original and replacements) hangs on
+        # its first batch, so the batch is a poison pill.  The retry
+        # budget must stop the kill/restart cycle after max_resubmits
+        # and fail the future loudly.
+        loader = FaultyLoader(FaultPlan(hang_on=(1,)))
+        with WorkerPool(
+            snapshot, 1, heartbeat_timeout=0.15, max_resubmits=1,
+            index_loader=loader,
+        ) as pool:
+            future = pool.submit(rng.normal(size=(2, 5)), 1)
+            with pytest.raises(WorkerError, match="abandoned"):
+                future.result(timeout=30)
+            # original worker + the one replacement both got killed
+            assert pool.n_hung_kills >= 2
+            assert pool.n_resubmitted == 1
+
+
+class TestBatchDeadlines:
+    def test_expired_batch_fails_and_pool_survives(
+        self, corpus, snapshot, rng
+    ):
+        loader = FaultyLoader(FaultPlan(delay_all=0.5))
+        with WorkerPool(snapshot, 1, index_loader=loader) as pool:
+            future = pool.submit(
+                rng.normal(size=(2, 5)), 1,
+                deadline=time.perf_counter() + 0.05,
+            )
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=30)
+            # The worker's late answer is discarded, not delivered; the
+            # pool keeps serving deadline-less traffic afterwards.
+            queries = rng.normal(size=(3, 5))
+            batch = pool.submit(queries, 1).result(timeout=30)
+        assert_matches_local(corpus, batch, queries, 1)
+
+
+class TestInjectedErrors:
+    def test_worker_side_injected_fault_surfaces_typed(self, snapshot, rng):
+        loader = FaultyLoader(FaultPlan(raise_on=(1,)))
+        with WorkerPool(snapshot, 1, index_loader=loader) as pool:
+            future = pool.submit(rng.normal(size=(2, 5)), 1)
+            with pytest.raises(WorkerError, match="InjectedFault"):
+                future.result(timeout=30)
 
 
 class TestSnapshotValidation:

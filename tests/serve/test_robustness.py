@@ -1,0 +1,244 @@
+"""End-to-end fault matrix for the hardened serving stack.
+
+The contract under test: **every submitted future resolves** — with a
+result or a typed :class:`ServingError` — under hangs, crashes,
+overload, and deadline expiry; and every answer that *is* delivered is
+bit-identical to sequential ``index.query``.  Degradation sheds or
+fails loudly; it never answers approximately.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.search.bruteforce import BruteForceIndex
+from repro.serve import (
+    BatchPolicy,
+    DeadlineExceeded,
+    FaultPlan,
+    FaultyLoader,
+    IndexServer,
+    ServerOverloaded,
+    ServingError,
+)
+
+_FAST = BatchPolicy(max_batch=4, max_wait_ms=1.0)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return np.random.default_rng(23).normal(size=(90, 4))
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    return BruteForceIndex(corpus)
+
+
+@pytest.fixture(scope="module")
+def snapshot(index, tmp_path_factory):
+    path = tmp_path_factory.mktemp("robustness") / "bruteforce.npz"
+    index.save(str(path))
+    return str(path)
+
+
+def collect(futures, timeout=60.0):
+    """Resolve every future into (results, errors).
+
+    An unresolved future raises ``TimeoutError`` here, failing the test
+    — that is the point: no future may be left hanging.  Typed serving
+    errors become ``None`` placeholders and are returned for inspection.
+    """
+    results, errors = [], []
+    for future in futures:
+        try:
+            results.append(future.result(timeout=timeout))
+        except ServingError as error:
+            results.append(None)
+            errors.append(error)
+    return results, errors
+
+
+def assert_delivered_match(index, queries, ks, results):
+    for query, k, got in zip(queries, ks, results):
+        if got is None:
+            continue
+        expected = index.query(query, k=k)
+        assert tuple(got.indices.tolist()) == tuple(
+            expected.indices.tolist()
+        )
+        assert tuple(got.distances.tolist()) == tuple(
+            expected.distances.tolist()
+        )
+        assert got.stats == expected.stats
+
+
+class TestHungWorker:
+    def test_recovery_is_bit_identical(self, index, snapshot, tmp_path, rng):
+        # First worker hangs on its first batch; the heartbeat kills it,
+        # the replacement (clean — marker claimed) re-answers everything.
+        loader = FaultyLoader(
+            FaultPlan(hang_on=(1,)), marker_path=str(tmp_path / "claim")
+        )
+        queries = rng.normal(size=(12, 4))
+        with IndexServer(
+            snapshot, n_workers=1, policy=_FAST, heartbeat_timeout=0.25,
+            index_loader=loader,
+        ) as server:
+            futures = [server.submit(q, k=3) for q in queries]
+            results, errors = collect(futures)
+            report = server.stats()
+        assert errors == []
+        assert all(r is not None for r in results)
+        assert_delivered_match(index, queries, [3] * 12, results)
+        assert report.n_hung_kills >= 1
+        assert report.n_restarts >= 1
+        assert report.n_resubmitted >= 1
+        assert report.n_requests == 12
+
+
+class TestCrashedWorker:
+    def test_crash_under_deadline_still_answers(
+        self, index, snapshot, tmp_path, rng
+    ):
+        # The worker dies hard mid-batch while every request carries a
+        # generous deadline; recovery (restart + resubmit) beats the
+        # deadline, so every answer arrives — and matches exactly.
+        loader = FaultyLoader(
+            FaultPlan(crash_on=(1,)), marker_path=str(tmp_path / "claim")
+        )
+        queries = rng.normal(size=(8, 4))
+        with IndexServer(
+            snapshot, n_workers=1, policy=_FAST, index_loader=loader
+        ) as server:
+            futures = [
+                server.submit(q, k=2, deadline_ms=20_000) for q in queries
+            ]
+            results, errors = collect(futures)
+            report = server.stats()
+        assert errors == []
+        assert_delivered_match(index, queries, [2] * 8, results)
+        assert report.n_restarts >= 1
+        assert report.n_requests == 8
+
+
+class TestOverload:
+    def test_burst_sheds_with_reject_new(self, index, snapshot, rng):
+        # A slow in-process index plus a tiny admission bound: the burst
+        # must overflow, the overflow raises synchronously, and every
+        # *admitted* request is still answered exactly.
+        loader = FaultyLoader(FaultPlan(delay_all=0.05))
+        policy = BatchPolicy(
+            max_batch=4, max_wait_ms=1.0, max_pending=4,
+            shed_policy="reject-new",
+        )
+        queries = rng.normal(size=(40, 4))
+        admitted, shed = [], 0
+        with IndexServer(
+            snapshot, n_workers=0, policy=policy, index_loader=loader
+        ) as server:
+            for q in queries:
+                try:
+                    admitted.append((q, server.submit(q, k=1)))
+                except ServerOverloaded:
+                    shed += 1
+            results, errors = collect([f for _, f in admitted])
+            report = server.stats()
+        assert shed > 0
+        assert errors == []
+        assert report.n_shed == shed
+        assert report.n_requests == len(admitted)
+        assert report.n_requests + report.n_shed == 40
+        assert_delivered_match(
+            index, [q for q, _ in admitted], [1] * len(admitted), results
+        )
+
+    def test_burst_sheds_oldest_with_drop_oldest(self, index, snapshot, rng):
+        # Same burst, drop-oldest: nothing raises at submit; instead the
+        # oldest queued futures fail with ServerOverloaded while the
+        # freshest traffic is served.
+        loader = FaultyLoader(FaultPlan(delay_all=0.05))
+        policy = BatchPolicy(
+            max_batch=4, max_wait_ms=1.0, max_pending=4,
+            shed_policy="drop-oldest",
+        )
+        queries = rng.normal(size=(40, 4))
+        with IndexServer(
+            snapshot, n_workers=0, policy=policy, index_loader=loader
+        ) as server:
+            futures = [server.submit(q, k=1) for q in queries]
+            results, errors = collect(futures)
+            report = server.stats()
+        assert errors  # something was shed
+        assert all(isinstance(e, ServerOverloaded) for e in errors)
+        assert report.n_shed == len(errors)
+        assert report.n_requests == 40 - len(errors)
+        assert sum(r is not None for r in results) == report.n_requests
+        assert_delivered_match(index, queries, [1] * 40, results)
+
+
+class TestDeadlines:
+    def test_deadline_shorter_than_flush_wait(self, snapshot):
+        # The flush wait is an hour; the request deadline is 20 ms.  The
+        # future must fail fast with DeadlineExceeded instead of waiting
+        # for a batch that will never fill.
+        policy = BatchPolicy(max_batch=1_000, max_wait_ms=3_600_000.0)
+        with IndexServer(snapshot, n_workers=0, policy=policy) as server:
+            started = time.perf_counter()
+            future = server.submit(np.zeros(4), k=1, deadline_ms=20)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=30)
+            elapsed = time.perf_counter() - started
+            report = server.stats()
+        assert elapsed < 10.0
+        assert report.n_deadline_exceeded == 1
+        assert report.n_requests == 0
+
+    def test_default_deadline_applies_to_every_request(self, snapshot):
+        policy = BatchPolicy(max_batch=1_000, max_wait_ms=3_600_000.0)
+        with IndexServer(
+            snapshot, n_workers=0, policy=policy, default_deadline_ms=20
+        ) as server:
+            with pytest.raises(DeadlineExceeded):
+                server.query(np.zeros(4), k=1)
+            report = server.stats()
+        assert report.n_deadline_exceeded == 1
+
+
+class TestChaos:
+    def test_every_future_resolves_and_accounting_balances(
+        self, index, snapshot, tmp_path, rng
+    ):
+        # Mixed fault schedule on one of two workers: an injected error,
+        # a delayed batch, then a hard crash (replacement is clean).
+        # Whatever happens, every future must resolve, every delivered
+        # answer must match, and the report must account for all 30
+        # submissions.
+        loader = FaultyLoader(
+            FaultPlan(raise_on=(1,), delay_on=((2, 0.05),), crash_on=(3,)),
+            marker_path=str(tmp_path / "claim"),
+        )
+        queries = rng.normal(size=(30, 4))
+        ks = [1 + (i % 3) for i in range(30)]
+        with IndexServer(
+            snapshot, n_workers=2, policy=_FAST, heartbeat_timeout=0.5,
+            index_loader=loader,
+        ) as server:
+            futures = [
+                server.submit(q, k=k, deadline_ms=30_000)
+                for q, k in zip(queries, ks)
+            ]
+            results, errors = collect(futures)
+            report = server.stats()
+        assert len(results) == 30  # collect() timed out on nothing
+        assert all(isinstance(e, ServingError) for e in errors)
+        assert_delivered_match(index, queries, ks, results)
+        accounted = (
+            report.n_requests
+            + report.n_failed
+            + report.n_shed
+            + report.n_deadline_exceeded
+        )
+        assert accounted == 30
+        assert report.n_failed == len(errors)

@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.search.bruteforce import BruteForceIndex
-from repro.serve import BatchPolicy, IndexServer
+from repro.serve import (
+    BatchPolicy,
+    FaultPlan,
+    FaultyLoader,
+    IndexServer,
+    InjectedFault,
+    ServerClosedError,
+)
 
 _FAST = BatchPolicy(max_batch=8, max_wait_ms=1.0)
 
@@ -138,6 +145,42 @@ class TestValidation:
             IndexServer(snapshot, n_workers=-1)
         with pytest.raises(ValueError, match="cache_capacity"):
             IndexServer(snapshot, cache_capacity=-1)
+        with pytest.raises(ValueError, match="default_deadline_ms"):
+            IndexServer(snapshot, default_deadline_ms=0)
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            IndexServer(snapshot, n_workers=1, heartbeat_timeout=-1.0)
+
+    def test_nonpositive_deadline_ms_raises(self, snapshot):
+        with IndexServer(snapshot, n_workers=0) as server:
+            with pytest.raises(ValueError, match="deadline_ms"):
+                server.submit(np.zeros(4), k=1, deadline_ms=-5.0)
+
+
+class TestFailureAccounting:
+    def test_injected_error_is_counted_not_cached_not_fatal(
+        self, index, snapshot, rng
+    ):
+        # The first in-process batch raises; the failure must surface
+        # typed in the caller's future, be counted as n_failed, skip the
+        # cache put, and leave the server fully serviceable.
+        loader = FaultyLoader(FaultPlan(raise_on=(1,)))
+        query = rng.normal(size=4)
+        with IndexServer(
+            snapshot, n_workers=0, policy=_FAST, cache_capacity=8,
+            index_loader=loader,
+        ) as server:
+            future = server.submit(query, k=2)
+            with pytest.raises(InjectedFault):
+                future.result(timeout=30)
+            retried = server.query(query, k=2)
+            report = server.stats()
+        assert report.n_failed == 1
+        assert report.n_requests == 1
+        # The failed attempt put nothing in the cache: the retry was a
+        # miss, not a hit replaying a poisoned entry.
+        assert report.cache_hits == 0
+        assert report.cache_misses == 2
+        assert_result_matches(retried, index.query(query, k=2))
 
 
 class TestStats:
@@ -179,10 +222,15 @@ class TestLifecycle:
     def test_submit_after_close_raises(self, snapshot, rng):
         server = IndexServer(snapshot, n_workers=0)
         server.close()
-        with pytest.raises(RuntimeError, match="closed"):
+        # Typed, and still a RuntimeError for pre-hardening callers.
+        with pytest.raises(ServerClosedError, match="closed"):
             server.submit(rng.normal(size=4), k=1)
         with pytest.raises(RuntimeError, match="closed"):
+            server.submit(rng.normal(size=4), k=1)
+        with pytest.raises(ServerClosedError, match="closed"):
             server.query_batch(rng.normal(size=(2, 4)), k=1)
+        with pytest.raises(ServerClosedError, match="closed"):
+            server.query(rng.normal(size=4), k=1)
 
     def test_close_is_idempotent(self, snapshot):
         server = IndexServer(snapshot, n_workers=0)

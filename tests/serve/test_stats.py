@@ -1,0 +1,121 @@
+"""LatencyReservoir and ServingStats: bounded memory, determinism,
+degradation counters."""
+
+import numpy as np
+import pytest
+
+from repro.search.results import QueryStats
+from repro.serve import LatencyReservoir, ServingStats
+
+
+class TestLatencyReservoir:
+    def test_keeps_everything_below_capacity(self):
+        reservoir = LatencyReservoir(capacity=10)
+        for value in range(7):
+            reservoir.add(float(value))
+        assert len(reservoir) == 7
+        assert reservoir.n_seen == 7
+        assert reservoir.snapshot().tolist() == [float(v) for v in range(7)]
+
+    def test_million_samples_stay_bounded(self):
+        # The satellite regression: the pre-hardening accumulator kept
+        # every latency for the life of the server.  A million samples
+        # must retain exactly `capacity` of them.
+        reservoir = LatencyReservoir(capacity=512)
+        for value in range(1_000_000):
+            reservoir.add(float(value))
+        assert len(reservoir) == 512
+        assert reservoir.n_seen == 1_000_000
+        samples = reservoir.snapshot()
+        assert samples.shape == (512,)
+        # Algorithm R keeps a uniform sample, so the retained values
+        # should span the stream, not just its head or tail.
+        assert samples.min() < 250_000
+        assert samples.max() > 750_000
+
+    def test_identical_streams_give_identical_samples(self):
+        a = LatencyReservoir(capacity=64, seed=3)
+        b = LatencyReservoir(capacity=64, seed=3)
+        stream = np.random.default_rng(0).normal(size=5_000)
+        for value in stream:
+            a.add(float(value))
+            b.add(float(value))
+        assert a.snapshot().tolist() == b.snapshot().tolist()
+
+    def test_reset_reseeds_for_identical_replay(self):
+        reservoir = LatencyReservoir(capacity=32, seed=9)
+        stream = [float(v) for v in range(1_000)]
+        for value in stream:
+            reservoir.add(value)
+        first = reservoir.snapshot().tolist()
+        reservoir.reset()
+        assert len(reservoir) == 0
+        assert reservoir.n_seen == 0
+        for value in stream:
+            reservoir.add(value)
+        assert reservoir.snapshot().tolist() == first
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            LatencyReservoir(capacity=0)
+
+
+class TestServingStats:
+    def test_reports_are_deterministic_across_instances(self):
+        streams = np.random.default_rng(4).uniform(0.001, 0.1, size=20_000)
+        reports = []
+        for _ in range(2):
+            stats = ServingStats(reservoir_capacity=256, reservoir_seed=1)
+            for latency in streams:
+                stats.record_request(float(latency))
+            reports.append(stats.report())
+        assert reports[0].latency_p50_ms == reports[1].latency_p50_ms
+        assert reports[0].latency_p95_ms == reports[1].latency_p95_ms
+        assert reports[0].latency_p99_ms == reports[1].latency_p99_ms
+
+    def test_percentiles_order_and_requests_counted_past_capacity(self):
+        stats = ServingStats(reservoir_capacity=128)
+        for latency in np.linspace(0.001, 0.2, 10_000):
+            stats.record_request(float(latency))
+        report = stats.report()
+        assert report.n_requests == 10_000
+        assert 0.0 < report.latency_p50_ms <= report.latency_p95_ms
+        assert report.latency_p95_ms <= report.latency_p99_ms <= 200.0
+
+    def test_degradation_counters(self):
+        stats = ServingStats()
+        stats.record_request(0.01)
+        stats.record_failure()
+        stats.record_failure()
+        stats.record_shed()
+        stats.record_deadline_exceeded()
+        report = stats.report(pool_counters=(2, 1, 3))
+        assert report.n_requests == 1
+        assert report.n_failed == 2
+        assert report.n_shed == 1
+        assert report.n_deadline_exceeded == 1
+        assert (report.n_restarts, report.n_hung_kills, report.n_resubmitted) \
+            == (2, 1, 3)
+
+    def test_batch_stats_fold_matches_flat_sum(self):
+        stats = ServingStats()
+        for i in range(100):
+            stats.record_batch(
+                4, QueryStats(points_scanned=10 * (i + 1), nodes_visited=i)
+            )
+        report = stats.report()
+        assert report.query_stats.points_scanned == 10 * 5050
+        assert report.query_stats.nodes_visited == 4950
+        assert report.n_batches == 100
+        assert report.mean_batch_size == 4.0
+
+    def test_reset_clears_degradation_counters(self):
+        stats = ServingStats()
+        stats.record_failure()
+        stats.record_shed()
+        stats.record_deadline_exceeded()
+        stats.reset()
+        report = stats.report()
+        assert report.n_failed == 0
+        assert report.n_shed == 0
+        assert report.n_deadline_exceeded == 0
