@@ -493,8 +493,9 @@ def build_parser() -> argparse.ArgumentParser:
                                   "it the request fails with "
                                   "DeadlineExceeded (default: none)")
     serve_bench.add_argument("--heartbeat-timeout", type=float, default=30.0,
-                             help="seconds a worker may hold one batch "
-                                  "before it is killed and replaced; "
+                             help="seconds a worker may hold unanswered "
+                                  "work without responding before it is "
+                                  "killed and replaced; "
                                   "<= 0 disables hang detection")
     serve_bench.add_argument("--cache-size", type=int, default=0,
                              help="LRU result-cache entries (0 = off)")

@@ -13,9 +13,10 @@ stack that realizes the claim for single-query traffic:
 * :class:`WorkerPool` — N OS processes, each ``load()``-ing the same
   index snapshot with ``mmap_points=True``.  The corpus pages are shared
   read-only through the page cache, so N workers cost roughly one
-  corpus, not N.  Crashed workers restart; hung workers are killed by a
-  per-batch heartbeat into the same restart-plus-bounded-resubmission
-  path.
+  corpus, not N.  Crashed workers restart; hung workers (unanswered work
+  held in silence past the heartbeat timeout, even after request
+  deadlines expired) are killed into the same
+  restart-plus-bounded-resubmission path.
 * :class:`ResultCache` — an LRU over ``(query bytes, k, snapshot
   fingerprint)`` with hit/miss/eviction counters.
 * :class:`ServingStats` / :class:`ServingReport` — throughput, latency

@@ -18,10 +18,19 @@ Reliability model:
   resubmitted to the replacement — queries are read-only, so
   re-execution is always safe;
 * a worker that *hangs* (stuck syscall, livelock, adversarial input) is
-  detected by the per-batch heartbeat: when ``heartbeat_timeout`` is
-  set and a batch has been in a worker's hands longer than that, the
-  worker is killed (SIGKILL) and the crash path above takes over —
-  restart plus resubmission;
+  detected by the heartbeat: when ``heartbeat_timeout`` is set and a
+  worker has held dispatched-but-unanswered work for that long without
+  producing *any* response, it is killed (SIGKILL) and the crash path
+  above takes over — restart plus resubmission.  The evidence is
+  per-slot and keyed on worker silence, not per-batch age, so a worker
+  steadily draining a backlog (answering something every so often) is
+  never mistaken for hung; and it survives request-deadline expiry —
+  a batch whose deadline already passed (its future long failed) still
+  counts as unanswered work, so a zombie worker is detected and
+  replaced even after every caller has given up, instead of sitting in
+  the pool absorbing fresh traffic.  The same unanswered-work count
+  drives least-loaded routing, so new requests prefer healthy workers
+  during the detection window;
 * resubmission is bounded: a batch that has already been resubmitted
   ``max_resubmits`` times is failed with :class:`WorkerError` instead
   of being handed to yet another worker, so a poison batch cannot cycle
@@ -95,28 +104,39 @@ def _worker_main(
 
 
 class _Slot:
-    """One worker position: process + its private queues + assignments."""
+    """One worker position: process + its private queues + assignments.
 
-    __slots__ = ("process", "requests", "responses", "assigned", "fatal")
+    ``assigned`` tracks batches with live futures for resubmission after
+    a failure.  ``dispatched`` tracks every batch sent to the worker and
+    not yet answered — unlike ``assigned`` it is *not* trimmed when a
+    request deadline expires, because it models the work the process
+    physically holds, which is what routing and hang detection must see
+    even after the callers gave up.  ``quiet_since`` is the start of the
+    worker's current silence: reset by every response, and by a dispatch
+    that moves the slot from idle to busy.
+    """
+
+    __slots__ = ("process", "requests", "responses", "assigned",
+                 "dispatched", "quiet_since", "fatal")
 
     def __init__(self, process, requests, responses) -> None:
         self.process = process
         self.requests = requests
         self.responses = responses
         self.assigned: set[int] = set()
+        self.dispatched: set[int] = set()
+        self.quiet_since = time.perf_counter()
         self.fatal = False
 
 
 class _Inflight:
-    __slots__ = ("queries", "k", "future", "deadline", "dispatched_at",
-                 "resubmits")
+    __slots__ = ("queries", "k", "future", "deadline", "resubmits")
 
-    def __init__(self, queries, k, future, deadline, dispatched_at) -> None:
+    def __init__(self, queries, k, future, deadline) -> None:
         self.queries = queries
         self.k = k
         self.future = future
         self.deadline = deadline
-        self.dispatched_at = dispatched_at
         self.resubmits = 0
 
 
@@ -141,11 +161,17 @@ class WorkerPool:
         restart_crashed: replace dead workers and resubmit their
             unanswered batches (default).  When ``False`` a crash fails
             the affected futures with :class:`WorkerError` instead.
-        heartbeat_timeout: seconds a worker may hold one batch without
-            responding before it is declared hung, killed, and replaced
-            (its batches are resubmitted like a crash).  ``None``
-            disables hang detection — a genuinely stuck worker then
-            strands its batches, which is the pre-hardening behavior.
+        heartbeat_timeout: seconds a worker may hold unanswered work
+            without producing *any* response before it is declared
+            hung, killed, and replaced (batches with live futures are
+            resubmitted like a crash).  Detection keys on worker
+            silence, not per-batch age — a worker draining a backlog
+            resets the clock with every answer — and is independent of
+            request deadlines, so a stuck worker is replaced even after
+            its batches' deadlines expired.  Must exceed the worst-case
+            compute time of a *single* batch.  ``None`` disables hang
+            detection — a genuinely stuck worker then strands its
+            batches, which is the pre-hardening behavior.
         max_resubmits: how many times one batch may be handed to a
             replacement worker after crashes/hangs before it is failed
             with :class:`WorkerError` (default 1 — one bounded retry).
@@ -286,21 +312,32 @@ class WorkerPool:
                 raise WorkerError(
                     "no usable workers (snapshot failed to load)"
                 )
-            # Least-loaded slot; rotate the tie-break so equally idle
-            # workers share traffic.
+            # Least-loaded by *unanswered* dispatches (not live futures:
+            # a hung worker whose batches all expired must still look
+            # busy); rotate the tie-break so equally idle workers share
+            # traffic.
             offset = next(self._rr) % len(usable)
             slot = min(
                 (usable[(i + offset) % len(usable)]
                  for i in range(len(usable))),
-                key=lambda s: len(s.assigned),
+                key=lambda s: len(s.dispatched),
             )
             batch_id = next(self._ids)
-            self._inflight[batch_id] = _Inflight(
-                array, k, future, deadline, now
-            )
-            slot.assigned.add(batch_id)
-            slot.requests.put((batch_id, array, k))
+            self._inflight[batch_id] = _Inflight(array, k, future, deadline)
+            self._dispatch_locked(slot, batch_id, array, k, now)
         return future
+
+    def _dispatch_locked(
+        self, slot: _Slot, batch_id: int, queries, k: int, now: float
+    ) -> None:
+        """Hand one batch to a slot's worker (caller holds the lock)."""
+        if not slot.dispatched:
+            # Idle -> busy: the silence clock starts at this dispatch,
+            # not at whatever the slot last did.
+            slot.quiet_since = now
+        slot.dispatched.add(batch_id)
+        slot.assigned.add(batch_id)
+        slot.requests.put((batch_id, queries, k))
 
     @property
     def n_restarts(self) -> int:
@@ -352,6 +389,10 @@ class WorkerPool:
             self._fail_slot(slot, WorkerError(payload))
             return
         with self._lock:
+            # Any response is liveness evidence, even one for a batch
+            # whose callers already gave up.
+            slot.dispatched.discard(batch_id)
+            slot.quiet_since = time.perf_counter()
             entry = self._inflight.pop(batch_id, None)
             slot.assigned.discard(batch_id)
         if entry is None:  # duplicate after a crash-resubmit race, or a
@@ -380,17 +421,18 @@ class WorkerPool:
             for batch_id, entry in list(self._inflight.items()):
                 if entry.deadline is not None and now > entry.deadline:
                     expired.append(self._inflight.pop(batch_id))
+                    # Only ``assigned`` is trimmed: the worker still
+                    # physically holds the batch, so it stays in
+                    # ``dispatched`` as hang evidence and routing load.
                     for slot in self._slots:
                         slot.assigned.discard(batch_id)
             if self.heartbeat_timeout is not None:
                 for slot in self._slots:
                     if slot.fatal or not slot.process.is_alive():
                         continue
-                    if any(
-                        now - self._inflight[batch_id].dispatched_at
-                        > self.heartbeat_timeout
-                        for batch_id in slot.assigned
-                        if batch_id in self._inflight
+                    if (
+                        slot.dispatched
+                        and now - slot.quiet_since > self.heartbeat_timeout
                     ):
                         hung.append(slot)
         for entry in expired:
@@ -447,11 +489,9 @@ class WorkerPool:
                         doomed.append(self._inflight.pop(batch_id))
                         continue
                     entry.resubmits += 1
-                    entry.dispatched_at = now
                     self._resubmitted += 1
-                    replacement.assigned.add(batch_id)
-                    replacement.requests.put(
-                        (batch_id, entry.queries, entry.k)
+                    self._dispatch_locked(
+                        replacement, batch_id, entry.queries, entry.k, now
                     )
             for entry in doomed:
                 _fail(

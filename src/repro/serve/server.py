@@ -19,7 +19,11 @@ submitted future resolves:
 * ``deadline_ms`` (per request, or the server-wide default) bounds the
   end-to-end wait; a request that cannot be answered in time fails with
   :class:`~repro.serve.errors.DeadlineExceeded` — while queued, while a
-  worker holds it, or at delivery if the answer arrived too late.
+  worker holds it, or at delivery if the answer arrived too late.  A
+  dedicated reaper thread releases each deadlined caller *at its own
+  deadline*, even when its batch (mixed with later- or no-deadline
+  neighbors) is still executing, so a blocked ``future.result()`` never
+  outlives the deadline by more than scheduling noise.
 * ``policy.max_pending`` bounds admission; an overflowing request is
   shed per ``policy.shed_policy`` with
   :class:`~repro.serve.errors.ServerOverloaded`.
@@ -39,6 +43,9 @@ sheds or fails requests; it never answers approximately.
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import threading
 import time
 from concurrent.futures import Future, InvalidStateError
 
@@ -81,11 +88,14 @@ class IndexServer:
         mmap_points: map the corpus from disk instead of loading it
             (both in workers and for the in-process/metadata copy).
         start_method / restart_crashed: forwarded to :class:`WorkerPool`.
-        heartbeat_timeout: seconds a worker may hold one batch before it
-            is declared hung and killed into the restart path (default
-            30; ``None`` disables hang detection).  Only meaningful with
+        heartbeat_timeout: seconds a worker may hold unanswered work
+            without producing any response before it is declared hung
+            and killed into the restart path (default 30; ``None``
+            disables hang detection; size it above the worst-case
+            single-batch compute time).  Only meaningful with
             ``n_workers >= 1`` — in-process flushes run on the batcher
-            thread and cannot be preempted.
+            thread and cannot be preempted, though the deadline reaper
+            still releases deadlined callers while one executes.
         max_resubmits: retry budget per batch across worker
             crashes/hangs before its requests fail with ``WorkerError``.
         default_deadline_ms: deadline applied to every ``submit`` that
@@ -162,6 +172,7 @@ class IndexServer:
             else None
         )
         self._batcher = MicroBatcher(self._flush, policy)
+        self._reaper = _DeadlineReaper()
         self._closed = False
 
     # -- introspection -------------------------------------------------
@@ -243,6 +254,13 @@ class IndexServer:
         except ServerOverloaded:
             self._stats.record_shed()
             raise
+        if deadline is not None:
+            # The batcher enforces the deadline while the request is
+            # queued; the reaper enforces it for the rest of its life —
+            # including while a coalesced batch with later- or
+            # no-deadline neighbors is still executing, where no
+            # pool-side batch deadline can act for this member alone.
+            self._reaper.watch(future, deadline)
         future.add_done_callback(
             lambda f: self._finish_request(f, key, started)
         )
@@ -303,11 +321,16 @@ class IndexServer:
     def _flush(self, queries, k: int, futures: list, deadlines: list) -> None:
         """Micro-batcher flush hook: run one coalesced batch.
 
-        The pool-side batch deadline is the latest member deadline (no
-        member is failed before its own deadline); it is only set when
-        *every* member carries one, because a deadline-less request must
-        never inherit a neighbor's.  Members are individually checked
-        again at delivery.
+        Releasing each member at its own deadline is the reaper's job
+        (it watches every deadlined future from ``submit`` onward).  The
+        pool-side batch deadline is purely a discard optimisation: it is
+        the latest member deadline, set only when *every* member carries
+        one — by then no caller can use the answer, so the pool may drop
+        the batch and free its bookkeeping.  A mixed batch gets no pool
+        deadline (its deadline-less members still need the answer, and a
+        request must never inherit a neighbor's deadline).  Members are
+        individually re-checked at delivery so a late answer is never
+        delivered as a result.
         """
         if self._pool is None:
             batch = self._local.query_batch(queries, k=k)
@@ -366,12 +389,92 @@ class IndexServer:
         if self._pool is not None:
             self._pool.drain(timeout)
             self._pool.close()
+        # Last: the reaper must stay alive while draining so deadlined
+        # callers blocked on in-flight batches are still released on
+        # time.  (Leftover futures were failed by the pool above.)
+        self._reaper.close()
 
     def __enter__(self) -> "IndexServer":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class _DeadlineReaper:
+    """Fail watched futures with :class:`DeadlineExceeded` when due.
+
+    The batcher can only expire a request while it is *queued*; once a
+    coalesced batch is executing, a member whose neighbors have later
+    (or no) deadlines has nothing downstream enforcing its own.  The
+    reaper closes that gap: every deadlined future is watched from
+    submission, and a dedicated thread — asleep until the earliest
+    watched deadline — fails it the moment its deadline passes, unless
+    an answer (or another failure) got there first.  Whoever resolves
+    the future first wins; the loser is a silent no-op, so double
+    enforcement with the batcher and the pool is harmless.
+
+    Entries for futures that resolve normally linger in the heap until
+    their deadline passes and are then discarded, so memory is bounded
+    by the number of requests submitted within one deadline window.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._heap: list[tuple[float, int, Future]] = []
+        self._seq = itertools.count()  # heap tie-break; futures don't order
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="repro-deadline-reaper", daemon=True
+        )
+        self._thread.start()
+
+    def watch(self, future: Future, deadline: float) -> None:
+        """Release ``future`` with ``DeadlineExceeded`` at ``deadline``."""
+        with self._cond:
+            if self._closed:
+                return
+            earliest = self._heap[0][0] if self._heap else None
+            heapq.heappush(self._heap, (deadline, next(self._seq), future))
+            if earliest is None or deadline < earliest:
+                self._cond.notify()  # re-arm the sleep to the new earliest
+
+    def close(self) -> None:
+        """Stop the thread; pending watches are dropped, not failed."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify()
+        self._thread.join()
+
+    def _run(self) -> None:
+        while True:
+            due: list[Future] = []
+            with self._cond:
+                if self._closed:
+                    return
+                now = time.perf_counter()
+                while self._heap and self._heap[0][0] <= now:
+                    _, _, future = heapq.heappop(self._heap)
+                    if not future.done():
+                        due.append(future)
+                if not due:
+                    timeout = (
+                        self._heap[0][0] - now if self._heap else None
+                    )
+                    self._cond.wait(timeout)
+                    continue
+            # Failing a future runs its done-callbacks (stats, cache);
+            # never do that while holding the condition lock.
+            for future in due:
+                _fail(
+                    future,
+                    DeadlineExceeded(
+                        "request deadline passed before its answer was "
+                        "delivered"
+                    ),
+                )
 
 
 def _complete(future: Future, value) -> None:

@@ -130,6 +130,55 @@ class TestHungWorkerRecovery:
             assert pool.n_resubmitted >= 1
         assert_matches_local(corpus, batch, queries, 2)
 
+    def test_hung_worker_killed_after_its_deadlines_expired(
+        self, corpus, snapshot, tmp_path, rng
+    ):
+        # Regression: deadline expiry fails the future and drops the
+        # batch from the books, but the worker is still physically
+        # stuck on it.  Hang evidence must survive the expiry so the
+        # heartbeat still kills the zombie — otherwise it would sit in
+        # the pool absorbing (and deadline-failing) fresh traffic
+        # forever, exactly when deadlines are shorter than the
+        # heartbeat.
+        loader = FaultyLoader(
+            FaultPlan(hang_on=(1,)), marker_path=str(tmp_path / "claim")
+        )
+        with WorkerPool(
+            snapshot, 1, heartbeat_timeout=0.3, index_loader=loader
+        ) as pool:
+            future = pool.submit(
+                rng.normal(size=(2, 5)), 1,
+                deadline=time.perf_counter() + 0.05,
+            )
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=30)
+            assert wait_for(lambda: pool.n_hung_kills >= 1)
+            assert wait_for(lambda: pool.n_restarts >= 1)
+            # The replacement (clean — marker claimed) serves normally.
+            queries = rng.normal(size=(3, 5))
+            batch = pool.submit(queries, 2).result(timeout=30)
+        assert_matches_local(corpus, batch, queries, 2)
+
+    def test_backlogged_healthy_worker_is_not_killed(
+        self, corpus, snapshot, rng
+    ):
+        # Regression: one worker draining a queue of slow-but-answering
+        # batches runs far longer than the heartbeat end to end.  Hang
+        # detection keys on worker *silence*, not on how long ago a
+        # batch was submitted, so the steady worker must never be
+        # killed and every answer must arrive.
+        loader = FaultyLoader(FaultPlan(delay_all=0.25))
+        batches = [rng.normal(size=(2, 5)) for _ in range(6)]
+        with WorkerPool(
+            snapshot, 1, heartbeat_timeout=1.0, index_loader=loader
+        ) as pool:
+            futures = [pool.submit(b, 2) for b in batches]
+            results = [f.result(timeout=30) for f in futures]
+            assert pool.n_hung_kills == 0
+            assert pool.n_restarts == 0
+        for queries, batch in zip(batches, results):
+            assert_matches_local(corpus, batch, queries, 2)
+
     def test_bounded_resubmission_fails_poison_batch(self, snapshot, rng):
         # No marker: EVERY worker (original and replacements) hangs on
         # its first batch, so the batch is a poison pill.  The retry

@@ -195,6 +195,57 @@ class TestDeadlines:
         assert report.n_deadline_exceeded == 1
         assert report.n_requests == 0
 
+    def test_mixed_batch_releases_deadlined_member_at_its_deadline(
+        self, index, snapshot, rng
+    ):
+        # One coalesced batch, two members: one deadline-less, one with
+        # a 100 ms deadline, executing on a worker that takes ~1.5 s.
+        # No pool-side batch deadline can exist (the deadline-less
+        # neighbor still needs the answer), so the reaper must release
+        # the deadlined caller at ~its own deadline rather than at
+        # delivery — and the neighbor must still get the exact answer.
+        loader = FaultyLoader(FaultPlan(delay_all=1.5))
+        policy = BatchPolicy(max_batch=2, max_wait_ms=10_000.0)
+        q_free, q_bound = rng.normal(size=(2, 4))
+        with IndexServer(
+            snapshot, n_workers=1, policy=policy, index_loader=loader
+        ) as server:
+            free = server.submit(q_free, k=2)
+            started = time.perf_counter()
+            bound = server.submit(q_bound, k=2, deadline_ms=100)
+            with pytest.raises(DeadlineExceeded):
+                bound.result(timeout=30)
+            waited = time.perf_counter() - started
+            answer = free.result(timeout=30)
+            report = server.stats()
+        assert waited < 1.0  # released at the deadline, not at delivery
+        expected = index.query(q_free, k=2)
+        assert tuple(answer.indices.tolist()) == tuple(
+            expected.indices.tolist()
+        )
+        assert tuple(answer.distances.tolist()) == tuple(
+            expected.distances.tolist()
+        )
+        assert report.n_deadline_exceeded == 1
+        assert report.n_requests == 1
+
+    def test_deadlined_caller_released_while_in_process_batch_runs(
+        self, snapshot, rng
+    ):
+        # n_workers=0: the flush executes on the batcher thread and
+        # cannot be preempted, so only the reaper can honor the
+        # deadline while the slow local batch is still computing.
+        loader = FaultyLoader(FaultPlan(delay_all=1.5))
+        with IndexServer(
+            snapshot, n_workers=0, policy=_FAST, index_loader=loader
+        ) as server:
+            started = time.perf_counter()
+            future = server.submit(rng.normal(size=4), k=1, deadline_ms=100)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=30)
+            waited = time.perf_counter() - started
+        assert waited < 1.0
+
     def test_default_deadline_applies_to_every_request(self, snapshot):
         policy = BatchPolicy(max_batch=1_000, max_wait_ms=3_600_000.0)
         with IndexServer(
