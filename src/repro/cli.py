@@ -14,7 +14,12 @@ Four subcommands covering the workflow of the paper:
   anything.
 * ``repro serve-bench --index bruteforce --workers 4`` — measure the
   micro-batched serving layer against the closed-loop one-query-per-call
-  baseline on a synthetic corpus.
+  baseline on a synthetic corpus; ``--shards S`` serves the same corpus
+  through the scatter-gather coordinator instead (still checked
+  bit-identical against the unsharded baseline).
+* ``repro shard build <dataset> -o out_dir --shards 4`` — partition a
+  dataset into shard snapshots plus a ``shards.json`` manifest for
+  :class:`repro.shard.ShardedIndexServer`.
 
 ``<dataset>`` is either a built-in preset name (``musk``, ``ionosphere``,
 ``arrhythmia``, ``noisy-a``, ``noisy-b``, ``uniform``) or a path to a
@@ -291,13 +296,29 @@ def _command_serve_bench(args) -> int:
         raise SystemExit(
             f"error: --workers must be non-negative, got {args.workers}"
         )
-    try:
-        policy = BatchPolicy(
-            max_batch=args.max_batch,
-            max_wait_ms=args.max_wait_ms,
-            max_pending=args.max_pending,
-            shed_policy=args.shed_policy,
+    if args.shards < 1:
+        raise SystemExit(
+            f"error: --shards must be positive, got {args.shards}"
         )
+    if args.replicas < 1:
+        raise SystemExit(
+            f"error: --replicas must be positive, got {args.replicas}"
+        )
+    sharded = args.shards > 1 or args.replicas > 1
+    try:
+        if sharded:
+            # Admission is bounded once, at the coordinator — the member
+            # batchers run unbounded so a burst is shed once, not S times.
+            policy = BatchPolicy(
+                max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+            )
+        else:
+            policy = BatchPolicy(
+                max_batch=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                max_pending=args.max_pending,
+                shed_policy=args.shed_policy,
+            )
     except ValueError as error:
         raise SystemExit(f"error: {error}") from None
     if args.deadline_ms is not None and args.deadline_ms <= 0:
@@ -308,64 +329,131 @@ def _command_serve_bench(args) -> int:
     corpus = rng.standard_normal((args.n, args.dims))
     queries = rng.standard_normal((args.queries, args.dims))
     index = _index_classes()[args.index](corpus)
+    heartbeat = args.heartbeat_timeout if args.heartbeat_timeout > 0 else None
     with tempfile.TemporaryDirectory() as workdir:
-        path = os.path.join(workdir, f"{args.index}.npz")
-        index.save(path)
-        comparison = compare_serving(
-            index,
-            path,
-            queries,
-            args.k,
-            n_workers=args.workers,
-            policy=policy,
-            cache_capacity=args.cache_size,
-            deadline_ms=args.deadline_ms,
-            heartbeat_timeout=(
-                args.heartbeat_timeout if args.heartbeat_timeout > 0 else None
-            ),
-        )
+        if sharded:
+            from repro.shard import build_shards
+            from repro.shard.bench import compare_sharded_serving
+
+            manifest = build_shards(
+                corpus,
+                os.path.join(workdir, "shards"),
+                args.shards,
+                kind=args.index,
+                method=args.shard_method,
+                seed=args.seed,
+            )
+            comparison = compare_sharded_serving(
+                index,
+                manifest,
+                queries,
+                args.k,
+                n_workers=args.workers,
+                replicas=args.replicas,
+                policy=policy,
+                max_pending=args.max_pending,
+                shed_policy=args.shed_policy,
+                cache_capacity=args.cache_size,
+                deadline_ms=args.deadline_ms,
+                heartbeat_timeout=heartbeat,
+            )
+        else:
+            path = os.path.join(workdir, f"{args.index}.npz")
+            index.save(path)
+            comparison = compare_serving(
+                index,
+                path,
+                queries,
+                args.k,
+                n_workers=args.workers,
+                policy=policy,
+                cache_capacity=args.cache_size,
+                deadline_ms=args.deadline_ms,
+                heartbeat_timeout=heartbeat,
+            )
     report = comparison.report
     histogram = ", ".join(
         f"{size}x{count}"
         for size, count in sorted(report.batch_size_histogram.items())
     )
+    rows = [
+        ("index", args.index),
+        ("corpus", f"{args.n} x {args.dims}"),
+        ("queries / k", f"{args.queries} / {args.k}"),
+        ("workers", args.workers or "in-process"),
+        ("policy", f"max_batch={args.max_batch}, "
+                   f"max_wait_ms={args.max_wait_ms}"),
+    ]
+    if sharded:
+        rows.append(
+            ("shards x replicas",
+             f"{args.shards} x {args.replicas} ({args.shard_method})")
+        )
+    rows += [
+        ("closed-loop throughput",
+         f"{comparison.closed_loop_qps:.0f} q/s"),
+        ("served throughput", f"{comparison.served_qps:.0f} q/s"),
+        ("speedup", f"{comparison.speedup:.1f}x"),
+        ("latency p50/p95/p99",
+         f"{report.latency_p50_ms:.2f} / {report.latency_p95_ms:.2f}"
+         f" / {report.latency_p99_ms:.2f} ms"),
+        ("batches (size x count)", histogram or "none"),
+        ("mean batch size", f"{report.mean_batch_size:.1f}"),
+        ("cache hits/misses/evictions",
+         f"{report.cache_hits} / {report.cache_misses} / "
+         f"{report.cache_evictions}"),
+        ("points scanned", report.query_stats.points_scanned),
+        ("answered / shed / deadline / failed / cancelled",
+         f"{report.n_requests} / {report.n_shed} / "
+         f"{report.n_deadline_exceeded} / {report.n_failed} / "
+         f"{report.n_cancelled}"),
+        ("restarts / hung kills / resubmitted",
+         f"{report.n_restarts} / {report.n_hung_kills} / "
+         f"{report.n_resubmitted}"),
+        ("bit-identical to sequential",
+         "yes" if comparison.identical else "NO"),
+    ]
+    title = (
+        "sharded scatter-gather serving vs closed-loop baseline"
+        if sharded
+        else "micro-batched serving vs closed-loop baseline"
+    )
+    print(format_table(["metric", "value"], rows, title=title))
+    return 0 if comparison.identical else 1
+
+
+def _command_shard_build(args) -> int:
+    from repro.shard import ShardManifestError, build_shards
+
+    data = _resolve_dataset(args.dataset, args.seed, args.label_column)
+    try:
+        manifest = build_shards(
+            data.features,
+            args.output,
+            args.shards,
+            kind=args.index,
+            method=args.method,
+            seed=args.seed,
+        )
+    except (ValueError, ShardManifestError) as error:
+        raise SystemExit(f"error: {error}") from None
     print(
         format_table(
-            ["metric", "value"],
+            ["shard", "snapshot", "points"],
             [
-                ("index", args.index),
-                ("corpus", f"{args.n} x {args.dims}"),
-                ("queries / k", f"{args.queries} / {args.k}"),
-                ("workers", args.workers or "in-process"),
-                ("policy", f"max_batch={args.max_batch}, "
-                           f"max_wait_ms={args.max_wait_ms}"),
-                ("closed-loop throughput",
-                 f"{comparison.closed_loop_qps:.0f} q/s"),
-                ("micro-batched throughput",
-                 f"{comparison.served_qps:.0f} q/s"),
-                ("speedup", f"{comparison.speedup:.1f}x"),
-                ("latency p50/p95/p99",
-                 f"{report.latency_p50_ms:.2f} / {report.latency_p95_ms:.2f}"
-                 f" / {report.latency_p99_ms:.2f} ms"),
-                ("batches (size x count)", histogram or "none"),
-                ("mean batch size", f"{report.mean_batch_size:.1f}"),
-                ("cache hits/misses/evictions",
-                 f"{report.cache_hits} / {report.cache_misses} / "
-                 f"{report.cache_evictions}"),
-                ("points scanned", report.query_stats.points_scanned),
-                ("answered / shed / deadline / failed",
-                 f"{report.n_requests} / {report.n_shed} / "
-                 f"{report.n_deadline_exceeded} / {report.n_failed}"),
-                ("restarts / hung kills / resubmitted",
-                 f"{report.n_restarts} / {report.n_hung_kills} / "
-                 f"{report.n_resubmitted}"),
-                ("bit-identical to sequential",
-                 "yes" if comparison.identical else "NO"),
+                (position, os.path.basename(spec.snapshot_path),
+                 spec.n_points)
+                for position, spec in enumerate(manifest.shards)
             ],
-            title="micro-batched serving vs closed-loop baseline",
+            title=(
+                f"{manifest.n_shards} x {args.index} shards over "
+                f"{data.name} ({manifest.n_points} x "
+                f"{manifest.dimensionality}, {manifest.method}) -> "
+                f"{args.output}/{os.path.basename(manifest.path)}"
+            ),
         )
     )
-    return 0 if comparison.identical else 1
+    return 0
 
 
 def _command_reduce(args) -> int:
@@ -499,6 +587,17 @@ def build_parser() -> argparse.ArgumentParser:
                                   "<= 0 disables hang detection")
     serve_bench.add_argument("--cache-size", type=int, default=0,
                              help="LRU result-cache entries (0 = off)")
+    serve_bench.add_argument("--shards", type=int, default=1,
+                             help="serve through S shard snapshots via the "
+                                  "scatter-gather coordinator (1 = the "
+                                  "unsharded server)")
+    serve_bench.add_argument("--replicas", type=int, default=1,
+                             help="replica servers per shard "
+                                  "(least-loaded routing)")
+    serve_bench.add_argument("--shard-method", default="round-robin",
+                             choices=["round-robin", "projected"],
+                             help="corpus-to-shard assignment "
+                                  "(projected = PROCLUS-style clusters)")
     serve_bench.add_argument("--seed", type=int, default=0)
     serve_bench.set_defaults(handler=_command_serve_bench)
 
@@ -542,6 +641,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     index_info.add_argument("path", help="path to a .npz index snapshot")
     index_info.set_defaults(handler=_command_index_info)
+
+    shard = commands.add_parser(
+        "shard", help="partition a corpus into shard snapshots"
+    )
+    shard_commands = shard.add_subparsers(dest="shard_command", required=True)
+
+    shard_build = shard_commands.add_parser(
+        "build",
+        help="split a dataset into S shard snapshots plus a manifest",
+    )
+    _add_dataset_arguments(shard_build)
+    shard_build.add_argument(
+        "--shards", type=int, default=4, help="number of shards"
+    )
+    shard_build.add_argument(
+        "--index",
+        default="kdtree",
+        choices=[
+            "bruteforce", "kdtree", "rtree", "vafile",
+            "pyramid", "idistance", "igrid", "lsh",
+        ],
+        help="index structure to build per shard (default: kdtree)",
+    )
+    shard_build.add_argument(
+        "--method",
+        default="round-robin",
+        choices=["round-robin", "projected"],
+        help="corpus-to-shard assignment "
+             "(projected = PROCLUS-style clusters)",
+    )
+    shard_build.add_argument(
+        "-o", "--output", required=True,
+        help="output directory for shard snapshots and shards.json",
+    )
+    shard_build.set_defaults(handler=_command_shard_build)
 
     return parser
 

@@ -31,7 +31,7 @@ from repro.search.results import (
 from repro.search.bruteforce import BruteForceIndex
 from repro.search.dynamic_rtree import DynamicRTree
 from repro.search.idistance import IDistanceIndex
-from repro.search.igrid import IGridIndex
+from repro.search.igrid import IGridIndex, igrid_discretization
 from repro.search.kdtree import KdTreeIndex
 from repro.search.lsh import LshIndex
 from repro.search.pyramid import PyramidIndex
@@ -45,6 +45,7 @@ __all__ = [
     "DynamicRTree",
     "IDistanceIndex",
     "IGridIndex",
+    "igrid_discretization",
     "KdTreeIndex",
     "KnnResult",
     "load_index",

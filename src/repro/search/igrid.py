@@ -40,6 +40,40 @@ from repro.search.snapshot import read_snapshot, write_snapshot
 _SNAPSHOT_KIND = "igrid"
 
 
+def igrid_discretization(
+    points, ranges_per_dim: int = 4
+) -> tuple[np.ndarray, np.ndarray]:
+    """Equi-depth ``(edges, widths)`` discretization of a corpus.
+
+    ``edges`` is ``(k_d + 1, d)`` range boundaries per dimension from the
+    empirical quantiles, outer edges pushed to infinity so every query
+    value lands in some range.  ``widths`` is the ``(k_d, d)`` finite
+    span of each range (falling back to a fraction of the dimension's
+    full span for degenerate ranges), used by the proximity bonus.
+
+    Factored out of :class:`IGridIndex` so callers that split one corpus
+    across several indexes (:func:`repro.shard.build_shards`) can
+    compute the discretization **once over the full corpus** and pass it
+    to every sub-index: the IGrid similarity function is defined by
+    these boundaries, so sub-indexes discretizing their own subsets
+    would each score by a different function and could never merge
+    bit-identically.
+    """
+    array = validate_corpus(points)
+    quantiles = np.linspace(0.0, 1.0, ranges_per_dim + 1)
+    edges = np.quantile(array, quantiles, axis=0)  # (k+1, d)
+    edges[0, :] = -np.inf
+    edges[-1, :] = np.inf
+    finite_low = np.quantile(array, quantiles[:-1], axis=0)
+    finite_high = np.quantile(array, quantiles[1:], axis=0)
+    widths = finite_high - finite_low
+    fallback = np.maximum(
+        array.max(axis=0) - array.min(axis=0), 1e-12
+    )
+    widths = np.where(widths > 0.0, widths, fallback / ranges_per_dim)
+    return edges, widths
+
+
 class IGridIndex:
     """Inverted grid index with the IGrid similarity function.
 
@@ -50,9 +84,18 @@ class IGridIndex:
             to ``d`` so the expected number of shared dimensions stays
             constant; callers doing high-dimensional work should scale it.
         p: exponent of the within-range proximity bonus.
+        discretization: optional ``(edges, widths)`` pair (shapes
+            ``(k_d + 1, d)`` and ``(k_d, d)``) overriding the boundaries
+            derived from ``points`` — see :func:`igrid_discretization`.
     """
 
-    def __init__(self, points, ranges_per_dim: int = 4, p: float = 2.0) -> None:
+    def __init__(
+        self,
+        points,
+        ranges_per_dim: int = 4,
+        p: float = 2.0,
+        discretization: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
         if ranges_per_dim < 2:
             raise ValueError(
                 f"ranges_per_dim must be at least 2, got {ranges_per_dim}"
@@ -64,25 +107,23 @@ class IGridIndex:
         self.p = p
 
         n, d = self._points.shape
-        # Equi-depth boundaries per dimension: k_d + 1 edges from the
-        # empirical quantiles, with the outer edges pushed to infinity so
-        # every query value lands in some range.
-        quantiles = np.linspace(0.0, 1.0, ranges_per_dim + 1)
-        edges = np.quantile(self._points, quantiles, axis=0)  # (k+1, d)
-        edges[0, :] = -np.inf
-        edges[-1, :] = np.inf
+        if discretization is None:
+            edges, widths = igrid_discretization(
+                self._points, ranges_per_dim
+            )
+        else:
+            edges = np.asarray(discretization[0], dtype=np.float64)
+            widths = np.asarray(discretization[1], dtype=np.float64)
+            if edges.shape != (ranges_per_dim + 1, d) or widths.shape != (
+                ranges_per_dim,
+                d,
+            ):
+                raise ValueError(
+                    "discretization shapes must be "
+                    f"({ranges_per_dim + 1}, {d}) and ({ranges_per_dim}, "
+                    f"{d}), got {edges.shape} and {widths.shape}"
+                )
         self._edges = edges
-
-        # Range width used in the proximity bonus: finite span of the
-        # range, or the dimension's interquartile-ish span for the
-        # unbounded outer ranges.
-        finite_low = np.quantile(self._points, quantiles[:-1], axis=0)
-        finite_high = np.quantile(self._points, quantiles[1:], axis=0)
-        widths = finite_high - finite_low
-        fallback = np.maximum(
-            self._points.max(axis=0) - self._points.min(axis=0), 1e-12
-        )
-        widths = np.where(widths > 0.0, widths, fallback / ranges_per_dim)
         self._widths = widths  # (k, d)
 
         assignments = self._assign(self._points)  # (n, d) range ids

@@ -109,10 +109,16 @@ def read_snapshot(
                 magic = archive["__magic__"].tobytes()
                 version = int(archive["__version__"])
                 found_kind = bytes(archive["__kind__"]).decode()
+                # With mmap_points the corpus member must never be read
+                # here: NpzFile materializes a member on access, so
+                # including "points" in this comprehension would pull
+                # the dominant corpus bytes into memory only to discard
+                # them for the memmap below.
                 data: dict = {
                     name: archive[name]
                     for name in archive.files
                     if name not in _RESERVED
+                    and not (mmap_points and name == "points")
                 }
             except SnapshotError:
                 raise
@@ -140,7 +146,10 @@ def read_snapshot(
             f"{path}: snapshot holds a {found_kind!r} index, "
             f"expected {kind!r}"
         )
-    missing = [name for name in required if name not in data]
+    # Membership is checked against the archive listing, not the loaded
+    # dict — under mmap_points the "points" member is deliberately not
+    # loaded above, but it must still count as present.
+    missing = [name for name in required if name not in files]
     if missing:
         raise SnapshotError(
             f"{path}: snapshot is missing required arrays {missing}"

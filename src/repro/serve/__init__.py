@@ -18,16 +18,23 @@ stack that realizes the claim for single-query traffic:
   deadlines expired) are killed into the same
   restart-plus-bounded-resubmission path.
 * :class:`ResultCache` — an LRU over ``(query bytes, k, snapshot
-  fingerprint)`` with hit/miss/eviction counters.
+  fingerprint)`` with hit/miss/eviction counters.  Concurrent identical
+  misses coalesce: the second submitter rides the first's in-flight
+  computation instead of recomputing (no cache stampede), and the
+  fingerprint is derived from the snapshot's zip central directory so
+  startup never streams the corpus bytes a memory-mapped server
+  deliberately left on disk.
 * :class:`ServingStats` / :class:`ServingReport` — throughput, latency
   percentiles over a bounded deterministic reservoir, batch-size
   histogram, summed :class:`~repro.search.results.QueryStats`, and the
   full degradation ledger (failed / shed / deadline-exceeded /
-  restarted / resubmitted).
+  cancelled / restarted / resubmitted).
 * :class:`IndexServer` — the facade wiring all of the above together.
 * :mod:`repro.serve.errors` — the typed failure taxonomy
   (:class:`DeadlineExceeded`, :class:`ServerOverloaded`,
-  :class:`ServerClosedError`, :class:`WorkerError`).
+  :class:`ServerClosedError`, :class:`WorkerError`, and
+  :class:`ShardError` raised by the scatter-gather coordinator in
+  :mod:`repro.shard`).
 * :mod:`repro.serve.faults` — deterministic fault injection
   (:class:`FaultPlan`, :class:`FaultyIndex`, :class:`FaultyLoader`) for
   the robustness tests and ``bench_ablation_robustness.py``.
@@ -51,6 +58,7 @@ from repro.serve.errors import (
     ServerClosedError,
     ServerOverloaded,
     ServingError,
+    ShardError,
 )
 from repro.serve.faults import (
     FaultPlan,
@@ -82,6 +90,7 @@ __all__ = [
     "ServingError",
     "ServingReport",
     "ServingStats",
+    "ShardError",
     "snapshot_fingerprint",
     "WorkerError",
     "WorkerPool",

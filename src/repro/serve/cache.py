@@ -12,20 +12,40 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import zipfile
 from collections import OrderedDict
 from dataclasses import dataclass
 
 
 def snapshot_fingerprint(path: str) -> str:
-    """SHA-256 of a snapshot file's bytes (streamed; hex digest).
+    """Content fingerprint of a snapshot archive (SHA-256 hex digest).
 
-    Two serving processes pointed at byte-identical snapshots share a
-    fingerprint, so externally persisted cache entries stay portable.
+    Derived from the zip *central directory* — every member's name,
+    uncompressed size, and CRC-32, in archive order — rather than by
+    streaming the file's bytes.  The CRCs were already computed when the
+    snapshot was written, so fingerprinting reads only the few-hundred-
+    byte directory at the end of the file and never touches the
+    (typically dominant) corpus member: server startup stays true to the
+    ``mmap_points=True`` promise that the corpus bytes remain on disk.
+
+    The binding semantics are unchanged: two byte-identical snapshots
+    share a fingerprint (same members, sizes, CRCs in the same order),
+    and any change to an array's contents changes its CRC and therefore
+    the fingerprint, so a cache entry can never be replayed against a
+    *different* index.  (CRC-32 is a checksum, not a cryptographic hash
+    — the fingerprint defends against mixups, not adversarial forgery,
+    which is all a result cache key needs.)
     """
     digest = hashlib.sha256()
-    with open(path, "rb") as handle:
-        for chunk in iter(lambda: handle.read(1 << 20), b""):
-            digest.update(chunk)
+    try:
+        with zipfile.ZipFile(path) as archive:
+            for info in archive.infolist():
+                record = f"{info.filename}\x00{info.file_size}\x00{info.CRC}\n"
+                digest.update(record.encode())
+    except (OSError, zipfile.BadZipFile) as error:
+        raise ValueError(
+            f"{path}: cannot fingerprint snapshot archive ({error})"
+        ) from error
     return digest.hexdigest()
 
 

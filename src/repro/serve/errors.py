@@ -15,6 +15,11 @@ branch on *what* went wrong instead of parsing message strings:
   synchronously from ``submit`` under ``reject-new``, set on the oldest
   queued future under ``drop-oldest``.
 * :class:`ServerClosedError` — work was submitted after ``close()``.
+* :class:`ShardError` — in sharded serving, one shard of a
+  scatter-gather fan-out failed, so the merged top-k cannot be produced.
+  A partial merge over the surviving shards would be silently *wrong*
+  (the dead shard may hold true neighbors), so the whole request fails
+  with this type instead — partial answers are never returned.
 * :class:`~repro.serve.pool.WorkerError` — a batch failed in (or was
   abandoned by) a worker process; also derives from
   :class:`ServingError`.
@@ -42,3 +47,13 @@ class ServerOverloaded(ServingError):
 
 class ServerClosedError(ServingError):
     """Work was submitted to a server (or layer) after ``close()``."""
+
+
+class ShardError(ServingError):
+    """A shard of a scatter-gather fan-out failed; no partial answer.
+
+    Raised (set on the request future) by
+    :class:`~repro.shard.ShardedIndexServer` when any shard of the
+    fan-out cannot deliver its per-shard top-k.  The original shard
+    failure is attached as ``__cause__``.
+    """

@@ -47,7 +47,7 @@ import heapq
 import itertools
 import threading
 import time
-from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import CancelledError, Future, InvalidStateError
 
 from repro.search.results import (
     BatchKnnResult,
@@ -156,6 +156,11 @@ class IndexServer:
         self._cache = (
             ResultCache(cache_capacity) if cache_capacity else None
         )
+        # Stampede coalescing: cache key -> future of the one in-flight
+        # computation for that key.  Concurrent identical misses attach
+        # to it instead of enqueueing duplicate batch rows.
+        self._inflight_lock = threading.Lock()
+        self._inflight_by_key: dict = {}
         self._stats = ServingStats()
         self._pool = (
             WorkerPool(
@@ -241,6 +246,7 @@ class IndexServer:
             started + deadline_ms / 1e3 if deadline_ms is not None else None
         )
         key = None
+        slot = None
         if self._cache is not None:
             key = result_cache_key(vector, k, self.fingerprint)
             hit = self._cache.get(key)
@@ -249,10 +255,36 @@ class IndexServer:
                 future: Future = Future()
                 future.set_result(hit)
                 return future
+            # Stampede coalescing: if an identical request is already in
+            # flight, follow it instead of enqueueing a duplicate batch
+            # row.  The follower mirrors the leader's outcome (result or
+            # typed failure) but keeps its *own* deadline — the reaper
+            # can still release it earlier than the leader resolves.
+            with self._inflight_lock:
+                leader = self._inflight_by_key.get(key)
+                if leader is None:
+                    slot = Future()
+                    self._inflight_by_key[key] = slot
+            if leader is not None:
+                follower: Future = Future()
+                if deadline is not None:
+                    self._reaper.watch(follower, deadline)
+                follower.add_done_callback(
+                    lambda f: self._finish_request(f, None, started)
+                )
+                leader.add_done_callback(
+                    lambda f: _mirror_outcome(f, follower)
+                )
+                return follower
         try:
             future = self._batcher.submit(vector, k, deadline=deadline)
         except ServerOverloaded:
             self._stats.record_shed()
+            if slot is not None:
+                self._clear_inflight(key)
+                _fail(slot, ServerOverloaded(
+                    "coalesced leader was shed by admission control"
+                ))
             raise
         if deadline is not None:
             # The batcher enforces the deadline while the request is
@@ -264,6 +296,14 @@ class IndexServer:
         future.add_done_callback(
             lambda f: self._finish_request(f, key, started)
         )
+        if slot is not None:
+            # After _finish_request (so the cache put has happened): any
+            # follower that arrives post-resolution hits the cache; the
+            # tiny window between put and de-registration at worst lets
+            # a fresh leader recompute, never answer wrongly.
+            future.add_done_callback(
+                lambda f: self._release_leader(f, key, slot)
+            )
         return future
 
     def query(self, query, k: int = 1, *, deadline_ms: float | None = None) -> KnnResult:
@@ -295,16 +335,29 @@ class IndexServer:
         if self._closed:
             raise ServerClosedError("server is closed")
 
+    def _clear_inflight(self, key) -> None:
+        with self._inflight_lock:
+            self._inflight_by_key.pop(key, None)
+
+    def _release_leader(self, future: Future, key, slot: Future) -> None:
+        """Leader done-callback: de-register the key, resolve followers."""
+        self._clear_inflight(key)
+        _mirror_outcome(future, slot)
+
     def _finish_request(self, future: Future, key, started: float) -> None:
         """Done-callback: classify the outcome and account it exactly once.
 
         Guarded by ``future.exception()`` so a failed batch can never
         raise inside the callback (which ``concurrent.futures`` would
         swallow into a log line), skip the cache put, *and* vanish from
-        the stats — failures are first-class counted outcomes.
+        the stats — failures are first-class counted outcomes.  A future
+        the caller cancelled is likewise counted (``n_cancelled``)
+        rather than skipped, so the degradation ledger keeps balancing:
+        every completed submission lands in exactly one column.
         """
         latency = time.perf_counter() - started
         if future.cancelled():
+            self._stats.record_cancelled()
             return
         error = future.exception()
         if error is None:
@@ -475,6 +528,24 @@ class _DeadlineReaper:
                         "delivered"
                     ),
                 )
+
+
+def _mirror_outcome(src: Future, dst: Future) -> None:
+    """Copy a resolved future's outcome onto a dependent future.
+
+    Used by stampede coalescing: a follower shares its leader's result
+    or typed failure.  A cancelled leader surfaces as ``CancelledError``
+    on the follower (set as an exception — the follower itself was not
+    cancelled by its caller).  No-op wherever ``dst`` resolved first.
+    """
+    if src.cancelled():
+        _fail(dst, CancelledError("coalesced leader request was cancelled"))
+        return
+    error = src.exception()
+    if error is not None:
+        _fail(dst, error)
+    else:
+        _complete(dst, src.result())
 
 
 def _complete(future: Future, value) -> None:

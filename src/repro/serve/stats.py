@@ -17,10 +17,11 @@ server, which is an unbounded leak under sustained traffic.
 
 Besides successes, the accumulator counts every degradation outcome the
 hardened server can produce — failed batches, shed requests, expired
-deadlines — plus the worker-pool recovery counters (restarts, hung-
-worker kills, resubmissions), so a report always accounts for every
-submitted request: ``n_requests + n_failed + n_shed +
-n_deadline_exceeded`` equals the number of completed submissions.
+deadlines, caller-cancelled futures — plus the worker-pool recovery
+counters (restarts, hung-worker kills, resubmissions), so a report
+always accounts for every submitted request: ``n_requests + n_failed +
+n_shed + n_deadline_exceeded + n_cancelled`` equals the number of
+completed submissions.
 """
 
 from __future__ import annotations
@@ -128,6 +129,11 @@ class ServingReport:
             (``ServerOverloaded`` — rejected new or dropped oldest).
         n_deadline_exceeded: requests that failed with
             ``DeadlineExceeded`` at any stage.
+        n_cancelled: requests whose future the *caller* cancelled while
+            it was still pending.  Without this column a cancelled
+            request would vanish from the ledger and
+            ``n_requests + n_failed + n_shed + n_deadline_exceeded``
+            would undercount the completed submissions.
         n_restarts / n_hung_kills / n_resubmitted: worker-pool recovery
             counters (zero for in-process serving).
     """
@@ -148,6 +154,7 @@ class ServingReport:
     n_failed: int = 0
     n_shed: int = 0
     n_deadline_exceeded: int = 0
+    n_cancelled: int = 0
     n_restarts: int = 0
     n_hung_kills: int = 0
     n_resubmitted: int = 0
@@ -185,6 +192,7 @@ class ServingStats:
         self._n_failed = 0
         self._n_shed = 0
         self._n_deadline_exceeded = 0
+        self._n_cancelled = 0
 
     def record_request(self, latency_seconds: float) -> None:
         """Account one successfully completed single-query request."""
@@ -206,6 +214,11 @@ class ServingStats:
         """Account one request that missed its end-to-end deadline."""
         with self._lock:
             self._n_deadline_exceeded += 1
+
+    def record_cancelled(self) -> None:
+        """Account one request whose future the caller cancelled."""
+        with self._lock:
+            self._n_cancelled += 1
 
     def record_batch(self, size: int, stats: QueryStats | None = None) -> None:
         """Account one flushed batch of ``size`` request rows."""
@@ -231,6 +244,7 @@ class ServingStats:
             self._n_failed = 0
             self._n_shed = 0
             self._n_deadline_exceeded = 0
+            self._n_cancelled = 0
 
     def report(
         self,
@@ -255,6 +269,7 @@ class ServingStats:
             n_failed = self._n_failed
             n_shed = self._n_shed
             n_deadline = self._n_deadline_exceeded
+            n_cancelled = self._n_cancelled
         hits, misses, evictions = cache_counters
         restarts, hung_kills, resubmitted = pool_counters
         return ServingReport(
@@ -274,6 +289,7 @@ class ServingStats:
             n_failed=n_failed,
             n_shed=n_shed,
             n_deadline_exceeded=n_deadline,
+            n_cancelled=n_cancelled,
             n_restarts=restarts,
             n_hung_kills=hung_kills,
             n_resubmitted=resubmitted,

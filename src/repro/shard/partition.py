@@ -1,0 +1,310 @@
+"""Corpus partitioning: split one corpus into S shard snapshots.
+
+A shard is an ordinary index snapshot built over a *subset* of the
+corpus rows plus a sidecar array of the global row ids those local rows
+came from.  Everything downstream (scatter-gather merge, identity
+checks) leans on one invariant established here: **the shards are an
+exact partition of the corpus** — every global row appears in exactly
+one shard — so the union of per-shard candidate sets equals the
+unsharded candidate set and a merged top-k can be bit-identical to the
+single-index answer.
+
+Two assignment methods:
+
+* ``"round-robin"`` — row ``i`` goes to shard ``i % S``.  The
+  structure-free baseline: shards are interleaved slices of the corpus,
+  perfectly balanced, and build cost is a single modulo.
+* ``"projected"`` — :class:`repro.clustering.ProjectedClustering`
+  (PROCLUS-style, per "Subspace clustering of dimensionality-reduced
+  data") assigns each row to one of S projected clusters, so a shard
+  holds points that are close *in that cluster's subspace*.  Shard
+  assignment then exercises the paper's dimensionality-reduction
+  machinery instead of a blind split; locality-correlated traffic
+  concentrates page-cache warmth per shard.  Cluster reseeding keeps
+  every shard non-empty, and correctness never depends on the
+  clustering quality — the merge is exact for *any* partition.
+
+The per-shard indexes are built with the same constructor arguments (in
+particular the same seed for the randomized LSH hash functions), which
+is what makes even the *approximate* LSH index shard-exact: a point's
+bucket keys depend only on the point and the shared hash functions, so
+the union of per-shard probe candidates equals the unsharded probe set.
+The one corpus-dependent structure parameter — IGrid's equi-depth range
+boundaries — is computed once over the **full** corpus and passed to
+every shard, so all shards score by the same similarity function the
+unsharded index uses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.search.results import validate_corpus
+from repro.search.snapshot import snapshot_kind
+
+MANIFEST_SCHEMA = "repro-shard-manifest/v1"
+MANIFEST_NAME = "shards.json"
+PARTITION_METHODS = ("round-robin", "projected")
+
+
+def partition_labels(
+    points: np.ndarray,
+    n_shards: int,
+    *,
+    method: str = "round-robin",
+    seed: int = 0,
+) -> np.ndarray:
+    """Assign every corpus row to a shard; returns ``(n,)`` labels.
+
+    Every shard is guaranteed non-empty (``n_shards`` may not exceed the
+    corpus size; projected clustering reseeds empty clusters).
+    """
+    array = np.asarray(points, dtype=np.float64)
+    n = array.shape[0]
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    if n_shards > n:
+        raise ValueError(
+            f"n_shards={n_shards} exceeds the corpus size {n}; "
+            "every shard must hold at least one point"
+        )
+    if method not in PARTITION_METHODS:
+        raise ValueError(
+            f"method must be one of {PARTITION_METHODS}, got {method!r}"
+        )
+    if method == "round-robin":
+        return (np.arange(n, dtype=np.intp) % n_shards).astype(np.intp)
+    from repro.clustering import ProjectedClustering
+
+    if n_shards == 1:
+        return np.zeros(n, dtype=np.intp)
+    d = array.shape[1]
+    clustering = ProjectedClustering(
+        n_clusters=n_shards,
+        n_dims=max(1, min(d, (d + 1) // 2)),
+        seed=seed,
+    )
+    return clustering.fit(array).labels.astype(np.intp)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a manifest: snapshot path, ids path, row count."""
+
+    snapshot_path: str
+    ids_path: str
+    n_points: int
+
+    def load_ids(self) -> np.ndarray:
+        """The shard's global row ids, local row order (``(n_s,)`` intp)."""
+        ids = np.load(self.ids_path)
+        return np.asarray(ids, dtype=np.intp)
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """A validated description of one sharded corpus on disk.
+
+    Attributes:
+        path: the manifest file itself (anchor for relative paths).
+        kind: index kind shared by every shard snapshot.
+        method: partition method that produced the assignment.
+        seed: partition seed (provenance; round-robin ignores it).
+        n_points: total corpus rows across all shards.
+        dimensionality: corpus dimensionality.
+        shards: per-shard snapshot/ids locations.
+    """
+
+    path: str
+    kind: str
+    method: str
+    seed: int
+    n_points: int
+    dimensionality: int
+    shards: tuple[ShardSpec, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+
+class ShardManifestError(ValueError):
+    """A manifest file is missing, malformed, or inconsistent."""
+
+
+def _check_partition(manifest: ShardManifest) -> None:
+    """Verify the shards exactly partition ``range(n_points)``.
+
+    A duplicate or missing global id silently corrupts every merged
+    answer (a doubled candidate or a lost true neighbor), so coverage
+    is re-checked whenever a manifest is loaded, not only at build time.
+    """
+    all_ids = np.concatenate(
+        [spec.load_ids() for spec in manifest.shards]
+    ) if manifest.shards else np.empty(0, dtype=np.intp)
+    if all_ids.size != manifest.n_points or not np.array_equal(
+        np.sort(all_ids), np.arange(manifest.n_points, dtype=np.intp)
+    ):
+        raise ShardManifestError(
+            f"{manifest.path}: shard ids do not partition "
+            f"range({manifest.n_points}) — every corpus row must appear "
+            "in exactly one shard"
+        )
+
+
+def load_manifest(path: str, *, check_partition: bool = True) -> ShardManifest:
+    """Read and validate a ``shards.json`` manifest.
+
+    ``path`` may be the manifest file or the directory holding one.
+    """
+    if os.path.isdir(path):
+        path = os.path.join(path, MANIFEST_NAME)
+    try:
+        with open(path) as handle:
+            raw = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise ShardManifestError(
+            f"{path}: not a readable shard manifest ({error})"
+        ) from error
+    if raw.get("schema") != MANIFEST_SCHEMA:
+        raise ShardManifestError(
+            f"{path}: unexpected manifest schema {raw.get('schema')!r} "
+            f"(this build reads {MANIFEST_SCHEMA!r})"
+        )
+    base = os.path.dirname(os.path.abspath(path))
+    try:
+        shards = tuple(
+            ShardSpec(
+                snapshot_path=os.path.join(base, entry["snapshot"]),
+                ids_path=os.path.join(base, entry["ids"]),
+                n_points=int(entry["n_points"]),
+            )
+            for entry in raw["shards"]
+        )
+        manifest = ShardManifest(
+            path=path,
+            kind=str(raw["kind"]),
+            method=str(raw["method"]),
+            seed=int(raw["seed"]),
+            n_points=int(raw["n_points"]),
+            dimensionality=int(raw["dimensionality"]),
+            shards=shards,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ShardManifestError(
+            f"{path}: malformed shard manifest ({error})"
+        ) from error
+    if not manifest.shards:
+        raise ShardManifestError(f"{path}: manifest lists no shards")
+    for spec in manifest.shards:
+        found = snapshot_kind(spec.snapshot_path)  # raises SnapshotError
+        if found != manifest.kind:
+            raise ShardManifestError(
+                f"{spec.snapshot_path}: shard holds a {found!r} index, "
+                f"manifest says {manifest.kind!r}"
+            )
+    if check_partition:
+        _check_partition(manifest)
+    return manifest
+
+
+def build_shards(
+    points,
+    out_dir: str,
+    n_shards: int,
+    *,
+    kind: str = "bruteforce",
+    method: str = "round-robin",
+    seed: int = 0,
+    index_factory=None,
+    index_kwargs: dict | None = None,
+) -> ShardManifest:
+    """Partition ``points`` and write S shard snapshots plus a manifest.
+
+    Args:
+        points: ``(n, d)`` corpus (validated like an index constructor).
+        out_dir: directory for ``shard-XXX.npz``, ``shard-XXX.ids.npy``
+            and ``shards.json`` (created if absent).
+        n_shards: number of shards (1 <= S <= n).
+        kind: index kind to build per shard (one of the eight snapshot
+            kinds) — ignored when ``index_factory`` is given.
+        method: ``"round-robin"`` or ``"projected"`` (see module doc).
+        seed: partition seed (projected clustering) — the per-shard
+            *indexes* use their own constructor defaults so they match
+            the unsharded reference index.
+        index_factory: optional ``factory(sub_corpus) -> index`` override
+            for custom index construction; must produce objects with
+            ``save(path)``.
+        index_kwargs: extra constructor keywords for the registry class
+            (e.g. LSH table counts); must match the unsharded reference
+            for bit-identity.
+
+    Returns:
+        The written (and re-validated) :class:`ShardManifest`.
+    """
+    corpus = validate_corpus(points)
+    labels = partition_labels(
+        corpus, n_shards, method=method, seed=seed
+    )
+    if index_factory is None:
+        from repro.search.snapshot import _registry
+
+        registry = _registry()
+        if kind not in registry:
+            raise ValueError(
+                f"unknown index kind {kind!r}; "
+                f"expected one of {sorted(registry)}"
+            )
+        cls = registry[kind]
+        kwargs = dict(index_kwargs or {})
+        if kind == "igrid" and "discretization" not in kwargs:
+            # IGrid's similarity function IS its equi-depth boundaries.
+            # Each shard re-deriving boundaries from its own subset would
+            # score by a different function than the unsharded index;
+            # sharing the full-corpus discretization keeps the scoring
+            # global, so the merged top-k stays bit-identical.
+            from repro.search.igrid import igrid_discretization
+
+            kwargs["discretization"] = igrid_discretization(
+                corpus, kwargs.get("ranges_per_dim", 4)
+            )
+        factory = lambda rows: cls(rows, **kwargs)  # noqa: E731
+    else:
+        factory = index_factory
+    os.makedirs(out_dir, exist_ok=True)
+    entries = []
+    written_kind = None
+    for s in range(n_shards):
+        ids = np.flatnonzero(labels == s).astype(np.intp)
+        snapshot_name = f"shard-{s:03d}.npz"
+        ids_name = f"shard-{s:03d}.ids.npy"
+        snapshot_path = os.path.join(out_dir, snapshot_name)
+        factory(corpus[ids]).save(snapshot_path)
+        np.save(os.path.join(out_dir, ids_name), ids)
+        written_kind = snapshot_kind(snapshot_path)
+        entries.append(
+            {
+                "snapshot": snapshot_name,
+                "ids": ids_name,
+                "n_points": int(ids.size),
+            }
+        )
+    manifest_path = os.path.join(out_dir, MANIFEST_NAME)
+    payload = {
+        "schema": MANIFEST_SCHEMA,
+        "kind": written_kind,
+        "method": method,
+        "seed": int(seed),
+        "n_shards": int(n_shards),
+        "n_points": int(corpus.shape[0]),
+        "dimensionality": int(corpus.shape[1]),
+        "shards": entries,
+    }
+    with open(manifest_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return load_manifest(manifest_path)

@@ -1,0 +1,119 @@
+"""Property: sharded answers are bit-identical to the unsharded index.
+
+For every index kind, both partition methods, and multiple shard
+counts, the scatter-gather merge must reproduce exactly what the
+unsharded index answers — same neighbor indices, same distance bytes,
+same tie ordering.  The corpus contains duplicated rows and the query
+stream includes corpus points, so zero-distance and equal-distance ties
+are genuinely exercised (ties are where a sloppy merge diverges first).
+
+Stats equality is asserted for the scan-everything index (bruteforce:
+per-shard scans sum to exactly the corpus size); the pruning indexes'
+per-shard tree shapes legitimately differ from the single big tree, so
+their summed stats describe the sharded execution, not the unsharded
+one, and only the answers are compared.
+"""
+
+import numpy as np
+import pytest
+
+from repro.search.bruteforce import BruteForceIndex
+from repro.search.idistance import IDistanceIndex
+from repro.search.igrid import IGridIndex
+from repro.search.kdtree import KdTreeIndex
+from repro.search.lsh import LshIndex
+from repro.search.pyramid import PyramidIndex
+from repro.search.rtree import RTreeIndex
+from repro.search.vafile import VAFileIndex
+from repro.serve import BatchPolicy
+from repro.shard import ShardedIndexServer, build_shards
+
+ALL_INDEXES = [
+    BruteForceIndex,
+    KdTreeIndex,
+    RTreeIndex,
+    VAFileIndex,
+    PyramidIndex,
+    IDistanceIndex,
+    IGridIndex,
+    LshIndex,
+]
+
+_KINDS = {
+    BruteForceIndex: "bruteforce",
+    KdTreeIndex: "kdtree",
+    RTreeIndex: "rtree",
+    VAFileIndex: "vafile",
+    PyramidIndex: "pyramid",
+    IDistanceIndex: "idistance",
+    IGridIndex: "igrid",
+    LshIndex: "lsh",
+}
+
+# A small max_batch forces multiple member flushes per stream.
+_POLICY = BatchPolicy(max_batch=4, max_wait_ms=1.0)
+
+
+def _tie_heavy_corpus(rng):
+    corpus = rng.normal(size=(90, 5))
+    # Duplicated rows make exact zero- and equal-distance ties across
+    # shard boundaries, whatever the partition.
+    corpus[30] = corpus[7]
+    corpus[61] = corpus[7]
+    corpus[45] = corpus[12]
+    return corpus
+
+
+@pytest.mark.parametrize("cls", ALL_INDEXES)
+@pytest.mark.parametrize("method", ["round-robin", "projected"])
+def test_sharded_serving_is_bit_identical(cls, method, tmp_path, rng):
+    corpus = _tie_heavy_corpus(rng)
+    index = cls(corpus)
+
+    # Fresh queries plus corpus points (the duplicated ones included),
+    # each with its own k.
+    fresh = rng.normal(size=(12, 5))
+    stream = [(row, int(k)) for row, k in zip(fresh, rng.integers(1, 8, 12))]
+    stream += [(corpus[i], 5) for i in (7, 30, 12, 0, 89)]
+
+    for n_shards in (2, 3):
+        manifest = build_shards(
+            corpus,
+            str(tmp_path / f"{method}-{n_shards}"),
+            n_shards,
+            kind=_KINDS[cls],
+            method=method,
+            seed=1,
+        )
+        with ShardedIndexServer(
+            manifest, n_workers=0, policy=_POLICY
+        ) as server:
+            futures = [server.submit(q, k=k) for q, k in stream]
+            for (query, k), future in zip(stream, futures):
+                expected = index.query(query, k=k)
+                got = future.result(timeout=30)
+                context = (
+                    f"{cls.__name__} diverged at k={k} "
+                    f"({method}, {n_shards} shards)"
+                )
+                assert got.indices.tolist() == (
+                    expected.indices.tolist()
+                ), context
+                assert got.distances.tolist() == (
+                    expected.distances.tolist()
+                ), context
+                if cls is BruteForceIndex:
+                    assert got.stats == expected.stats, context
+            # The explicit-batch path merges identically too.  Rows are
+            # compared individually: an approximate index may return
+            # fewer than k neighbors for some rows (ragged batches).
+            batch = server.query_batch(fresh, k=4)
+            expected_batch = index.query_batch(fresh, k=4)
+            assert len(batch) == len(expected_batch)
+            for got_row, want_row in zip(batch, expected_batch):
+                assert got_row.indices.tolist() == want_row.indices.tolist()
+                assert (
+                    got_row.distances.tolist() == want_row.distances.tolist()
+                )
+            if cls is BruteForceIndex:
+                assert batch.stats == expected_batch.stats

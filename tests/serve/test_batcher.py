@@ -262,6 +262,127 @@ class TestAdmissionControl:
         assert all(f.exception() is None for f in futures)
 
 
+class TestQueueMaintenanceSeams:
+    """The three queue editors — ``_drop_oldest_locked``,
+    ``_collect_expired_locked``, ``_pop_ready`` — all mutate the same
+    per-k groups and the shared pending counter.  These tests drive the
+    seams between them: a split re-arm followed by a shed, expiry inside
+    an oversized group, and a shed racing an uncollected expiry."""
+
+    def test_drop_oldest_after_split_sheds_oldest_survivor(self):
+        # After _pop_ready splits an oversized group, the rows already
+        # detached for flushing are no longer sheddable: drop-oldest
+        # must sacrifice the oldest *surviving* request.
+        sem = threading.Semaphore(0)
+        recorder = Recorder()
+
+        def gated(queries, k, futures, deadlines):
+            sem.acquire()
+            recorder(queries, k, futures, deadlines)
+
+        policy = BatchPolicy(
+            max_batch=2, max_wait_ms=0.0, max_pending=6,
+            shed_policy="drop-oldest",
+        )
+        with MicroBatcher(gated, policy) as batcher:
+            futures = [batcher.submit(np.full(1, 0.0), 1)]
+            # The flusher detaches [r0] and blocks inside the flush.
+            assert wait_for(lambda: batcher.n_pending == 0)
+            futures += [
+                batcher.submit(np.full(1, float(i)), 1) for i in range(1, 7)
+            ]
+            sem.release()  # r0 completes; the flusher splits off [r1, r2]
+            assert wait_for(lambda: batcher.n_pending == 4)
+            futures += [
+                batcher.submit(np.full(1, float(i)), 1) for i in (7, 8)
+            ]
+            victim_candidate = futures[3]  # r3: oldest still queued
+            futures.append(batcher.submit(np.full(1, 9.0), 1))
+            assert victim_candidate.done()
+            with pytest.raises(ServerOverloaded):
+                victim_candidate.result()
+            sem.release(10)
+            assert wait_for(lambda: all(f.done() for f in futures))
+            assert batcher.n_pending == 0
+        for i, future in enumerate(futures):
+            if i != 3:
+                assert future.exception() is None, i
+        flushed = [v for q, _ in recorder.batches for v in q[:, 0].tolist()]
+        assert flushed == [0.0, 1.0, 2.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
+
+    def test_expired_rows_inside_oversized_group_never_flush(self):
+        # Deadlines that pass while the flusher is busy elsewhere must be
+        # failed by _collect_expired_locked before _pop_ready sees the
+        # group; the survivors flush together, in arrival order.
+        gate = threading.Event()
+        recorder = Recorder()
+
+        def gated(queries, k, futures, deadlines):
+            gate.wait(5.0)
+            recorder(queries, k, futures, deadlines)
+
+        policy = BatchPolicy(max_batch=3, max_wait_ms=60_000.0)
+        with MicroBatcher(gated, policy) as batcher:
+            decoys = [batcher.submit(np.zeros(1), 9) for _ in range(3)]
+            assert wait_for(lambda: batcher.n_pending == 0)
+            doom = time.perf_counter() + 0.03
+            mixed = [
+                batcher.submit(
+                    np.full(1, float(i)), 1,
+                    deadline=doom if i in (1, 3) else None,
+                )
+                for i in range(5)
+            ]
+            time.sleep(0.08)  # both deadlines pass, flusher still stuck
+            gate.set()
+            assert wait_for(lambda: all(f.done() for f in decoys + mixed))
+            assert batcher.n_pending == 0
+        for i in (1, 3):
+            with pytest.raises(DeadlineExceeded):
+                mixed[i].result()
+        flushed = [q for q, k in recorder.batches if k == 1]
+        assert len(flushed) == 1
+        assert flushed[0][:, 0].tolist() == [0.0, 2.0, 4.0]
+
+    def test_drop_oldest_of_expired_but_uncollected_request(self):
+        # The oldest queued request may already be past its deadline yet
+        # not collected (the flusher is busy).  Shedding it must account
+        # it exactly once — the first failure wins, the counter stays
+        # consistent, and the row never reaches a flush.
+        gate = threading.Event()
+        recorder = Recorder()
+
+        def gated(queries, k, futures, deadlines):
+            gate.wait(5.0)
+            recorder(queries, k, futures, deadlines)
+
+        policy = BatchPolicy(
+            max_batch=64, max_wait_ms=0.0, max_pending=2,
+            shed_policy="drop-oldest",
+        )
+        with MicroBatcher(gated, policy) as batcher:
+            decoy = batcher.submit(np.zeros(1), 9)
+            assert wait_for(lambda: batcher.n_pending == 0)
+            stale = batcher.submit(
+                np.zeros(1), 1, deadline=time.perf_counter() + 0.02
+            )
+            live = batcher.submit(np.ones(1), 1)
+            time.sleep(0.08)  # stale expires while the flusher is stuck
+            newcomer = batcher.submit(np.full(1, 2.0), 1)
+            assert stale.done()
+            with pytest.raises(ServerOverloaded):
+                stale.result()
+            gate.set()
+            assert wait_for(
+                lambda: live.done() and newcomer.done() and decoy.done()
+            )
+            assert batcher.n_pending == 0
+        assert live.exception() is None
+        assert newcomer.exception() is None
+        flushed = [q for q, k in recorder.batches if k == 1]
+        assert sum(q.shape[0] for q in flushed) == 2
+
+
 class TestLifecycleAndErrors:
     def test_close_flushes_pending(self):
         recorder = Recorder()

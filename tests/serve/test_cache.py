@@ -1,9 +1,12 @@
 """LRU result cache: eviction order, counters, key derivation."""
 
+import zipfile
+
 import numpy as np
 import pytest
 
 from repro.search.bruteforce import BruteForceIndex
+from repro.search.snapshot import load_index
 from repro.serve import ResultCache, result_cache_key, snapshot_fingerprint
 
 
@@ -80,3 +83,49 @@ class TestSnapshotFingerprint:
         assert snapshot_fingerprint(str(first)) != snapshot_fingerprint(
             str(second)
         )
+
+    def test_rejects_non_archive(self, tmp_path):
+        path = tmp_path / "not-a-zip.npz"
+        path.write_text("plain text")
+        with pytest.raises(ValueError, match="cannot fingerprint"):
+            snapshot_fingerprint(str(path))
+
+    def test_never_reads_member_payloads(self, tmp_path, rng, monkeypatch):
+        # The fingerprint comes from the zip central directory; opening
+        # any member would stream the (typically dominant) corpus bytes
+        # a memory-mapped server deliberately leaves on disk.
+        path = tmp_path / "index.npz"
+        BruteForceIndex(rng.normal(size=(40, 4))).save(str(path))
+        opened = []
+        original = zipfile.ZipFile.open
+
+        def recording_open(self, name, *args, **kwargs):
+            opened.append(name if isinstance(name, str) else name.filename)
+            return original(self, name, *args, **kwargs)
+
+        monkeypatch.setattr(zipfile.ZipFile, "open", recording_open)
+        fingerprint = snapshot_fingerprint(str(path))
+        assert len(fingerprint) == 64
+        assert opened == []
+
+    def test_mmap_startup_never_reads_corpus_member(
+        self, tmp_path, rng, monkeypatch
+    ):
+        # Regression: load_index(..., mmap_points=True) used to
+        # materialize the points member anyway (NpzFile loads a member
+        # on access) before replacing it with the memmap — a full read
+        # of the corpus that defeated the point of mmap.
+        path = tmp_path / "index.npz"
+        BruteForceIndex(rng.normal(size=(40, 4))).save(str(path))
+        opened = []
+        original = zipfile.ZipFile.open
+
+        def recording_open(self, name, *args, **kwargs):
+            opened.append(name if isinstance(name, str) else name.filename)
+            return original(self, name, *args, **kwargs)
+
+        monkeypatch.setattr(zipfile.ZipFile, "open", recording_open)
+        index = load_index(str(path), mmap_points=True)
+        assert "points.npy" not in opened
+        # The mapped corpus still answers: the pages fault in on demand.
+        assert index.query(np.zeros(4), k=1).indices.size == 1

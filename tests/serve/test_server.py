@@ -1,5 +1,7 @@
 """IndexServer: bit-identity, caching, validation, stats, lifecycle."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,9 @@ from repro.serve import (
 )
 
 _FAST = BatchPolicy(max_batch=8, max_wait_ms=1.0)
+# Holds submitted requests in the batcher until close() flushes them,
+# so coalescing/cancellation tests control exactly when work runs.
+_HOLD = BatchPolicy(max_batch=10_000, max_wait_ms=3_600_000.0)
 
 
 @pytest.fixture(scope="module")
@@ -122,6 +127,85 @@ class TestCache:
         assert report.cache_misses == 2
 
 
+class TestCacheStampede:
+    def test_identical_misses_coalesce_to_one_batch_row(
+        self, index, snapshot, rng
+    ):
+        # Regression: concurrent identical misses used to each enqueue
+        # their own batch row (a cache stampede).  The second submission
+        # must follow the first's in-flight future instead.
+        query = rng.normal(size=4)
+        with IndexServer(
+            snapshot, n_workers=0, policy=_HOLD, cache_capacity=8
+        ) as server:
+            leader = server.submit(query, k=3)
+            follower = server.submit(query, k=3)
+            assert not leader.done() and not follower.done()
+            server.close()  # flushes the single pending batch row
+            expected = index.query(query, k=3)
+            assert_result_matches(leader.result(timeout=30), expected)
+            assert_result_matches(follower.result(timeout=30), expected)
+            report = server.stats()
+        assert report.n_requests == 2
+        assert sum(
+            size * count
+            for size, count in report.batch_size_histogram.items()
+        ) == 1
+
+    def test_two_thread_stampede_flushes_once(self, index, snapshot, rng):
+        query = rng.normal(size=4)
+        policy = BatchPolicy(max_batch=64, max_wait_ms=40.0)
+        results = [None, None]
+        barrier = threading.Barrier(2)
+        with IndexServer(
+            snapshot, n_workers=0, policy=policy, cache_capacity=8
+        ) as server:
+
+            def worker(slot):
+                barrier.wait()
+                results[slot] = server.query(query, k=2)
+
+            threads = [
+                threading.Thread(target=worker, args=(n,)) for n in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            report = server.stats()
+        # Whatever the interleaving — coalesced onto one in-flight
+        # future, or the late thread hitting the cache — exactly one
+        # batch row executes and both callers are answered identically.
+        assert report.n_requests == 2
+        assert sum(
+            size * count
+            for size, count in report.batch_size_histogram.items()
+        ) == 1
+        expected = index.query(query, k=2)
+        assert_result_matches(results[0], expected)
+        assert_result_matches(results[1], expected)
+
+    def test_follower_mirrors_leader_failure(self, snapshot, rng):
+        # A failed leader must fail its followers with the same typed
+        # error — never hang them, never cache the failure.
+        loader = FaultyLoader(FaultPlan(raise_on=(1,)))
+        query = rng.normal(size=4)
+        with IndexServer(
+            snapshot, n_workers=0, policy=_HOLD, cache_capacity=8,
+            index_loader=loader,
+        ) as server:
+            leader = server.submit(query, k=2)
+            follower = server.submit(query, k=2)
+            server.close()
+            with pytest.raises(InjectedFault):
+                leader.result(timeout=30)
+            with pytest.raises(InjectedFault):
+                follower.result(timeout=30)
+            report = server.stats()
+        assert report.n_failed == 2
+        assert report.cache_hits == 0
+
+
 class TestValidation:
     def test_bad_query_raises_synchronously(self, snapshot):
         with IndexServer(snapshot, n_workers=0) as server:
@@ -201,6 +285,31 @@ class TestStats:
         assert report.latency_p95_ms <= report.latency_p99_ms
         assert report.query_stats.points_scanned == 20 * 100
         assert report.throughput_qps > 0
+
+    def test_cancelled_requests_balance_the_ledger(self, snapshot, rng):
+        # Regression: _finish_request used to return early on cancelled
+        # futures without counting them, so submissions silently vanished
+        # from the report and the ledger stopped balancing.
+        queries = rng.normal(size=(6, 4))
+        with IndexServer(snapshot, n_workers=0, policy=_HOLD) as server:
+            futures = [server.submit(q, k=1) for q in queries]
+            assert futures[0].cancel()
+            assert futures[3].cancel()
+            server.close()  # flushes the survivors
+            for n, future in enumerate(futures):
+                if n not in (0, 3):
+                    future.result(timeout=30)
+            report = server.stats()
+        assert report.n_cancelled == 2
+        assert report.n_requests == 4
+        accounted = (
+            report.n_requests
+            + report.n_failed
+            + report.n_shed
+            + report.n_deadline_exceeded
+            + report.n_cancelled
+        )
+        assert accounted == len(futures), report
 
     def test_reset_clears_samples(self, snapshot, rng):
         with IndexServer(snapshot, n_workers=0, policy=_FAST) as server:

@@ -1,0 +1,47 @@
+"""Shared fixtures for the sharding tests.
+
+The sharded coordinator runs the same real threads (and optionally
+worker processes) as the serving stack, and its failure-path tests
+deliberately kill member servers; the same SIGALRM watchdog used by
+``tests/serve`` keeps a recovery bug from wedging the session.
+"""
+
+import signal
+
+import numpy as np
+import pytest
+
+_TEST_TIMEOUT_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def _watchdog(request):
+    """Fail (rather than hang) any shard test that exceeds the budget."""
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - POSIX only
+        yield
+        return
+
+    def _expired(signum, frame):
+        pytest.fail(
+            f"{request.node.nodeid} exceeded the "
+            f"{_TEST_TIMEOUT_SECONDS}s shard-test watchdog",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(_TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """A small corpus with duplicated rows, so distance ties are real."""
+    generator = np.random.default_rng(31)
+    points = generator.normal(size=(96, 5))
+    points[11] = points[2]
+    points[57] = points[2]
+    return points

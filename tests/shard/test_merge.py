@@ -1,0 +1,92 @@
+"""Exact top-k merge: against the unsharded answer and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.search import BruteForceIndex
+from repro.search.results import (
+    BatchKnnResult,
+    KnnResult,
+    Neighbor,
+    QueryStats,
+)
+from repro.shard import merge_batches, merge_results, partition_labels
+
+
+def _split(corpus, n_shards, method="round-robin"):
+    labels = partition_labels(corpus, n_shards, method=method)
+    ids = [np.flatnonzero(labels == s) for s in range(n_shards)]
+    indexes = [BruteForceIndex(corpus[i]) for i in ids]
+    return indexes, ids
+
+
+class TestMergeResults:
+    def test_matches_unsharded_including_ties(self, corpus):
+        reference = BruteForceIndex(corpus)
+        indexes, ids = _split(corpus, 3)
+        # corpus[2] is duplicated twice, so querying it produces a
+        # three-way zero-distance tie the merge must order by global id.
+        queries = [corpus[2], corpus[0], corpus[-1] + 0.01]
+        for query in queries:
+            for k in (1, 3, 7):
+                per_shard = [
+                    idx.query(query, k=min(k, idx.n_points))
+                    for idx in indexes
+                ]
+                merged = merge_results(per_shard, ids, k)
+                expected = reference.query(query, k=k)
+                assert merged.indices.tolist() == expected.indices.tolist()
+                assert (
+                    merged.distances.tolist() == expected.distances.tolist()
+                )
+
+    def test_stats_are_summed(self, corpus):
+        indexes, ids = _split(corpus, 4)
+        per_shard = [idx.query(corpus[5], k=2) for idx in indexes]
+        merged = merge_results(per_shard, ids, 2)
+        assert merged.stats == QueryStats(
+            points_scanned=corpus.shape[0],
+            nodes_visited=sum(r.stats.nodes_visited for r in per_shard),
+            nodes_pruned=sum(r.stats.nodes_pruned for r in per_shard),
+        )
+
+    def test_short_shard_results_allowed(self):
+        # An approximate index may return fewer than k candidates; the
+        # merged result is then short too, never padded.
+        sparse = KnnResult(neighbors=(Neighbor(index=0, distance=1.0),))
+        empty = KnnResult(neighbors=())
+        merged = merge_results(
+            [sparse, empty], [np.array([4]), np.array([9])], k=3
+        )
+        assert merged.indices.tolist() == [4]
+
+    def test_mismatched_lengths_rejected(self):
+        result = KnnResult(neighbors=())
+        with pytest.raises(ValueError, match="id arrays"):
+            merge_results([result], [np.array([0]), np.array([1])], k=1)
+
+
+class TestMergeBatches:
+    def test_rowwise_merge_matches_unsharded(self, corpus):
+        reference = BruteForceIndex(corpus)
+        indexes, ids = _split(corpus, 3, method="round-robin")
+        queries = np.vstack([corpus[2], corpus[40] + 0.05])
+        per_shard = [idx.query_batch(queries, k=4) for idx in indexes]
+        merged = merge_batches(per_shard, ids, 4)
+        expected = reference.query_batch(queries, k=4)
+        assert merged.indices.tolist() == expected.indices.tolist()
+        assert merged.distances.tolist() == expected.distances.tolist()
+        assert merged.stats == expected.stats
+
+    def test_empty_batch(self):
+        batches = [BatchKnnResult(results=()), BatchKnnResult(results=())]
+        merged = merge_batches(
+            batches, [np.array([0]), np.array([1])], k=1
+        )
+        assert len(merged) == 0
+
+    def test_row_count_disagreement_rejected(self):
+        one = BatchKnnResult(results=(KnnResult(neighbors=()),))
+        none = BatchKnnResult(results=())
+        with pytest.raises(ValueError, match="row count"):
+            merge_batches([one, none], [np.array([0]), np.array([1])], k=1)

@@ -1,0 +1,127 @@
+"""Partitioning and manifest round-trip behavior."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.search.snapshot import SnapshotError, snapshot_kind
+from repro.shard import (
+    MANIFEST_NAME,
+    ShardManifestError,
+    build_shards,
+    load_manifest,
+    partition_labels,
+)
+
+
+class TestPartitionLabels:
+    def test_round_robin_interleaves(self, corpus):
+        labels = partition_labels(corpus, 4)
+        assert labels.shape == (corpus.shape[0],)
+        assert np.array_equal(labels, np.arange(corpus.shape[0]) % 4)
+
+    def test_every_shard_nonempty_both_methods(self, corpus):
+        for method in ("round-robin", "projected"):
+            labels = partition_labels(corpus, 5, method=method, seed=3)
+            assert set(np.unique(labels)) == set(range(5)), method
+
+    def test_projected_is_deterministic(self, corpus):
+        first = partition_labels(corpus, 3, method="projected", seed=7)
+        second = partition_labels(corpus, 3, method="projected", seed=7)
+        assert np.array_equal(first, second)
+
+    def test_single_shard_trivial(self, corpus):
+        for method in ("round-robin", "projected"):
+            labels = partition_labels(corpus, 1, method=method)
+            assert np.array_equal(labels, np.zeros(corpus.shape[0]))
+
+    def test_rejects_bad_shard_counts(self, corpus):
+        with pytest.raises(ValueError, match="positive"):
+            partition_labels(corpus, 0)
+        with pytest.raises(ValueError, match="exceeds the corpus size"):
+            partition_labels(corpus, corpus.shape[0] + 1)
+
+    def test_rejects_unknown_method(self, corpus):
+        with pytest.raises(ValueError, match="method"):
+            partition_labels(corpus, 2, method="alphabetical")
+
+
+class TestBuildShards:
+    def test_round_trip(self, corpus, tmp_path):
+        manifest = build_shards(
+            corpus, str(tmp_path), 3, kind="kdtree", method="round-robin"
+        )
+        assert manifest.n_shards == 3
+        assert manifest.kind == "kdtree"
+        assert manifest.n_points == corpus.shape[0]
+        assert manifest.dimensionality == corpus.shape[1]
+        reloaded = load_manifest(str(tmp_path))
+        assert reloaded == manifest
+        for spec in reloaded.shards:
+            assert snapshot_kind(spec.snapshot_path) == "kdtree"
+            assert spec.load_ids().size == spec.n_points
+        # The shards exactly partition the corpus rows.
+        all_ids = np.concatenate(
+            [spec.load_ids() for spec in reloaded.shards]
+        )
+        assert np.array_equal(
+            np.sort(all_ids), np.arange(corpus.shape[0])
+        )
+
+    def test_shard_rows_match_global_rows(self, corpus, tmp_path):
+        from repro.search import load_index
+
+        manifest = build_shards(
+            corpus, str(tmp_path), 4, kind="bruteforce", method="projected"
+        )
+        for spec in manifest.shards:
+            index = load_index(spec.snapshot_path)
+            assert index.n_points == spec.n_points
+            # Every global row assigned to this shard is present verbatim:
+            # self-querying it hits at distance exactly zero.
+            for gid in spec.load_ids():
+                result = index.query(corpus[gid], k=1)
+                assert result.distances[0] == 0.0
+
+    def test_rejects_unknown_kind(self, corpus, tmp_path):
+        with pytest.raises(ValueError, match="unknown index kind"):
+            build_shards(corpus, str(tmp_path), 2, kind="btree")
+
+
+class TestLoadManifest:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ShardManifestError, match="not a readable"):
+            load_manifest(str(tmp_path / "absent.json"))
+
+    def test_wrong_schema(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        path.write_text(json.dumps({"schema": "something/v9"}))
+        with pytest.raises(ShardManifestError, match="schema"):
+            load_manifest(str(path))
+
+    def test_corrupted_ids_fail_partition_check(self, corpus, tmp_path):
+        manifest = build_shards(corpus, str(tmp_path), 3)
+        ids = manifest.shards[0].load_ids()
+        ids[0] = ids[1]  # duplicate a global id -> no longer a partition
+        np.save(manifest.shards[0].ids_path, ids)
+        with pytest.raises(ShardManifestError, match="partition"):
+            load_manifest(str(tmp_path))
+        # The check is opt-out for callers that already validated.
+        loaded = load_manifest(str(tmp_path), check_partition=False)
+        assert loaded.n_shards == 3
+
+    def test_kind_mismatch(self, corpus, tmp_path):
+        build_shards(corpus, str(tmp_path), 2, kind="bruteforce")
+        raw = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        raw["kind"] = "kdtree"
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(raw))
+        with pytest.raises(ShardManifestError, match="manifest says"):
+            load_manifest(str(tmp_path))
+
+    def test_snapshot_must_be_real(self, corpus, tmp_path):
+        manifest = build_shards(corpus, str(tmp_path), 2)
+        with open(manifest.shards[1].snapshot_path, "w") as handle:
+            handle.write("not a snapshot")
+        with pytest.raises(SnapshotError):
+            load_manifest(str(tmp_path))
