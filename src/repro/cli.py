@@ -9,7 +9,10 @@ Four subcommands covering the workflow of the paper:
 * ``repro reduce <dataset> -o out.csv`` — write the reduced
   representation (plus labels) as CSV.
 * ``repro index build <dataset> -o out.npz --index kdtree`` — build a
-  similarity-search index over the dataset and snapshot it to disk.
+  similarity-search index over the dataset and snapshot it to disk
+  (``--kind`` is an alias for ``--index``; ``--kind projscreen
+  --subspace-dim m --ordering {eigen,coherence}`` builds the
+  projection-screened exact index).
 * ``repro index info out.npz`` — inspect a snapshot without rebuilding
   anything.
 * ``repro serve-bench --index bruteforce --workers 4`` — measure the
@@ -228,6 +231,7 @@ def _index_classes():
         IGridIndex,
         KdTreeIndex,
         LshIndex,
+        ProjectionScreenedIndex,
         PyramidIndex,
         RTreeIndex,
         VAFileIndex,
@@ -242,19 +246,74 @@ def _index_classes():
         "idistance": IDistanceIndex,
         "igrid": IGridIndex,
         "lsh": LshIndex,
+        "projscreen": ProjectionScreenedIndex,
     }
+
+
+_INDEX_KINDS = (
+    "bruteforce", "kdtree", "rtree", "vafile",
+    "pyramid", "idistance", "igrid", "lsh", "projscreen",
+)
+
+
+def _projscreen_kwargs(args) -> dict:
+    """Constructor keywords from the projection-screen CLI flags.
+
+    The flags are meaningful only for ``projscreen``; passing them with
+    another kind is a usage error, not something to silently ignore.
+    """
+    if args.index != "projscreen":
+        if args.subspace_dim is not None:
+            raise SystemExit(
+                "error: --subspace-dim only applies to --kind projscreen, "
+                f"not {args.index!r}"
+            )
+        if args.ordering is not None:
+            raise SystemExit(
+                "error: --ordering only applies to --kind projscreen, "
+                f"not {args.index!r}"
+            )
+        return {}
+    kwargs: dict = {}
+    if args.subspace_dim is not None:
+        kwargs["subspace_dim"] = args.subspace_dim
+    if args.ordering is not None:
+        kwargs["ordering"] = args.ordering
+    return kwargs
+
+
+def _add_projscreen_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--subspace-dim", type=int, default=None,
+        help="projscreen screening dimensions m (default: d // 4)",
+    )
+    parser.add_argument(
+        "--ordering", default=None, choices=["eigen", "coherence"],
+        help="projscreen subspace selection rule "
+             "(eigen = largest eigenvalues, coherence = the paper's "
+             "coherence probability; default: eigen)",
+    )
 
 
 def _command_index_build(args) -> int:
     data = _resolve_dataset(args.dataset, args.seed, args.label_column)
     cls = _index_classes()[args.index]
-    index = cls(data.features)
+    try:
+        index = cls(data.features, **_projscreen_kwargs(args))
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
     index.save(args.output)
     size = os.path.getsize(args.output)
+    detail = ""
+    if args.index == "projscreen":
+        detail = (
+            f" [screen {index.subspace_dim}/{index.dimensionality} dims, "
+            f"{index.ordering}-ordered]"
+        )
     print(
         f"built {args.index} over {data.name} "
         f"({data.n_samples} x {data.n_dims}) -> {args.output} "
-        f"({size / 1024:.1f} KiB)"
+        f"({size / 1024:.1f} KiB){detail}"
     )
     return 0
 
@@ -434,6 +493,9 @@ def _command_shard_build(args) -> int:
             kind=args.index,
             method=args.method,
             seed=args.seed,
+            # projscreen: build_shards fits one projection on the full
+            # corpus from these and hands it to every shard.
+            index_kwargs=_projscreen_kwargs(args),
         )
     except (ValueError, ShardManifestError) as error:
         raise SystemExit(f"error: {error}") from None
@@ -552,10 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="micro-batched serving vs closed-loop one-query-per-call",
     )
     serve_bench.add_argument("--index", default="bruteforce",
-                             choices=[
-                                 "bruteforce", "kdtree", "rtree", "vafile",
-                                 "pyramid", "idistance", "igrid", "lsh",
-                             ])
+                             choices=list(_INDEX_KINDS))
     serve_bench.add_argument("--n", type=int, default=10_000,
                              help="synthetic corpus size")
     serve_bench.add_argument("--dims", type=int, default=16,
@@ -623,14 +682,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dataset_arguments(index_build)
     index_build.add_argument(
-        "--index",
+        "--index", "--kind",
         default="kdtree",
-        choices=[
-            "bruteforce", "kdtree", "rtree", "vafile",
-            "pyramid", "idistance", "igrid", "lsh",
-        ],
-        help="index structure to build (default: kdtree)",
+        choices=list(_INDEX_KINDS),
+        help="index structure to build (default: kdtree); "
+             "--kind is an alias",
     )
+    _add_projscreen_arguments(index_build)
     index_build.add_argument(
         "-o", "--output", required=True, help="output .npz snapshot path"
     )
@@ -656,14 +714,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=4, help="number of shards"
     )
     shard_build.add_argument(
-        "--index",
+        "--index", "--kind",
         default="kdtree",
-        choices=[
-            "bruteforce", "kdtree", "rtree", "vafile",
-            "pyramid", "idistance", "igrid", "lsh",
-        ],
-        help="index structure to build per shard (default: kdtree)",
+        choices=list(_INDEX_KINDS),
+        help="index structure to build per shard (default: kdtree); "
+             "--kind is an alias",
     )
+    _add_projscreen_arguments(shard_build)
     shard_build.add_argument(
         "--method",
         default="round-robin",

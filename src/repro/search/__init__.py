@@ -34,7 +34,13 @@ from repro.search.idistance import IDistanceIndex
 from repro.search.igrid import IGridIndex, igrid_discretization
 from repro.search.kdtree import KdTreeIndex
 from repro.search.lsh import LshIndex
+from repro.search.projected import (
+    ProjectionScreenedIndex,
+    ProjectionSpec,
+    fit_projection,
+)
 from repro.search.pyramid import PyramidIndex
+from repro.search.recall import ExactnessViolation, recall_against_exact
 from repro.search.rtree import RTreeIndex
 from repro.search.vafile import VAFileIndex
 
@@ -43,6 +49,8 @@ __all__ = [
     "BruteForceIndex",
     "combine_stats",
     "DynamicRTree",
+    "ExactnessViolation",
+    "fit_projection",
     "IDistanceIndex",
     "IGridIndex",
     "igrid_discretization",
@@ -51,8 +59,11 @@ __all__ = [
     "load_index",
     "LshIndex",
     "Neighbor",
+    "ProjectionScreenedIndex",
+    "ProjectionSpec",
     "PyramidIndex",
     "QueryStats",
+    "recall_against_exact",
     "RTreeIndex",
     "save_index",
     "snapshot_kind",

@@ -27,6 +27,20 @@ The matrix-friendly indexes (brute force, VA-file) override
 Both strategies preserve query order and produce results bit-identical
 to calling ``query`` row by row; the batch API never trades accuracy
 for throughput.
+
+This module also hosts the two vectorized scan primitives those
+matrix-friendly paths share:
+
+* :class:`GramScanner` — blocked float32/float64 Gram-expansion scoring
+  of query rows against a static row matrix, behind a ``dtype`` knob,
+  with a conservative per-query error margin.  The scores only *select*
+  candidates; exact arithmetic stays with the caller, which is what
+  makes the memory-lean float32 path safe.  Brute force uses it over
+  the full corpus; the projection-screened index reuses it as its
+  stage-1 reduced-space kernel.
+* :func:`refine_masked_candidates` — exact float64 top-k over per-row
+  candidate masks, with the stable tie-break (equal distances resolve
+  to the lower corpus index) every index in the family guarantees.
 """
 
 from __future__ import annotations
@@ -36,6 +50,8 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+import numpy as np
+
 from repro.search.results import (
     BatchKnnResult,
     KnnResult,
@@ -43,6 +59,173 @@ from repro.search.results import (
     validate_k,
     validate_queries,
 )
+
+# Default block size for the exact-refinement gather, in distance-matrix
+# entries: keeps the flat scratch arrays around 32 MB.
+_REFINE_BLOCK_ENTRIES = 4_194_304
+
+# Beyond this squared magnitude a float32 expansion can overflow to inf,
+# so the scanner falls back to float64 regardless of the requested dtype
+# — soundness beats the caller's bytes preference.
+_F32_MAGNITUDE_LIMIT = 1e30
+
+GRAM_DTYPES = ("auto", "float32", "float64")
+
+
+class GramScanner:
+    """Blocked Gram-expansion scoring of query rows against a matrix.
+
+    One BLAS multiply produces approximate squared Euclidean distances
+    for a whole block of query rows at once via
+    ``||q - p||^2 = ||q||^2 - 2 q.p + ||p||^2``.  The expansion loses a
+    few ulps to cancellation (and, on the float32 path, to reduced
+    precision), so :meth:`scores` also returns a per-query margin that
+    dominates the combined error: for every entry,
+    ``|approx - exact| <= margin`` where ``exact`` is the float64
+    subtract-square distance to the stored matrix row.  Callers use the
+    scores to *select* candidates and recompute survivors exactly, so
+    the lossy fast path never reaches an answer.
+
+    Args:
+        matrix: ``(n, d)`` static rows to scan against; float64 or
+            float32 (a float32 matrix is scored as stored — its
+            quantization is part of the distances the margin covers
+            relative to the stored values).
+        dtype: ``"auto"`` scores in float32 whenever the squared
+            magnitudes stay far from float32 overflow, ``"float32"``
+            requests the memory-lean path explicitly (the overflow
+            guard still wins — an unsound scan is never produced), and
+            ``"float64"`` forces full-precision scoring.
+        sq_norms: optional precomputed float64 ``||p||^2`` per row
+            (computed here when omitted).
+    """
+
+    def __init__(self, matrix, *, dtype: str = "auto", sq_norms=None) -> None:
+        self._dtype = validate_gram_dtype(dtype)
+        self._matrix = matrix
+        if sq_norms is None:
+            wide = np.asarray(matrix, dtype=np.float64)
+            sq_norms = np.einsum("nd,nd->n", wide, wide)
+        self._sq_norms = np.asarray(sq_norms, dtype=np.float64)
+        self._max_sq_norm = float(self._sq_norms.max())
+        # Lazily materialized shadows, so callers that never take the
+        # other path pay nothing.
+        self._matrix_f32: np.ndarray | None = None
+        self._sq_norms_f32: np.ndarray | None = None
+        self._matrix_f64: np.ndarray | None = None
+
+    @property
+    def dtype(self) -> str:
+        """The requested scoring dtype knob (``auto``/``float32``/``float64``)."""
+        return self._dtype
+
+    @property
+    def max_sq_norm(self) -> float:
+        return self._max_sq_norm
+
+    def uses_float32(self, q_sq: np.ndarray) -> bool:
+        """Whether a block with these query magnitudes scores in float32."""
+        if self._dtype == "float64":
+            return False
+        return (
+            self._max_sq_norm < _F32_MAGNITUDE_LIMIT
+            and float(q_sq.max(initial=0.0)) < _F32_MAGNITUDE_LIMIT
+        )
+
+    def scores(
+        self, rows: np.ndarray, q_sq: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Score a block of query rows: ``(approx, margin)``.
+
+        ``approx`` is the ``(b, n)`` matrix of approximate squared
+        distances in the effective dtype; ``margin`` is the ``(b,)``
+        float64 error bound valid for every entry of the matching row.
+        """
+        d = self._matrix.shape[1]
+        if self.uses_float32(q_sq):
+            if self._matrix_f32 is None:
+                self._matrix_f32 = np.ascontiguousarray(
+                    self._matrix, dtype=np.float32
+                )
+                self._sq_norms_f32 = self._sq_norms.astype(np.float32)
+            # In-place expansion: every avoided temporary is a full pass
+            # over the (b, n) matrix.
+            approx = rows.astype(np.float32) @ self._matrix_f32.T
+            approx *= -2.0
+            approx += q_sq.astype(np.float32)[:, None]
+            approx += self._sq_norms_f32
+            margin = 1e-5 * (d + 100.0) * (q_sq + self._max_sq_norm) + 1e-30
+        else:
+            if self._matrix_f64 is None:
+                if self._matrix.dtype == np.float64:
+                    self._matrix_f64 = self._matrix
+                else:
+                    self._matrix_f64 = np.ascontiguousarray(
+                        self._matrix, dtype=np.float64
+                    )
+            approx = rows @ self._matrix_f64.T
+            approx *= -2.0
+            approx += q_sq[:, None]
+            approx += self._sq_norms
+            margin = 1e-14 * (d + 100.0) * (q_sq + self._max_sq_norm) + 1e-30
+        return approx, margin
+
+
+def validate_gram_dtype(dtype: str) -> str:
+    """Validate the Gram-expansion scoring knob."""
+    if dtype not in GRAM_DTYPES:
+        raise ValueError(
+            f"dtype must be one of {GRAM_DTYPES}, got {dtype!r}"
+        )
+    return dtype
+
+
+def refine_masked_candidates(
+    corpus: np.ndarray,
+    rows: np.ndarray,
+    mask: np.ndarray,
+    k: int,
+    *,
+    block_entries: int = _REFINE_BLOCK_ENTRIES,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact float64 top-k over per-row candidate masks.
+
+    Every masked candidate's distance is recomputed with the same
+    subtract-square arithmetic the sequential ``query`` paths use, in
+    bounded chunks (tie-heavy corpora can make the mask wide), so the
+    returned neighbors, distances, and tie-breaks are bit-identical to
+    a full sequential scan restricted to the candidates.  Each row of
+    ``mask`` must hold at least ``k`` candidates.
+
+    Returns:
+        ``(top_indices, top_squared, counts)`` — the ``(b, k)`` corpus
+        indices and exact squared distances, plus the ``(b,)`` per-row
+        candidate counts (the refined-rows stats counter).
+    """
+    row_of, col_of = np.nonzero(mask)
+    exact_flat = np.empty(row_of.size)
+    step = max(1, block_entries // max(1, corpus.shape[1]))
+    for flat_start in range(0, row_of.size, step):
+        piece = slice(flat_start, flat_start + step)
+        gaps = corpus[col_of[piece]] - rows[row_of[piece]]
+        exact_flat[piece] = np.sum(np.square(gaps), axis=1)
+
+    # Scatter into a padded (b, width) table.  np.nonzero emits the
+    # columns of each row in ascending order, so a *stable* argsort on
+    # the exact distances reproduces the sequential tie-break (equal
+    # distances resolve to the lower corpus index).
+    counts = mask.sum(axis=1)
+    width = int(counts.max())
+    position = np.arange(row_of.size) - (np.cumsum(counts) - counts)[row_of]
+    exact = np.full((rows.shape[0], width), np.inf)
+    candidates = np.zeros((rows.shape[0], width), dtype=np.intp)
+    exact[row_of, position] = exact_flat
+    candidates[row_of, position] = col_of
+
+    order = np.argsort(exact, axis=1, kind="stable")[:, :k]
+    top_indices = np.take_along_axis(candidates, order, axis=1)
+    top_squared = np.take_along_axis(exact, order, axis=1)
+    return top_indices, top_squared, counts
 
 # Width of the process-wide shared executor.  Beyond the CPU count,
 # extra GIL-releasing numpy threads stop helping; the floor keeps some

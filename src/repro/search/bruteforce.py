@@ -4,6 +4,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.search.batch import (
+    GramScanner,
+    refine_masked_candidates,
+    validate_gram_dtype,
+)
 from repro.search.results import (
     BatchKnnResult,
     KnnResult,
@@ -30,19 +35,29 @@ class BruteForceIndex:
 
     Always correct, never prunes; its :class:`QueryStats` (``n`` points
     scanned, zero nodes) anchor the pruning comparisons.
+
+    Args:
+        points: ``(n, d)`` corpus.
+        dtype: scoring dtype for the batched Gram-expansion scan —
+            ``"auto"`` (float32 whenever magnitudes permit, the
+            default), ``"float32"`` (request the memory-lean path; an
+            overflow guard still falls back to float64 when squared
+            magnitudes approach float32 infinity), or ``"float64"``.
+            The scores only select candidates — survivors are
+            recomputed in float64 — so every choice returns
+            bit-identical answers; the knob trades scan bytes only.
     """
 
-    def __init__(self, points) -> None:
+    def __init__(self, points, dtype: str = "auto") -> None:
         self._points = validate_corpus(points)
+        self._dtype = validate_gram_dtype(dtype)
         # ||p||^2 per corpus row, for the batched Gram expansion.
         self._sq_norms = np.einsum(
             "nd,nd->n", self._points, self._points
         )
-        self._max_sq_norm = float(self._sq_norms.max())
-        # float32 shadow corpus for batched candidate scoring, built on
-        # first use so purely sequential callers pay nothing.
-        self._points_f32: np.ndarray | None = None
-        self._sq_norms_f32: np.ndarray | None = None
+        self._scanner = GramScanner(
+            self._points, dtype=self._dtype, sq_norms=self._sq_norms
+        )
 
     @property
     def n_points(self) -> int:
@@ -52,12 +67,21 @@ class BruteForceIndex:
     def dimensionality(self) -> int:
         return self._points.shape[1]
 
+    @property
+    def dtype(self) -> str:
+        """The batched-scan scoring knob this index was built with."""
+        return self._dtype
+
     def save(self, path: str) -> None:
         """Persist the index to ``path`` (``.npz`` snapshot)."""
         write_snapshot(
             path,
             _SNAPSHOT_KIND,
-            {"points": self._points, "sq_norms": self._sq_norms},
+            {
+                "points": self._points,
+                "sq_norms": self._sq_norms,
+                "scan_dtype": np.bytes_(self._dtype.encode()),
+            },
         )
 
     @classmethod
@@ -76,9 +100,16 @@ class BruteForceIndex:
         index = cls.__new__(cls)
         index._points = data["points"]
         index._sq_norms = data["sq_norms"]
-        index._max_sq_norm = float(index._sq_norms.max())
-        index._points_f32 = None
-        index._sq_norms_f32 = None
+        # Snapshots written before the dtype knob existed carry no
+        # scan_dtype member; they scored with the "auto" heuristic.
+        if "scan_dtype" in data:
+            index._dtype = bytes(data["scan_dtype"]).decode()
+        else:
+            index._dtype = "auto"
+        validate_gram_dtype(index._dtype)
+        index._scanner = GramScanner(
+            index._points, dtype=index._dtype, sq_norms=index._sq_norms
+        )
         return index
 
     def query(self, query, k: int = 1) -> KnnResult:
@@ -109,11 +140,12 @@ class BruteForceIndex:
         """Vectorized k-NN for every row of ``queries``.
 
         One BLAS matrix multiply produces all squared distances at once
-        via ``||q - p||^2 = ||q||^2 - 2 q.p + ||p||^2``; ``argpartition``
-        narrows each row to its top-k candidates.  Because the expansion
-        loses a few ulps to cancellation, candidate selection keeps a
-        conservative margin around the k-th partitioned value and the
-        survivors' distances are recomputed with the same subtract-square
+        via the :class:`~repro.search.batch.GramScanner` kernel (in the
+        dtype the index was built with); ``argpartition`` narrows each
+        row to its top-k candidates.  Because the expansion loses a few
+        ulps to cancellation, candidate selection keeps a conservative
+        margin around the k-th partitioned value and the survivors'
+        distances are recomputed with the same subtract-square
         arithmetic the sequential path uses — so the returned neighbors,
         distances, and tie-breaks are bit-identical to looping
         :meth:`query`.
@@ -140,33 +172,13 @@ class BruteForceIndex:
         """Boolean ``(q, n)`` mask of exact-top-k candidates per query.
 
         The scores only *select* candidates — exact distances are
-        recomputed afterwards — so the (memory-bound) score matrix runs
-        in float32 when magnitudes permit, with a margin around the k-th
-        partitioned value that dominates the combined cancellation and
-        precision error.  Every point whose exact distance ties or beats
-        the exact k-th therefore survives the mask.
+        recomputed afterwards — so the (memory-bound) score matrix may
+        run in float32, with a margin around the k-th partitioned value
+        that dominates the combined cancellation and precision error.
+        Every point whose exact distance ties or beats the exact k-th
+        therefore survives the mask.
         """
-        d = self.dimensionality
-        use_f32 = (
-            self._max_sq_norm < 1e30 and float(q_sq.max(initial=0.0)) < 1e30
-        )
-        if use_f32:
-            if self._points_f32 is None:
-                self._points_f32 = self._points.astype(np.float32)
-                self._sq_norms_f32 = self._sq_norms.astype(np.float32)
-            # In-place expansion: every avoided temporary is a full pass
-            # over the (q, n) matrix.
-            approx = rows.astype(np.float32) @ self._points_f32.T
-            approx *= -2.0
-            approx += q_sq.astype(np.float32)[:, None]
-            approx += self._sq_norms_f32
-            margin = 1e-5 * (d + 100.0) * (q_sq + self._max_sq_norm) + 1e-30
-        else:
-            approx = rows @ self._points.T
-            approx *= -2.0
-            approx += q_sq[:, None]
-            approx += self._sq_norms
-            margin = 1e-14 * (d + 100.0) * (q_sq + self._max_sq_norm) + 1e-30
+        approx, margin = self._scanner.scores(rows, q_sq)
         kth = np.partition(approx, k - 1, axis=1)[:, k - 1]
         # Doubled margin: the k-th value itself carries the same error as
         # the scores it is compared against.
@@ -175,35 +187,13 @@ class BruteForceIndex:
 
     def _query_block(self, rows: np.ndarray, k: int) -> list[KnnResult]:
         """Exact top-k for a block of query rows (the vectorized core)."""
-        corpus = self._points
         q_sq = np.einsum("qd,qd->q", rows, rows)
         mask = self._candidate_mask(rows, q_sq, k)
 
-        # Flat exact recompute over the surviving candidates only, in
-        # bounded chunks (tie-heavy corpora can make the mask wide).
-        row_of, col_of = np.nonzero(mask)
-        exact_flat = np.empty(row_of.size)
-        step = max(1, _BLOCK_ENTRIES // max(1, corpus.shape[1]))
-        for flat_start in range(0, row_of.size, step):
-            piece = slice(flat_start, flat_start + step)
-            gaps = corpus[col_of[piece]] - rows[row_of[piece]]
-            exact_flat[piece] = np.sum(np.square(gaps), axis=1)
-
-        # Scatter into a padded (q, width) table.  np.nonzero emits the
-        # columns of each row in ascending order, so a *stable* argsort
-        # on the exact distances reproduces the sequential tie-break
-        # (equal distances resolve to the lower corpus index).
-        counts = mask.sum(axis=1)
-        width = int(counts.max())
-        position = np.arange(row_of.size) - (np.cumsum(counts) - counts)[row_of]
-        exact = np.full((rows.shape[0], width), np.inf)
-        candidates = np.zeros((rows.shape[0], width), dtype=np.intp)
-        exact[row_of, position] = exact_flat
-        candidates[row_of, position] = col_of
-
-        order = np.argsort(exact, axis=1, kind="stable")[:, :k]
-        top_indices = np.take_along_axis(candidates, order, axis=1)
-        top_distances = np.sqrt(np.take_along_axis(exact, order, axis=1))
+        top_indices, top_squared, _ = refine_masked_candidates(
+            self._points, rows, mask, k, block_entries=_BLOCK_ENTRIES
+        )
+        top_distances = np.sqrt(top_squared)
 
         results = []
         for query_row in range(rows.shape[0]):

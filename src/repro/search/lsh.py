@@ -287,20 +287,12 @@ class LshIndex:
 
         ``n_workers`` controls the batch fan-out on both sides of the
         comparison (the exact reference and this index), so callers can
-        set the batch width end to end.
+        set the batch width end to end.  LSH is approximate by design,
+        so the value is a tunable metric (``exact=False``), not a
+        contract.
         """
-        from repro.search.bruteforce import BruteForceIndex
+        from repro.search.recall import recall_against_exact
 
-        reference = BruteForceIndex(self._points)
-        batch = np.asarray(queries, dtype=np.float64)
-        if batch.ndim == 1:
-            batch = batch.reshape(1, -1)
-        truth_batch = reference.query_batch(batch, k=k, n_workers=n_workers)
-        mine_batch = self.query_batch(batch, k=k, n_workers=n_workers)
-        recalls = [
-            len(
-                set(truth.indices.tolist()) & set(mine.indices.tolist())
-            ) / k
-            for truth, mine in zip(truth_batch.results, mine_batch.results)
-        ]
-        return float(np.mean(recalls))
+        return recall_against_exact(
+            self, queries, k=k, n_workers=n_workers, exact=False
+        )

@@ -26,20 +26,35 @@ class QueryStats:
     """Work accounting for one k-NN query.
 
     Attributes:
-        points_scanned: candidate points whose exact distance was
-            computed.
+        points_scanned: candidate points whose exact full-dimensional
+            distance was computed.  For a prune-then-refine index this
+            is the *refined-rows* counter — the survivors of the cheap
+            screen — and it is what :meth:`pruning_fraction` audits.
         nodes_visited: tree nodes (or VA-file approximation cells)
             examined.
         nodes_pruned: nodes discarded by the optimistic (mindist) bound
             without being opened — the paper's "effective pruning".
+        reduced_rows_scanned: rows scanned in a reduced (projected)
+            representation to produce lower bounds, without computing a
+            full-dimensional distance.  Zero for indexes that have no
+            screening stage.  Together with ``points_scanned`` this
+            splits the bytes-moved accounting of a screened scan:
+            ``reduced_rows_scanned`` cheap subspace rows versus
+            ``points_scanned`` full-width refinements.
     """
 
     points_scanned: int = 0
     nodes_visited: int = 0
     nodes_pruned: int = 0
+    reduced_rows_scanned: int = 0
 
     def pruning_fraction(self, total_points: int) -> float:
-        """Fraction of the corpus never exactly scanned.
+        """Fraction of the corpus never exactly scanned at full width.
+
+        Reduced-space scans do not count against pruning: a screened
+        index that reads every reduced row but refines only a handful of
+        full-dimensional survivors has pruned almost everything, and that
+        is exactly the win this fraction reports.
 
         Raises:
             ValueError: when ``points_scanned`` exceeds ``total_points``.
@@ -75,12 +90,22 @@ class KnnResult:
 
 
 def combine_stats(per_query: Iterable[QueryStats]) -> QueryStats:
-    """Sum work accounting across queries (for batch aggregation)."""
+    """Sum work accounting across queries (for batch aggregation).
+
+    Every counter is carried, including ``reduced_rows_scanned`` —
+    dropping a field here would silently zero it out of every batch,
+    serving, and sharding report (the aggregation paths all fold
+    through this function).  Callers must pass *per-query* stats: the
+    screened indexes assign each query's counters exactly once even
+    when ``query_batch`` splits the batch into blocks, so summation
+    never double-counts a row.
+    """
     total = QueryStats()
     for stats in per_query:
         total.points_scanned += stats.points_scanned
         total.nodes_visited += stats.nodes_visited
         total.nodes_pruned += stats.nodes_pruned
+        total.reduced_rows_scanned += stats.reduced_rows_scanned
     return total
 
 

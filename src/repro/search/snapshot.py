@@ -29,7 +29,7 @@ then becomes query-ready without reading the (typically dominant) corpus
 bytes at all; pages fault in as leaves are scanned.
 
 :func:`save_index` / :func:`load_index` are the generic entry points: a
-snapshot records which of the eight index kinds wrote it, and
+snapshot records which of the nine index kinds wrote it, and
 ``load_index`` dispatches to the right class.
 """
 
@@ -226,6 +226,7 @@ def _registry() -> dict:
     from repro.search.igrid import IGridIndex
     from repro.search.kdtree import KdTreeIndex
     from repro.search.lsh import LshIndex
+    from repro.search.projected import ProjectionScreenedIndex
     from repro.search.pyramid import PyramidIndex
     from repro.search.rtree import RTreeIndex
     from repro.search.vafile import VAFileIndex
@@ -239,6 +240,7 @@ def _registry() -> dict:
         "idistance": IDistanceIndex,
         "igrid": IGridIndex,
         "lsh": LshIndex,
+        "projscreen": ProjectionScreenedIndex,
     }
 
 
@@ -264,7 +266,7 @@ def snapshot_kind(path: str) -> str:
 
 
 def save_index(index, path: str) -> None:
-    """Persist any of the eight indexes to ``path`` (``.npz``)."""
+    """Persist any of the nine indexes to ``path`` (``.npz``)."""
     if not hasattr(index, "save"):
         raise TypeError(f"{type(index).__name__} does not support snapshots")
     index.save(path)

@@ -29,10 +29,16 @@ particular the same seed for the randomized LSH hash functions), which
 is what makes even the *approximate* LSH index shard-exact: a point's
 bucket keys depend only on the point and the shared hash functions, so
 the union of per-shard probe candidates equals the unsharded probe set.
-The one corpus-dependent structure parameter — IGrid's equi-depth range
-boundaries — is computed once over the **full** corpus and passed to
-every shard, so all shards score by the same similarity function the
-unsharded index uses.
+The corpus-dependent structure parameters — IGrid's equi-depth range
+boundaries and the projection-screened index's fitted subspace — are
+computed once over the **full** corpus and passed to every shard, so all
+shards score (or bound) by the same function the unsharded index uses.
+For projscreen the rule is also what keeps the *lower-bound screen*
+globally consistent: each shard re-fitting PCA on its own subset would
+still be exact (any orthonormal projection is a sound bound), but the
+shards would prune against different subspaces than the unsharded
+reference, so stats and scanned-bytes accounting would diverge from the
+single-index run the benchmarks compare against.
 """
 
 from __future__ import annotations
@@ -230,7 +236,7 @@ def build_shards(
         out_dir: directory for ``shard-XXX.npz``, ``shard-XXX.ids.npy``
             and ``shards.json`` (created if absent).
         n_shards: number of shards (1 <= S <= n).
-        kind: index kind to build per shard (one of the eight snapshot
+        kind: index kind to build per shard (one of the nine snapshot
             kinds) — ignored when ``index_factory`` is given.
         method: ``"round-robin"`` or ``"projected"`` (see module doc).
         seed: partition seed (projected clustering) — the per-shard
@@ -271,6 +277,19 @@ def build_shards(
 
             kwargs["discretization"] = igrid_discretization(
                 corpus, kwargs.get("ranges_per_dim", 4)
+            )
+        if kind == "projscreen" and "projection" not in kwargs:
+            # Same shared-structure rule as IGrid: fit the screening
+            # projection once on the FULL corpus, hand every shard the
+            # same basis.  Per-shard refits would still be exact but
+            # would bound against different subspaces than the
+            # unsharded reference index.
+            from repro.search.projected import fit_projection
+
+            kwargs["projection"] = fit_projection(
+                corpus,
+                subspace_dim=kwargs.pop("subspace_dim", None),
+                ordering=kwargs.pop("ordering", "eigen"),
             )
         factory = lambda rows: cls(rows, **kwargs)  # noqa: E731
     else:

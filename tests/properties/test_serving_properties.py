@@ -17,6 +17,7 @@ from repro.search.idistance import IDistanceIndex
 from repro.search.igrid import IGridIndex
 from repro.search.kdtree import KdTreeIndex
 from repro.search.lsh import LshIndex
+from repro.search.projected import ProjectionScreenedIndex
 from repro.search.pyramid import PyramidIndex
 from repro.search.rtree import RTreeIndex
 from repro.search.vafile import VAFileIndex
@@ -31,6 +32,7 @@ ALL_INDEXES = [
     IDistanceIndex,
     IGridIndex,
     LshIndex,
+    ProjectionScreenedIndex,
 ]
 
 # A small max_batch forces multiple flushes per stream; the short
@@ -88,10 +90,13 @@ def test_served_stream_is_bit_identical(cls, tmp_path, rng):
     assert report.cache_hits >= 8
 
 
-def test_served_stream_over_worker_pool(tmp_path, rng):
+@pytest.mark.parametrize(
+    "cls", [BruteForceIndex, ProjectionScreenedIndex]
+)
+def test_served_stream_over_worker_pool(cls, tmp_path, rng):
     corpus = rng.normal(size=(150, 6))
-    index = BruteForceIndex(corpus)
-    path = str(tmp_path / "bruteforce.npz")
+    index = cls(corpus)
+    path = str(tmp_path / "index.npz")
     index.save(path)
     queries = rng.normal(size=(30, 6))
     ks = rng.integers(1, 5, 30)
@@ -103,5 +108,5 @@ def test_served_stream_over_worker_pool(tmp_path, rng):
             assert_result_matches(
                 future.result(timeout=30),
                 index.query(q, k=int(k)),
-                f"pooled serving diverged at k={k}",
+                f"{cls.__name__} pooled serving diverged at k={k}",
             )

@@ -11,7 +11,12 @@ Stats equality is asserted for the scan-everything index (bruteforce:
 per-shard scans sum to exactly the corpus size); the pruning indexes'
 per-shard tree shapes legitimately differ from the single big tree, so
 their summed stats describe the sharded execution, not the unsharded
-one, and only the answers are compared.
+one, and only the answers are compared.  The projection-screened index
+sits in between: every shard screens with the one projection fitted on
+the full corpus (the shared-structure rule in ``build_shards``), so its
+``reduced_rows_scanned`` sums to exactly the corpus size per query, but
+each shard seeds its own k refinements, so ``points_scanned`` describes
+the sharded execution.
 """
 
 import numpy as np
@@ -22,6 +27,7 @@ from repro.search.idistance import IDistanceIndex
 from repro.search.igrid import IGridIndex
 from repro.search.kdtree import KdTreeIndex
 from repro.search.lsh import LshIndex
+from repro.search.projected import ProjectionScreenedIndex
 from repro.search.pyramid import PyramidIndex
 from repro.search.rtree import RTreeIndex
 from repro.search.vafile import VAFileIndex
@@ -37,6 +43,7 @@ ALL_INDEXES = [
     IDistanceIndex,
     IGridIndex,
     LshIndex,
+    ProjectionScreenedIndex,
 ]
 
 _KINDS = {
@@ -48,6 +55,7 @@ _KINDS = {
     IDistanceIndex: "idistance",
     IGridIndex: "igrid",
     LshIndex: "lsh",
+    ProjectionScreenedIndex: "projscreen",
 }
 
 # A small max_batch forces multiple member flushes per stream.
@@ -104,6 +112,13 @@ def test_sharded_serving_is_bit_identical(cls, method, tmp_path, rng):
                 ), context
                 if cls is BruteForceIndex:
                     assert got.stats == expected.stats, context
+                if cls is ProjectionScreenedIndex:
+                    # Shards share one full-corpus projection, so the
+                    # summed reduced scans cover the corpus exactly once.
+                    assert (
+                        got.stats.reduced_rows_scanned
+                        == expected.stats.reduced_rows_scanned
+                    ), context
             # The explicit-batch path merges identically too.  Rows are
             # compared individually: an approximate index may return
             # fewer than k neighbors for some rows (ragged batches).

@@ -67,3 +67,64 @@ class TestBruteForceIndex:
         index = BruteForceIndex(random_points)
         assert index.n_points == random_points.shape[0]
         assert index.dimensionality == random_points.shape[1]
+
+
+class TestScanDtypeKnob:
+    """The dtype knob trades scan bytes only — never answer bits."""
+
+    def test_all_dtypes_bit_identical(self, rng):
+        corpus = rng.normal(size=(120, 7))
+        corpus[40] = corpus[3]  # exact tie across the f32 boundary
+        queries = np.concatenate([corpus[:5], rng.normal(size=(9, 7))])
+        reference = BruteForceIndex(corpus, dtype="float64")
+        expected = reference.query_batch(queries, k=6)
+        for dtype in ("auto", "float32"):
+            got = BruteForceIndex(corpus, dtype=dtype).query_batch(
+                queries, k=6
+            )
+            assert np.array_equal(got.indices, expected.indices), dtype
+            assert (
+                got.distances.tobytes() == expected.distances.tobytes()
+            ), dtype
+
+    def test_float32_overflow_guard_falls_back(self, rng):
+        # Magnitudes whose squares pass float32 infinity must never be
+        # scored in float32, whatever the caller requested.
+        corpus = rng.normal(size=(30, 3)) * 1e20
+        index = BruteForceIndex(corpus, dtype="float32")
+        q_sq = np.einsum("qd,qd->q", corpus[:2], corpus[:2])
+        assert not index._scanner.uses_float32(q_sq)
+        expected = BruteForceIndex(corpus, dtype="float64").query_batch(
+            corpus[:4], k=3
+        )
+        got = index.query_batch(corpus[:4], k=3)
+        assert np.array_equal(got.indices, expected.indices)
+        assert got.distances.tobytes() == expected.distances.tobytes()
+
+    def test_rejects_unknown_dtype(self, rng):
+        with pytest.raises(ValueError, match="dtype must be one of"):
+            BruteForceIndex(rng.normal(size=(5, 2)), dtype="float16")
+
+    def test_dtype_survives_snapshot(self, rng, tmp_path):
+        corpus = rng.normal(size=(40, 4))
+        path = str(tmp_path / "bf32.npz")
+        BruteForceIndex(corpus, dtype="float32").save(path)
+        loaded = BruteForceIndex.load(path)
+        assert loaded.dtype == "float32"
+
+    def test_missing_scan_dtype_defaults_to_auto(self, rng, tmp_path):
+        # Snapshots written before the knob existed carry no scan_dtype.
+        from repro.search.snapshot import write_snapshot
+
+        corpus = rng.normal(size=(25, 3))
+        sq = np.einsum("nd,nd->n", corpus, corpus)
+        path = str(tmp_path / "old.npz")
+        write_snapshot(
+            path, "bruteforce", {"points": corpus, "sq_norms": sq}
+        )
+        loaded = BruteForceIndex.load(path)
+        assert loaded.dtype == "auto"
+        expected = BruteForceIndex(corpus).query_batch(corpus[:3], k=2)
+        got = loaded.query_batch(corpus[:3], k=2)
+        assert np.array_equal(got.indices, expected.indices)
+        assert got.distances.tobytes() == expected.distances.tobytes()

@@ -7,6 +7,7 @@ from repro.search.results import (
     KnnResult,
     Neighbor,
     QueryStats,
+    combine_stats,
     validate_corpus,
     validate_k,
     validate_query,
@@ -30,6 +31,41 @@ class TestQueryStats:
     def test_rejects_nonpositive_total(self):
         with pytest.raises(ValueError):
             QueryStats().pruning_fraction(0)
+
+    def test_reduced_scans_do_not_count_against_pruning(self):
+        # A screened index reads every reduced row but refines few full
+        # rows; the pruning win is the full-width rows it skipped.
+        stats = QueryStats(points_scanned=5, reduced_rows_scanned=100)
+        assert stats.pruning_fraction(100) == pytest.approx(0.95)
+
+
+class TestCombineStats:
+    def test_all_counters_are_summed(self):
+        total = combine_stats(
+            [
+                QueryStats(
+                    points_scanned=3,
+                    nodes_visited=2,
+                    nodes_pruned=7,
+                    reduced_rows_scanned=50,
+                ),
+                QueryStats(
+                    points_scanned=4,
+                    nodes_visited=1,
+                    nodes_pruned=6,
+                    reduced_rows_scanned=50,
+                ),
+            ]
+        )
+        assert total == QueryStats(
+            points_scanned=7,
+            nodes_visited=3,
+            nodes_pruned=13,
+            reduced_rows_scanned=100,
+        )
+
+    def test_empty_is_zero(self):
+        assert combine_stats([]) == QueryStats()
 
 
 class TestKnnResult:

@@ -21,6 +21,7 @@ from repro.search import (
     IGridIndex,
     KdTreeIndex,
     LshIndex,
+    ProjectionScreenedIndex,
     PyramidIndex,
     RTreeIndex,
     SnapshotError,
@@ -30,7 +31,7 @@ from repro.search import (
     snapshot_kind,
 )
 
-# (kind, class, builder) for all eight snapshot-capable indexes; builders
+# (kind, class, builder) for all nine snapshot-capable indexes; builders
 # use non-default parameters where that exercises more structure.
 INDEX_SPECS = [
     ("bruteforce", BruteForceIndex, lambda pts: BruteForceIndex(pts)),
@@ -45,6 +46,15 @@ INDEX_SPECS = [
         LshIndex,
         lambda pts: LshIndex(
             pts, n_tables=4, n_hashes=3, bucket_width=2.0, seed=0
+        ),
+    ),
+    (
+        "projscreen",
+        ProjectionScreenedIndex,
+        lambda pts: ProjectionScreenedIndex(
+            pts,
+            subspace_dim=min(2, pts.shape[1]),
+            ordering="coherence",
         ),
     ),
 ]
@@ -219,6 +229,23 @@ class TestStructurePreservation:
         loaded = LshIndex.load(path)
         for row in corpus[:10]:
             assert np.array_equal(index.candidates(row), loaded.candidates(row))
+
+    def test_projscreen_projection_survives(self, rng, tmp_path):
+        corpus = rng.normal(size=(90, 8))
+        index = ProjectionScreenedIndex(
+            corpus, subspace_dim=3, ordering="coherence"
+        )
+        path = str(tmp_path / "ps.npz")
+        index.save(path)
+        loaded = ProjectionScreenedIndex.load(path)
+        # The fitted basis is stored, not refitted: same bytes, same
+        # bounds, same screen decisions after load.
+        assert np.array_equal(loaded.projection.matrix, index.projection.matrix)
+        assert np.array_equal(loaded.projection.center, index.projection.center)
+        assert loaded.ordering == "coherence"
+        assert loaded.subspace_dim == 3
+        assert np.array_equal(loaded._reduced, index._reduced)
+        assert loaded._reduced.dtype == np.float32
 
     def test_igrid_similarity_survives(self, rng, tmp_path):
         corpus = rng.normal(size=(80, 5))

@@ -155,6 +155,82 @@ class TestServeBenchCommand:
             main(["serve-bench", "--workers", "-1", "--n", "50"])
 
 
+class TestIndexBuildCommand:
+    def test_projscreen_with_kind_alias(self, tmp_path, capsys):
+        out_path = tmp_path / "proj.npz"
+        assert main(
+            [
+                "index", "build", "uniform", "--kind", "projscreen",
+                "--subspace-dim", "8", "--ordering", "coherence",
+                "-o", str(out_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "projscreen" in out
+        assert "screen 8/50 dims" in out
+        assert "coherence-ordered" in out
+
+        from repro.search import ProjectionScreenedIndex, load_index
+
+        loaded = load_index(str(out_path))
+        assert type(loaded) is ProjectionScreenedIndex
+        assert loaded.subspace_dim == 8
+        assert loaded.ordering == "coherence"
+
+    def test_projscreen_flags_rejected_for_other_kinds(self, tmp_path):
+        with pytest.raises(SystemExit, match="subspace-dim"):
+            main(
+                [
+                    "index", "build", "uniform", "--index", "kdtree",
+                    "--subspace-dim", "4",
+                    "-o", str(tmp_path / "kd.npz"),
+                ]
+            )
+        with pytest.raises(SystemExit, match="ordering"):
+            main(
+                [
+                    "index", "build", "uniform", "--index", "kdtree",
+                    "--ordering", "eigen",
+                    "-o", str(tmp_path / "kd.npz"),
+                ]
+            )
+
+    def test_out_of_range_subspace_dim_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="subspace_dim"):
+            main(
+                [
+                    "index", "build", "uniform", "--kind", "projscreen",
+                    "--subspace-dim", "999",
+                    "-o", str(tmp_path / "p.npz"),
+                ]
+            )
+
+
+class TestShardBuildCommand:
+    def test_projscreen_shards_share_projection(self, tmp_path, capsys):
+        out_dir = tmp_path / "shards"
+        assert main(
+            [
+                "shard", "build", "uniform", "--kind", "projscreen",
+                "--shards", "3", "--subspace-dim", "5",
+                "-o", str(out_dir),
+            ]
+        ) == 0
+        assert "3 x projscreen shards" in capsys.readouterr().out
+
+        from repro.search import load_index
+        from repro.shard import load_manifest
+
+        manifest = load_manifest(str(out_dir))
+        loaded = [
+            load_index(spec.snapshot_path) for spec in manifest.shards
+        ]
+        first = loaded[0].projection.matrix
+        assert first.shape == (50, 5)
+        for shard_index in loaded[1:]:
+            assert np.array_equal(shard_index.projection.matrix, first)
+
+
 class TestExperimentSaveDir:
     def test_reports_written(self, tmp_path, capsys):
         from repro.cli import main
