@@ -256,33 +256,35 @@ _INDEX_KINDS = (
 )
 
 
-def _projscreen_kwargs(args) -> dict:
-    """Constructor keywords from the projection-screen CLI flags.
+# Kind-specific constructor flags: each entry maps a CLI flag to the
+# index kind it configures and the constructor keyword it populates.
+# Flags are meaningful only for their kind; passing one with another
+# kind is a usage error, not something to silently ignore.
+_KIND_FLAGS = (
+    ("subspace_dim", "--subspace-dim", "projscreen", "subspace_dim"),
+    ("ordering", "--ordering", "projscreen", "ordering"),
+    ("n_probes", "--n-probes", "lsh", "n_probes"),
+    ("bit_allocation", "--bit-allocation", "vafile", "bit_allocation"),
+)
 
-    The flags are meaningful only for ``projscreen``; passing them with
-    another kind is a usage error, not something to silently ignore.
-    """
-    if args.index != "projscreen":
-        if args.subspace_dim is not None:
-            raise SystemExit(
-                "error: --subspace-dim only applies to --kind projscreen, "
-                f"not {args.index!r}"
-            )
-        if args.ordering is not None:
-            raise SystemExit(
-                "error: --ordering only applies to --kind projscreen, "
-                f"not {args.index!r}"
-            )
-        return {}
+
+def _index_kwargs(args) -> dict:
+    """Constructor keywords from the kind-specific CLI flags."""
     kwargs: dict = {}
-    if args.subspace_dim is not None:
-        kwargs["subspace_dim"] = args.subspace_dim
-    if args.ordering is not None:
-        kwargs["ordering"] = args.ordering
+    for attr, flag, kind, keyword in _KIND_FLAGS:
+        value = getattr(args, attr)
+        if value is None:
+            continue
+        if args.index != kind:
+            raise SystemExit(
+                f"error: {flag} only applies to --kind {kind}, "
+                f"not {args.index!r}"
+            )
+        kwargs[keyword] = value
     return kwargs
 
 
-def _add_projscreen_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_index_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--subspace-dim", type=int, default=None,
         help="projscreen screening dimensions m (default: d // 4)",
@@ -293,13 +295,24 @@ def _add_projscreen_arguments(parser: argparse.ArgumentParser) -> None:
              "(eigen = largest eigenvalues, coherence = the paper's "
              "coherence probability; default: eigen)",
     )
+    parser.add_argument(
+        "--n-probes", type=int, default=None,
+        help="lsh multi-probe count: buckets examined per table, the "
+             "home bucket plus its best perturbations (default: 1)",
+    )
+    parser.add_argument(
+        "--bit-allocation", default=None, choices=["uniform", "variance"],
+        help="vafile per-dimension bit budget split: uniform, or "
+             "variance-weighted toward high-variance dimensions "
+             "(default: uniform)",
+    )
 
 
 def _command_index_build(args) -> int:
     data = _resolve_dataset(args.dataset, args.seed, args.label_column)
     cls = _index_classes()[args.index]
     try:
-        index = cls(data.features, **_projscreen_kwargs(args))
+        index = cls(data.features, **_index_kwargs(args))
     except ValueError as error:
         raise SystemExit(f"error: {error}") from None
     index.save(args.output)
@@ -495,7 +508,7 @@ def _command_shard_build(args) -> int:
             seed=args.seed,
             # projscreen: build_shards fits one projection on the full
             # corpus from these and hands it to every shard.
-            index_kwargs=_projscreen_kwargs(args),
+            index_kwargs=_index_kwargs(args),
         )
     except (ValueError, ShardManifestError) as error:
         raise SystemExit(f"error: {error}") from None
@@ -688,7 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="index structure to build (default: kdtree); "
              "--kind is an alias",
     )
-    _add_projscreen_arguments(index_build)
+    _add_index_arguments(index_build)
     index_build.add_argument(
         "-o", "--output", required=True, help="output .npz snapshot path"
     )
@@ -720,7 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="index structure to build per shard (default: kdtree); "
              "--kind is an alias",
     )
-    _add_projscreen_arguments(shard_build)
+    _add_index_arguments(shard_build)
     shard_build.add_argument(
         "--method",
         default="round-robin",

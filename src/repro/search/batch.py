@@ -41,6 +41,16 @@ matrix-friendly paths share:
 * :func:`refine_masked_candidates` — exact float64 top-k over per-row
   candidate masks, with the stable tie-break (equal distances resolve
   to the lower corpus index) every index in the family guarantees.
+  Two interchangeable kernels produce bit-identical results: the
+  ``"gather"`` kernel recomputes every masked candidate with per-row
+  float64 gathers (optimal when masks are a few rows wide), and the
+  ``"gemm"`` kernel compacts the survivors of a block of queries into
+  fixed-shape tiles, scores them through one blocked float64 Gram
+  multiply, and recomputes exactly only the provable top-k contenders
+  (optimal when masks are wide, as in a screened scan).  The tiles are
+  zero-padded to constant BLAS shapes — ``_TILE_ROWS`` query rows by
+  ``_TILE_COLS`` candidate columns — so the kernel's per-query behavior
+  never depends on how the caller batched its queries.
 """
 
 from __future__ import annotations
@@ -70,6 +80,16 @@ _REFINE_BLOCK_ENTRIES = 4_194_304
 _F32_MAGNITUDE_LIMIT = 1e30
 
 GRAM_DTYPES = ("auto", "float32", "float64")
+
+REFINE_KERNELS = ("gather", "gemm")
+
+# Fixed tile shape for the fused gemm refine.  Every BLAS multiply runs
+# on exactly (_TILE_ROWS, d) @ (d, _TILE_COLS) regardless of how many
+# query rows or candidate columns actually survive — BLAS kernels pick
+# different reduction orders for different shapes, so only constant
+# shapes keep query(b=1) and query_batch bit-identical per row.
+_TILE_ROWS = 32
+_TILE_COLS = 512
 
 
 class GramScanner:
@@ -180,6 +200,30 @@ def validate_gram_dtype(dtype: str) -> str:
     return dtype
 
 
+def validate_refine_kernel(kernel: str) -> str:
+    """Validate the exact-refinement kernel knob."""
+    if kernel not in REFINE_KERNELS:
+        raise ValueError(
+            f"refine_kernel must be one of {REFINE_KERNELS}, got {kernel!r}"
+        )
+    return kernel
+
+
+def pad_rows(block: np.ndarray, size: int) -> np.ndarray:
+    """Zero-pad an array along axis 0 up to exactly ``size`` rows.
+
+    BLAS-shape discipline: float matmuls feeding pruning or hashing
+    decisions must always run on the same shape, so short final blocks
+    are padded with zero rows (padding output is sliced away, never
+    read).  A full block is returned as-is.
+    """
+    if block.shape[0] == size:
+        return block
+    padded = np.zeros((size,) + block.shape[1:], dtype=block.dtype)
+    padded[: block.shape[0]] = block
+    return padded
+
+
 def refine_masked_candidates(
     corpus: np.ndarray,
     rows: np.ndarray,
@@ -187,45 +231,195 @@ def refine_masked_candidates(
     k: int,
     *,
     block_entries: int = _REFINE_BLOCK_ENTRIES,
+    kernel: str = "gather",
+    sq_norms: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Exact float64 top-k over per-row candidate masks.
 
-    Every masked candidate's distance is recomputed with the same
-    subtract-square arithmetic the sequential ``query`` paths use, in
-    bounded chunks (tie-heavy corpora can make the mask wide), so the
-    returned neighbors, distances, and tie-breaks are bit-identical to
-    a full sequential scan restricted to the candidates.  Each row of
-    ``mask`` must hold at least ``k`` candidates.
+    Both kernels return neighbors, distances, and tie-breaks
+    bit-identical to a full sequential scan restricted to the
+    candidates — every *answered* distance is produced by the same
+    subtract-square arithmetic the sequential ``query`` paths use:
+
+    * ``"gather"`` recomputes every masked candidate with per-row
+      float64 gathers in bounded chunks (tie-heavy corpora can make the
+      mask wide).  Optimal when masks are only a few entries wide.
+    * ``"gemm"`` compacts each :data:`_TILE_ROWS`-row block's union of
+      candidate columns into one gathered tile, scores it through
+      fixed-shape ``(_TILE_ROWS, d) @ (d, _TILE_COLS)`` float64 Gram
+      multiplies, and recomputes exactly only the rows that the
+      Gram scores — widened by a conservative error margin — prove can
+      reach the top ``k``.  The margin makes the narrowing lossless, so
+      the exact recompute sees a superset of the true top ``k`` and the
+      stable tie-break is preserved.  Optimal when masks are wide, as
+      in a screened scan at a loose pruning fraction.
+
+    Rows with fewer than ``k`` candidates (including zero) are
+    tolerated: missing tail slots report index ``-1`` and distance
+    ``+inf``, and ``counts`` carries the per-row truth.
+
+    Args:
+        sq_norms: optional precomputed float64 ``||p||^2`` per corpus
+            row, used only by the gemm kernel (computed per tile when
+            omitted, which keeps a memory-mapped corpus lazy).
 
     Returns:
         ``(top_indices, top_squared, counts)`` — the ``(b, k)`` corpus
         indices and exact squared distances, plus the ``(b,)`` per-row
         candidate counts (the refined-rows stats counter).
     """
+    validate_refine_kernel(kernel)
+    counts = mask.sum(axis=1)
+    if kernel == "gemm":
+        b = rows.shape[0]
+        top_indices = np.full((b, k), -1, dtype=np.intp)
+        top_squared = np.full((b, k), np.inf)
+        for start in range(0, b, _TILE_ROWS):
+            stop = min(start + _TILE_ROWS, b)
+            idx, sq = _refine_gemm_block(
+                corpus,
+                rows[start:stop],
+                mask[start:stop],
+                k,
+                block_entries,
+                sq_norms,
+            )
+            top_indices[start:stop] = idx
+            top_squared[start:stop] = sq
+        return top_indices, top_squared, counts
     row_of, col_of = np.nonzero(mask)
+    exact_flat = _exact_flat_distances(
+        corpus, rows, row_of, col_of, block_entries
+    )
+    top_indices, top_squared = _stable_topk(
+        row_of, col_of, exact_flat, rows.shape[0], k
+    )
+    return top_indices, top_squared, counts
+
+
+def _exact_flat_distances(
+    corpus: np.ndarray,
+    rows: np.ndarray,
+    row_of: np.ndarray,
+    col_of: np.ndarray,
+    block_entries: int,
+) -> np.ndarray:
+    """Exact float64 squared distances for flat (query, corpus) pairs.
+
+    The one arithmetic both refine kernels answer with: subtract, square,
+    ``np.sum`` over the last axis — identical to the sequential ``query``
+    paths, computed in bounded chunks to cap scratch memory.
+    """
     exact_flat = np.empty(row_of.size)
     step = max(1, block_entries // max(1, corpus.shape[1]))
     for flat_start in range(0, row_of.size, step):
         piece = slice(flat_start, flat_start + step)
         gaps = corpus[col_of[piece]] - rows[row_of[piece]]
         exact_flat[piece] = np.sum(np.square(gaps), axis=1)
+    return exact_flat
 
-    # Scatter into a padded (b, width) table.  np.nonzero emits the
-    # columns of each row in ascending order, so a *stable* argsort on
-    # the exact distances reproduces the sequential tie-break (equal
-    # distances resolve to the lower corpus index).
-    counts = mask.sum(axis=1)
-    width = int(counts.max())
+
+def _stable_topk(
+    row_of: np.ndarray,
+    col_of: np.ndarray,
+    exact_flat: np.ndarray,
+    b: int,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row stable top-k of flat exact distances.
+
+    Scatters into a padded ``(b, width)`` table.  ``np.nonzero`` emits
+    the columns of each row in ascending order, so a *stable* argsort on
+    the exact distances reproduces the sequential tie-break (equal
+    distances resolve to the lower corpus index).  Rows with fewer than
+    ``k`` entries pad with index ``-1`` / distance ``+inf``.
+    """
+    counts = np.bincount(row_of, minlength=b)
+    width = max(int(counts.max(initial=0)), k)
     position = np.arange(row_of.size) - (np.cumsum(counts) - counts)[row_of]
-    exact = np.full((rows.shape[0], width), np.inf)
-    candidates = np.zeros((rows.shape[0], width), dtype=np.intp)
+    exact = np.full((b, width), np.inf)
+    candidates = np.full((b, width), -1, dtype=np.intp)
     exact[row_of, position] = exact_flat
     candidates[row_of, position] = col_of
 
     order = np.argsort(exact, axis=1, kind="stable")[:, :k]
     top_indices = np.take_along_axis(candidates, order, axis=1)
     top_squared = np.take_along_axis(exact, order, axis=1)
-    return top_indices, top_squared, counts
+    return top_indices, top_squared
+
+
+def _refine_gemm_block(
+    corpus: np.ndarray,
+    rows: np.ndarray,
+    mask: np.ndarray,
+    k: int,
+    block_entries: int,
+    sq_norms: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fused gemm refine for one block of at most ``_TILE_ROWS`` rows.
+
+    The union of the block's candidate columns is gathered from the
+    corpus exactly once and scored against all rows through fixed-shape
+    float64 Gram multiplies.  The Gram expansion loses a few ulps to
+    cancellation, so the scores only *narrow*: any candidate whose
+    approximate distance lies within ``2 * margin`` of the row's k-th
+    smallest approximate distance might belong to the exact top k (the
+    margin bounds ``|approx - exact|``, so the true k-th distance is at
+    most ``kth_approx + margin`` and every true top-k member scores at
+    most ``kth_approx + 2 * margin``).  The narrowed superset — ties
+    included — is recomputed with the exact subtract-square arithmetic,
+    which makes the result bit-identical to the gather kernel.
+    """
+    b = rows.shape[0]
+    union = np.flatnonzero(mask.any(axis=0))
+    if union.size == 0:
+        return (
+            np.full((b, k), -1, dtype=np.intp),
+            np.full((b, k), np.inf),
+        )
+    cand = mask[:, union]
+    tile = np.ascontiguousarray(corpus[union], dtype=np.float64)
+    d = tile.shape[1]
+    if sq_norms is None:
+        u_sq = np.einsum("ud,ud->u", tile, tile)
+    else:
+        u_sq = np.asarray(sq_norms, dtype=np.float64)[union]
+    q_pad = pad_rows(rows, _TILE_ROWS)
+    q_sq = np.einsum("qd,qd->q", rows, rows)
+    q_sq_pad = pad_rows(q_sq[:, None], _TILE_ROWS)
+
+    approx = np.empty((b, union.size))
+    for col_start in range(0, union.size, _TILE_COLS):
+        col_stop = min(col_start + _TILE_COLS, union.size)
+        block = pad_rows(tile[col_start:col_stop], _TILE_COLS)
+        block_sq = pad_rows(
+            u_sq[col_start:col_stop, None], _TILE_COLS
+        )
+        scores = q_pad @ block.T
+        scores *= -2.0
+        scores += q_sq_pad
+        scores += block_sq.T
+        approx[:, col_start:col_stop] = scores[:b, : col_stop - col_start]
+
+    # Same float64 Gram margin form as GramScanner: dominates the
+    # expansion's cancellation error for every entry of the row.
+    margin = 1e-14 * (d + 100.0) * (q_sq + float(u_sq.max())) + 1e-30
+    approx[~cand] = np.inf
+    if union.size >= k:
+        kth = np.partition(approx, k - 1, axis=1)[:, k - 1]
+    else:
+        kth = np.full(b, np.inf)
+    limit = np.where(np.isfinite(kth), kth + 2.0 * margin, np.inf)
+    # AND with the candidate mask: rows short of k candidates have an
+    # infinite limit, and inf <= inf is True for the non-candidates.
+    narrowed = cand & (approx <= limit[:, None])
+
+    row_of, col_of = np.nonzero(narrowed)
+    gids = union[col_of]
+    exact_flat = _exact_flat_distances(
+        corpus, rows, row_of, gids, block_entries
+    )
+    return _stable_topk(row_of, gids, exact_flat, b, k)
 
 # Width of the process-wide shared executor.  Beyond the CPU count,
 # extra GIL-releasing numpy threads stop helping; the floor keeps some

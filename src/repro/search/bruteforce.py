@@ -190,8 +190,12 @@ class BruteForceIndex:
         q_sq = np.einsum("qd,qd->q", rows, rows)
         mask = self._candidate_mask(rows, q_sq, k)
 
+        # Masks here are only ~k wide (the margin admits few rows past
+        # the true top-k), which is the gather kernel's sweet spot; the
+        # precomputed norms ride along for callers that flip the knob.
         top_indices, top_squared, _ = refine_masked_candidates(
-            self._points, rows, mask, k, block_entries=_BLOCK_ENTRIES
+            self._points, rows, mask, k, block_entries=_BLOCK_ENTRIES,
+            sq_norms=self._sq_norms,
         )
         top_distances = np.sqrt(top_squared)
 

@@ -58,7 +58,9 @@ import numpy as np
 from repro.search.batch import (
     _F32_MAGNITUDE_LIMIT,
     GramScanner,
+    pad_rows,
     refine_masked_candidates,
+    validate_refine_kernel,
 )
 from repro.search.results import (
     BatchKnnResult,
@@ -97,14 +99,6 @@ _ORTHONORMAL_ATOL = 1e-8
 # rows keeps every BLAS shape constant, which makes the mask (and the
 # stats) a pure function of each query alone.
 _SCORE_CHUNK_ROWS = 32
-
-
-def _pad_chunk(block: np.ndarray, size: int) -> np.ndarray:
-    """Zero-pad ``block`` along axis 0 to exactly ``size`` rows."""
-    if block.shape[0] == size:
-        return block
-    pad = np.zeros((size - block.shape[0],) + block.shape[1:])
-    return np.concatenate([block, pad])
 
 
 @dataclass(frozen=True)
@@ -267,6 +261,15 @@ class ProjectionScreenedIndex:
             hands every shard the one projection fitted on the *full*
             corpus (the same shared-structure rule as IGrid's global
             discretization), and how experiments pin a basis.
+        refine_kernel: stage-3 exact re-ranking kernel, ``"gather"`` or
+            ``"gemm"`` (see
+            :func:`~repro.search.batch.refine_masked_candidates`); both
+            produce bit-identical answers and stats, so the knob trades
+            wall clock only.  ``"gemm"`` compacts the survivors into
+            fixed-shape tiles and re-ranks through one blocked float64
+            Gram multiply — the fast choice at loose pruning fractions,
+            where the gather path's per-row fancy indexing dominates.
+            Not persisted in snapshots.
 
     Answers are bit-identical to :class:`BruteForceIndex` — same
     neighbors, same distance bytes, same lower-index tie-breaks — at a
@@ -280,8 +283,10 @@ class ProjectionScreenedIndex:
         subspace_dim: int | None = None,
         ordering: str = "eigen",
         projection: ProjectionSpec | None = None,
+        refine_kernel: str = "gemm",
     ) -> None:
         self._points = validate_corpus(points)
+        self.refine_kernel = validate_refine_kernel(refine_kernel)
         if projection is None:
             projection = fit_projection(
                 self._points, subspace_dim=subspace_dim, ordering=ordering
@@ -375,6 +380,7 @@ class ProjectionScreenedIndex:
         )
         index = cls.__new__(cls)
         index._points = data["points"]
+        index.refine_kernel = "gemm"
         index._projection = _validate_projection(
             ProjectionSpec(
                 center=data["center"],
@@ -440,7 +446,7 @@ class ProjectionScreenedIndex:
         reduced = np.empty((b, self.subspace_dim))
         for start in range(0, b, chunk):
             stop = min(start + chunk, b)
-            block = _pad_chunk(centered[start:stop], chunk)
+            block = pad_rows(centered[start:stop], chunk)
             projected = block @ self._projection.matrix
             reduced[start:stop] = projected[: stop - start]
         q_sq_reduced = np.einsum("qd,qd->q", reduced, reduced)
@@ -453,8 +459,8 @@ class ProjectionScreenedIndex:
             for start in range(0, group.size, chunk):
                 sel = group[start : start + chunk]
                 scores, kernel_margin = self._scanner.scores(
-                    _pad_chunk(reduced[sel], chunk),
-                    _pad_chunk(q_sq_reduced[sel], chunk),
+                    pad_rows(reduced[sel], chunk),
+                    pad_rows(q_sq_reduced[sel], chunk),
                 )
                 # float32 scores upcast exactly, so comparing against
                 # the float64 limit later is unchanged by this store.
@@ -493,9 +499,12 @@ class ProjectionScreenedIndex:
         mask[seed_rows, seeds.ravel()] = True
 
         # Stage 3: exact float64 re-rank of the survivors, bit-identical
-        # arithmetic and tie-breaks to BruteForceIndex.
+        # arithmetic and tie-breaks to BruteForceIndex.  Both kernels
+        # return the same bits, so the knob never shows in the answers
+        # or the stats.
         top_indices, top_squared, counts = refine_masked_candidates(
-            self._points, rows, mask, k, block_entries=self._block_entries
+            self._points, rows, mask, k,
+            block_entries=self._block_entries, kernel=self.refine_kernel,
         )
         top_distances = np.sqrt(top_squared)
 
@@ -512,6 +521,9 @@ class ProjectionScreenedIndex:
                 points_scanned=refined,
                 nodes_pruned=n - refined,
                 reduced_rows_scanned=n,
+                # The screen admits exactly the refined rows: funnel
+                # width and refinement width coincide for this index.
+                candidates_generated=refined,
             )
             results.append(KnnResult(neighbors=neighbors, stats=stats))
         return results
@@ -553,16 +565,19 @@ class ProjectionScreenedIndex:
         )
 
     def recall_against_exact(
-        self, queries, k: int = 3, *, n_workers: int | None = None
+        self, queries, k: int = 3, *, n_workers: int | None = None,
+        reference=None,
     ) -> float:
         """Recall vs the exact linear scan — always 1.0, by contract.
 
         Exactness is a contract, not a metric, for this index: the
         audit raises :class:`~repro.search.recall.ExactnessViolation`
-        instead of returning a value below 1.0.
+        instead of returning a value below 1.0.  ``reference``
+        optionally reuses a prebuilt exact index over the same corpus.
         """
         from repro.search.recall import recall_against_exact
 
         return recall_against_exact(
-            self, queries, k=k, n_workers=n_workers, exact=True
+            self, queries, k=k, n_workers=n_workers, exact=True,
+            reference=reference,
         )

@@ -35,6 +35,7 @@ def recall_against_exact(
     *,
     n_workers: int | None = None,
     exact: bool = False,
+    reference=None,
 ) -> float:
     """Mean fraction of true k-NN retrieved by ``index`` over ``queries``.
 
@@ -49,6 +50,11 @@ def recall_against_exact(
         exact: when True, a recall below 1.0 raises
             :class:`ExactnessViolation` naming the worst query instead of
             returning — exactness is a contract, not a metric.
+        reference: optional prebuilt exact index over the same corpus.
+            Parameter sweeps (probes x tables x recall) audit many
+            configurations against one ground truth; rebuilding the
+            brute-force reference per configuration would dominate the
+            sweep, so callers may build it once and pass it in.
 
     Returns:
         Mean recall in ``[0, 1]`` (always 1.0 when ``exact=True``
@@ -56,7 +62,8 @@ def recall_against_exact(
     """
     from repro.search.bruteforce import BruteForceIndex
 
-    reference = BruteForceIndex(index._points)
+    if reference is None:
+        reference = BruteForceIndex(index._points)
     batch = np.asarray(queries, dtype=np.float64)
     if batch.ndim == 1:
         batch = batch.reshape(1, -1)

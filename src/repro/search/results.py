@@ -41,12 +41,23 @@ class QueryStats:
             splits the bytes-moved accounting of a screened scan:
             ``reduced_rows_scanned`` cheap subspace rows versus
             ``points_scanned`` full-width refinements.
+        candidates_generated: rows the candidate-generation stage
+            emitted *before* deduplication and refinement — the funnel
+            width.  For LSH this counts every bucket member pulled from
+            every probed bucket (a row surfacing in three tables counts
+            three times); for the VA-file it counts the phase-1
+            survivors; for the projection-screened index the rows the
+            screen admitted to refinement.  ``points_scanned`` stays the
+            *distinct* exactly-refined count, so
+            :meth:`pruning_fraction` keeps its over-count-strict audit
+            while this field reports how wide the funnel opened.
     """
 
     points_scanned: int = 0
     nodes_visited: int = 0
     nodes_pruned: int = 0
     reduced_rows_scanned: int = 0
+    candidates_generated: int = 0
 
     def pruning_fraction(self, total_points: int) -> float:
         """Fraction of the corpus never exactly scanned at full width.
@@ -106,6 +117,7 @@ def combine_stats(per_query: Iterable[QueryStats]) -> QueryStats:
         total.nodes_visited += stats.nodes_visited
         total.nodes_pruned += stats.nodes_pruned
         total.reduced_rows_scanned += stats.reduced_rows_scanned
+        total.candidates_generated += stats.candidates_generated
     return total
 
 

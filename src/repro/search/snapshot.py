@@ -40,7 +40,14 @@ import zipfile
 
 import numpy as np
 
-SNAPSHOT_VERSION = 1
+# Version history:
+#   1 — initial format (PR 2).
+#   2 — LSH snapshots carry ``n_probes`` and VA-file snapshots carry the
+#       per-dimension ``bits`` allocation vector.  Version-1 files stay
+#       loadable: readers default ``n_probes`` to 1 and expand the scalar
+#       ``bits_per_dim`` into a uniform allocation, so legacy snapshots
+#       answer exactly as they always did.
+SNAPSHOT_VERSION = 2
 
 _MAGIC = b"repro-index-snapshot"
 _RESERVED = ("__magic__", "__version__", "__kind__")
@@ -136,10 +143,10 @@ def read_snapshot(
         raise SnapshotError(
             f"{path}: not an index snapshot (magic marker mismatch)"
         )
-    if version != SNAPSHOT_VERSION:
+    if not 1 <= version <= SNAPSHOT_VERSION:
         raise SnapshotError(
             f"{path}: unsupported snapshot version {version} "
-            f"(this build reads version {SNAPSHOT_VERSION})"
+            f"(this build reads versions 1..{SNAPSHOT_VERSION})"
         )
     if kind is not None and found_kind != kind:
         raise SnapshotError(

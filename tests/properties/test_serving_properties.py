@@ -110,3 +110,65 @@ def test_served_stream_over_worker_pool(cls, tmp_path, rng):
                 index.query(q, k=int(k)),
                 f"{cls.__name__} pooled serving diverged at k={k}",
             )
+
+
+@pytest.mark.parametrize(
+    "build, kind",
+    [
+        (lambda pts: LshIndex(pts, bucket_width=3.0, seed=0, n_probes=4),
+         "multi-probe lsh"),
+        (lambda pts: VAFileIndex(
+            pts, bits_per_dim=3, bit_allocation="variance"
+        ), "variance-bit vafile"),
+    ],
+)
+def test_served_snapshot_keeps_new_knobs_bit_identical(
+    build, kind, tmp_path, rng
+):
+    # The v2 snapshot members (n_probes, per-dim bits) must survive the
+    # save -> serve path: a served stream answers exactly like the
+    # freshly built index, which itself refines through the fused gemm
+    # kernel by default.
+    corpus = rng.normal(size=(200, 5)) * np.array([6.0, 2.0, 1.0, 0.5, 0.1])
+    index = build(corpus)
+    path = str(tmp_path / "index.npz")
+    index.save(path)
+    queries = np.vstack([rng.normal(size=(14, 5)), corpus[:4]])
+    with IndexServer(path, n_workers=0, policy=_POLICY) as server:
+        futures = [server.submit(q, k=3) for q in queries]
+        for q, future in zip(queries, futures):
+            assert_result_matches(
+                future.result(timeout=30),
+                index.query(q, k=3),
+                f"served {kind} diverged",
+            )
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda pts: ProjectionScreenedIndex(pts, refine_kernel="gather"),
+        lambda pts: VAFileIndex(pts, bits_per_dim=3, refine_kernel="gather"),
+    ],
+    ids=["projscreen", "vafile"],
+)
+def test_served_gemm_default_matches_gather_reference(build, tmp_path, rng):
+    # Snapshots deliberately do not persist the refine_kernel knob: a
+    # loaded (and therefore served) index runs the fused gemm kernel.
+    # Serving a gather-built index must still answer bit-identically to
+    # the gather original — the kernels are interchangeable arithmetic.
+    corpus = rng.normal(size=(180, 6))
+    corpus[40] = corpus[3]
+    reference = build(corpus)
+    assert reference.refine_kernel == "gather"
+    path = str(tmp_path / "index.npz")
+    reference.save(path)
+    queries = np.vstack([rng.normal(size=(12, 6)), corpus[:4]])
+    with IndexServer(path, n_workers=0, policy=_POLICY) as server:
+        futures = [server.submit(q, k=4) for q in queries]
+        for q, future in zip(queries, futures):
+            assert_result_matches(
+                future.result(timeout=30),
+                reference.query(q, k=4),
+                "gemm-served answers diverged from gather reference",
+            )

@@ -132,3 +132,43 @@ def test_sharded_serving_is_bit_identical(cls, method, tmp_path, rng):
                 )
             if cls is BruteForceIndex:
                 assert batch.stats == expected_batch.stats
+
+
+@pytest.mark.parametrize(
+    "kind, index_kwargs, build",
+    [
+        ("lsh", {"n_probes": 4},
+         lambda pts: LshIndex(pts, n_probes=4)),
+        ("vafile", {"bit_allocation": "variance"},
+         lambda pts: VAFileIndex(pts, bit_allocation="variance")),
+    ],
+)
+def test_sharded_new_knobs_stay_bit_identical(
+    kind, index_kwargs, build, tmp_path, rng
+):
+    # build_shards must hand the new constructor knobs to every shard;
+    # the scatter-gather merge over fused-gemm shard refinements must
+    # still reproduce the unsharded index exactly.
+    corpus = _tie_heavy_corpus(rng)
+    index = build(corpus)
+    queries = [(row, 4) for row in rng.normal(size=(10, 5))]
+    queries += [(corpus[i], 5) for i in (7, 30, 12)]
+    manifest = build_shards(
+        corpus,
+        str(tmp_path / kind),
+        3,
+        kind=kind,
+        method="round-robin",
+        seed=1,
+        index_kwargs=index_kwargs,
+    )
+    with ShardedIndexServer(manifest, n_workers=0, policy=_POLICY) as server:
+        futures = [server.submit(q, k=k) for q, k in queries]
+        for (query, k), future in zip(queries, futures):
+            expected = index.query(query, k=k)
+            got = future.result(timeout=30)
+            context = f"sharded {kind} with {index_kwargs} diverged at k={k}"
+            assert got.indices.tolist() == expected.indices.tolist(), context
+            assert got.distances.tolist() == (
+                expected.distances.tolist()
+            ), context

@@ -220,3 +220,114 @@ class TestBatchKnnResult:
     def test_combine_stats_empty(self):
         total = combine_stats([])
         assert total == QueryStats()
+
+
+class TestRefineKernels:
+    """The fused gemm kernel must agree with the gather kernel bit for bit.
+
+    ``refine_masked_candidates`` is the shared exact-refinement core for
+    every masked index path; the two kernels differ only in how they
+    traverse memory, so their outputs — indices, squared distances,
+    candidate counts — must be indistinguishable on any mask, including
+    empty rows, ties, duplicates, and rows narrower than ``k``.
+    """
+
+    def assert_kernels_agree(self, corpus, rows, mask, k):
+        from repro.search.batch import refine_masked_candidates
+
+        gather = refine_masked_candidates(corpus, rows, mask, k)
+        gemm = refine_masked_candidates(corpus, rows, mask, k, kernel="gemm")
+        for got, expected in zip(gemm, gather):
+            assert np.array_equal(got, expected)
+        # Bit-identical, not almost-equal: the padded distances are
+        # +inf in both, the real ones must match exactly.
+        assert gemm[1].tolist() == gather[1].tolist()
+
+    def test_random_masks(self, rng):
+        for trial in range(10):
+            n, d = int(rng.integers(20, 300)), int(rng.integers(2, 12))
+            corpus = rng.normal(size=(n, d)) * rng.uniform(0.01, 100.0)
+            rows = rng.normal(size=(int(rng.integers(1, 40)), d))
+            mask = rng.random((rows.shape[0], n)) < rng.uniform(0.01, 0.9)
+            self.assert_kernels_agree(corpus, rows, mask, int(rng.integers(1, 8)))
+
+    def test_tie_heavy_corpus(self, rng):
+        base = rng.normal(size=(40, 3))
+        corpus = np.vstack([base, base, base])  # every point thrice
+        rows = base[:9]
+        mask = np.ones((9, corpus.shape[0]), dtype=bool)
+        self.assert_kernels_agree(corpus, rows, mask, 7)
+
+    def test_rows_with_no_candidates(self, rng):
+        corpus = rng.normal(size=(60, 4))
+        rows = rng.normal(size=(5, 4))
+        mask = np.zeros((5, 60), dtype=bool)
+        mask[2, [4, 9]] = True  # one sparse row, the rest empty
+        self.assert_kernels_agree(corpus, rows, mask, 5)
+
+    def test_fewer_candidates_than_k(self, rng):
+        corpus = rng.normal(size=(30, 5))
+        rows = rng.normal(size=(4, 5))
+        mask = np.zeros((4, 30), dtype=bool)
+        mask[:, :3] = True  # 3 candidates, k=6
+        self.assert_kernels_agree(corpus, rows, mask, 6)
+
+    def test_block_boundaries(self, rng):
+        # More rows than one 32-row tile and more union columns than one
+        # 512-column tile, so both tiling loops run multiple iterations.
+        corpus = rng.normal(size=(1200, 4))
+        rows = rng.normal(size=(70, 4))
+        mask = rng.random((70, 1200)) < 0.8
+        self.assert_kernels_agree(corpus, rows, mask, 5)
+
+    def test_rejects_unknown_kernel(self, rng):
+        from repro.search.batch import refine_masked_candidates
+
+        corpus = rng.normal(size=(10, 2))
+        rows = rng.normal(size=(2, 2))
+        mask = np.ones((2, 10), dtype=bool)
+        with pytest.raises(ValueError, match="refine_kernel"):
+            refine_masked_candidates(corpus, rows, mask, 2, kernel="simd")
+
+
+class TestKernelChoiceAtIndexLevel:
+    """Flipping an index's refine_kernel knob must not change any bit."""
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda pts: VAFileIndex(pts, bits_per_dim=3),
+            lambda pts: LshIndex(pts, bucket_width=3.0, seed=0, n_probes=4),
+        ],
+        ids=["vafile", "lsh"],
+    )
+    def test_gather_and_gemm_agree(self, build, rng):
+        corpus = rng.normal(size=(300, 6))
+        corpus[50] = corpus[7]  # exact duplicate: tie across kernels
+        a, b = build(corpus), build(corpus)
+        a.refine_kernel = "gather"
+        b.refine_kernel = "gemm"
+        queries = np.vstack([rng.normal(size=(15, 6)), corpus[:5]])
+        ra = a.query_batch(queries, k=4)
+        rb = b.query_batch(queries, k=4)
+        for got, expected in zip(rb, ra):
+            assert np.array_equal(got.indices, expected.indices)
+            assert got.distances.tolist() == expected.distances.tolist()
+            assert got.stats == expected.stats
+
+    def test_projscreen_kernels_agree(self, rng):
+        from repro.search.projected import ProjectionScreenedIndex
+
+        latent = rng.normal(size=(250, 3))
+        corpus = latent @ rng.normal(size=(3, 10)) + 0.01 * rng.normal(
+            size=(250, 10)
+        )
+        a = ProjectionScreenedIndex(corpus, refine_kernel="gather")
+        b = ProjectionScreenedIndex(corpus, refine_kernel="gemm")
+        queries = rng.normal(size=(12, 10))
+        ra = a.query_batch(queries, k=5)
+        rb = b.query_batch(queries, k=5)
+        for got, expected in zip(rb, ra):
+            assert np.array_equal(got.indices, expected.indices)
+            assert got.distances.tolist() == expected.distances.tolist()
+            assert got.stats == expected.stats

@@ -1,10 +1,27 @@
-"""Tests for the E2LSH approximate index."""
+"""Tests for the E2LSH approximate index and its multi-probe extension."""
 
 import numpy as np
 import pytest
 
 from repro.search.bruteforce import BruteForceIndex
 from repro.search.lsh import LshIndex
+from repro.search.snapshot import _MAGIC
+
+
+def rewrite_as_v1_snapshot(path, drop=()):
+    """Re-stamp a snapshot as format version 1, dropping new members.
+
+    Reconstructs what a pre-multi-probe writer produced, so the
+    legacy-load paths are exercised against a faithful v1 file.
+    """
+    with np.load(path) as data:
+        arrays = {name: data[name] for name in data.files}
+    for name in drop:
+        del arrays[name]
+    arrays["__version__"] = np.int64(1)
+    np.savez(path, **arrays)
+    with np.load(path) as data:
+        assert bytes(data["__magic__"]) == _MAGIC  # still a snapshot
 
 
 @pytest.fixture()
@@ -91,3 +108,176 @@ class TestLshIndex:
         expected = BruteForceIndex(points).query(points[0], k=5)
         actual = index.query(points[0], k=5)
         assert np.array_equal(actual.indices, expected.indices)
+
+
+class TestMultiProbe:
+    # A private generator (not the session rng): the recall comparisons
+    # below depend on the sampled corpus, so the data must not shift
+    # with test execution order.
+    def fixed_corpus_and_queries(self, n_queries=40):
+        local = np.random.default_rng(77)
+        centers = local.normal(size=(10, 6)) * 20.0
+        labels = local.integers(0, 10, size=400)
+        points = centers[labels] + local.normal(size=(400, 6))
+        queries = points[
+            local.choice(400, size=n_queries, replace=False)
+        ] + 0.1 * local.normal(size=(n_queries, 6))
+        return points, queries
+
+    def test_candidates_grow_as_prefix_supersets(self, clustered_points):
+        # The probe sequence is a fixed ranking of perturbations, so a
+        # larger n_probes examines a strict prefix-extension of the same
+        # buckets: candidate sets must be nested supersets.
+        query = clustered_points[11]
+        previous = set()
+        for n_probes in (1, 2, 4, 8, 16):
+            index = LshIndex(
+                clustered_points, n_tables=4, n_hashes=6,
+                bucket_width=2.0, seed=7, n_probes=n_probes,
+            )
+            current = set(index.candidates(query).tolist())
+            assert previous <= current, f"lost candidates at T={n_probes}"
+            previous = current
+
+    def test_recall_monotone_in_probes(self):
+        points, queries = self.fixed_corpus_and_queries()
+        reference = BruteForceIndex(points)
+        recalls = []
+        for n_probes in (1, 4, 16):
+            index = LshIndex(
+                points, n_tables=4, n_hashes=6,
+                bucket_width=4.0, seed=7, n_probes=n_probes,
+            )
+            recalls.append(
+                index.recall_against_exact(queries, k=3, reference=reference)
+            )
+        # Nested candidate sets make recall exactly non-decreasing.
+        assert recalls == sorted(recalls)
+        # And probing must actually help on clustered data at this width.
+        assert recalls[-1] > recalls[0]
+
+    def test_probing_matches_more_tables_with_fewer(self):
+        # The multi-probe trade: T probes over L/4 tables should reach
+        # at least the recall of single-probe over L tables.
+        points, queries = self.fixed_corpus_and_queries()
+        reference = BruteForceIndex(points)
+        single = LshIndex(
+            points, n_tables=16, n_hashes=6,
+            bucket_width=4.0, seed=3, n_probes=1,
+        )
+        probed = LshIndex(
+            points, n_tables=4, n_hashes=6,
+            bucket_width=4.0, seed=3, n_probes=8,
+        )
+        assert probed.recall_against_exact(
+            queries, k=3, reference=reference
+        ) >= single.recall_against_exact(queries, k=3, reference=reference)
+
+    def test_probed_results_still_exactly_ranked(self, clustered_points):
+        index = LshIndex(
+            clustered_points, bucket_width=4.0, seed=0, n_probes=8
+        )
+        result = index.query(clustered_points[0], k=5)
+        assert np.all(np.diff(result.distances) >= 0.0)
+        for neighbor in result.neighbors:
+            true = float(np.linalg.norm(
+                clustered_points[neighbor.index] - clustered_points[0]
+            ))
+            assert neighbor.distance == pytest.approx(true)
+
+    def test_effective_probes_capped_by_pool(self, rng):
+        points = rng.normal(size=(60, 4))
+        index = LshIndex(points, n_hashes=2, n_probes=10**6, seed=0)
+        # 2 hashes -> 4 boundary ranks -> a small valid perturbation
+        # pool; the index probes what exists and no more.
+        assert 1 <= index.effective_probes <= 10**6
+        result = index.query(points[0], k=3)
+        assert result.stats.nodes_visited == (
+            index.n_tables * index.effective_probes
+        )
+
+    def test_stats_account_for_probing(self, clustered_points):
+        index = LshIndex(
+            clustered_points, bucket_width=4.0, seed=0, n_probes=4
+        )
+        result = index.query(clustered_points[0], k=3)
+        stats = result.stats
+        assert stats.points_scanned + stats.nodes_pruned == index.n_points
+        assert stats.nodes_visited == index.n_tables * index.effective_probes
+        # Funnel width counts every bucket member before dedup, so it
+        # can only meet or exceed the distinct points refined.
+        assert stats.candidates_generated >= stats.points_scanned
+
+    def test_batch_stats_sum_candidates_generated(self, clustered_points):
+        index = LshIndex(
+            clustered_points, bucket_width=4.0, seed=0, n_probes=4
+        )
+        queries = clustered_points[:7]
+        batch = index.query_batch(queries, k=3)
+        assert batch.stats.candidates_generated == sum(
+            r.stats.candidates_generated for r in batch.results
+        )
+
+    def test_rejects_bad_n_probes(self, rng):
+        points = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="n_probes"):
+            LshIndex(points, n_probes=0)
+
+    def test_rejects_bad_refine_kernel(self, rng):
+        points = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="refine_kernel"):
+            LshIndex(points, refine_kernel="nope")
+
+    def test_single_probe_unchanged_from_default(self, clustered_points):
+        # n_probes=1 is the pre-multi-probe behavior, bit for bit.
+        base = LshIndex(clustered_points, bucket_width=4.0, seed=0)
+        explicit = LshIndex(
+            clustered_points, bucket_width=4.0, seed=0, n_probes=1
+        )
+        queries = clustered_points[:9]
+        a = base.query_batch(queries, k=4)
+        b = explicit.query_batch(queries, k=4)
+        for got, expected in zip(a, b):
+            assert np.array_equal(got.indices, expected.indices)
+            assert got.distances.tolist() == expected.distances.tolist()
+
+
+class TestMultiProbeSnapshots:
+    def test_n_probes_round_trips(self, clustered_points, tmp_path, rng):
+        index = LshIndex(
+            clustered_points, bucket_width=4.0, seed=0, n_probes=6
+        )
+        path = str(tmp_path / "lsh-v2.npz")
+        index.save(path)
+        loaded = LshIndex.load(path)
+        assert loaded.n_probes == 6
+        assert loaded.effective_probes == index.effective_probes
+        queries = clustered_points[:11]
+        a = index.query_batch(queries, k=4)
+        b = loaded.query_batch(queries, k=4)
+        for got, expected in zip(b, a):
+            assert np.array_equal(got.indices, expected.indices)
+            assert got.distances.tolist() == expected.distances.tolist()
+            assert got.stats == expected.stats
+
+    def test_legacy_v1_snapshot_defaults_to_one_probe(
+        self, clustered_points, tmp_path
+    ):
+        index = LshIndex(
+            clustered_points, bucket_width=4.0, seed=0, n_probes=8
+        )
+        path = str(tmp_path / "lsh-v1.npz")
+        index.save(path)
+        rewrite_as_v1_snapshot(path, drop=("n_probes",))
+        loaded = LshIndex.load(path)
+        assert loaded.n_probes == 1
+        # A v1 file answers exactly as the single-probe index it was.
+        single = LshIndex(
+            clustered_points, bucket_width=4.0, seed=0, n_probes=1
+        )
+        queries = clustered_points[:9]
+        a = loaded.query_batch(queries, k=3)
+        b = single.query_batch(queries, k=3)
+        for got, expected in zip(a, b):
+            assert np.array_equal(got.indices, expected.indices)
+            assert got.distances.tolist() == expected.distances.tolist()

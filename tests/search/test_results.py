@@ -48,12 +48,14 @@ class TestCombineStats:
                     nodes_visited=2,
                     nodes_pruned=7,
                     reduced_rows_scanned=50,
+                    candidates_generated=9,
                 ),
                 QueryStats(
                     points_scanned=4,
                     nodes_visited=1,
                     nodes_pruned=6,
                     reduced_rows_scanned=50,
+                    candidates_generated=11,
                 ),
             ]
         )
@@ -62,6 +64,7 @@ class TestCombineStats:
             nodes_visited=3,
             nodes_pruned=13,
             reduced_rows_scanned=100,
+            candidates_generated=20,
         )
 
     def test_empty_is_zero(self):

@@ -89,3 +89,118 @@ class TestVAFileIndex:
         assert np.array_equal(
             va.query(query, k=40).indices, reference.query(query, k=40).indices
         )
+
+
+class TestBitAllocation:
+    def skewed_corpus(self, n=600, scale=(10.0, 5.0, 1.0, 1.0, 0.5, 0.05)):
+        rng = np.random.default_rng(9)
+        return rng.normal(size=(n, len(scale))) * np.asarray(scale)
+
+    def test_budget_is_conserved(self):
+        points = self.skewed_corpus()
+        index = VAFileIndex(points, bits_per_dim=4, bit_allocation="variance")
+        assert int(index.bits.sum()) == 4 * points.shape[1]
+        assert np.all(index.bits >= 0) and np.all(index.bits <= 16)
+
+    def test_high_variance_dims_win_bits(self):
+        points = self.skewed_corpus()
+        index = VAFileIndex(points, bits_per_dim=4, bit_allocation="variance")
+        variances = points.var(axis=0)
+        assert index.bits[np.argmax(variances)] >= index.bits[np.argmin(variances)]
+        # The spread must be real, not a tie: the allocation is the
+        # whole point on a corpus this skewed.
+        assert index.bits.max() > index.bits.min()
+
+    def test_variance_allocation_stays_exact(self, rng):
+        points = self.skewed_corpus()
+        queries = rng.normal(size=(40, points.shape[1])) * 2.0
+        index = VAFileIndex(points, bits_per_dim=3, bit_allocation="variance")
+        reference = BruteForceIndex(points)
+        for query in queries:
+            expected = reference.query(query, k=4)
+            actual = index.query(query, k=4)
+            assert np.array_equal(actual.indices, expected.indices)
+            assert actual.distances.tolist() == expected.distances.tolist()
+
+    def test_variance_bits_refine_fewer_on_skewed_data(self, rng):
+        # Spending bits where the variance is concentrates pruning power:
+        # phase-1 survivors (the refinement funnel) must shrink.
+        points = self.skewed_corpus(n=1500)
+        queries = rng.normal(size=(25, points.shape[1])) * 2.0
+        uniform = VAFileIndex(points, bits_per_dim=3, bit_allocation="uniform")
+        weighted = VAFileIndex(points, bits_per_dim=3, bit_allocation="variance")
+        funnel = {
+            name: index.query_batch(queries, k=3).stats.candidates_generated
+            for name, index in (("uniform", uniform), ("variance", weighted))
+        }
+        assert funnel["variance"] < funnel["uniform"]
+
+    def test_zero_variance_corpus_falls_back_to_uniform(self):
+        points = np.ones((50, 4))
+        index = VAFileIndex(points, bits_per_dim=5, bit_allocation="variance")
+        assert index.bits.tolist() == [5, 5, 5, 5]
+
+    def test_uniform_mode_keeps_flat_vector(self, rng):
+        points = rng.normal(size=(80, 3))
+        index = VAFileIndex(points, bits_per_dim=6)
+        assert index.bit_allocation == "uniform"
+        assert index.bits.tolist() == [6, 6, 6]
+
+    def test_rejects_bad_allocation_mode(self, rng):
+        points = rng.normal(size=(20, 3))
+        with pytest.raises(ValueError, match="bit_allocation"):
+            VAFileIndex(points, bit_allocation="entropy")
+
+    def test_rejects_bad_refine_kernel(self, rng):
+        points = rng.normal(size=(20, 3))
+        with pytest.raises(ValueError, match="refine_kernel"):
+            VAFileIndex(points, refine_kernel="nope")
+
+    def test_candidates_generated_tracks_phase_one(self, rng):
+        points = rng.normal(size=(500, 4))
+        index = VAFileIndex(points, bits_per_dim=4)
+        result = index.query(points[3], k=3)
+        stats = result.stats
+        # Funnel: n >= phase-1 survivors >= rows actually refined >= k.
+        assert index.n_points >= stats.candidates_generated
+        assert stats.candidates_generated >= stats.points_scanned
+        assert stats.nodes_pruned == index.n_points - stats.candidates_generated
+
+
+class TestBitVectorSnapshots:
+    def test_bits_round_trip(self, rng, tmp_path):
+        points = np.random.default_rng(9).normal(size=(300, 5)) * np.array(
+            [8.0, 2.0, 1.0, 0.3, 0.05]
+        )
+        index = VAFileIndex(points, bits_per_dim=4, bit_allocation="variance")
+        path = str(tmp_path / "vafile-v2.npz")
+        index.save(path)
+        loaded = VAFileIndex.load(path)
+        assert loaded.bits.tolist() == index.bits.tolist()
+        assert loaded.bit_allocation == "variance"
+        queries = rng.normal(size=(15, 5))
+        a = index.query_batch(queries, k=4)
+        b = loaded.query_batch(queries, k=4)
+        for got, expected in zip(b, a):
+            assert np.array_equal(got.indices, expected.indices)
+            assert got.distances.tolist() == expected.distances.tolist()
+            assert got.stats == expected.stats
+
+    def test_legacy_v1_snapshot_loads_uniform(self, rng, tmp_path):
+        from tests.search.test_lsh import rewrite_as_v1_snapshot
+
+        points = rng.normal(size=(200, 4))
+        index = VAFileIndex(points, bits_per_dim=5)
+        path = str(tmp_path / "vafile-v1.npz")
+        index.save(path)
+        rewrite_as_v1_snapshot(path, drop=("bits",))
+        loaded = VAFileIndex.load(path)
+        assert loaded.bits.tolist() == [5, 5, 5, 5]
+        assert loaded.bit_allocation == "uniform"
+        queries = rng.normal(size=(12, 4))
+        a = index.query_batch(queries, k=3)
+        b = loaded.query_batch(queries, k=3)
+        for got, expected in zip(b, a):
+            assert np.array_equal(got.indices, expected.indices)
+            assert got.distances.tolist() == expected.distances.tolist()
+            assert got.stats == expected.stats
