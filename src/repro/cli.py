@@ -52,6 +52,8 @@ from repro.datasets.uci_like import (
 from repro.evaluation.reporting import format_series, format_table
 from repro.evaluation.summary import reduction_summary
 from repro.evaluation.sweeps import accuracy_sweep
+from repro.search.registry import INDEX_KINDS as _INDEX_KINDS
+from repro.search.registry import iter_specs as _iter_index_specs
 
 _PRESETS = {
     "musk": musk_like,
@@ -225,46 +227,21 @@ def _command_experiment(args) -> int:
 
 
 def _index_classes():
-    from repro.search import (
-        BruteForceIndex,
-        IDistanceIndex,
-        IGridIndex,
-        KdTreeIndex,
-        LshIndex,
-        ProjectionScreenedIndex,
-        PyramidIndex,
-        RTreeIndex,
-        VAFileIndex,
-    )
+    """Kind → class map (deprecated thin wrapper over the registry)."""
+    from repro.search.registry import INDEX_KINDS, index_class
 
-    return {
-        "bruteforce": BruteForceIndex,
-        "kdtree": KdTreeIndex,
-        "rtree": RTreeIndex,
-        "vafile": VAFileIndex,
-        "pyramid": PyramidIndex,
-        "idistance": IDistanceIndex,
-        "igrid": IGridIndex,
-        "lsh": LshIndex,
-        "projscreen": ProjectionScreenedIndex,
-    }
+    return {kind: index_class(kind) for kind in INDEX_KINDS}
 
 
-_INDEX_KINDS = (
-    "bruteforce", "kdtree", "rtree", "vafile",
-    "pyramid", "idistance", "igrid", "lsh", "projscreen",
-)
-
-
-# Kind-specific constructor flags: each entry maps a CLI flag to the
-# index kind it configures and the constructor keyword it populates.
-# Flags are meaningful only for their kind; passing one with another
-# kind is a usage error, not something to silently ignore.
-_KIND_FLAGS = (
-    ("subspace_dim", "--subspace-dim", "projscreen", "subspace_dim"),
-    ("ordering", "--ordering", "projscreen", "ordering"),
-    ("n_probes", "--n-probes", "lsh", "n_probes"),
-    ("bit_allocation", "--bit-allocation", "vafile", "bit_allocation"),
+# Kind-specific constructor flags, derived from the registry's per-kind
+# parameter specs: each entry maps a CLI flag to the index kind it
+# configures and the constructor keyword it populates.  Flags are
+# meaningful only for their kind; passing one with another kind is a
+# usage error, not something to silently ignore.
+_KIND_FLAGS = tuple(
+    (param.name, param.flag, spec.kind, param.name)
+    for spec in _iter_index_specs()
+    for param in spec.params
 )
 
 
@@ -285,27 +262,21 @@ def _index_kwargs(args) -> dict:
 
 
 def _add_index_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--subspace-dim", type=int, default=None,
-        help="projscreen screening dimensions m (default: d // 4)",
-    )
-    parser.add_argument(
-        "--ordering", default=None, choices=["eigen", "coherence"],
-        help="projscreen subspace selection rule "
-             "(eigen = largest eigenvalues, coherence = the paper's "
-             "coherence probability; default: eigen)",
-    )
-    parser.add_argument(
-        "--n-probes", type=int, default=None,
-        help="lsh multi-probe count: buckets examined per table, the "
-             "home bucket plus its best perturbations (default: 1)",
-    )
-    parser.add_argument(
-        "--bit-allocation", default=None, choices=["uniform", "variance"],
-        help="vafile per-dimension bit budget split: uniform, or "
-             "variance-weighted toward high-variance dimensions "
-             "(default: uniform)",
-    )
+    """Add every registry-declared kind parameter as a CLI flag.
+
+    Defaults stay ``None`` (flag absent) so :func:`_index_kwargs` can
+    tell "not given" from any real value and reject wrong-kind usage.
+    """
+    for spec in _iter_index_specs():
+        for param in spec.params:
+            parser.add_argument(
+                param.flag,
+                dest=param.name,
+                type=param.type,
+                default=None,
+                choices=list(param.choices) if param.choices else None,
+                help=param.help,
+            )
 
 
 def _command_index_build(args) -> int:
@@ -358,12 +329,85 @@ def _command_index_info(args) -> int:
     return 0
 
 
+def _command_serve_bench_mutate(args) -> int:
+    import tempfile
+
+    from repro.serve.bench import compare_mutable_serving
+    from repro.serve.mutation import MutationError
+
+    if args.workers < 0:
+        raise SystemExit(
+            f"error: --workers must be non-negative, got {args.workers}"
+        )
+    if args.mutate_ops < 1:
+        raise SystemExit(
+            f"error: --mutate-ops must be positive, got {args.mutate_ops}"
+        )
+    if not 0.0 <= args.insert_fraction + args.delete_fraction <= 1.0:
+        raise SystemExit(
+            "error: --insert-fraction + --delete-fraction must lie in "
+            f"[0, 1], got {args.insert_fraction} + {args.delete_fraction}"
+        )
+    if args.shards > 1 or args.replicas > 1:
+        raise SystemExit(
+            "error: --mutate measures the single mutable server; "
+            "it does not combine with --shards/--replicas"
+        )
+    rng = np.random.default_rng(args.seed)
+    corpus = rng.standard_normal((args.n, args.dims))
+    queries = rng.standard_normal((args.queries, args.dims))
+    try:
+        with tempfile.TemporaryDirectory() as workdir:
+            comparison = compare_mutable_serving(
+                os.path.join(workdir, "generations"),
+                corpus,
+                queries,
+                args.k,
+                kind=args.index,
+                index_kwargs=_index_kwargs(args),
+                n_ops=args.mutate_ops,
+                insert_fraction=args.insert_fraction,
+                delete_fraction=args.delete_fraction,
+                compact_every=args.compact_every,
+                drift_threshold=args.drift_threshold,
+                n_workers=args.workers,
+                deadline_ms=args.deadline_ms,
+                seed=args.seed,
+            )
+    except (MutationError, ValueError) as error:
+        raise SystemExit(f"error: {error}") from None
+    rows = [
+        ("index", args.index),
+        ("initial corpus", f"{args.n} x {args.dims}"),
+        ("trace ops (ins/del/query)",
+         f"{comparison.n_ops} ({comparison.n_inserts} / "
+         f"{comparison.n_deletes} / {comparison.n_queries})"),
+        ("compactions (drift)",
+         f"{comparison.n_compactions} ({comparison.n_drift_compactions})"),
+        ("generations on disk", comparison.n_generations),
+        ("queries in flight across swaps", comparison.swap_inflight_queries),
+        ("query throughput", f"{comparison.query_qps:.0f} q/s"),
+        ("bit-identical to fresh rebuild",
+         "yes" if comparison.identical else "NO"),
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title="mutable serving vs fresh-rebuild reference",
+        )
+    )
+    return 0 if comparison.identical else 1
+
+
 def _command_serve_bench(args) -> int:
     import tempfile
 
     from repro.serve import BatchPolicy
     from repro.serve.bench import compare_serving
 
+    if args.mutate:
+        return _command_serve_bench_mutate(args)
     if args.workers < 0:
         raise SystemExit(
             f"error: --workers must be non-negative, got {args.workers}"
@@ -670,6 +714,29 @@ def build_parser() -> argparse.ArgumentParser:
                              choices=["round-robin", "projected"],
                              help="corpus-to-shard assignment "
                                   "(projected = PROCLUS-style clusters)")
+    serve_bench.add_argument("--mutate", action="store_true",
+                             help="run an insert/delete/query mutation "
+                                  "trace against the mutable server and "
+                                  "check every answer bit-identical to a "
+                                  "fresh rebuild (exact kinds only)")
+    serve_bench.add_argument("--mutate-ops", type=int, default=200,
+                             help="trace length in operations "
+                                  "(default: 200)")
+    serve_bench.add_argument("--insert-fraction", type=float, default=0.5,
+                             help="fraction of trace ops that insert "
+                                  "(default: 0.5)")
+    serve_bench.add_argument("--delete-fraction", type=float, default=0.2,
+                             help="fraction of trace ops that delete "
+                                  "(default: 0.2)")
+    serve_bench.add_argument("--compact-every", type=int, default=64,
+                             help="compact (and hot-swap under in-flight "
+                                  "queries) every N mutations "
+                                  "(default: 64)")
+    serve_bench.add_argument("--drift-threshold", type=float, default=None,
+                             help="captured-energy ratio that triggers a "
+                                  "drift re-reduction rebuild (projscreen "
+                                  "only; default: off)")
+    _add_index_arguments(serve_bench)
     serve_bench.add_argument("--seed", type=int, default=0)
     serve_bench.set_defaults(handler=_command_serve_bench)
 

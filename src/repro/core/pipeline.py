@@ -13,25 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.reducer import CoherenceReducer
-from repro.search.bruteforce import BruteForceIndex
-from repro.search.idistance import IDistanceIndex
-from repro.search.kdtree import KdTreeIndex
-from repro.search.pyramid import PyramidIndex
+from repro.search.registry import EXACT_KINDS, build_index
 from repro.search.results import BatchKnnResult, KnnResult
-from repro.search.rtree import RTreeIndex
-from repro.search.vafile import VAFileIndex
-
-# Exact Euclidean indexes only: approximate (LSH) and non-Euclidean
-# (IGrid) structures have different result semantics and are used
-# directly rather than through the pipeline.
-_INDEX_FACTORIES = {
-    "bruteforce": BruteForceIndex,
-    "kdtree": KdTreeIndex,
-    "rtree": RTreeIndex,
-    "vafile": VAFileIndex,
-    "pyramid": PyramidIndex,
-    "idistance": IDistanceIndex,
-}
 
 
 class SimilaritySearchPipeline:
@@ -41,8 +24,11 @@ class SimilaritySearchPipeline:
         reducer: a (possibly unfitted) :class:`CoherenceReducer`; a
             default coherence-ordered, scaled reducer is created when
             omitted.
-        index_type: ``"bruteforce"``, ``"kdtree"``, ``"rtree"``,
-            ``"vafile"``, ``"pyramid"``, or ``"idistance"``.
+        index_type: any exact kind from the registry
+            (:data:`repro.search.EXACT_KINDS`) — approximate (LSH) and
+            non-Euclidean (IGrid) structures have different result
+            semantics and are used directly rather than through the
+            pipeline.
 
     Example::
 
@@ -59,10 +45,10 @@ class SimilaritySearchPipeline:
         reducer: CoherenceReducer | None = None,
         index_type: str = "kdtree",
     ) -> None:
-        if index_type not in _INDEX_FACTORIES:
+        if index_type not in EXACT_KINDS:
             raise ValueError(
                 f"unknown index_type {index_type!r}; choose from "
-                f"{sorted(_INDEX_FACTORIES)}"
+                f"{sorted(EXACT_KINDS)}"
             )
         self.reducer = reducer if reducer is not None else CoherenceReducer(
             ordering="coherence", scale=True
@@ -74,7 +60,7 @@ class SimilaritySearchPipeline:
     def fit(self, corpus) -> "SimilaritySearchPipeline":
         """Fit the reducer on the corpus and index its reduced image."""
         self._reduced_corpus = self.reducer.fit_transform(corpus)
-        self._index = _INDEX_FACTORIES[self.index_type](self._reduced_corpus)
+        self._index = build_index(self.index_type, self._reduced_corpus)
         return self
 
     def _require_fitted(self) -> None:

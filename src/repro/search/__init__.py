@@ -13,8 +13,26 @@ Every static index also persists to a single-file snapshot
 (:func:`save_index` / :func:`load_index`): structures are stored as flat
 arrays, so a loaded index is query-ready with zero rebuilding and
 answers bit-identically to the freshly built original.
+
+The kinds themselves are enumerated by :mod:`repro.search.registry` —
+the single kind→class mapping in the codebase.  ``INDEX_KINDS`` lists
+them, :func:`build_index` constructs one by name with validated
+keywords, and every registered class satisfies the :class:`Index`
+protocol.
 """
 
+from repro.search.registry import (
+    EXACT_KINDS,
+    INDEX_KINDS,
+    Index,
+    KindSpec,
+    ParamSpec,
+    build_index,
+    index_class,
+    index_spec,
+    iter_specs,
+    shared_build_kwargs,
+)
 from repro.search.snapshot import (
     SnapshotError,
     load_index,
@@ -47,18 +65,27 @@ from repro.search.vafile import VAFileIndex
 __all__ = [
     "BatchKnnResult",
     "BruteForceIndex",
+    "build_index",
     "combine_stats",
     "DynamicRTree",
+    "EXACT_KINDS",
     "ExactnessViolation",
     "fit_projection",
     "IDistanceIndex",
     "IGridIndex",
     "igrid_discretization",
+    "Index",
+    "INDEX_KINDS",
+    "index_class",
+    "index_spec",
+    "iter_specs",
     "KdTreeIndex",
+    "KindSpec",
     "KnnResult",
     "load_index",
     "LshIndex",
     "Neighbor",
+    "ParamSpec",
     "ProjectionScreenedIndex",
     "ProjectionSpec",
     "PyramidIndex",
@@ -66,6 +93,7 @@ __all__ = [
     "recall_against_exact",
     "RTreeIndex",
     "save_index",
+    "shared_build_kwargs",
     "snapshot_kind",
     "SnapshotError",
     "VAFileIndex",

@@ -22,8 +22,6 @@ from repro.search.results import (
 )
 from repro.search.snapshot import read_snapshot, write_snapshot
 
-_SNAPSHOT_KIND = "bruteforce"
-
 # Block size for batched queries, in distance-matrix entries: query rows
 # are processed in blocks of ``_BLOCK_ENTRIES // n`` so the ``(q, n)``
 # scratch matrices stay around 32 MB regardless of batch size.
@@ -47,6 +45,10 @@ class BruteForceIndex:
             recomputed in float64 — so every choice returns
             bit-identical answers; the knob trades scan bytes only.
     """
+
+    # Snapshot kind: read by the registry, snapshot dispatch, and
+    # the :class:`repro.search.Index` protocol.
+    kind = "bruteforce"
 
     def __init__(self, points, dtype: str = "auto") -> None:
         self._points = validate_corpus(points)
@@ -76,7 +78,7 @@ class BruteForceIndex:
         """Persist the index to ``path`` (``.npz`` snapshot)."""
         write_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            self.kind,
             {
                 "points": self._points,
                 "sq_norms": self._sq_norms,
@@ -93,7 +95,7 @@ class BruteForceIndex:
         """
         data = read_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            cls.kind,
             required=("points", "sq_norms"),
             mmap_points=mmap_points,
         )
@@ -229,3 +231,8 @@ class BruteForceIndex:
         )
         stats = QueryStats(points_scanned=self.n_points)
         return KnnResult(neighbors=neighbors, stats=stats)
+
+
+# Deprecated alias of ``BruteForceIndex.kind``; kept one release for
+# external callers that imported the module constant.
+_SNAPSHOT_KIND = BruteForceIndex.kind

@@ -37,8 +37,6 @@ from repro.search.results import (
 )
 from repro.search.snapshot import read_snapshot, write_snapshot
 
-_SNAPSHOT_KIND = "idistance"
-
 
 class IDistanceIndex:
     """iDistance index with k-means reference points.
@@ -49,6 +47,10 @@ class IDistanceIndex:
             ``max(1, round(sqrt(n) / 2))``.
         seed: k-means seeding.
     """
+
+    # Snapshot kind: read by the registry, snapshot dispatch, and
+    # the :class:`repro.search.Index` protocol.
+    kind = "idistance"
 
     def __init__(self, points, n_partitions: int | None = None, seed: int = 0) -> None:
         self._points = validate_corpus(points)
@@ -99,7 +101,7 @@ class IDistanceIndex:
         """
         write_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            self.kind,
             {
                 "points": self._points,
                 "references": self._references,
@@ -115,7 +117,7 @@ class IDistanceIndex:
         """Load a snapshot saved by :meth:`save`; query-ready immediately."""
         data = read_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            cls.kind,
             required=(
                 "points", "references", "n_partitions", "member_order",
                 "height_keys", "starts",
@@ -219,3 +221,8 @@ class IDistanceIndex:
         :meth:`query`.  ``n_workers`` > 1 fans the rows out over a
         thread pool (ring expansion does not vectorize)."""
         return dispatch_query_batch(self, queries, k, n_workers)
+
+
+# Deprecated alias of ``IDistanceIndex.kind``; kept one release for
+# external callers that imported the module constant.
+_SNAPSHOT_KIND = IDistanceIndex.kind

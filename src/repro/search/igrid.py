@@ -37,8 +37,6 @@ from repro.search.results import (
 )
 from repro.search.snapshot import read_snapshot, write_snapshot
 
-_SNAPSHOT_KIND = "igrid"
-
 
 def igrid_discretization(
     points, ranges_per_dim: int = 4
@@ -88,6 +86,10 @@ class IGridIndex:
             ``(k_d + 1, d)`` and ``(k_d, d)``) overriding the boundaries
             derived from ``points`` — see :func:`igrid_discretization`.
     """
+
+    # Snapshot kind: read by the registry, snapshot dispatch, and
+    # the :class:`repro.search.Index` protocol.
+    kind = "igrid"
 
     def __init__(
         self,
@@ -156,7 +158,7 @@ class IGridIndex:
         """Persist the index to ``path`` (``.npz`` snapshot)."""
         write_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            self.kind,
             {
                 "points": self._points,
                 "ranges_per_dim": np.int64(self.ranges_per_dim),
@@ -173,7 +175,7 @@ class IGridIndex:
         """Load a snapshot saved by :meth:`save`; query-ready immediately."""
         data = read_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            cls.kind,
             required=(
                 "points", "ranges_per_dim", "p", "edges", "widths",
                 "list_order", "list_starts",
@@ -270,3 +272,8 @@ class IGridIndex:
         bit-identical to looping :meth:`query`.  ``n_workers`` > 1 fans
         the rows out over a thread pool."""
         return dispatch_query_batch(self, queries, k, n_workers)
+
+
+# Deprecated alias of ``IGridIndex.kind``; kept one release for
+# external callers that imported the module constant.
+_SNAPSHOT_KIND = IGridIndex.kind

@@ -36,8 +36,6 @@ from repro.search.results import (
 )
 from repro.search.snapshot import read_snapshot, write_snapshot
 
-_SNAPSHOT_KIND = "kdtree"
-
 
 class KdTreeIndex:
     """Median-split kd-tree over a static corpus.
@@ -46,6 +44,10 @@ class KdTreeIndex:
         points: ``(n, d)`` corpus.
         leaf_size: maximum number of points stored in a leaf.
     """
+
+    # Snapshot kind: read by the registry, snapshot dispatch, and
+    # the :class:`repro.search.Index` protocol.
+    kind = "kdtree"
 
     def __init__(self, points, leaf_size: int = 16) -> None:
         if leaf_size < 1:
@@ -199,7 +201,7 @@ class KdTreeIndex:
         """Persist the index to ``path`` (``.npz`` snapshot)."""
         write_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            self.kind,
             {
                 "points": self._points,
                 "leaf_size": np.int64(self._leaf_size),
@@ -218,7 +220,7 @@ class KdTreeIndex:
         """Load a snapshot saved by :meth:`save`; query-ready immediately."""
         data = read_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            cls.kind,
             required=(
                 "points", "leaf_size", "perm", "split_dim", "split_value",
                 "left", "right", "start", "stop",
@@ -371,3 +373,8 @@ class KdTreeIndex:
             Neighbor(index=idx, distance=float(np.sqrt(d2))) for d2, idx in found
         )
         return KnnResult(neighbors=neighbors, stats=stats)
+
+
+# Deprecated alias of ``KdTreeIndex.kind``; kept one release for
+# external callers that imported the module constant.
+_SNAPSHOT_KIND = KdTreeIndex.kind

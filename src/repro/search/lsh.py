@@ -77,8 +77,6 @@ from repro.search.results import (
 )
 from repro.search.snapshot import read_snapshot, write_snapshot
 
-_SNAPSHOT_KIND = "lsh"
-
 # Fixed row-block size for the hashing matmul.  The bucket key is a
 # *floor* of a float projection, so the projection must be computed with
 # the same BLAS shape for every batch size — a key flipping across a
@@ -173,6 +171,10 @@ class LshIndex:
             :func:`~repro.search.batch.refine_masked_candidates`); both
             produce bit-identical answers.  Not persisted in snapshots.
     """
+
+    # Snapshot kind: read by the registry, snapshot dispatch, and
+    # the :class:`repro.search.Index` protocol.
+    kind = "lsh"
 
     def __init__(
         self,
@@ -503,7 +505,7 @@ class LshIndex:
         """
         write_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            self.kind,
             {
                 "points": self._points,
                 "n_tables": np.int64(self.n_tables),
@@ -527,7 +529,7 @@ class LshIndex:
         """Load a snapshot saved by :meth:`save`; query-ready immediately."""
         data = read_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            cls.kind,
             required=(
                 "points", "n_tables", "n_hashes", "bucket_width",
                 "projections", "offsets", "table_keys", "table_n_buckets",
@@ -641,3 +643,8 @@ class LshIndex:
             self, queries, k=k, n_workers=n_workers, exact=False,
             reference=reference,
         )
+
+
+# Deprecated alias of ``LshIndex.kind``; kept one release for
+# external callers that imported the module constant.
+_SNAPSHOT_KIND = LshIndex.kind

@@ -75,8 +75,6 @@ from repro.search.results import (
 )
 from repro.search.snapshot import read_snapshot, write_snapshot
 
-_SNAPSHOT_KIND = "projscreen"
-
 PROJECTION_ORDERINGS = ("eigen", "coherence")
 
 # Block size for batched screening, in score-matrix entries: query rows
@@ -277,6 +275,10 @@ class ProjectionScreenedIndex:
     split (``reduced_rows_scanned`` vs ``points_scanned``).
     """
 
+    # Snapshot kind: read by the registry, snapshot dispatch, and
+    # the :class:`repro.search.Index` protocol.
+    kind = "projscreen"
+
     def __init__(
         self,
         points,
@@ -344,7 +346,7 @@ class ProjectionScreenedIndex:
         """
         write_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            self.kind,
             {
                 "points": self._points,
                 "projection": self._projection.matrix,
@@ -371,7 +373,7 @@ class ProjectionScreenedIndex:
         """
         data = read_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            cls.kind,
             required=(
                 "points", "projection", "center", "ordering",
                 "reduced", "reduced_sq_norms", "max_centered_sq_norm",
@@ -581,3 +583,8 @@ class ProjectionScreenedIndex:
             self, queries, k=k, n_workers=n_workers, exact=True,
             reference=reference,
         )
+
+
+# Deprecated alias of ``ProjectionScreenedIndex.kind``; kept one release for
+# external callers that imported the module constant.
+_SNAPSHOT_KIND = ProjectionScreenedIndex.kind

@@ -42,8 +42,6 @@ from repro.search.results import (
 )
 from repro.search.snapshot import read_snapshot, write_snapshot
 
-_SNAPSHOT_KIND = "pyramid"
-
 
 class PyramidIndex:
     """Pyramid-technique index over a static corpus (Euclidean queries).
@@ -51,6 +49,10 @@ class PyramidIndex:
     Args:
         points: ``(n, d)`` corpus.
     """
+
+    # Snapshot kind: read by the registry, snapshot dispatch, and
+    # the :class:`repro.search.Index` protocol.
+    kind = "pyramid"
 
     def __init__(self, points) -> None:
         self._points = validate_corpus(points)
@@ -92,7 +94,7 @@ class PyramidIndex:
         """Persist the index to ``path`` (``.npz`` snapshot)."""
         write_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            self.kind,
             {
                 "points": self._points,
                 "lower": self._lower,
@@ -108,7 +110,7 @@ class PyramidIndex:
         """Load a snapshot saved by :meth:`save`; query-ready immediately."""
         data = read_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            cls.kind,
             required=(
                 "points", "lower", "span", "member_order", "height_keys",
                 "starts",
@@ -291,3 +293,8 @@ class PyramidIndex:
         :meth:`query`.  ``n_workers`` > 1 fans the rows out over a
         thread pool (radius expansion does not vectorize)."""
         return dispatch_query_batch(self, queries, k, n_workers)
+
+
+# Deprecated alias of ``PyramidIndex.kind``; kept one release for
+# external callers that imported the module constant.
+_SNAPSHOT_KIND = PyramidIndex.kind

@@ -1,0 +1,345 @@
+"""The one kind→class mapping: index registration, specs, and builders.
+
+Before this module existed the codebase carried three drifting copies of
+the same table — a dict in ``cli.py``, a lazy loader in ``snapshot.py``,
+and special-case kwargs injection in ``shard/partition.py``.  Adding an
+index kind meant editing all three (and forgetting one compiled fine).
+Now every consumer resolves kinds here, so **kind #10 is a one-file
+change**: append a :class:`KindSpec` to ``_SPECS`` and the CLI flags,
+snapshot dispatch, shard builds, and mutation serving all pick it up.
+
+Each :class:`KindSpec` declares:
+
+* where the class lives (module + name, imported lazily so importing
+  the registry costs nothing);
+* whether the kind is **exact** — answers are the true Euclidean top-k
+  with the family-wide (distance, lower index) tie-break, a function of
+  the corpus *rows* alone.  Approximate kinds (``lsh``) and kinds whose
+  scoring depends on corpus-derived structure (``igrid``'s equi-depth
+  discretization) are not; delta-merge serving
+  (:mod:`repro.serve.mutation`) refuses them because no delta scan can
+  reproduce what a fresh rebuild would answer;
+* its CLI-exposed constructor parameters (:class:`ParamSpec`: keyword,
+  flag, type, help, choices) — ``repro index build`` / ``shard build``
+  derive their argparse wiring and wrong-kind rejection from these;
+* its **shared artifacts** — corpus-derived structure that a derived
+  build (shards of one corpus, every member of a serving fleet) must
+  compute once over the *full* corpus and pass to every sub-build so
+  all of them score/bound by the same function: IGrid's equi-depth
+  discretization and projscreen's fitted projection.  Previously these
+  were special-cased ``if kind == ...`` branches in ``build_shards``.
+
+The registry is also where the public :class:`Index` protocol lives:
+the structural contract (``kind``, ``n_points``, ``dimensionality``,
+``query``, ``query_batch``, ``save``/``load``) every registered class
+satisfies, re-exported from :mod:`repro.search`.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from functools import lru_cache
+from importlib import import_module
+from typing import Protocol, runtime_checkable
+
+from repro.search.results import BatchKnnResult, KnnResult
+
+
+@runtime_checkable
+class Index(Protocol):
+    """Structural contract every registered index kind satisfies.
+
+    ``kind`` is a class attribute naming the snapshot kind the class
+    reads and writes (the registry validates it against the spec that
+    declared the class); the rest is the family-wide query/persistence
+    surface.  The protocol is ``runtime_checkable``, so
+    ``isinstance(obj, Index)`` verifies the attribute surface — method
+    signatures are a documentation contract, enforced by the registry
+    round-trip tests rather than the type system.
+    """
+
+    kind: str
+
+    @property
+    def n_points(self) -> int: ...
+
+    @property
+    def dimensionality(self) -> int: ...
+
+    def query(self, query, k: int = 1) -> KnnResult:
+        """Top-``k`` neighbors of one query vector."""
+        ...
+
+    def query_batch(self, queries, k: int = 1) -> BatchKnnResult:
+        """Row-wise :meth:`query` through the index's batch engine."""
+        ...
+
+    def save(self, path: str) -> None:
+        """Persist the index as a single-``.npz`` snapshot."""
+        ...
+
+    @classmethod
+    def load(cls, path: str, *, mmap_points: bool = False) -> "Index":
+        """Restore a snapshot written by :meth:`save`."""
+        ...
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One CLI-exposed constructor parameter of an index kind.
+
+    Attributes:
+        name: constructor keyword (also the argparse dest).
+        flag: CLI flag string (e.g. ``"--subspace-dim"``).
+        type: parser for the flag value (``int``/``float``/``str``).
+        help: CLI help text.
+        choices: permitted values, or ``None`` for unconstrained.
+    """
+
+    name: str
+    flag: str
+    type: type
+    help: str
+    choices: tuple[str, ...] | None = None
+
+
+@dataclass(frozen=True)
+class KindSpec:
+    """Everything the system knows about one index kind.
+
+    Attributes:
+        kind: the snapshot-kind string (registry key).
+        module: dotted module path holding the class.
+        class_name: the class's name inside ``module``.
+        exact: answers are the exact Euclidean top-k with the
+            (distance, lower index) tie-break, independent of which
+            other rows share the corpus.  See the module docstring for
+            what this gates.
+        params: CLI-exposed constructor parameters.
+        shared_artifact_params: constructor keywords that carry
+            corpus-derived structure which derived builds must compute
+            once over the full corpus (see :func:`shared_build_kwargs`).
+    """
+
+    kind: str
+    module: str
+    class_name: str
+    exact: bool
+    params: tuple[ParamSpec, ...] = ()
+    shared_artifact_params: tuple[str, ...] = field(default=())
+
+
+_SPECS: tuple[KindSpec, ...] = (
+    KindSpec(
+        kind="bruteforce",
+        module="repro.search.bruteforce",
+        class_name="BruteForceIndex",
+        exact=True,
+    ),
+    KindSpec(
+        kind="kdtree",
+        module="repro.search.kdtree",
+        class_name="KdTreeIndex",
+        exact=True,
+    ),
+    KindSpec(
+        kind="rtree",
+        module="repro.search.rtree",
+        class_name="RTreeIndex",
+        exact=True,
+    ),
+    KindSpec(
+        kind="vafile",
+        module="repro.search.vafile",
+        class_name="VAFileIndex",
+        exact=True,
+        params=(
+            ParamSpec(
+                name="bit_allocation",
+                flag="--bit-allocation",
+                type=str,
+                choices=("uniform", "variance"),
+                help="vafile per-dimension bit budget split: uniform, or "
+                     "variance-weighted toward high-variance dimensions "
+                     "(default: uniform)",
+            ),
+        ),
+    ),
+    KindSpec(
+        kind="pyramid",
+        module="repro.search.pyramid",
+        class_name="PyramidIndex",
+        exact=True,
+    ),
+    KindSpec(
+        kind="idistance",
+        module="repro.search.idistance",
+        class_name="IDistanceIndex",
+        exact=True,
+    ),
+    KindSpec(
+        kind="igrid",
+        module="repro.search.igrid",
+        class_name="IGridIndex",
+        # IGrid scores by its equi-depth discretization, a function of
+        # the corpus distribution: rebuilding over a different rowset
+        # changes the scoring function itself, so answers are not a
+        # rowset-independent top-k.
+        exact=False,
+        shared_artifact_params=("discretization",),
+    ),
+    KindSpec(
+        kind="lsh",
+        module="repro.search.lsh",
+        class_name="LshIndex",
+        exact=False,  # approximate by design: probed buckets, not top-k
+        params=(
+            ParamSpec(
+                name="n_probes",
+                flag="--n-probes",
+                type=int,
+                help="lsh multi-probe count: buckets examined per table, "
+                     "the home bucket plus its best perturbations "
+                     "(default: 1)",
+            ),
+        ),
+    ),
+    KindSpec(
+        kind="projscreen",
+        module="repro.search.projected",
+        class_name="ProjectionScreenedIndex",
+        exact=True,
+        params=(
+            ParamSpec(
+                name="subspace_dim",
+                flag="--subspace-dim",
+                type=int,
+                help="projscreen screening dimensions m (default: d // 4)",
+            ),
+            ParamSpec(
+                name="ordering",
+                flag="--ordering",
+                type=str,
+                choices=("eigen", "coherence"),
+                help="projscreen subspace selection rule "
+                     "(eigen = largest eigenvalues, coherence = the "
+                     "paper's coherence probability; default: eigen)",
+            ),
+        ),
+        shared_artifact_params=("projection",),
+    ),
+)
+
+_BY_KIND: dict[str, KindSpec] = {spec.kind: spec for spec in _SPECS}
+
+INDEX_KINDS: tuple[str, ...] = tuple(spec.kind for spec in _SPECS)
+
+EXACT_KINDS: tuple[str, ...] = tuple(
+    spec.kind for spec in _SPECS if spec.exact
+)
+
+
+def index_spec(kind: str) -> KindSpec:
+    """The :class:`KindSpec` registered under ``kind``."""
+    try:
+        return _BY_KIND[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown index kind {kind!r}; expected one of "
+            f"{sorted(INDEX_KINDS)}"
+        ) from None
+
+
+def iter_specs() -> tuple[KindSpec, ...]:
+    """Every registered :class:`KindSpec`, in registration order."""
+    return _SPECS
+
+
+@lru_cache(maxsize=None)
+def index_class(kind: str) -> type:
+    """The index class registered under ``kind`` (imported lazily).
+
+    The loaded class must carry a matching ``kind`` attribute — that
+    attribute is what snapshots, generation manifests, and the
+    :class:`Index` protocol read, so a mismatch is a registration bug
+    worth failing loudly on.
+    """
+    spec = index_spec(kind)
+    cls = getattr(import_module(spec.module), spec.class_name)
+    declared = getattr(cls, "kind", None)
+    if declared != kind:
+        raise TypeError(
+            f"{spec.module}.{spec.class_name} declares kind "
+            f"{declared!r} but is registered as {kind!r}"
+        )
+    return cls
+
+
+def accepted_keywords(kind: str) -> tuple[str, ...]:
+    """Constructor keywords ``build_index`` accepts for ``kind``."""
+    cls = index_class(kind)
+    parameters = inspect.signature(cls.__init__).parameters
+    return tuple(
+        name
+        for position, (name, parameter) in enumerate(parameters.items())
+        if position >= 2  # skip self and the positional corpus
+        and parameter.kind
+        in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
+    )
+
+
+def build_index(kind: str, points, **kwargs):
+    """Construct a ``kind`` index over ``points``.
+
+    Keywords are validated against the constructor signature first so a
+    wrong-kind keyword fails with a message naming the accepted set
+    (instead of a bare ``TypeError`` from deep inside the constructor).
+    """
+    cls = index_class(kind)
+    accepted = accepted_keywords(kind)
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown:
+        raise ValueError(
+            f"index kind {kind!r} does not accept keyword(s) {unknown}; "
+            f"accepted: {sorted(accepted)}"
+        )
+    return cls(points, **kwargs)
+
+
+def shared_build_kwargs(kind: str, corpus, kwargs: dict | None = None) -> dict:
+    """Constructor kwargs for derived builds sharing one corpus.
+
+    A *derived* build constructs several ``kind`` indexes that must all
+    answer like one index over ``corpus`` — shards of a partition, the
+    per-generation rebuilds of a mutable server fleet.  Corpus-derived
+    structure (IGrid's equi-depth discretization, projscreen's fitted
+    projection) must then be computed **once over the full corpus** and
+    passed to every sub-build; a sub-build re-deriving it from its own
+    subset would score or bound by a different function than the
+    reference index.
+
+    Returns a new kwargs dict with the kind's shared artifacts filled
+    in (already-present artifacts are respected); parameters the
+    artifact fit consumes (``subspace_dim``/``ordering`` for
+    projscreen) are popped out of the returned dict.
+    """
+    spec = index_spec(kind)
+    merged = dict(kwargs or {})
+    if not spec.shared_artifact_params:
+        return merged
+    if kind == "igrid" and "discretization" not in merged:
+        from repro.search.igrid import igrid_discretization
+
+        merged["discretization"] = igrid_discretization(
+            corpus, merged.get("ranges_per_dim", 4)
+        )
+    if kind == "projscreen" and "projection" not in merged:
+        from repro.search.projected import fit_projection
+
+        merged["projection"] = fit_projection(
+            corpus,
+            subspace_dim=merged.pop("subspace_dim", None),
+            ordering=merged.pop("ordering", "eigen"),
+        )
+    return merged

@@ -44,8 +44,6 @@ from repro.search.results import (
 )
 from repro.search.snapshot import read_snapshot, write_snapshot
 
-_SNAPSHOT_KIND = "rtree"
-
 
 def _mindist_squared(lower: np.ndarray, upper: np.ndarray, query: np.ndarray) -> float:
     """Squared MINDIST of a query to an MBR (0 inside the box)."""
@@ -79,6 +77,10 @@ class RTreeIndex:
         points: ``(n, d)`` corpus.
         page_size: maximum entries per node (leaf points / inner children).
     """
+
+    # Snapshot kind: read by the registry, snapshot dispatch, and
+    # the :class:`repro.search.Index` protocol.
+    kind = "rtree"
 
     def __init__(self, points, page_size: int = 32) -> None:
         if page_size < 2:
@@ -237,7 +239,7 @@ class RTreeIndex:
         """Persist the index to ``path`` (``.npz`` snapshot)."""
         write_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            self.kind,
             {
                 "points": self._points,
                 "page_size": np.int64(self._page_size),
@@ -257,7 +259,7 @@ class RTreeIndex:
         """Load a snapshot saved by :meth:`save`; query-ready immediately."""
         data = read_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            cls.kind,
             required=(
                 "points", "page_size", "perm", "node_lower", "node_upper",
                 "node_is_leaf", "slot_start", "slot_stop", "child_ids",
@@ -463,3 +465,8 @@ class RTreeIndex:
                     heapq.heappush(
                         frontier, (float(bound), next(counter), 1, int(child))
                     )
+
+
+# Deprecated alias of ``RTreeIndex.kind``; kept one release for
+# external callers that imported the module constant.
+_SNAPSHOT_KIND = RTreeIndex.kind

@@ -35,8 +35,13 @@ snapshot records which of the nine index kinds wrote it, and
 
 from __future__ import annotations
 
+import json
+import os
+import shutil
 import struct
+import tempfile
 import zipfile
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -227,28 +232,16 @@ def _memmap_member(path: str, name: str) -> np.memmap:
 
 
 def _registry() -> dict:
-    """Kind → index class, imported lazily to avoid circular imports."""
-    from repro.search.bruteforce import BruteForceIndex
-    from repro.search.idistance import IDistanceIndex
-    from repro.search.igrid import IGridIndex
-    from repro.search.kdtree import KdTreeIndex
-    from repro.search.lsh import LshIndex
-    from repro.search.projected import ProjectionScreenedIndex
-    from repro.search.pyramid import PyramidIndex
-    from repro.search.rtree import RTreeIndex
-    from repro.search.vafile import VAFileIndex
+    """Kind → index class (deprecated thin wrapper).
 
-    return {
-        "bruteforce": BruteForceIndex,
-        "kdtree": KdTreeIndex,
-        "rtree": RTreeIndex,
-        "vafile": VAFileIndex,
-        "pyramid": PyramidIndex,
-        "idistance": IDistanceIndex,
-        "igrid": IGridIndex,
-        "lsh": LshIndex,
-        "projscreen": ProjectionScreenedIndex,
-    }
+    The one authoritative mapping lives in :mod:`repro.search.registry`;
+    this wrapper survives one release for callers that imported the
+    private helper.  Imports stay lazy (inside the call) to avoid
+    circular imports between the registry and the index modules.
+    """
+    from repro.search.registry import INDEX_KINDS, index_class
+
+    return {kind: index_class(kind) for kind in INDEX_KINDS}
 
 
 def snapshot_kind(path: str) -> str:
@@ -285,8 +278,286 @@ def load_index(path: str, *, mmap_points: bool = False):
     Dispatches on the recorded kind; the returned object is an instance
     of the matching index class, query-ready without any rebuilding.
     """
+    from repro.search.registry import index_class
+
     kind = snapshot_kind(path)
-    registry = _registry()
-    if kind not in registry:
-        raise SnapshotError(f"{path}: unknown index kind {kind!r}")
-    return registry[kind].load(path, mmap_points=mmap_points)
+    try:
+        cls = index_class(kind)
+    except ValueError:
+        raise SnapshotError(f"{path}: unknown index kind {kind!r}") from None
+    return cls.load(path, mmap_points=mmap_points)
+
+
+# --------------------------------------------------------------------------
+# Snapshot generations: a versioned directory of snapshots with a manifest.
+#
+# Mutable serving (repro.serve.mutation) compacts its memtable into a
+# fresh snapshot periodically; each compaction publishes a new
+# *generation* instead of overwriting the old file, so a hot swap can
+# open the new snapshot while in-flight queries still read the old one.
+# On disk a store is:
+#
+#     root/
+#       generations.json        <- manifest: active id + one entry per gen
+#       gen-000000/
+#         index.npz             <- ordinary index snapshot
+#         row_ids.npy           <- global row id per local row (intp)
+#       gen-000001/
+#         ...
+#
+# ``row_ids`` makes identities stable across compactions: local row i of
+# the generation's snapshot is global row ``row_ids[i]``.  Rows are
+# always written in ascending global-id order, so the family-wide
+# (distance, lower local index) tie-break coincides with the
+# (distance, lower global id) tie-break the delta merge uses.
+#
+# Publishing is atomic: the generation directory is fully written first,
+# then the manifest is rewritten via tempfile + ``os.replace``.  A crash
+# mid-publish leaves at worst an orphaned gen directory that the next
+# ``prune`` sweep removes; the manifest never names a half-written
+# generation.
+# --------------------------------------------------------------------------
+
+GENERATION_MANIFEST_SCHEMA = "repro-generation-manifest/v1"
+GENERATION_MANIFEST_NAME = "generations.json"
+_GENERATION_SNAPSHOT = "index.npz"
+_GENERATION_ROW_IDS = "row_ids.npy"
+
+
+class GenerationError(ValueError):
+    """A generation store is missing, malformed, or inconsistent."""
+
+
+@dataclass(frozen=True)
+class GenerationInfo:
+    """One published snapshot generation.
+
+    Attributes:
+        generation_id: monotonically increasing id (0 = initial build).
+        directory: the generation's directory.
+        snapshot_path: the index snapshot inside it.
+        ids_path: the global-row-id sidecar inside it.
+        kind: index kind of the snapshot.
+        n_points: rows in the snapshot.
+        next_row_id: first global row id not yet allocated when this
+            generation was published — an insert arriving after a
+            restart continues the id sequence from here.
+        reason: why the generation was published (``"initial"``,
+            ``"size"``, ``"drift"``, or ``"manual"``).
+    """
+
+    generation_id: int
+    directory: str
+    snapshot_path: str
+    ids_path: str
+    kind: str
+    n_points: int
+    next_row_id: int
+    reason: str
+
+    def load_ids(self) -> np.ndarray:
+        """Global row id per local row (``(n_points,)`` intp)."""
+        ids = np.load(self.ids_path)
+        return np.asarray(ids, dtype=np.intp)
+
+
+class GenerationStore:
+    """A versioned directory of snapshot generations plus a manifest.
+
+    ``publish`` appends a generation and atomically repoints the
+    manifest's ``active`` id at it; ``active()`` resolves the current
+    generation; ``prune`` deletes all but the newest ``keep``
+    generations (and any orphaned directory a crash left behind).
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, GENERATION_MANIFEST_NAME)
+
+    def exists(self) -> bool:
+        """Whether the store has been initialized (manifest present)."""
+        return os.path.exists(self.manifest_path)
+
+    def _read_manifest(self) -> dict:
+        try:
+            with open(self.manifest_path) as handle:
+                raw = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise GenerationError(
+                f"{self.manifest_path}: not a readable generation "
+                f"manifest ({error})"
+            ) from error
+        if raw.get("schema") != GENERATION_MANIFEST_SCHEMA:
+            raise GenerationError(
+                f"{self.manifest_path}: unexpected manifest schema "
+                f"{raw.get('schema')!r} (this build reads "
+                f"{GENERATION_MANIFEST_SCHEMA!r})"
+            )
+        return raw
+
+    def _write_manifest(self, payload: dict) -> None:
+        # tmp-then-replace keeps the manifest transition atomic: readers
+        # see either the old generation list or the new one, never a
+        # partially written file.
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.root, prefix=GENERATION_MANIFEST_NAME, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            os.replace(tmp_path, self.manifest_path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    def _info(self, entry: dict) -> GenerationInfo:
+        directory = os.path.join(self.root, entry["dir"])
+        return GenerationInfo(
+            generation_id=int(entry["id"]),
+            directory=directory,
+            snapshot_path=os.path.join(directory, _GENERATION_SNAPSHOT),
+            ids_path=os.path.join(directory, _GENERATION_ROW_IDS),
+            kind=str(entry["kind"]),
+            n_points=int(entry["n_points"]),
+            next_row_id=int(entry["next_row_id"]),
+            reason=str(entry["reason"]),
+        )
+
+    def generations(self) -> tuple[GenerationInfo, ...]:
+        """Every published generation, oldest first."""
+        raw = self._read_manifest()
+        try:
+            infos = tuple(self._info(entry) for entry in raw["generations"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise GenerationError(
+                f"{self.manifest_path}: malformed generation manifest "
+                f"({error})"
+            ) from error
+        return tuple(sorted(infos, key=lambda info: info.generation_id))
+
+    def active(self) -> GenerationInfo:
+        """The generation the manifest currently points at."""
+        raw = self._read_manifest()
+        active_id = int(raw.get("active", -1))
+        for info in self.generations():
+            if info.generation_id == active_id:
+                return info
+        raise GenerationError(
+            f"{self.manifest_path}: active generation {active_id} is not "
+            "in the manifest"
+        )
+
+    def publish(
+        self,
+        index,
+        row_ids,
+        *,
+        next_row_id: int,
+        reason: str = "manual",
+    ) -> GenerationInfo:
+        """Write ``index`` (+ id sidecar) as a new active generation.
+
+        ``row_ids[i]`` is the global id of the snapshot's local row
+        ``i``; ids must be strictly ascending so local-index tie-breaks
+        equal global-id tie-breaks (the delta-merge correctness
+        invariant), and ``next_row_id`` must exceed them all.
+        """
+        ids = np.asarray(row_ids, dtype=np.intp)
+        if ids.ndim != 1 or ids.size != index.n_points:
+            raise GenerationError(
+                f"row_ids must be one id per snapshot row "
+                f"({index.n_points}), got shape {ids.shape}"
+            )
+        if ids.size and np.any(np.diff(ids) <= 0):
+            raise GenerationError(
+                "row_ids must be strictly ascending so local-index "
+                "tie-breaks equal global-id tie-breaks"
+            )
+        if ids.size and next_row_id <= int(ids[-1]):
+            raise GenerationError(
+                f"next_row_id={next_row_id} must exceed the largest "
+                f"published row id {int(ids[-1])}"
+            )
+        os.makedirs(self.root, exist_ok=True)
+        if self.exists():
+            raw = self._read_manifest()
+            entries = list(raw["generations"])
+            generation_id = (
+                max(int(entry["id"]) for entry in entries) + 1
+                if entries
+                else 0
+            )
+        else:
+            entries = []
+            generation_id = 0
+        directory = os.path.join(self.root, f"gen-{generation_id:06d}")
+        os.makedirs(directory, exist_ok=True)
+        index.save(os.path.join(directory, _GENERATION_SNAPSHOT))
+        np.save(os.path.join(directory, _GENERATION_ROW_IDS), ids)
+        entries.append(
+            {
+                "id": generation_id,
+                "dir": os.path.basename(directory),
+                "kind": index.kind,
+                "n_points": int(index.n_points),
+                "next_row_id": int(next_row_id),
+                "reason": reason,
+            }
+        )
+        self._write_manifest(
+            {
+                "schema": GENERATION_MANIFEST_SCHEMA,
+                "active": generation_id,
+                "generations": entries,
+            }
+        )
+        return self._info(entries[-1])
+
+    def prune(self, keep: int = 2) -> tuple[int, ...]:
+        """Drop all but the newest ``keep`` generations; returns dropped ids.
+
+        Orphaned ``gen-*`` directories (from a crash between directory
+        write and manifest publish) are deleted too.  The active
+        generation is always kept.
+        """
+        if keep < 1:
+            raise ValueError(f"keep must be positive, got {keep}")
+        raw = self._read_manifest()
+        infos = self.generations()
+        active_id = int(raw.get("active", -1))
+        kept_ids = {info.generation_id for info in infos[-keep:]}
+        if any(info.generation_id == active_id for info in infos):
+            kept_ids.add(active_id)
+        kept_ids = sorted(kept_ids)
+        dropped = tuple(
+            info.generation_id
+            for info in infos
+            if info.generation_id not in kept_ids
+        )
+        entries = [
+            entry
+            for entry in raw["generations"]
+            if int(entry["id"]) in kept_ids
+        ]
+        self._write_manifest(
+            {
+                "schema": GENERATION_MANIFEST_SCHEMA,
+                "active": active_id,
+                "generations": entries,
+            }
+        )
+        named = {f"gen-{generation_id:06d}" for generation_id in kept_ids}
+        for name in os.listdir(self.root):
+            path = os.path.join(self.root, name)
+            if (
+                name.startswith("gen-")
+                and os.path.isdir(path)
+                and name not in named
+            ):
+                shutil.rmtree(path)
+        return dropped

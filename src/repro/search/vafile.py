@@ -51,8 +51,6 @@ from repro.search.results import (
 )
 from repro.search.snapshot import read_snapshot, write_snapshot
 
-_SNAPSHOT_KIND = "vafile"
-
 # Block size for batched phase-1 bound computation, in (query, point,
 # dimension) scratch entries — keeps the broadcast temporaries ~32 MB.
 _BLOCK_ENTRIES = 4_194_304
@@ -115,6 +113,10 @@ class VAFileIndex:
             :func:`~repro.search.batch.refine_masked_candidates`); both
             produce bit-identical answers.  Not persisted in snapshots.
     """
+
+    # Snapshot kind: read by the registry, snapshot dispatch, and
+    # the :class:`repro.search.Index` protocol.
+    kind = "vafile"
 
     def __init__(
         self,
@@ -180,7 +182,7 @@ class VAFileIndex:
         """
         write_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            self.kind,
             {
                 "points": self._points,
                 "bits_per_dim": np.int64(self._budget),
@@ -198,7 +200,7 @@ class VAFileIndex:
         """Load a snapshot saved by :meth:`save`; query-ready immediately."""
         data = read_snapshot(
             path,
-            _SNAPSHOT_KIND,
+            cls.kind,
             required=("points", "bits_per_dim", "origin", "cell_width", "cells"),
             mmap_points=mmap_points,
         )
@@ -400,3 +402,8 @@ class VAFileIndex:
             Neighbor(index=idx, distance=float(np.sqrt(d2))) for d2, idx in found
         )
         return KnnResult(neighbors=neighbors, stats=stats)
+
+
+# Deprecated alias of ``VAFileIndex.kind``; kept one release for
+# external callers that imported the module constant.
+_SNAPSHOT_KIND = VAFileIndex.kind

@@ -30,6 +30,11 @@ stack that realizes the claim for single-query traffic:
   full degradation ledger (failed / shed / deadline-exceeded /
   cancelled / restarted / resubmitted).
 * :class:`IndexServer` — the facade wiring all of the above together.
+* :class:`MutableIndexServer` (:mod:`repro.serve.mutation`) — live
+  insert/delete on top of immutable snapshot *generations*: an
+  in-memory memtable merged exactly with the base answer, a background
+  compactor that publishes new generations, and a zero-downtime hot
+  swap whose in-flight queries are never dropped or mis-answered.
 * :mod:`repro.serve.errors` — the typed failure taxonomy
   (:class:`DeadlineExceeded`, :class:`ServerOverloaded`,
   :class:`ServerClosedError`, :class:`WorkerError`, and
@@ -46,7 +51,12 @@ or fails requests loudly instead of answering approximately.
 """
 
 from repro.serve.batcher import BatchPolicy, MicroBatcher
-from repro.serve.bench import ServingComparison, compare_serving
+from repro.serve.bench import (
+    MutationComparison,
+    ServingComparison,
+    compare_mutable_serving,
+    compare_serving,
+)
 from repro.serve.cache import (
     CacheCounters,
     ResultCache,
@@ -66,6 +76,7 @@ from repro.serve.faults import (
     FaultyLoader,
     InjectedFault,
 )
+from repro.serve.mutation import MutableIndexServer, MutationError
 from repro.serve.pool import WorkerError, WorkerPool
 from repro.serve.server import IndexServer
 from repro.serve.stats import LatencyReservoir, ServingReport, ServingStats
@@ -73,6 +84,7 @@ from repro.serve.stats import LatencyReservoir, ServingReport, ServingStats
 __all__ = [
     "BatchPolicy",
     "CacheCounters",
+    "compare_mutable_serving",
     "compare_serving",
     "DeadlineExceeded",
     "FaultPlan",
@@ -82,6 +94,9 @@ __all__ = [
     "InjectedFault",
     "LatencyReservoir",
     "MicroBatcher",
+    "MutableIndexServer",
+    "MutationComparison",
+    "MutationError",
     "ResultCache",
     "result_cache_key",
     "ServerClosedError",

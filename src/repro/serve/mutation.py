@@ -1,0 +1,795 @@
+"""Mutable serving: a memtable over immutable snapshot generations.
+
+The serving stack below this module is frozen-corpus by construction —
+an :class:`~repro.serve.server.IndexServer` answers from one immutable
+snapshot.  Production corpora mutate.  This module adds mutation the
+LSM way, without ever answering approximately:
+
+* the **base** is the active snapshot generation
+  (:class:`~repro.search.snapshot.GenerationStore`), served by an
+  ordinary ``IndexServer``;
+* the **memtable** is an in-memory insert/delete delta: inserted rows
+  keyed by their global row id, plus a tombstone set over both base and
+  memtable rows;
+* every query is answered as an **exact merge**: the base server
+  returns its top-``k + |tombstones|`` (so at least ``k`` live base
+  rows survive masking), dead rows are masked out, the memtable's live
+  rows are scanned with the family's sequential distance arithmetic,
+  and the pooled candidates are re-selected by ``(distance, global
+  id)`` — exactly the order a fresh index built over the live rowset
+  (rows in ascending global-id order) would produce, because every
+  index in the family breaks distance ties by lower corpus index.
+
+A background **compactor** folds the memtable into the base: it builds
+a fresh index over the live rowset, publishes it as a new generation
+(reason ``"size"``, ``"drift"``, or ``"manual"``), and **hot-swaps**
+the serving view.  The swap protocol guarantees in-flight queries are
+never dropped or mis-answered:
+
+1. the new generation is built and published while the old view keeps
+   serving (queries merge against the memtable snapshot they captured,
+   so concurrent mutations never skew an in-flight answer);
+2. under the view lock the server reference is swapped, the compacted
+   cut is trimmed from the memtable, and tombstones of rows that were
+   compacted away are dropped (tombstones of cut rows deleted *during*
+   the build are kept — those rows made it into the new base and must
+   stay masked);
+3. the old view is reference-counted: each query pins the view it
+   captured (capture and base submission happen under the same lock
+   acquisition, so a submission can never race the close), and the old
+   ``IndexServer`` — whose deadline reaper keeps releasing deadlined
+   callers throughout — is closed only after its last pinned query
+   resolves;
+4. old generations beyond ``keep_generations`` are pruned.
+
+Because compaction rebuilds from scratch, a ``projscreen`` generation
+refits its screening projection over the live corpus — re-reduction is
+the rebuild.  When ``drift_threshold`` is set, an
+:class:`~repro.dynamic.IncrementalMoments` accumulator tracks the live
+distribution (updated on insert, downdated on delete) and a
+:class:`~repro.dynamic.DriftMonitor` frozen at each generation's basis
+triggers that rebuild automatically once the captured-energy ratio
+decays past the threshold.
+
+Only **exact** kinds (:data:`repro.search.registry.EXACT_KINDS`) can be
+served mutably: their answers are the true Euclidean top-k, a function
+of the live rows alone, which is what makes base + delta merge equal a
+fresh rebuild.  LSH (approximate probing) and IGrid (corpus-derived
+scoring) are refused at construction.
+
+The memtable is volatile: rows not yet compacted do not survive a
+process restart (``compact()`` before shutdown to persist them).  The
+generation manifest records ``next_row_id``, so a restarted server
+continues the global id sequence without reuse.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.search.registry import EXACT_KINDS, build_index, index_spec
+from repro.search.results import (
+    BatchKnnResult,
+    KnnResult,
+    Neighbor,
+    QueryStats,
+    combine_stats,
+    validate_corpus,
+    validate_k,
+    validate_queries,
+    validate_query,
+)
+from repro.search.snapshot import (
+    GenerationInfo,
+    GenerationStore,
+    read_snapshot,
+)
+from repro.serve.batcher import BatchPolicy
+from repro.serve.errors import ServerClosedError
+from repro.serve.server import IndexServer
+
+COMPACTION_REASONS = ("initial", "size", "drift", "manual")
+
+
+class MutationError(ValueError):
+    """A mutable-serving operation is invalid (kind, ids, or state)."""
+
+
+class _View:
+    """One served generation: an IndexServer pinned by in-flight queries.
+
+    ``refs`` counts queries that captured this view; the compactor
+    retires a view after the swap and closes its server only once the
+    last pinned query released it (``drained``).
+    """
+
+    __slots__ = ("info", "server", "base_ids", "points", "refs",
+                 "retired", "drained")
+
+    def __init__(
+        self, info: GenerationInfo, server: IndexServer, points
+    ) -> None:
+        self.info = info
+        self.server = server
+        self.base_ids = info.load_ids()
+        self.points = points  # mmap'd (n, d) corpus of the generation
+        self.refs = 0
+        self.retired = False
+        self.drained = threading.Event()
+
+    def local_of(self, row_id: int) -> int:
+        """Local row index of global ``row_id``, or ``-1`` if absent."""
+        position = int(np.searchsorted(self.base_ids, row_id))
+        if (
+            position < self.base_ids.size
+            and int(self.base_ids[position]) == row_id
+        ):
+            return position
+        return -1
+
+
+class MutableIndexServer:
+    """Serve and mutate one corpus with exact, rebuild-identical answers.
+
+    Args:
+        root: generation-store directory.  If it holds a manifest the
+            server resumes from the active generation (pass
+            ``points=None``); otherwise ``points`` seeds generation 0.
+        points: initial ``(n, d)`` corpus for a fresh store.
+        row_ids: global ids for the seed rows (strictly ascending);
+            defaults to ``0..n-1``.  A sharded coordinator passes each
+            member its slice of the global id space here.
+        kind: index kind — must be exact
+            (:data:`~repro.search.registry.EXACT_KINDS`).  On resume it
+            must match the active generation.
+        index_kwargs: constructor keywords applied to *every* rebuild
+            (e.g. ``subspace_dim``/``ordering`` for projscreen — the
+            projection itself is refit from the live corpus at each
+            compaction, never carried over).
+        n_workers / policy / cache_capacity / mmap_points /
+        start_method / default_deadline_ms: forwarded to the per-
+            generation :class:`IndexServer`.
+        compact_threshold: auto-compact once the memtable holds this
+            many operations (inserted rows + tombstones); ``None``
+            disables size-triggered compaction.
+        drift_threshold: captured-energy ratio below which a drift
+            compaction is triggered (projscreen only); ``None``
+            disables drift monitoring.
+        keep_generations: generations retained after each compaction.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        points=None,
+        *,
+        row_ids=None,
+        kind: str = "bruteforce",
+        index_kwargs: dict | None = None,
+        n_workers: int = 0,
+        policy: BatchPolicy | None = None,
+        cache_capacity: int = 0,
+        mmap_points: bool = True,
+        start_method: str | None = None,
+        default_deadline_ms: float | None = None,
+        compact_threshold: int | None = None,
+        drift_threshold: float | None = None,
+        keep_generations: int = 2,
+    ) -> None:
+        spec = index_spec(kind)
+        if not spec.exact:
+            raise MutationError(
+                f"index kind {kind!r} cannot serve mutations: delta-merge "
+                "answers are provably identical to a fresh rebuild only "
+                "for exact kinds (answers a function of the live rows "
+                f"alone); choose one of {list(EXACT_KINDS)}"
+            )
+        if compact_threshold is not None and compact_threshold < 1:
+            raise ValueError(
+                f"compact_threshold must be positive or None, "
+                f"got {compact_threshold}"
+            )
+        if drift_threshold is not None and kind != "projscreen":
+            raise MutationError(
+                "drift_threshold monitors the projscreen screening "
+                f"basis; it does not apply to kind {kind!r}"
+            )
+        if keep_generations < 1:
+            raise ValueError(
+                f"keep_generations must be positive, got {keep_generations}"
+            )
+        self._kind = kind
+        self._index_kwargs = dict(index_kwargs or {})
+        self._server_options = {
+            "n_workers": n_workers,
+            "policy": policy,
+            "cache_capacity": cache_capacity,
+            "mmap_points": mmap_points,
+            "start_method": start_method,
+            "default_deadline_ms": default_deadline_ms,
+        }
+        self._compact_threshold = compact_threshold
+        self._drift_threshold = drift_threshold
+        self._keep_generations = keep_generations
+        self._store = GenerationStore(root)
+
+        if self._store.exists():
+            if points is not None:
+                raise MutationError(
+                    f"{root}: generation store already initialized; "
+                    "resume with points=None"
+                )
+            info = self._store.active()
+            if info.kind != kind:
+                raise MutationError(
+                    f"{root}: active generation holds kind "
+                    f"{info.kind!r}, not {kind!r}"
+                )
+        else:
+            if points is None:
+                raise MutationError(
+                    f"{root}: no generation store; pass the initial "
+                    "corpus as points="
+                )
+            corpus = validate_corpus(points)
+            if row_ids is None:
+                ids = np.arange(corpus.shape[0], dtype=np.intp)
+            else:
+                ids = np.asarray(row_ids, dtype=np.intp)
+            index = build_index(kind, corpus, **self._index_kwargs)
+            info = self._store.publish(
+                index,
+                ids,
+                next_row_id=int(ids[-1]) + 1 if ids.size else 0,
+                reason="initial",
+            )
+
+        # The view lock guards the serving view, the memtable, the
+        # tombstones, and the id counter.  Queries hold it only to
+        # capture a consistent (view, delta, tombstones) triple and
+        # submit the base request; mutations hold it to update state.
+        self._lock = threading.Lock()
+        self._view = self._open_view(info)
+        self._memtable: dict[int, np.ndarray] = {}
+        self._tombstones: set[int] = set()
+        self._next_row_id = info.next_row_id
+        self._n_live = info.n_points
+        self._delta_dirty = True
+        self._delta_rows = np.empty((0, self.dimensionality))
+        self._delta_ids = np.empty(0, dtype=np.intp)
+        self._closed = False
+        self.n_compactions = 0
+        self.n_drift_compactions = 0
+
+        self._moments = None
+        self._monitor = None
+        self._drift_pending = False
+        if drift_threshold is not None:
+            from repro.dynamic import IncrementalMoments
+
+            self._moments = IncrementalMoments(self.dimensionality)
+            self._moments.update(np.asarray(self._view.points))
+            self._arm_drift_monitor()
+
+        # One compaction at a time; manual compact() and the background
+        # compactor serialize here.
+        self._compact_lock = threading.Lock()
+        self._wake = threading.Event()
+        self._compactor = None
+        if compact_threshold is not None or drift_threshold is not None:
+            self._compactor = threading.Thread(
+                target=self._compactor_loop,
+                name="repro-compactor",
+                daemon=True,
+            )
+            self._compactor.start()
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    @property
+    def dimensionality(self) -> int:
+        return self._view.server.dimensionality
+
+    @property
+    def n_live(self) -> int:
+        """Rows a fresh rebuild right now would contain."""
+        with self._lock:
+            return self._n_live
+
+    @property
+    def generation_id(self) -> int:
+        """Id of the generation currently serving as the base."""
+        with self._lock:
+            return self._view.info.generation_id
+
+    @property
+    def memtable_ops(self) -> int:
+        """Un-compacted operations (inserted rows + tombstones)."""
+        with self._lock:
+            return len(self._memtable) + len(self._tombstones)
+
+    @property
+    def store(self) -> GenerationStore:
+        return self._store
+
+    def stats(self):
+        """Serving metrics of the current generation's server."""
+        with self._lock:
+            return self._view.server.stats()
+
+    # -- mutation ------------------------------------------------------
+
+    def insert(self, vector, *, row_id: int | None = None) -> int:
+        """Add one row to the live rowset; returns its global row id.
+
+        ``row_id`` may be supplied by a coordinator that allocates the
+        global sequence (sharded serving); it must continue the
+        sequence, never reuse an id.
+        """
+        row = validate_query(vector, self.dimensionality)
+        with self._lock:
+            self._require_open()
+            if row_id is None:
+                row_id = self._next_row_id
+            elif row_id < self._next_row_id:
+                raise MutationError(
+                    f"row_id {row_id} is not fresh: ids below "
+                    f"{self._next_row_id} were already allocated"
+                )
+            self._next_row_id = row_id + 1
+            self._memtable[row_id] = row
+            self._n_live += 1
+            self._delta_dirty = True
+            if self._moments is not None:
+                self._moments.update(row)
+            self._check_triggers_locked()
+        return row_id
+
+    def delete(self, row_id: int) -> None:
+        """Remove one live row (base or memtable) from the rowset.
+
+        Raises:
+            KeyError: when ``row_id`` is not a live row.
+        """
+        with self._lock:
+            self._require_open()
+            if row_id in self._tombstones:
+                raise KeyError(f"row id {row_id} is already deleted")
+            if row_id in self._memtable:
+                row = self._memtable[row_id]
+            else:
+                local = self._view.local_of(row_id)
+                if local < 0:
+                    raise KeyError(f"unknown row id {row_id}")
+                row = np.asarray(
+                    self._view.points[local], dtype=np.float64
+                )
+            # The row is tombstoned, not evicted: an in-flight
+            # compaction may already have cut this memtable entry into
+            # the next base, where only the tombstone can mask it.
+            self._tombstones.add(row_id)
+            self._n_live -= 1
+            self._delta_dirty = True
+            if self._moments is not None and self._moments.count > 0:
+                self._moments.downdate(row)
+            self._check_triggers_locked()
+
+    # -- queries -------------------------------------------------------
+
+    def query(
+        self, query, k: int = 1, *, deadline_ms: float | None = None
+    ) -> KnnResult:
+        """Exact top-``k`` over the live rowset (global row ids).
+
+        Bit-identical to ``build_index(kind, live_rows).query(...)``
+        with local indices mapped to global ids — neighbors, distances,
+        and tie-breaks included.
+        """
+        vector = validate_query(query, self.dimensionality)
+        view, pending, rows, ids, tombs, k = self._begin(vector, k,
+                                                         deadline_ms)
+        try:
+            delta = self._scan_delta(rows, ids, vector, k)
+            base = pending.result() if pending is not None else None
+            return self._merge(base, view, tombs, delta, k)
+        finally:
+            self._release(view)
+
+    def query_batch(self, queries, k: int = 1) -> BatchKnnResult:
+        """Row-wise :meth:`query` through one explicit base batch."""
+        array = validate_queries(queries, self.dimensionality)
+        with self._lock:
+            self._require_open()
+            view = self._view
+            view.refs += 1
+            k = validate_k(k, self._n_live)
+            rows, ids = self._delta_snapshot_locked()
+            tombs = frozenset(self._tombstones)
+            k_base = min(view.base_ids.size, k + len(tombs))
+        try:
+            base_batch = None
+            if k_base > 0 and array.shape[0] > 0:
+                base_batch = view.server.query_batch(array, k_base)
+            results = tuple(
+                self._merge(
+                    base_batch.results[row] if base_batch is not None
+                    else None,
+                    view,
+                    tombs,
+                    self._scan_delta(rows, ids, array[row], k),
+                    k,
+                )
+                for row in range(array.shape[0])
+            )
+            return BatchKnnResult(
+                results=results,
+                stats=combine_stats(r.stats for r in results),
+            )
+        finally:
+            self._release(view)
+
+    # -- compaction ----------------------------------------------------
+
+    def compact(self, reason: str = "manual") -> GenerationInfo:
+        """Fold the memtable into a new generation and hot-swap to it.
+
+        Rebuilds an index over the live rowset (rows ascending by
+        global id — the order that makes local-index tie-breaks equal
+        global-id tie-breaks), publishes it, swaps the serving view,
+        then closes the old server after its in-flight queries drain.
+        """
+        if reason not in COMPACTION_REASONS:
+            raise ValueError(
+                f"reason must be one of {COMPACTION_REASONS}, "
+                f"got {reason!r}"
+            )
+        with self._compact_lock:
+            with self._lock:
+                self._require_open()
+                old_view = self._view
+                cut_ids = tuple(self._memtable.keys())
+                cut_rows = [self._memtable[gid] for gid in cut_ids]
+                tombs = frozenset(self._tombstones)
+                next_row_id = self._next_row_id
+            base_ids = old_view.base_ids
+            base_live = np.fromiter(
+                (gid not in tombs for gid in base_ids),
+                dtype=bool,
+                count=base_ids.size,
+            )
+            live_cut = [
+                (gid, row)
+                for gid, row in zip(cut_ids, cut_rows)
+                if gid not in tombs
+            ]
+            n_rows = int(base_live.sum()) + len(live_cut)
+            if n_rows == 0:
+                raise MutationError(
+                    "cannot compact an empty rowset: every index kind "
+                    "requires at least one corpus row; insert before "
+                    "compacting"
+                )
+            all_ids = np.concatenate([
+                base_ids[base_live],
+                np.array(
+                    [gid for gid, _ in live_cut], dtype=np.intp
+                ).reshape(-1),
+            ])
+            all_rows = np.concatenate([
+                np.asarray(old_view.points)[base_live],
+                np.array([row for _, row in live_cut]).reshape(
+                    len(live_cut), -1
+                ),
+            ]) if live_cut else np.asarray(old_view.points)[base_live]
+            order = np.argsort(all_ids, kind="stable")
+            live_ids = all_ids[order]
+            live_rows = np.ascontiguousarray(all_rows[order])
+
+            index = build_index(
+                self._kind, live_rows, **self._index_kwargs
+            )
+            info = self._store.publish(
+                index, live_ids, next_row_id=next_row_id, reason=reason
+            )
+            new_view = self._open_view(info)
+            base_set = set(int(gid) for gid in live_ids)
+
+            with self._lock:
+                self._view = new_view
+                for gid in cut_ids:
+                    self._memtable.pop(gid, None)
+                # Tombstones of rows that were compacted away are
+                # satisfied (the row is simply absent from the new
+                # base); tombstones of rows that made the cut *after*
+                # capture — deleted mid-build — must survive to mask
+                # them in the new base.
+                self._tombstones = {
+                    gid
+                    for gid in self._tombstones
+                    if gid in base_set or gid in self._memtable
+                }
+                self._delta_dirty = True
+                self._drift_pending = False
+                if self._moments is not None:
+                    # The moments track the live rowset, which a
+                    # compaction does not change — only the monitor's
+                    # frozen basis and reference covariance re-anchor.
+                    self._arm_drift_monitor()
+                self.n_compactions += 1
+                if reason == "drift":
+                    self.n_drift_compactions += 1
+                old_view.retired = True
+                drained = old_view.refs == 0
+            if drained:
+                old_view.drained.set()
+            # In-flight queries pinned to the old view finish against
+            # it; only then is its server closed (batcher flush + pool
+            # drain + reaper shutdown, in that order, so deadlines keep
+            # holding throughout the swap).
+            old_view.drained.wait()
+            old_view.server.close()
+            self._store.prune(keep=self._keep_generations)
+            return info
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the compactor and the serving stack.
+
+        The memtable is volatile — call :meth:`compact` first to
+        persist un-compacted mutations.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._wake.set()
+        if self._compactor is not None:
+            self._compactor.join()
+        # Serialize with any manual compaction still publishing.
+        with self._compact_lock:
+            self._view.server.close()
+
+    def __enter__(self) -> "MutableIndexServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServerClosedError("mutable server is closed")
+
+    def _open_view(self, info: GenerationInfo) -> _View:
+        server = IndexServer(info.snapshot_path, **self._server_options)
+        points = read_snapshot(
+            info.snapshot_path,
+            None,
+            required=("points",),
+            mmap_points=True,
+        )["points"]
+        return _View(info, server, points)
+
+    def _arm_drift_monitor(self) -> None:
+        """Freeze the drift monitor at the active generation's basis."""
+        if self._kind != "projscreen" or self._moments is None:
+            return
+        from repro.dynamic import DriftMonitor
+
+        from repro.search.projected import ProjectionScreenedIndex
+
+        index = ProjectionScreenedIndex.load(
+            self._view.info.snapshot_path, mmap_points=True
+        )
+        self._monitor = DriftMonitor(
+            index.projection.matrix,
+            self._moments.covariance(),
+            threshold=self._drift_threshold,
+        )
+
+    def _check_triggers_locked(self) -> None:
+        """Under the view lock: arm the compactor if a trigger fired."""
+        fire = False
+        if (
+            self._compact_threshold is not None
+            and len(self._memtable) + len(self._tombstones)
+            >= self._compact_threshold
+        ):
+            fire = True
+        if (
+            self._monitor is not None
+            and not self._drift_pending
+            and self._moments.count >= 2
+            and self._monitor.should_refit(self._moments.covariance())
+        ):
+            self._drift_pending = True
+            fire = True
+        if fire and self._compactor is not None:
+            self._wake.set()
+
+    def _compactor_loop(self) -> None:
+        while True:
+            self._wake.wait()
+            self._wake.clear()
+            with self._lock:
+                if self._closed:
+                    return
+                if self._drift_pending:
+                    reason = "drift"
+                elif (
+                    self._compact_threshold is not None
+                    and len(self._memtable) + len(self._tombstones)
+                    >= self._compact_threshold
+                ):
+                    reason = "size"
+                else:
+                    reason = None
+            if reason is not None:
+                try:
+                    self.compact(reason=reason)
+                except MutationError:
+                    # e.g. the rowset emptied out; the next mutation
+                    # re-arms the trigger.
+                    pass
+
+    def _delta_snapshot_locked(self) -> tuple[np.ndarray, np.ndarray]:
+        """The memtable's live rows + ids (cached until dirtied)."""
+        if self._delta_dirty:
+            live = [
+                (gid, row)
+                for gid, row in self._memtable.items()
+                if gid not in self._tombstones
+            ]
+            if live:
+                self._delta_ids = np.array(
+                    [gid for gid, _ in live], dtype=np.intp
+                )
+                self._delta_rows = np.array([row for _, row in live])
+            else:
+                self._delta_ids = np.empty(0, dtype=np.intp)
+                self._delta_rows = np.empty((0, self.dimensionality))
+            self._delta_dirty = False
+        return self._delta_rows, self._delta_ids
+
+    def _begin(self, vector, k, deadline_ms):
+        """Capture a consistent view and submit the base request.
+
+        Capture and submission share one lock acquisition: the swap
+        also runs under this lock, so a base request can only be
+        submitted to a server that is still the active view (or a
+        retired one that is pinned by this query's reference and
+        therefore not yet closed) — never to a closed server.
+        """
+        with self._lock:
+            self._require_open()
+            view = self._view
+            view.refs += 1
+            try:
+                k = validate_k(k, self._n_live)
+                rows, ids = self._delta_snapshot_locked()
+                tombs = frozenset(self._tombstones)
+                k_base = min(view.base_ids.size, k + len(tombs))
+                pending = None
+                if k_base > 0:
+                    pending = view.server.submit(
+                        vector, k_base, deadline_ms=deadline_ms
+                    )
+            except BaseException:
+                self._release_locked(view)
+                raise
+        return view, pending, rows, ids, tombs, k
+
+    def _release(self, view: _View) -> None:
+        with self._lock:
+            self._release_locked(view)
+
+    @staticmethod
+    def _release_locked(view: _View) -> None:
+        view.refs -= 1
+        if view.retired and view.refs == 0:
+            view.drained.set()
+
+    @staticmethod
+    def _scan_delta(rows, ids, vector, k):
+        """Exact top-``k`` of the memtable's live rows.
+
+        Same arithmetic as the family's sequential scan — per-row
+        subtract, square, sum, then a stable argsort — so a delta row's
+        distance has exactly the bits a fresh index would produce, and
+        ascending-id storage makes the stable sort break ties by lower
+        global id.
+        """
+        if rows.shape[0] == 0:
+            return KnnResult(neighbors=(), stats=QueryStats())
+        gaps = rows - vector
+        squared = np.sum(np.square(gaps), axis=1)
+        order = np.argsort(squared, kind="stable")[:k]
+        neighbors = tuple(
+            Neighbor(
+                index=int(ids[i]),
+                distance=float(np.sqrt(squared[i])),
+            )
+            for i in order
+        )
+        return KnnResult(
+            neighbors=neighbors,
+            stats=QueryStats(points_scanned=int(rows.shape[0])),
+        )
+
+    @staticmethod
+    def _merge(base, view, tombs, delta, k) -> KnnResult:
+        """Mask dead base rows, pool with the delta, re-select top-k.
+
+        Ordering by ``(distance, global id)`` reproduces the family's
+        (distance, lower corpus index) tie-break of a fresh index whose
+        rows are sorted by ascending global id.
+        """
+        candidates: list[tuple[float, int]] = []
+        stats = [delta.stats]
+        if base is not None:
+            stats.append(base.stats)
+            base_ids = view.base_ids
+            for neighbor in base.neighbors:
+                gid = int(base_ids[neighbor.index])
+                if gid not in tombs:
+                    candidates.append((neighbor.distance, gid))
+        for neighbor in delta.neighbors:
+            candidates.append((neighbor.distance, neighbor.index))
+        candidates.sort()
+        return KnnResult(
+            neighbors=tuple(
+                Neighbor(index=gid, distance=distance)
+                for distance, gid in candidates[:k]
+            ),
+            stats=combine_stats(stats),
+        )
+
+
+def live_reference_index(server: MutableIndexServer):
+    """A freshly built index + id map equal to the server's live rowset.
+
+    Returns ``(index, live_ids)``: the reference the identity tests
+    compare against — ``index`` is built over the live rows in
+    ascending global-id order and ``live_ids[local] -> global``.
+    Mutations must be quiescent while it is used.
+    """
+    with server._lock:
+        view = server._view
+        base_ids = view.base_ids
+        tombs = frozenset(server._tombstones)
+        rows, ids = server._delta_snapshot_locked()
+        base_live = np.fromiter(
+            (gid not in tombs for gid in base_ids),
+            dtype=bool,
+            count=base_ids.size,
+        )
+        all_ids = np.concatenate([base_ids[base_live], ids])
+        all_rows = (
+            np.concatenate([np.asarray(view.points)[base_live], rows])
+            if rows.shape[0]
+            else np.asarray(view.points)[base_live].copy()
+        )
+    order = np.argsort(all_ids, kind="stable")
+    live_ids = all_ids[order]
+    index = build_index(
+        server.kind,
+        np.ascontiguousarray(all_rows[order]),
+        **server._index_kwargs,
+    )
+    return index, live_ids
+
+
+# Timing helper shared by the mutation bench: wall-clock one callable.
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start

@@ -27,10 +27,16 @@ distances, same tie ordering, per-shard
 * :mod:`repro.shard.bench` — :func:`compare_sharded_serving`, the
   unsharded-baseline measurement harness shared by the CLI and
   ``benchmarks/bench_ablation_sharding.py``.
+* :mod:`repro.shard.mutation` — :class:`MutableShardedServer`, the
+  mutation-capable coordinator: global row ids allocated centrally,
+  routed to per-shard :class:`~repro.serve.mutation.MutableIndexServer`
+  memtables by ``id % S``, with per-shard compaction/generations and
+  the same exact global merge.
 """
 
 from repro.shard.bench import ShardedComparison, compare_sharded_serving
 from repro.shard.merge import merge_batches, merge_results
+from repro.shard.mutation import MutableShardedServer
 from repro.shard.partition import (
     MANIFEST_NAME,
     MANIFEST_SCHEMA,
@@ -52,6 +58,7 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "merge_batches",
     "merge_results",
+    "MutableShardedServer",
     "PARTITION_METHODS",
     "partition_labels",
     "ShardedComparison",

@@ -257,40 +257,15 @@ def build_shards(
         corpus, n_shards, method=method, seed=seed
     )
     if index_factory is None:
-        from repro.search.snapshot import _registry
+        from repro.search.registry import index_class, shared_build_kwargs
 
-        registry = _registry()
-        if kind not in registry:
-            raise ValueError(
-                f"unknown index kind {kind!r}; "
-                f"expected one of {sorted(registry)}"
-            )
-        cls = registry[kind]
-        kwargs = dict(index_kwargs or {})
-        if kind == "igrid" and "discretization" not in kwargs:
-            # IGrid's similarity function IS its equi-depth boundaries.
-            # Each shard re-deriving boundaries from its own subset would
-            # score by a different function than the unsharded index;
-            # sharing the full-corpus discretization keeps the scoring
-            # global, so the merged top-k stays bit-identical.
-            from repro.search.igrid import igrid_discretization
-
-            kwargs["discretization"] = igrid_discretization(
-                corpus, kwargs.get("ranges_per_dim", 4)
-            )
-        if kind == "projscreen" and "projection" not in kwargs:
-            # Same shared-structure rule as IGrid: fit the screening
-            # projection once on the FULL corpus, hand every shard the
-            # same basis.  Per-shard refits would still be exact but
-            # would bound against different subspaces than the
-            # unsharded reference index.
-            from repro.search.projected import fit_projection
-
-            kwargs["projection"] = fit_projection(
-                corpus,
-                subspace_dim=kwargs.pop("subspace_dim", None),
-                ordering=kwargs.pop("ordering", "eigen"),
-            )
+        cls = index_class(kind)  # raises ValueError on unknown kinds
+        # Corpus-derived structure (IGrid's equi-depth boundaries,
+        # projscreen's screening basis) is declared per-kind in the
+        # registry and fitted once over the FULL corpus here: each shard
+        # re-deriving it from its own subset would score or bound by a
+        # different function than the unsharded reference index.
+        kwargs = shared_build_kwargs(kind, corpus, index_kwargs)
         factory = lambda rows: cls(rows, **kwargs)  # noqa: E731
     else:
         factory = index_factory

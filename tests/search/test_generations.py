@@ -1,0 +1,206 @@
+"""Generation store: versioned snapshots behind one atomic manifest.
+
+:class:`GenerationStore` is the persistence half of mutable serving —
+compactions publish new generations and hot-swap onto them, restarts
+resume from the active one.  These tests pin the invariants the
+mutation layer leans on: strictly-ascending global row ids (the
+tie-break correctness precondition), an atomically repointed manifest,
+a monotonic ``next_row_id`` handoff, and pruning that never deletes the
+active generation but does sweep orphaned directories.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.search import BruteForceIndex, KdTreeIndex
+from repro.search.snapshot import (
+    GENERATION_MANIFEST_SCHEMA,
+    GenerationError,
+    GenerationStore,
+)
+
+
+@pytest.fixture
+def corpus():
+    rng = np.random.default_rng(3)
+    return rng.standard_normal((20, 4))
+
+
+@pytest.fixture
+def store(tmp_path):
+    return GenerationStore(os.path.join(tmp_path, "gens"))
+
+
+class TestPublish:
+    def test_initial_publish_becomes_active(self, store, corpus):
+        index = BruteForceIndex(corpus)
+        info = store.publish(
+            index,
+            np.arange(20),
+            next_row_id=20,
+            reason="initial",
+        )
+        assert store.exists()
+        active = store.active()
+        assert active.generation_id == info.generation_id == 0
+        assert active.kind == "bruteforce"
+        assert active.n_points == 20
+        assert active.next_row_id == 20
+        assert active.reason == "initial"
+        np.testing.assert_array_equal(active.load_ids(), np.arange(20))
+
+    def test_second_publish_repoints_active(self, store, corpus):
+        store.publish(
+            BruteForceIndex(corpus), np.arange(20), next_row_id=20
+        )
+        store.publish(
+            BruteForceIndex(corpus[:10]),
+            np.arange(0, 20, 2),
+            next_row_id=25,
+            reason="size",
+        )
+        active = store.active()
+        assert active.generation_id == 1
+        assert active.reason == "size"
+        assert active.next_row_id == 25
+        assert [g.generation_id for g in store.generations()] == [0, 1]
+
+    def test_sparse_ascending_ids_accepted(self, store, corpus):
+        ids = np.array([1, 4, 9, 16, 25])
+        info = store.publish(
+            BruteForceIndex(corpus[:5]), ids, next_row_id=26
+        )
+        np.testing.assert_array_equal(info.load_ids(), ids)
+
+    def test_non_ascending_ids_rejected(self, store, corpus):
+        with pytest.raises(GenerationError, match="strictly ascending"):
+            store.publish(
+                BruteForceIndex(corpus[:3]),
+                np.array([0, 2, 2]),
+                next_row_id=3,
+            )
+
+    def test_wrong_id_count_rejected(self, store, corpus):
+        with pytest.raises(GenerationError, match="one id per"):
+            store.publish(
+                BruteForceIndex(corpus[:3]),
+                np.arange(4),
+                next_row_id=4,
+            )
+
+    def test_stale_next_row_id_rejected(self, store, corpus):
+        with pytest.raises(GenerationError, match="next_row_id"):
+            store.publish(
+                BruteForceIndex(corpus[:3]),
+                np.arange(3),
+                next_row_id=2,
+            )
+
+    def test_snapshot_loads_with_declared_kind(self, store, corpus):
+        store.publish(
+            KdTreeIndex(corpus, leaf_size=4),
+            np.arange(20),
+            next_row_id=20,
+        )
+        active = store.active()
+        assert active.kind == "kdtree"
+        loaded = KdTreeIndex.load(active.snapshot_path)
+        result = loaded.query(corpus[0], 1)
+        assert result.neighbors[0].index == 0
+
+
+class TestManifestRobustness:
+    def test_missing_manifest(self, store):
+        assert not store.exists()
+        with pytest.raises(GenerationError, match="not a readable"):
+            store.active()
+
+    def test_corrupt_manifest(self, store, corpus):
+        store.publish(
+            BruteForceIndex(corpus), np.arange(20), next_row_id=20
+        )
+        with open(store.manifest_path, "w") as handle:
+            handle.write("{ not json")
+        with pytest.raises(GenerationError, match="not a readable"):
+            store.generations()
+
+    def test_foreign_schema(self, store, corpus):
+        store.publish(
+            BruteForceIndex(corpus), np.arange(20), next_row_id=20
+        )
+        with open(store.manifest_path) as handle:
+            raw = json.load(handle)
+        raw["schema"] = "something-else/v9"
+        with open(store.manifest_path, "w") as handle:
+            json.dump(raw, handle)
+        with pytest.raises(GenerationError, match="schema"):
+            store.active()
+
+    def test_manifest_schema_field(self, store, corpus):
+        store.publish(
+            BruteForceIndex(corpus), np.arange(20), next_row_id=20
+        )
+        with open(store.manifest_path) as handle:
+            raw = json.load(handle)
+        assert raw["schema"] == GENERATION_MANIFEST_SCHEMA
+        assert raw["active"] == 0
+
+    def test_dangling_active_pointer(self, store, corpus):
+        store.publish(
+            BruteForceIndex(corpus), np.arange(20), next_row_id=20
+        )
+        with open(store.manifest_path) as handle:
+            raw = json.load(handle)
+        raw["active"] = 7
+        with open(store.manifest_path, "w") as handle:
+            json.dump(raw, handle)
+        with pytest.raises(GenerationError, match="active"):
+            store.active()
+
+
+class TestPrune:
+    def _publish_n(self, store, corpus, n):
+        for i in range(n):
+            store.publish(
+                BruteForceIndex(corpus),
+                np.arange(20),
+                next_row_id=20 + i,
+            )
+
+    def test_keeps_newest(self, store, corpus):
+        self._publish_n(store, corpus, 4)
+        dropped = store.prune(keep=2)
+        assert dropped == (0, 1)
+        assert [g.generation_id for g in store.generations()] == [2, 3]
+        assert store.active().generation_id == 3
+        assert not os.path.exists(
+            os.path.join(store.root, "gen-000000")
+        )
+
+    def test_active_always_survives(self, store, corpus):
+        self._publish_n(store, corpus, 3)
+        # Repoint active at the oldest generation by hand, then prune.
+        with open(store.manifest_path) as handle:
+            raw = json.load(handle)
+        raw["active"] = 0
+        with open(store.manifest_path, "w") as handle:
+            json.dump(raw, handle)
+        store.prune(keep=1)
+        remaining = [g.generation_id for g in store.generations()]
+        assert 0 in remaining
+        assert store.active().generation_id == 0
+
+    def test_orphan_directories_swept(self, store, corpus):
+        self._publish_n(store, corpus, 2)
+        orphan = os.path.join(store.root, "gen-000099")
+        os.makedirs(orphan)
+        store.prune(keep=2)
+        assert not os.path.exists(orphan)
+
+    def test_keep_must_be_positive(self, store, corpus):
+        self._publish_n(store, corpus, 1)
+        with pytest.raises(ValueError, match="keep"):
+            store.prune(keep=0)

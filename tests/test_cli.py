@@ -155,6 +155,50 @@ class TestServeBenchCommand:
             main(["serve-bench", "--workers", "-1", "--n", "50"])
 
 
+class TestServeBenchMutateCommand:
+    def test_mutate_smoke(self, capsys):
+        assert main(
+            [
+                "serve-bench", "--mutate", "--index", "kdtree",
+                "--n", "60", "--dims", "4", "--queries", "8", "--k", "3",
+                "--mutate-ops", "40", "--compact-every", "20",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mutable serving" in out
+        assert "bit-identical to fresh rebuild" in out
+        assert "yes" in out
+
+    def test_mutate_rejects_non_exact_kind(self):
+        with pytest.raises(SystemExit, match="cannot serve mutations"):
+            main(
+                [
+                    "serve-bench", "--mutate", "--index", "lsh",
+                    "--n", "60", "--dims", "4",
+                ]
+            )
+
+    def test_registry_derived_flags_keep_kind_rejection(self):
+        # The serve-bench parser derives its index flags from the
+        # registry specs; a wrong-kind flag still fails loudly.
+        with pytest.raises(SystemExit, match="n-probes"):
+            main(
+                [
+                    "serve-bench", "--mutate", "--index", "kdtree",
+                    "--n", "60", "--dims", "4", "--n-probes", "3",
+                ]
+            )
+
+    def test_registry_choices_enforced_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "serve-bench", "--index", "vafile", "--n", "60",
+                    "--bit-allocation", "nonsense",
+                ]
+            )
+
+
 class TestIndexBuildCommand:
     def test_projscreen_with_kind_alias(self, tmp_path, capsys):
         out_path = tmp_path / "proj.npz"
