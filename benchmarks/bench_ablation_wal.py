@@ -1,0 +1,211 @@
+"""Ablation — write-ahead-log durability: fsync cost and replay speed.
+
+The WAL (:mod:`repro.serve.wal`) prices durability with one knob:
+``wal_sync="always"`` fsyncs every acknowledged op, ``"group"``
+amortizes the fsync over a batch, ``"off"`` leaves flushing to the OS.
+This bench measures the two costs of that knob:
+
+* **mutation throughput vs sync policy** — the same seeded insert/
+  delete stream against a :class:`MutableIndexServer` under each
+  policy, reported as ops/second plus the fsync count actually paid;
+* **replay time vs log length** — servers shut down with progressively
+  longer un-compacted logs, then resumed; the resume wall-clock prices
+  recovery, and every resumed server's answers are asserted
+  bit-identical to the pre-shutdown server (the replay-identity
+  guarantee, checked on every run at every scale).
+
+Results land in ``benchmarks/results/BENCH_wal.json`` (schema
+``bench_wal/v1``) plus a human-readable report.  Set
+``REPRO_BENCH_WAL_SCALE=smoke`` for the tiny CI configuration.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+import _experiments as exp
+from repro.evaluation.reporting import format_table
+from repro.serve.mutation import MutableIndexServer
+from repro.serve.wal import SYNC_POLICIES
+
+_SMOKE = os.environ.get("REPRO_BENCH_WAL_SCALE", "").lower() == "smoke"
+_K = 3
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_JSON_NAME = "BENCH_wal.json"
+
+if _SMOKE:
+    _N, _D = 120, 8
+    _N_PROBES = 6
+    _THROUGHPUT_OPS = 150
+    _REPLAY_LENGTHS = [40, 120]
+else:
+    _N, _D = 2_000, 16
+    _N_PROBES = 24
+    _THROUGHPUT_OPS = 2_000
+    _REPLAY_LENGTHS = [250, 1_000, 4_000]
+
+
+def _drive(server, rng, n_ops):
+    """A seeded insert-heavy stream; returns live ids for reuse."""
+    live = list(range(server.n_live))
+    for _ in range(n_ops):
+        if rng.random() < 0.7 or len(live) <= _K + 1:
+            live.append(server.insert(rng.standard_normal(_D)))
+        else:
+            server.delete(live.pop(int(rng.integers(len(live)))))
+    return live
+
+
+def _answers(server, probes):
+    return [
+        tuple(
+            (n.index, n.distance)
+            for n in server.query(probe, _K).neighbors
+        )
+        for probe in probes
+    ]
+
+
+def _run():
+    rng = np.random.default_rng(exp.SEED)
+    corpus = rng.standard_normal((_N, _D))
+    probes = rng.standard_normal((_N_PROBES, _D))
+    throughput = []
+    replay = []
+    with tempfile.TemporaryDirectory() as workdir:
+        for policy in SYNC_POLICIES:
+            root = os.path.join(workdir, f"tp-{policy}")
+            with MutableIndexServer(
+                root, corpus, kind="bruteforce", wal_sync=policy
+            ) as server:
+                stream = np.random.default_rng(exp.SEED + 1)
+                started = time.perf_counter()
+                _drive(server, stream, _THROUGHPUT_OPS)
+                seconds = time.perf_counter() - started
+                throughput.append(
+                    {
+                        "sync_policy": policy,
+                        "n_ops": _THROUGHPUT_OPS,
+                        "seconds": seconds,
+                        "ops_per_second": (
+                            _THROUGHPUT_OPS / seconds if seconds else 0.0
+                        ),
+                        "wal_appends": server.wal_appends,
+                        "wal_syncs": server.wal_syncs,
+                    }
+                )
+        for length in _REPLAY_LENGTHS:
+            root = os.path.join(workdir, f"replay-{length}")
+            with MutableIndexServer(
+                root, corpus, kind="bruteforce", wal_sync="off"
+            ) as server:
+                stream = np.random.default_rng(exp.SEED + 2)
+                _drive(server, stream, length)
+                want = _answers(server, probes)
+                n_live = server.n_live
+            started = time.perf_counter()
+            resumed = MutableIndexServer(root, kind="bruteforce")
+            replay_seconds = time.perf_counter() - started
+            with resumed:
+                identical = (
+                    resumed.n_live == n_live
+                    and _answers(resumed, probes) == want
+                )
+            replay.append(
+                {
+                    "log_ops": length,
+                    "replay_seconds": replay_seconds,
+                    "ops_per_second": (
+                        length / replay_seconds if replay_seconds else 0.0
+                    ),
+                    "identical": identical,
+                }
+            )
+    return {"throughput": throughput, "replay": replay}
+
+
+def _emit_json(results):
+    payload = {
+        "schema": "bench_wal/v1",
+        "config": {
+            "scale": "smoke" if _SMOKE else "full",
+            "corpus_size": _N,
+            "dims": _D,
+            "n_probes": _N_PROBES,
+            "k": _K,
+            "throughput_ops": _THROUGHPUT_OPS,
+            "replay_lengths": _REPLAY_LENGTHS,
+            "seed": exp.SEED,
+        },
+        "throughput": results["throughput"],
+        "replay": results["replay"],
+    }
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(_RESULTS_DIR, _JSON_NAME), "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def test_ablation_wal(benchmark, capsys):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    _emit_json(results)
+
+    throughput_table = format_table(
+        ["sync policy", "ops", "seconds", "ops/s", "fsyncs"],
+        [
+            (
+                row["sync_policy"],
+                row["n_ops"],
+                f"{row['seconds']:.3f}",
+                f"{row['ops_per_second']:.0f}",
+                row["wal_syncs"],
+            )
+            for row in results["throughput"]
+        ],
+        title=(
+            "Mutation throughput vs WAL sync policy "
+            f"({_N:,} x {_D} corpus, {_THROUGHPUT_OPS} ops)"
+        ),
+    )
+    replay_table = format_table(
+        ["log ops", "replay s", "ops/s", "bit-identical"],
+        [
+            (
+                row["log_ops"],
+                f"{row['replay_seconds']:.3f}",
+                f"{row['ops_per_second']:.0f}",
+                "yes" if row["identical"] else "NO",
+            )
+            for row in results["replay"]
+        ],
+        title="Resume (replay) time vs log length",
+    )
+    exp.emit(
+        throughput_table + "\n\n" + replay_table, "ablation_wal", capsys
+    )
+
+    # Invariants that hold on EVERY run at EVERY scale.
+    policies = [row["sync_policy"] for row in results["throughput"]]
+    assert sorted(policies) == sorted(SYNC_POLICIES)
+    for row in results["throughput"]:
+        assert row["ops_per_second"] > 0
+        assert row["wal_appends"] == row["n_ops"]
+    always = next(
+        r for r in results["throughput"] if r["sync_policy"] == "always"
+    )
+    off = next(
+        r for r in results["throughput"] if r["sync_policy"] == "off"
+    )
+    # "always" pays at least one fsync per op; "off" pays none on the
+    # append path (only the clean close syncs).
+    assert always["wal_syncs"] >= always["n_ops"]
+    assert off["wal_syncs"] <= 1
+    assert results["replay"], "no replay runs recorded"
+    for row in results["replay"]:
+        assert row["identical"], (
+            f"resume after {row['log_ops']} logged ops answered "
+            "differently from the pre-shutdown server"
+        )

@@ -353,6 +353,7 @@ def _command_serve_bench_mutate(args) -> int:
             "error: --mutate measures the single mutable server; "
             "it does not combine with --shards/--replicas"
         )
+    wal_sync = args.wal_sync if args.wal_sync is not None else "always"
     rng = np.random.default_rng(args.seed)
     corpus = rng.standard_normal((args.n, args.dims))
     queries = rng.standard_normal((args.queries, args.dims))
@@ -372,6 +373,7 @@ def _command_serve_bench_mutate(args) -> int:
                 drift_threshold=args.drift_threshold,
                 n_workers=args.workers,
                 deadline_ms=args.deadline_ms,
+                wal_sync=wal_sync,
                 seed=args.seed,
             )
     except (MutationError, ValueError) as error:
@@ -386,6 +388,7 @@ def _command_serve_bench_mutate(args) -> int:
          f"{comparison.n_compactions} ({comparison.n_drift_compactions})"),
         ("generations on disk", comparison.n_generations),
         ("queries in flight across swaps", comparison.swap_inflight_queries),
+        ("wal sync policy", comparison.wal_sync),
         ("query throughput", f"{comparison.query_qps:.0f} q/s"),
         ("bit-identical to fresh rebuild",
          "yes" if comparison.identical else "NO"),
@@ -408,6 +411,8 @@ def _command_serve_bench(args) -> int:
 
     if args.mutate:
         return _command_serve_bench_mutate(args)
+    if args.wal_sync is not None:
+        raise SystemExit("error: --wal-sync requires --mutate")
     if args.workers < 0:
         raise SystemExit(
             f"error: --workers must be non-negative, got {args.workers}"
@@ -736,6 +741,13 @@ def build_parser() -> argparse.ArgumentParser:
                              help="captured-energy ratio that triggers a "
                                   "drift re-reduction rebuild (projscreen "
                                   "only; default: off)")
+    serve_bench.add_argument("--wal-sync", default=None,
+                             choices=["always", "group", "off"],
+                             help="write-ahead-log fsync policy for the "
+                                  "mutation trace: always = fsync every "
+                                  "op (no acked op ever lost), group = "
+                                  "group commit, off = OS-paced "
+                                  "(default: always; requires --mutate)")
     _add_index_arguments(serve_bench)
     serve_bench.add_argument("--seed", type=int, default=0)
     serve_bench.set_defaults(handler=_command_serve_bench)

@@ -311,17 +311,48 @@ def load_index(path: str, *, mmap_points: bool = False):
 # (distance, lower local index) tie-break coincides with the
 # (distance, lower global id) tie-break the delta merge uses.
 #
-# Publishing is atomic: the generation directory is fully written first,
-# then the manifest is rewritten via tempfile + ``os.replace``.  A crash
-# mid-publish leaves at worst an orphaned gen directory that the next
-# ``prune`` sweep removes; the manifest never names a half-written
-# generation.
+# Each generation also names a write-ahead log (``wal.log``, written by
+# :mod:`repro.serve.wal`) that records the mutations not yet folded
+# into a snapshot; the log rotates with the generation, so pruning a
+# generation directory sweeps its satisfied log with it.
+#
+# Publishing is atomic AND durable: the generation directory is fully
+# written and fsync'd first, then the manifest is rewritten via
+# tempfile + fsync + ``os.replace`` + directory fsync.  A crash
+# mid-publish leaves at worst an orphaned gen directory or a stale
+# ``generations.json*.tmp`` file that the next ``prune`` sweep removes;
+# the manifest never names a half-written generation.  ``publish`` is
+# split into ``prepare`` (write + fsync the directory, manifest
+# untouched) and ``commit`` (repoint the manifest) so mutable serving
+# can seed the new generation's write-ahead log *between* the two —
+# the manifest repoint is the single commit point, and whichever side
+# of it a crash lands on, exactly one generation's (snapshot + log)
+# pair reconstructs the acknowledged state.
 # --------------------------------------------------------------------------
 
 GENERATION_MANIFEST_SCHEMA = "repro-generation-manifest/v1"
 GENERATION_MANIFEST_NAME = "generations.json"
 _GENERATION_SNAPSHOT = "index.npz"
 _GENERATION_ROW_IDS = "row_ids.npy"
+_GENERATION_WAL = "wal.log"
+
+
+def _fsync_file(path: str) -> None:
+    """fsync one file's contents to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync a directory so its entries survive power loss."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class GenerationError(ValueError):
@@ -337,6 +368,9 @@ class GenerationInfo:
         directory: the generation's directory.
         snapshot_path: the index snapshot inside it.
         ids_path: the global-row-id sidecar inside it.
+        wal_path: the generation's write-ahead log inside it (the file
+            may not exist yet — a generation with no logged mutations
+            is legal, and pre-WAL stores never wrote one).
         kind: index kind of the snapshot.
         n_points: rows in the snapshot.
         next_row_id: first global row id not yet allocated when this
@@ -350,6 +384,7 @@ class GenerationInfo:
     directory: str
     snapshot_path: str
     ids_path: str
+    wal_path: str
     kind: str
     n_points: int
     next_row_id: int
@@ -409,7 +444,14 @@ class GenerationStore:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle, indent=2)
                 handle.write("\n")
+                # Atomic is not durable: without fsync the rename can
+                # hit disk before the tmp file's *contents*, and a
+                # power loss would replay into a manifest full of
+                # zeros.  Sync the data, then the rename itself.
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_path, self.manifest_path)
+            _fsync_dir(self.root)
         except BaseException:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
@@ -422,6 +464,11 @@ class GenerationStore:
             directory=directory,
             snapshot_path=os.path.join(directory, _GENERATION_SNAPSHOT),
             ids_path=os.path.join(directory, _GENERATION_ROW_IDS),
+            # Pre-WAL manifests carry no "wal" key; the conventional
+            # name still resolves (to a file that simply is not there).
+            wal_path=os.path.join(
+                directory, str(entry.get("wal", _GENERATION_WAL))
+            ),
             kind=str(entry["kind"]),
             n_points=int(entry["n_points"]),
             next_row_id=int(entry["next_row_id"]),
@@ -452,7 +499,7 @@ class GenerationStore:
             "in the manifest"
         )
 
-    def publish(
+    def prepare(
         self,
         index,
         row_ids,
@@ -460,7 +507,15 @@ class GenerationStore:
         next_row_id: int,
         reason: str = "manual",
     ) -> GenerationInfo:
-        """Write ``index`` (+ id sidecar) as a new active generation.
+        """Write a new generation's directory without activating it.
+
+        The snapshot, id sidecar, and directory entry are durably on
+        disk when this returns, but the manifest still names the old
+        generation — a crash here leaves only an orphan directory for
+        :meth:`prune` to sweep.  The caller may add files to the
+        directory (mutable serving seeds the write-ahead log at
+        ``wal_path``) before :meth:`commit` makes the generation
+        active.
 
         ``row_ids[i]`` is the global id of the snapshot's local row
         ``i``; ids must be strictly ascending so local-index tie-breaks
@@ -485,21 +540,27 @@ class GenerationStore:
             )
         os.makedirs(self.root, exist_ok=True)
         if self.exists():
-            raw = self._read_manifest()
-            entries = list(raw["generations"])
+            entries = list(self._read_manifest()["generations"])
             generation_id = (
                 max(int(entry["id"]) for entry in entries) + 1
                 if entries
                 else 0
             )
         else:
-            entries = []
             generation_id = 0
         directory = os.path.join(self.root, f"gen-{generation_id:06d}")
         os.makedirs(directory, exist_ok=True)
-        index.save(os.path.join(directory, _GENERATION_SNAPSHOT))
-        np.save(os.path.join(directory, _GENERATION_ROW_IDS), ids)
-        entries.append(
+        snapshot_path = os.path.join(directory, _GENERATION_SNAPSHOT)
+        ids_path = os.path.join(directory, _GENERATION_ROW_IDS)
+        index.save(snapshot_path)
+        np.save(ids_path, ids)
+        # The manifest repoint in commit() is only an atomic cutover if
+        # everything it will name is already durable.
+        _fsync_file(snapshot_path)
+        _fsync_file(ids_path)
+        _fsync_dir(directory)
+        _fsync_dir(self.root)
+        return self._info(
             {
                 "id": generation_id,
                 "dir": os.path.basename(directory),
@@ -509,21 +570,75 @@ class GenerationStore:
                 "reason": reason,
             }
         )
+
+    def commit(self, info: GenerationInfo) -> GenerationInfo:
+        """Activate a generation written by :meth:`prepare`.
+
+        Appends the manifest entry and atomically repoints ``active``
+        at it — the single commit point of a compaction.
+        """
+        if not os.path.exists(info.snapshot_path):
+            raise GenerationError(
+                f"{info.directory}: cannot commit a generation whose "
+                "snapshot was never prepared"
+            )
+        entries = (
+            list(self._read_manifest()["generations"])
+            if self.exists()
+            else []
+        )
+        if any(int(entry["id"]) >= info.generation_id for entry in entries):
+            raise GenerationError(
+                f"generation {info.generation_id} is stale: a newer "
+                "generation was published after it was prepared"
+            )
+        entries.append(
+            {
+                "id": info.generation_id,
+                "dir": os.path.basename(info.directory),
+                "kind": info.kind,
+                "n_points": info.n_points,
+                "next_row_id": info.next_row_id,
+                "reason": info.reason,
+                "wal": os.path.basename(info.wal_path),
+            }
+        )
         self._write_manifest(
             {
                 "schema": GENERATION_MANIFEST_SCHEMA,
-                "active": generation_id,
+                "active": info.generation_id,
                 "generations": entries,
             }
         )
         return self._info(entries[-1])
 
+    def publish(
+        self,
+        index,
+        row_ids,
+        *,
+        next_row_id: int,
+        reason: str = "manual",
+    ) -> GenerationInfo:
+        """Write ``index`` (+ id sidecar) as a new active generation.
+
+        :meth:`prepare` then :meth:`commit` in one step, for callers
+        with nothing to seed between the directory write and the
+        manifest repoint.
+        """
+        return self.commit(
+            self.prepare(
+                index, row_ids, next_row_id=next_row_id, reason=reason
+            )
+        )
+
     def prune(self, keep: int = 2) -> tuple[int, ...]:
         """Drop all but the newest ``keep`` generations; returns dropped ids.
 
         Orphaned ``gen-*`` directories (from a crash between directory
-        write and manifest publish) are deleted too.  The active
-        generation is always kept.
+        write and manifest publish) and stale ``generations.json*.tmp``
+        files (from a crash mid-manifest-write) are deleted too.  The
+        active generation is always kept.
         """
         if keep < 1:
             raise ValueError(f"keep must be positive, got {keep}")
@@ -560,4 +675,13 @@ class GenerationStore:
                 and name not in named
             ):
                 shutil.rmtree(path)
+            elif (
+                name.startswith(GENERATION_MANIFEST_NAME)
+                and name.endswith(".tmp")
+                and os.path.isfile(path)
+            ):
+                # A crash between mkstemp and os.replace strands the
+                # manifest's tmp file; it is never the live manifest
+                # (os.replace consumed it if the write succeeded).
+                os.unlink(path)
         return dropped

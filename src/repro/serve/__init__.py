@@ -35,6 +35,13 @@ stack that realizes the claim for single-query traffic:
   in-memory memtable merged exactly with the base answer, a background
   compactor that publishes new generations, and a zero-downtime hot
   swap whose in-flight queries are never dropped or mis-answered.
+* :mod:`repro.serve.wal` — the per-generation write-ahead log
+  (:class:`WalWriter`, :func:`read_wal`, :class:`WalError`) that makes
+  the memtable crash-durable: checksummed append-before-acknowledge
+  records, a ``sync_policy`` knob pricing fsync explicitly, atomic
+  rotation at every compaction, and replay on resume that rebuilds the
+  server bit-identically — torn tails truncated, mid-stream corruption
+  refused loudly.
 * :mod:`repro.serve.errors` — the typed failure taxonomy
   (:class:`DeadlineExceeded`, :class:`ServerOverloaded`,
   :class:`ServerClosedError`, :class:`WorkerError`, and
@@ -80,6 +87,13 @@ from repro.serve.mutation import MutableIndexServer, MutationError
 from repro.serve.pool import WorkerError, WorkerPool
 from repro.serve.server import IndexServer
 from repro.serve.stats import LatencyReservoir, ServingReport, ServingStats
+from repro.serve.wal import (
+    SYNC_POLICIES,
+    WalError,
+    WalReplay,
+    WalWriter,
+    read_wal,
+)
 
 __all__ = [
     "BatchPolicy",
@@ -107,6 +121,11 @@ __all__ = [
     "ServingStats",
     "ShardError",
     "snapshot_fingerprint",
+    "SYNC_POLICIES",
+    "read_wal",
+    "WalError",
+    "WalReplay",
+    "WalWriter",
     "WorkerError",
     "WorkerPool",
 ]

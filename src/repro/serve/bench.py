@@ -207,6 +207,7 @@ class MutationComparison:
     n_drift_compactions: int
     n_generations: int
     swap_inflight_queries: int
+    wal_sync: str
     identical: bool
     mutate_seconds: float
     query_seconds: float
@@ -230,6 +231,7 @@ def compare_mutable_serving(
     swap_inflight_queries: int = 8,
     n_workers: int = 0,
     deadline_ms: float | None = None,
+    wal_sync: str = "always",
     seed: int = 0,
 ) -> MutationComparison:
     """Drive an insert/delete/query trace and check rebuild identity.
@@ -245,6 +247,8 @@ def compare_mutable_serving(
     traffic.  With ``drift_threshold`` set (projscreen), inserts are
     drawn scaled by ``drift_scale`` so the live distribution rotates
     away from the frozen basis and drift compactions fire.
+    ``wal_sync`` picks the write-ahead-log fsync policy the mutations
+    pay for (``mutate_seconds`` prices it).
     """
     import threading
 
@@ -270,6 +274,7 @@ def compare_mutable_serving(
         n_workers=n_workers,
         drift_threshold=drift_threshold,
         default_deadline_ms=deadline_ms,
+        wal_sync=wal_sync,
     )
     live: list[int] = list(range(array.shape[0]))
     with server:
@@ -348,6 +353,7 @@ def compare_mutable_serving(
             n_drift_compactions=server.n_drift_compactions,
             n_generations=len(generations),
             swap_inflight_queries=n_checked_swap,
+            wal_sync=wal_sync,
             identical=identical,
             mutate_seconds=mutate_seconds,
             query_seconds=query_seconds,

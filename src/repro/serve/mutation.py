@@ -57,10 +57,19 @@ of the live rows alone, which is what makes base + delta merge equal a
 fresh rebuild.  LSH (approximate probing) and IGrid (corpus-derived
 scoring) are refused at construction.
 
-The memtable is volatile: rows not yet compacted do not survive a
-process restart (``compact()`` before shutdown to persist them).  The
-generation manifest records ``next_row_id``, so a restarted server
-continues the global id sequence without reuse.
+The memtable is durable: every insert/delete is appended to the active
+generation's **write-ahead log** (:mod:`repro.serve.wal`) *before* it
+is acknowledged, fsync'd per the ``wal_sync`` policy (``"always"`` —
+an acked op can never be lost; ``"group"`` / ``"off"`` trade bounded
+loss windows for throughput).  On resume the server replays the log —
+tolerating a torn tail, refusing mid-stream corruption — and
+reconstructs memtable, tombstones, ``next_row_id``, and drift moments
+in append order, so the resumed server answers bit-identically to one
+that never crashed.  Each compaction rotates the log: the new
+generation's WAL is seeded with the surviving memtable state *before*
+the manifest repoint (the single commit point), so no crash window
+loses acknowledged ops, and superseded logs die with their pruned
+generation directories.
 """
 
 from __future__ import annotations
@@ -90,6 +99,7 @@ from repro.search.snapshot import (
 from repro.serve.batcher import BatchPolicy
 from repro.serve.errors import ServerClosedError
 from repro.serve.server import IndexServer
+from repro.serve.wal import SYNC_POLICIES, WalError, WalWriter, read_wal
 
 COMPACTION_REASONS = ("initial", "size", "drift", "manual")
 
@@ -159,6 +169,15 @@ class MutableIndexServer:
             compaction is triggered (projscreen only); ``None``
             disables drift monitoring.
         keep_generations: generations retained after each compaction.
+        wal_sync: write-ahead-log fsync policy, one of
+            :data:`~repro.serve.wal.SYNC_POLICIES` — ``"always"``
+            fsyncs every append (an acknowledged op survives any
+            crash), ``"group"`` fsyncs every ``wal_group_ops`` appends
+            or ``wal_group_interval_ms`` milliseconds (bounded loss
+            window), ``"off"`` leaves flushing to the OS.  A clean
+            :meth:`close` syncs under every policy.
+        wal_group_ops / wal_group_interval_ms: the ``"group"``
+            commit thresholds.
     """
 
     def __init__(
@@ -178,7 +197,15 @@ class MutableIndexServer:
         compact_threshold: int | None = None,
         drift_threshold: float | None = None,
         keep_generations: int = 2,
+        wal_sync: str = "always",
+        wal_group_ops: int = 64,
+        wal_group_interval_ms: float = 50.0,
     ) -> None:
+        if wal_sync not in SYNC_POLICIES:
+            raise ValueError(
+                f"wal_sync must be one of {SYNC_POLICIES}, "
+                f"got {wal_sync!r}"
+            )
         spec = index_spec(kind)
         if not spec.exact:
             raise MutationError(
@@ -214,9 +241,15 @@ class MutableIndexServer:
         self._compact_threshold = compact_threshold
         self._drift_threshold = drift_threshold
         self._keep_generations = keep_generations
+        self._wal_options = {
+            "sync_policy": wal_sync,
+            "group_ops": wal_group_ops,
+            "group_interval_ms": wal_group_interval_ms,
+        }
         self._store = GenerationStore(root)
 
-        if self._store.exists():
+        resuming = self._store.exists()
+        if resuming:
             if points is not None:
                 raise MutationError(
                     f"{root}: generation store already initialized; "
@@ -274,6 +307,37 @@ class MutableIndexServer:
             self._moments.update(np.asarray(self._view.points))
             self._arm_drift_monitor()
 
+        # Recover, then open the log for appends.  Replay runs before
+        # the compactor thread exists, so it owns all state; the writer
+        # truncates the recovered torn tail (if any) so the log is
+        # well-formed before the first new append lands after it.
+        replay = None
+        if resuming:
+            try:
+                replay = read_wal(info.wal_path)
+            except FileNotFoundError:
+                # A pre-WAL generation never wrote a log; its memtable
+                # was declared volatile, so there is nothing to replay.
+                replay = None
+        try:
+            self._wal = WalWriter(
+                info.wal_path,
+                truncate_to=(
+                    replay.valid_bytes if replay is not None else None
+                ),
+                **self._wal_options,
+            )
+        except BaseException:
+            self._view.server.close()
+            raise
+        if replay is not None and replay.ops:
+            try:
+                self._replay(replay.ops)
+            except BaseException:
+                self._wal.close()
+                self._view.server.close()
+                raise
+
         # One compaction at a time; manual compact() and the background
         # compactor serialize here.
         self._compact_lock = threading.Lock()
@@ -286,6 +350,10 @@ class MutableIndexServer:
                 daemon=True,
             )
             self._compactor.start()
+            # A replayed memtable may already be over a trigger; fire
+            # the compactor immediately rather than on the next op.
+            with self._lock:
+                self._check_triggers_locked()
 
     # -- introspection -------------------------------------------------
 
@@ -316,6 +384,29 @@ class MutableIndexServer:
             return len(self._memtable) + len(self._tombstones)
 
     @property
+    def next_row_id(self) -> int:
+        """The id the next coordinator-less insert would be assigned."""
+        with self._lock:
+            return self._next_row_id
+
+    @property
+    def wal_sync(self) -> str:
+        """The write-ahead log's fsync policy."""
+        return self._wal_options["sync_policy"]
+
+    @property
+    def wal_appends(self) -> int:
+        """Records appended to the *current* generation's log."""
+        with self._lock:
+            return self._wal.n_appends
+
+    @property
+    def wal_syncs(self) -> int:
+        """fsyncs issued by the *current* generation's log."""
+        with self._lock:
+            return self._wal.n_syncs
+
+    @property
     def store(self) -> GenerationStore:
         return self._store
 
@@ -343,6 +434,10 @@ class MutableIndexServer:
                     f"row_id {row_id} is not fresh: ids below "
                     f"{self._next_row_id} were already allocated"
                 )
+            # Log before touching any state: an op is acknowledged only
+            # once it is durable per the sync policy, and a failed
+            # append leaves the server exactly as it was.
+            self._wal.append_insert(row_id, row)
             self._next_row_id = row_id + 1
             self._memtable[row_id] = row
             self._n_live += 1
@@ -371,6 +466,8 @@ class MutableIndexServer:
                 row = np.asarray(
                     self._view.points[local], dtype=np.float64
                 )
+            # Log before touching any state (see insert).
+            self._wal.append_delete(row_id)
             # The row is tombstoned, not evicted: an in-flight
             # compaction may already have cut this memtable entry into
             # the next base, where only the tombstone can mask it.
@@ -402,8 +499,15 @@ class MutableIndexServer:
         finally:
             self._release(view)
 
-    def query_batch(self, queries, k: int = 1) -> BatchKnnResult:
-        """Row-wise :meth:`query` through one explicit base batch."""
+    def query_batch(
+        self, queries, k: int = 1, *, deadline_ms: float | None = None
+    ) -> BatchKnnResult:
+        """Row-wise :meth:`query` through one explicit base batch.
+
+        ``deadline_ms`` carries the same contract as :meth:`query` —
+        it bounds the whole batch and is propagated to the base
+        server's explicit-batch submission.
+        """
         array = validate_queries(queries, self.dimensionality)
         with self._lock:
             self._require_open()
@@ -416,7 +520,9 @@ class MutableIndexServer:
         try:
             base_batch = None
             if k_base > 0 and array.shape[0] > 0:
-                base_batch = view.server.query_batch(array, k_base)
+                base_batch = view.server.query_batch(
+                    array, k_base, deadline_ms=deadline_ms
+                )
             results = tuple(
                 self._merge(
                     base_batch.results[row] if base_batch is not None
@@ -495,40 +601,84 @@ class MutableIndexServer:
             index = build_index(
                 self._kind, live_rows, **self._index_kwargs
             )
-            info = self._store.publish(
+            # prepare/commit straddle the WAL rotation: the new
+            # generation's directory (snapshot, ids) goes durably to
+            # disk first, its log is seeded with the surviving memtable
+            # state, and only then does commit repoint the manifest —
+            # the single commit point.  A crash anywhere before it
+            # resumes from the old generation + old log (nothing lost);
+            # a crash after it resumes from the new pair.
+            pending = self._store.prepare(
                 index, live_ids, next_row_id=next_row_id, reason=reason
             )
-            new_view = self._open_view(info)
+            new_view = self._open_view(pending)
             base_set = set(int(gid) for gid in live_ids)
+            cut_set = set(cut_ids)
 
-            with self._lock:
-                self._view = new_view
-                for gid in cut_ids:
-                    self._memtable.pop(gid, None)
-                # Tombstones of rows that were compacted away are
-                # satisfied (the row is simply absent from the new
-                # base); tombstones of rows that made the cut *after*
-                # capture — deleted mid-build — must survive to mask
-                # them in the new base.
-                self._tombstones = {
-                    gid
-                    for gid in self._tombstones
-                    if gid in base_set or gid in self._memtable
-                }
-                self._delta_dirty = True
-                self._drift_pending = False
-                if self._moments is not None:
-                    # The moments track the live rowset, which a
-                    # compaction does not change — only the monitor's
-                    # frozen basis and reference covariance re-anchor.
-                    self._arm_drift_monitor()
-                self.n_compactions += 1
-                if reason == "drift":
-                    self.n_drift_compactions += 1
-                old_view.retired = True
-                drained = old_view.refs == 0
+            new_wal = None
+            try:
+                with self._lock:
+                    # Rotation is atomic with mutations: an op logged
+                    # after the survivor capture but before the swap
+                    # would land only in the superseded log and vanish.
+                    # Survivors (inserted during the build) are carried
+                    # over in memtable insertion order — replay rebuilds
+                    # the dict in the same order, which the delta scan's
+                    # stable-sort tie-break depends on.
+                    survivors = {
+                        gid: row
+                        for gid, row in self._memtable.items()
+                        if gid not in cut_set
+                    }
+                    # Tombstones of rows that were compacted away are
+                    # satisfied (the row is simply absent from the new
+                    # base); tombstones of rows that made the cut
+                    # *after* capture — deleted mid-build — must
+                    # survive to mask them in the new base.
+                    new_tombs = {
+                        gid
+                        for gid in self._tombstones
+                        if gid in base_set or gid in survivors
+                    }
+                    new_wal = WalWriter(
+                        pending.wal_path, **self._wal_options
+                    )
+                    for gid, row in survivors.items():
+                        new_wal.append_insert(gid, row)
+                    for gid in sorted(new_tombs):
+                        new_wal.append_delete(gid)
+                    new_wal.sync()
+                    info = self._store.commit(pending)
+                    # -- commit point: adopt the new generation --
+                    self._view = new_view
+                    self._memtable = survivors
+                    self._tombstones = new_tombs
+                    old_wal, self._wal = self._wal, new_wal
+                    self._delta_dirty = True
+                    self._drift_pending = False
+                    if self._moments is not None:
+                        # The moments track the live rowset, which a
+                        # compaction does not change — only the
+                        # monitor's frozen basis and reference
+                        # covariance re-anchor.
+                        self._arm_drift_monitor()
+                    self.n_compactions += 1
+                    if reason == "drift":
+                        self.n_drift_compactions += 1
+                    old_view.retired = True
+                    drained = old_view.refs == 0
+            except BaseException:
+                # Nothing was adopted: in-memory state is untouched and
+                # the old log keeps every op.  The orphan generation
+                # directory (and its seeded log) is swept by the next
+                # successful prune.
+                if new_wal is not None:
+                    new_wal.close()
+                new_view.server.close()
+                raise
             if drained:
                 old_view.drained.set()
+            old_wal.close()
             # In-flight queries pinned to the old view finish against
             # it; only then is its server closed (batcher flush + pool
             # drain + reaper shutdown, in that order, so deadlines keep
@@ -543,8 +693,9 @@ class MutableIndexServer:
     def close(self) -> None:
         """Stop the compactor and the serving stack.
 
-        The memtable is volatile — call :meth:`compact` first to
-        persist un-compacted mutations.
+        The write-ahead log is synced and closed, so a clean shutdown
+        loses nothing under any ``wal_sync`` policy; a later resume
+        replays the log and continues bit-identically.
         """
         with self._lock:
             if self._closed:
@@ -556,6 +707,7 @@ class MutableIndexServer:
         # Serialize with any manual compaction still publishing.
         with self._compact_lock:
             self._view.server.close()
+            self._wal.close()
 
     def __enter__(self) -> "MutableIndexServer":
         return self
@@ -578,6 +730,66 @@ class MutableIndexServer:
             mmap_points=True,
         )["points"]
         return _View(info, server, points)
+
+    def _replay(self, ops) -> None:
+        """Apply a recovered log on top of the freshly opened base.
+
+        Mirrors :meth:`insert`/:meth:`delete` exactly — same
+        validation, same memtable insertion order (the delta scan's
+        stable-sort tie-break depends on it), same moments updates —
+        but never re-logs: every record is already durable.  A record
+        that contradicts the state built so far means the log is lying
+        about history, which is corruption, not a torn tail.
+
+        Raises:
+            WalError: a replayed op is semantically invalid (id reuse,
+                unknown or double delete, dimensionality mismatch).
+        """
+        path = self._view.info.wal_path
+        for op in ops:
+            if op[0] == "insert":
+                _, row_id, row = op
+                if row.size != self.dimensionality:
+                    raise WalError(
+                        f"{path}: replayed insert of row {row_id} has "
+                        f"{row.size} dims, generation serves "
+                        f"{self.dimensionality}"
+                    )
+                if row_id < self._next_row_id:
+                    raise WalError(
+                        f"{path}: replayed insert reuses row id "
+                        f"{row_id} (ids below {self._next_row_id} were "
+                        "already allocated)"
+                    )
+                self._next_row_id = row_id + 1
+                self._memtable[row_id] = row
+                self._n_live += 1
+                if self._moments is not None:
+                    self._moments.update(row)
+            else:
+                _, row_id = op
+                if row_id in self._tombstones:
+                    raise WalError(
+                        f"{path}: replayed delete of row {row_id} "
+                        "which an earlier record already deleted"
+                    )
+                if row_id in self._memtable:
+                    row = self._memtable[row_id]
+                else:
+                    local = self._view.local_of(row_id)
+                    if local < 0:
+                        raise WalError(
+                            f"{path}: replayed delete of unknown row "
+                            f"id {row_id}"
+                        )
+                    row = np.asarray(
+                        self._view.points[local], dtype=np.float64
+                    )
+                self._tombstones.add(row_id)
+                self._n_live -= 1
+                if self._moments is not None and self._moments.count > 0:
+                    self._moments.downdate(row)
+        self._delta_dirty = True
 
     def _arm_drift_monitor(self) -> None:
         """Freeze the drift monitor at the active generation's basis."""

@@ -310,22 +310,54 @@ class IndexServer:
         """Blocking single-query convenience around :meth:`submit`."""
         return self.submit(query, k=k, deadline_ms=deadline_ms).result()
 
-    def query_batch(self, queries, k: int = 1) -> BatchKnnResult:
+    def query_batch(
+        self, queries, k: int = 1, *, deadline_ms: float | None = None
+    ) -> BatchKnnResult:
         """One explicit batch, bypassing the micro-batcher.
 
         Callers that already hold a batch should not pay the coalescing
         wait; the batch goes to a worker (or the in-process index) as
         one ``query_batch`` call.  Recorded in the batch histogram but
         not in the single-request latency percentiles.  Explicit batches
-        also bypass admission control and deadlines.
+        bypass admission control, but honor the same deadline contract
+        as :meth:`query`: ``deadline_ms`` (falling back to
+        ``default_deadline_ms``) bounds the whole batch with
+        :class:`~repro.serve.errors.DeadlineExceeded`.  On the pooled
+        path the deadline can cut a hung worker loose mid-compute; the
+        in-process path cannot be preempted, so there it is enforced
+        on completion — a blown deadline raises rather than returning
+        an answer the caller declared too late to use.
         """
         self._require_open()
         array = validate_queries(queries, self.dimensionality)
         k = validate_k(k, self.n_points)
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be positive or None, got {deadline_ms}"
+            )
+        deadline = (
+            time.perf_counter() + deadline_ms / 1e3
+            if deadline_ms is not None
+            else None
+        )
         if self._pool is None or array.shape[0] == 0:
             batch = self._local.query_batch(array, k=k)
+            if deadline is not None and time.perf_counter() > deadline:
+                self._stats.record_deadline_exceeded()
+                raise DeadlineExceeded(
+                    f"explicit batch exceeded its {deadline_ms:g} ms "
+                    "deadline (in-process compute cannot be preempted)"
+                )
         else:
-            batch = self._pool.submit(array, k).result()
+            try:
+                batch = self._pool.submit(
+                    array, k, deadline=deadline
+                ).result()
+            except DeadlineExceeded:
+                self._stats.record_deadline_exceeded()
+                raise
         self._stats.record_batch(len(batch), batch.stats)
         return batch
 

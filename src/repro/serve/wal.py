@@ -1,0 +1,329 @@
+"""Write-ahead log for mutable serving: crash-safe memtable durability.
+
+:class:`~repro.serve.mutation.MutableIndexServer` keeps un-compacted
+mutations in memory; without a log, a crash between compactions would
+silently lose acknowledged inserts and deletes — exactly the
+approximate-state failure the serving stack's "fail loudly, never
+answer approximately" contract forbids.  This module closes that hole
+the way production LSM stores do:
+
+* every ``insert(row_id, vector)`` / ``delete(row_id)`` is appended to
+  the active generation's log **before** the mutation is acknowledged;
+* each record is length-framed and CRC32-checksummed, so replay can
+  tell a *torn tail* (a record the crash cut mid-write: silently
+  truncated, the op was never durable) from *mid-stream corruption*
+  (a damaged record with intact records after it: the log is lying
+  about history, replay refuses loudly with
+  :class:`~repro.search.snapshot.GenerationError`);
+* an ``fsync`` policy (:data:`SYNC_POLICIES`) prices durability
+  explicitly — ``"always"`` syncs every append (an acknowledged op can
+  never be lost), ``"group"`` syncs every N ops or T ms (bounded-loss
+  group commit), ``"off"`` leaves flushing to the OS (loss bounded
+  only by the page cache; a *clean* close still syncs under every
+  policy);
+* logs rotate with generations: a compaction starts the new
+  generation's log with the memtable state that survived the cut, so
+  the active log alone always reconstructs the memtable, and old logs
+  die with their pruned generation directories.
+
+On disk a log is the :data:`WAL_MAGIC` header followed by records::
+
+    record  := u32 payload_length | u32 crc32(payload) | payload
+    payload := b"I" | i64 row_id | u32 dims | float64[dims] vector
+             | b"D" | i64 row_id
+
+Little-endian throughout; vectors are raw C-order float64 bytes, so a
+replayed row is bit-identical to the one the caller inserted — the
+replay-identity guarantee rests on this.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.search.snapshot import GenerationError
+
+WAL_MAGIC = b"repro-wal/1\n"
+SYNC_POLICIES = ("always", "group", "off")
+
+_FRAME = struct.Struct("<II")          # payload length, crc32(payload)
+_INSERT_HEAD = struct.Struct("<qI")    # row id, dims
+_DELETE_BODY = struct.Struct("<q")     # row id
+_OP_INSERT = b"I"
+_OP_DELETE = b"D"
+
+
+class WalError(GenerationError):
+    """A write-ahead log is unreadable or corrupted mid-stream.
+
+    A torn *tail* is not an error — it is the expected signature of a
+    crash mid-append and replay silently truncates it.  ``WalError``
+    means the log's *history* is damaged: a checksum or framing failure
+    with intact records after it, a foreign file, or a record that
+    contradicts the state replay has built so far.
+    """
+
+
+def encode_insert(row_id: int, vector: np.ndarray) -> bytes:
+    """Payload bytes for one ``insert(row_id, vector)`` record."""
+    row = np.ascontiguousarray(vector, dtype=np.float64)
+    return (
+        _OP_INSERT
+        + _INSERT_HEAD.pack(int(row_id), row.size)
+        + row.tobytes()
+    )
+
+
+def encode_delete(row_id: int) -> bytes:
+    """Payload bytes for one ``delete(row_id)`` record."""
+    return _OP_DELETE + _DELETE_BODY.pack(int(row_id))
+
+
+def _decode(payload: bytes, path: str, offset: int) -> tuple:
+    """One checksum-valid payload -> ("insert", id, vector) / ("delete", id)."""
+    opcode = payload[:1]
+    if opcode == _OP_INSERT:
+        if len(payload) < 1 + _INSERT_HEAD.size:
+            raise WalError(
+                f"{path}: insert record at byte {offset} is malformed"
+            )
+        row_id, dims = _INSERT_HEAD.unpack_from(payload, 1)
+        body = payload[1 + _INSERT_HEAD.size:]
+        if len(body) != 8 * dims:
+            raise WalError(
+                f"{path}: insert record at byte {offset} declares "
+                f"{dims} dims but carries {len(body)} payload bytes"
+            )
+        vector = np.frombuffer(body, dtype="<f8").astype(
+            np.float64, copy=True
+        )
+        return ("insert", row_id, vector)
+    if opcode == _OP_DELETE:
+        if len(payload) != 1 + _DELETE_BODY.size:
+            raise WalError(
+                f"{path}: delete record at byte {offset} is malformed"
+            )
+        (row_id,) = _DELETE_BODY.unpack_from(payload, 1)
+        return ("delete", row_id)
+    raise WalError(
+        f"{path}: unknown record opcode {opcode!r} at byte {offset}"
+    )
+
+
+@dataclass(frozen=True)
+class WalReplay:
+    """The readable prefix of a write-ahead log.
+
+    Attributes:
+        ops: decoded records in append order — ``("insert", row_id,
+            vector)`` and ``("delete", row_id)`` tuples.
+        valid_bytes: length of the intact prefix (header + whole valid
+            records); a writer resuming this log truncates to it first.
+        truncated_bytes: torn-tail bytes dropped past ``valid_bytes``
+            (0 for a log that ends cleanly).
+    """
+
+    ops: tuple
+    valid_bytes: int
+    truncated_bytes: int
+
+    @property
+    def truncated(self) -> bool:
+        """Whether a torn tail was dropped."""
+        return self.truncated_bytes > 0
+
+
+def read_wal(path: str) -> WalReplay:
+    """Parse a log written by :class:`WalWriter`, tolerating a torn tail.
+
+    The tail rule mirrors what a crash can physically produce: an
+    append is one sequential write, so only the *last* record can be
+    incomplete.  Any framing or checksum failure **followed by more
+    bytes** is therefore mid-stream corruption and raises
+    :class:`WalError`; a failure that runs into end-of-file is a torn
+    tail and is truncated silently (those ops were never acknowledged
+    as durable under ``sync_policy="always"``).
+
+    Raises:
+        WalError: foreign/garbled header or mid-stream corruption.
+        OSError: the file cannot be read at all (missing file included
+            — the caller decides whether absence is legal).
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if len(blob) < len(WAL_MAGIC):
+        if WAL_MAGIC.startswith(blob):
+            # A crash during log creation tore the header itself; there
+            # is nothing after it, so nothing was lost.
+            return WalReplay(ops=(), valid_bytes=0,
+                             truncated_bytes=len(blob))
+        raise WalError(f"{path}: not a write-ahead log (bad header)")
+    if blob[: len(WAL_MAGIC)] != WAL_MAGIC:
+        raise WalError(f"{path}: not a write-ahead log (bad header)")
+    ops: list = []
+    offset = len(WAL_MAGIC)
+    n = len(blob)
+    while offset < n:
+        if n - offset < _FRAME.size:
+            break  # torn frame header
+        length, crc = _FRAME.unpack_from(blob, offset)
+        start = offset + _FRAME.size
+        if length > n - start:
+            break  # torn payload
+        payload = blob[start:start + length]
+        end = start + length
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            if end == n:
+                break  # torn final record
+            raise WalError(
+                f"{path}: checksum mismatch at byte {offset} with "
+                f"{n - end} bytes following — mid-stream corruption, "
+                "not a torn tail"
+            )
+        ops.append(_decode(payload, path, offset))
+        offset = end
+    return WalReplay(
+        ops=tuple(ops),
+        valid_bytes=offset,
+        truncated_bytes=n - offset,
+    )
+
+
+class WalWriter:
+    """Append-only writer for one generation's log.
+
+    Not thread-safe by itself — :class:`MutableIndexServer` calls it
+    under its view lock, which is also what makes "append before
+    acknowledge" atomic with the in-memory mutation.
+
+    Args:
+        path: log file; created (with a durable header) if absent.
+        sync_policy: one of :data:`SYNC_POLICIES` — ``"always"`` fsyncs
+            per append, ``"group"`` fsyncs once ``group_ops`` appends
+            or ``group_interval_ms`` milliseconds have accumulated
+            since the last sync, ``"off"`` never fsyncs on append.
+            Every policy flushes the user-space buffer per append and
+            fsyncs on :meth:`close`, so only a crash (not a clean
+            shutdown) can lose the group/off windows.
+        group_ops / group_interval_ms: the group-commit thresholds.
+        truncate_to: byte length to truncate an existing file to before
+            appending — pass :attr:`WalReplay.valid_bytes` when
+            resuming past a torn tail.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        sync_policy: str = "always",
+        group_ops: int = 64,
+        group_interval_ms: float = 50.0,
+        truncate_to: int | None = None,
+    ) -> None:
+        if sync_policy not in SYNC_POLICIES:
+            raise ValueError(
+                f"sync_policy must be one of {SYNC_POLICIES}, "
+                f"got {sync_policy!r}"
+            )
+        if group_ops < 1:
+            raise ValueError(f"group_ops must be positive, got {group_ops}")
+        if group_interval_ms <= 0:
+            raise ValueError(
+                f"group_interval_ms must be positive, "
+                f"got {group_interval_ms}"
+            )
+        self.path = path
+        self.sync_policy = sync_policy
+        self._group_ops = group_ops
+        self._group_interval = group_interval_ms / 1e3
+        self.n_appends = 0
+        self.n_syncs = 0
+        self._pending = 0
+        self._last_sync = time.perf_counter()
+        fresh = not os.path.exists(path)
+        self._file = open(path, "wb" if fresh else "r+b")
+        try:
+            if fresh:
+                self._file.write(WAL_MAGIC)
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                _fsync_dir(os.path.dirname(path) or ".")
+            else:
+                if truncate_to is not None:
+                    self._file.truncate(max(truncate_to, 0))
+                    if truncate_to < len(WAL_MAGIC):
+                        # The header itself was torn; rewrite it so the
+                        # log is well-formed again.
+                        self._file.seek(0)
+                        self._file.truncate(0)
+                        self._file.write(WAL_MAGIC)
+                    self._file.flush()
+                    os.fsync(self._file.fileno())
+                self._file.seek(0, os.SEEK_END)
+        except BaseException:
+            self._file.close()
+            raise
+
+    def append_insert(self, row_id: int, vector: np.ndarray) -> None:
+        """Log one insert; durable per ``sync_policy`` on return."""
+        self._append(encode_insert(row_id, vector))
+
+    def append_delete(self, row_id: int) -> None:
+        """Log one delete; durable per ``sync_policy`` on return."""
+        self._append(encode_delete(row_id))
+
+    def _append(self, payload: bytes) -> None:
+        if self._file.closed:
+            raise ValueError(f"{self.path}: write-ahead log is closed")
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        self._file.write(_FRAME.pack(len(payload), crc) + payload)
+        # Always leave the kernel holding the bytes: sync_policy prices
+        # the fsync (durability across power loss), not visibility.
+        self._file.flush()
+        self.n_appends += 1
+        self._pending += 1
+        if self.sync_policy == "always":
+            self.sync()
+        elif self.sync_policy == "group" and (
+            self._pending >= self._group_ops
+            or time.perf_counter() - self._last_sync >= self._group_interval
+        ):
+            self.sync()
+
+    def sync(self) -> None:
+        """Force an fsync of everything appended so far."""
+        if self._file.closed:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._pending = 0
+        self._last_sync = time.perf_counter()
+        self.n_syncs += 1
+
+    def close(self) -> None:
+        """Sync and close (idempotent); a clean shutdown never loses ops."""
+        if self._file.closed:
+            return
+        self.sync()
+        self._file.close()
+
+    def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync a directory so a just-created entry survives power loss."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

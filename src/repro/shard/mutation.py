@@ -57,6 +57,14 @@ class MutableShardedServer:
         kind / index_kwargs / compact_threshold / drift_threshold /
         keep_generations / n_workers: forwarded to every member
             :class:`MutableIndexServer`.
+        wal_sync / wal_group_ops / wal_group_interval_ms: write-ahead
+            log fsync policy, forwarded to every member — each shard
+            keeps its own log.  Under ``"always"`` an acknowledged op
+            is durable on its owning shard, so resume (which recovers
+            the global id counter as the max over member counters)
+            never reuses an id even after a partial-shard crash; under
+            ``"group"``/``"off"`` a crash can drop each shard's
+            unsynced window independently.
     """
 
     def __init__(
@@ -71,6 +79,9 @@ class MutableShardedServer:
         compact_threshold: int | None = None,
         drift_threshold: float | None = None,
         keep_generations: int = 2,
+        wal_sync: str = "always",
+        wal_group_ops: int = 64,
+        wal_group_interval_ms: float = 50.0,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
@@ -105,6 +116,9 @@ class MutableShardedServer:
                         compact_threshold=compact_threshold,
                         drift_threshold=drift_threshold,
                         keep_generations=keep_generations,
+                        wal_sync=wal_sync,
+                        wal_group_ops=wal_group_ops,
+                        wal_group_interval_ms=wal_group_interval_ms,
                     )
                 )
         except BaseException:
@@ -115,10 +129,14 @@ class MutableShardedServer:
         # Global id allocation: resume from the largest next-id any
         # member recorded.  With round-robin ownership an id is only
         # valid on shard id % S, so the coordinator hands each member
-        # the exact id it must store the row under.
+        # the exact id it must store the row under.  Each member's
+        # counter reflects its generation manifest *plus* its replayed
+        # write-ahead log, so under wal_sync="always" every id the
+        # coordinator ever acknowledged is past the recovered max and
+        # can never be reallocated after a partial-shard crash.
         self._lock = threading.Lock()
         self._next_row_id = max(
-            member._next_row_id for member in self._members
+            member.next_row_id for member in self._members
         )
         self._closed = False
 
@@ -135,6 +153,12 @@ class MutableShardedServer:
     @property
     def n_live(self) -> int:
         return sum(member.n_live for member in self._members)
+
+    @property
+    def next_row_id(self) -> int:
+        """The global id the next :meth:`insert` would be assigned."""
+        with self._lock:
+            return self._next_row_id
 
     @property
     def members(self) -> tuple[MutableIndexServer, ...]:
@@ -172,8 +196,14 @@ class MutableShardedServer:
 
     # -- queries -------------------------------------------------------
 
-    def query(self, query, k: int = 1) -> KnnResult:
-        """Exact global top-``k`` over the union of live shard rows."""
+    def query(
+        self, query, k: int = 1, *, deadline_ms: float | None = None
+    ) -> KnnResult:
+        """Exact global top-``k`` over the union of live shard rows.
+
+        ``deadline_ms`` is forwarded to every member query; the fan-out
+        is sequential, so it bounds each member's wait, not the sum.
+        """
         vector = validate_query(query, self.dimensionality)
         k = validate_k(k, self.n_live)
         per_shard = []
@@ -184,18 +214,29 @@ class MutableShardedServer:
             # clamping loses no candidate.
             k_member = min(k, member.n_live)
             if k_member > 0:
-                per_shard.append(member.query(vector, k_member))
+                per_shard.append(
+                    member.query(vector, k_member, deadline_ms=deadline_ms)
+                )
         return _merge_global(per_shard, k)
 
-    def query_batch(self, queries, k: int = 1) -> BatchKnnResult:
-        """Row-wise :meth:`query` through per-member explicit batches."""
+    def query_batch(
+        self, queries, k: int = 1, *, deadline_ms: float | None = None
+    ) -> BatchKnnResult:
+        """Row-wise :meth:`query` through per-member explicit batches.
+
+        ``deadline_ms`` is forwarded to every member batch.
+        """
         array = validate_queries(queries, self.dimensionality)
         k = validate_k(k, self.n_live)
         per_shard = []
         for member in self._members:
             k_member = min(k, member.n_live)
             if k_member > 0 and array.shape[0] > 0:
-                per_shard.append(member.query_batch(array, k_member))
+                per_shard.append(
+                    member.query_batch(
+                        array, k_member, deadline_ms=deadline_ms
+                    )
+                )
         results = tuple(
             _merge_global(
                 [batch.results[row] for batch in per_shard], k

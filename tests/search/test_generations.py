@@ -200,7 +200,89 @@ class TestPrune:
         store.prune(keep=2)
         assert not os.path.exists(orphan)
 
+    def test_stale_manifest_tmp_files_swept(self, store, corpus):
+        """A crash mid-manifest-write strands a tmp file; prune eats it."""
+        self._publish_n(store, corpus, 2)
+        stale = os.path.join(store.root, "generations.jsonabc123.tmp")
+        with open(stale, "w") as handle:
+            handle.write("{}")
+        store.prune(keep=2)
+        assert not os.path.exists(stale)
+        # The real manifest is untouched.
+        assert store.active().generation_id == 1
+
     def test_keep_must_be_positive(self, store, corpus):
         self._publish_n(store, corpus, 1)
         with pytest.raises(ValueError, match="keep"):
             store.prune(keep=0)
+
+
+class TestPrepareCommit:
+    def test_prepare_does_not_activate(self, store, corpus):
+        store.publish(
+            BruteForceIndex(corpus), np.arange(20), next_row_id=20
+        )
+        pending = store.prepare(
+            BruteForceIndex(corpus[:10]),
+            np.arange(10),
+            next_row_id=20,
+            reason="size",
+        )
+        # The directory is durably on disk, the manifest still points
+        # at the old generation — exactly the crash window a resume
+        # must survive.
+        assert os.path.exists(pending.snapshot_path)
+        assert os.path.exists(pending.ids_path)
+        assert store.active().generation_id == 0
+        assert [g.generation_id for g in store.generations()] == [0]
+
+    def test_commit_activates_and_names_the_wal(self, store, corpus):
+        pending = store.prepare(
+            BruteForceIndex(corpus), np.arange(20), next_row_id=20
+        )
+        info = store.commit(pending)
+        assert info.generation_id == pending.generation_id == 0
+        active = store.active()
+        assert active.generation_id == 0
+        assert os.path.basename(active.wal_path) == "wal.log"
+        with open(store.manifest_path) as handle:
+            raw = json.load(handle)
+        assert raw["generations"][0]["wal"] == "wal.log"
+
+    def test_commit_refuses_stale_prepare(self, store, corpus):
+        first = store.prepare(
+            BruteForceIndex(corpus), np.arange(20), next_row_id=20
+        )
+        store.publish(
+            BruteForceIndex(corpus), np.arange(20), next_row_id=20
+        )
+        with pytest.raises(GenerationError, match="stale"):
+            store.commit(first)
+
+    def test_commit_refuses_unprepared_info(self, store, corpus):
+        pending = store.prepare(
+            BruteForceIndex(corpus), np.arange(20), next_row_id=20
+        )
+        import shutil
+
+        shutil.rmtree(pending.directory)
+        with pytest.raises(GenerationError, match="never prepared"):
+            store.commit(pending)
+
+    def test_prepared_orphan_swept_and_id_reused(self, store, corpus):
+        """An uncommitted prepare is invisible: the id is reallocated
+        by the next prepare and the stale directory is overwritten."""
+        store.publish(
+            BruteForceIndex(corpus), np.arange(20), next_row_id=20
+        )
+        orphan = store.prepare(
+            BruteForceIndex(corpus[:5]), np.arange(5), next_row_id=20
+        )
+        retry = store.prepare(
+            BruteForceIndex(corpus[:10]), np.arange(10), next_row_id=20
+        )
+        assert retry.generation_id == orphan.generation_id
+        store.commit(retry)
+        assert store.active().n_points == 10
+        store.prune(keep=2)
+        assert [g.generation_id for g in store.generations()] == [0, 1]

@@ -151,6 +151,21 @@ class TestIdentityThroughMutation:
                     n.distance for n in want.neighbors
                 ]
 
+    def test_query_batch_honors_deadline(self, tmp_path, data):
+        """Satellite of the deadline contract: batches enforce it too."""
+        from repro.serve.errors import DeadlineExceeded
+
+        corpus, probes, _ = data
+        with MutableIndexServer(
+            os.path.join(tmp_path, "bd"), corpus, kind="bruteforce"
+        ) as server:
+            batch = server.query_batch(probes, 3, deadline_ms=60_000)
+            assert len(batch.results) == probes.shape[0]
+            with pytest.raises(DeadlineExceeded):
+                server.query_batch(probes, 3, deadline_ms=1e-6)
+            with pytest.raises(ValueError, match="deadline_ms"):
+                server.query_batch(probes, 3, deadline_ms=-5)
+
     def test_size_triggered_compaction(self, tmp_path, data):
         corpus, probes, rng = data
         with MutableIndexServer(
@@ -275,13 +290,61 @@ class TestResume:
             first = server.insert(rng.standard_normal(5))
             assert first == 40
             server.delete(2)
-            server.compact()  # persist the memtable before shutdown
+            server.compact()
         with MutableIndexServer(root, kind="kdtree") as server:
             assert server.n_live == 40
             assert server.generation_id == 1
             # Ids never reuse: the next insert continues the sequence.
             assert server.insert(rng.standard_normal(5)) == 41
             _assert_matches_reference(server, probes)
+
+    def test_resume_replays_uncompacted_memtable(self, tmp_path, data):
+        """No compact before shutdown: the WAL alone restores the delta."""
+        corpus, probes, rng = data
+        root = os.path.join(tmp_path, "w")
+        with MutableIndexServer(root, corpus, kind="kdtree") as server:
+            for _ in range(7):
+                server.insert(rng.standard_normal(5))
+            server.delete(3)
+            server.delete(42)
+            assert server.wal_appends == 9
+            expected = [
+                [(n.index, n.distance) for n in
+                 server.query(probe, 3).neighbors]
+                for probe in probes
+            ]
+        with MutableIndexServer(root, kind="kdtree") as server:
+            assert server.generation_id == 0
+            assert server.n_live == 45
+            assert server.memtable_ops == 9
+            assert server.next_row_id == 47
+            got = [
+                [(n.index, n.distance) for n in
+                 server.query(probe, 3).neighbors]
+                for probe in probes
+            ]
+            assert got == expected
+            _assert_matches_reference(server, probes)
+            # The sequence continues past replayed ids, never reusing.
+            assert server.insert(rng.standard_normal(5)) == 47
+
+    def test_resume_replay_respects_size_trigger(self, tmp_path, data):
+        """A replayed memtable over the threshold compacts immediately."""
+        corpus, _, rng = data
+        root = os.path.join(tmp_path, "t")
+        with MutableIndexServer(root, corpus) as server:
+            for _ in range(6):
+                server.insert(rng.standard_normal(5))
+        with MutableIndexServer(
+            root, compact_threshold=4
+        ) as server:
+            deadline = threading.Event()
+            for _ in range(100):
+                if server.n_compactions >= 1:
+                    break
+                deadline.wait(0.05)
+            assert server.n_compactions >= 1
+            assert server.memtable_ops == 0
 
     def test_resume_rejects_kind_mismatch_and_reseed(self, tmp_path, data):
         corpus, _, _ = data

@@ -88,6 +88,27 @@ class TestBitIdentity:
             batch = server.query_batch(np.empty((0, 4)), k=2)
         assert len(batch) == 0
 
+    def test_explicit_batch_honors_deadline(self, index, snapshot, rng):
+        """query_batch carries the same deadline contract as query."""
+        from repro.serve.errors import DeadlineExceeded
+
+        queries = rng.normal(size=(4, 4))
+        with IndexServer(snapshot, n_workers=0) as server:
+            # A generous deadline answers normally ...
+            batch = server.query_batch(queries, k=2, deadline_ms=60_000)
+            expected = index.query_batch(queries, k=2)
+            for got, want in zip(batch, expected):
+                assert_result_matches(got, want)
+            # ... an impossible one raises instead of answering late
+            # (in-process compute cannot be preempted, so the check
+            # lands on completion) and is counted in the ledger.
+            with pytest.raises(DeadlineExceeded):
+                server.query_batch(queries, k=2, deadline_ms=1e-6)
+            assert server.stats().n_deadline_exceeded >= 1
+            # Invalid deadlines are rejected like submit rejects them.
+            with pytest.raises(ValueError, match="deadline_ms"):
+                server.query_batch(queries, k=2, deadline_ms=0)
+
 
 class TestCache:
     def test_repeats_hit_and_stay_identical(self, index, snapshot, rng):

@@ -1,0 +1,245 @@
+"""Write-ahead log unit contract: framing, checksums, tails, policies.
+
+The log's one job is to make "acknowledged" mean "replayable": every
+record round-trips bit-identically, a torn tail (the physical signature
+of a crash mid-append) is silently truncated, and any damage *before*
+intact records — a log lying about history — is refused loudly with
+:class:`WalError`.  These tests drive the format directly, byte by
+byte, independent of the serving stack above it.
+"""
+
+import os
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.serve.wal import (
+    SYNC_POLICIES,
+    WAL_MAGIC,
+    WalError,
+    WalWriter,
+    encode_delete,
+    encode_insert,
+    read_wal,
+)
+
+
+@pytest.fixture
+def log(tmp_path):
+    return os.path.join(tmp_path, "wal.log")
+
+
+def _write(log, ops, **kwargs):
+    with WalWriter(log, **kwargs) as writer:
+        for op in ops:
+            if op[0] == "insert":
+                writer.append_insert(op[1], op[2])
+            else:
+                writer.append_delete(op[1])
+    return writer
+
+
+class TestRoundTrip:
+    def test_empty_log(self, log):
+        WalWriter(log).close()
+        replay = read_wal(log)
+        assert replay.ops == ()
+        assert replay.valid_bytes == len(WAL_MAGIC)
+        assert not replay.truncated
+
+    def test_records_round_trip_bit_identically(self, log):
+        rng = np.random.default_rng(7)
+        rows = [rng.standard_normal(6) for _ in range(5)]
+        ops = [("insert", 40 + i, row) for i, row in enumerate(rows)]
+        ops.insert(3, ("delete", 12))
+        ops.append(("delete", 41))
+        _write(log, ops)
+        replay = read_wal(log)
+        assert not replay.truncated
+        assert len(replay.ops) == len(ops)
+        for got, want in zip(replay.ops, ops):
+            assert got[0] == want[0]
+            assert got[1] == want[1]
+            if want[0] == "insert":
+                # Bit-identical, not approximately equal: replay
+                # identity rests on the raw float64 bytes surviving.
+                assert got[2].tobytes() == want[2].tobytes()
+
+    def test_missing_file_raises_oserror(self, log):
+        with pytest.raises(OSError):
+            read_wal(log)
+
+    def test_append_to_reopened_log(self, log):
+        _write(log, [("insert", 1, np.ones(3))])
+        replay = read_wal(log)
+        with WalWriter(log, truncate_to=replay.valid_bytes) as writer:
+            writer.append_delete(1)
+        ops = read_wal(log).ops
+        assert [op[0] for op in ops] == ["insert", "delete"]
+
+
+class TestTornTail:
+    def test_partial_final_record_is_truncated(self, log):
+        _write(log, [("insert", 1, np.ones(3)), ("delete", 1)])
+        intact = read_wal(log)
+        blob = open(log, "rb").read()
+        # Sever the log at every byte: a cut landing exactly on a
+        # record boundary is a clean shorter log; anything else is a
+        # torn tail truncated back to the last boundary.
+        for cut in range(intact.valid_bytes - 1,
+                         len(WAL_MAGIC) + 8, -1):
+            with open(log, "wb") as handle:
+                handle.write(blob[:cut])
+            replay = read_wal(log)
+            assert replay.valid_bytes <= cut
+            assert replay.truncated == (replay.valid_bytes != cut)
+
+    def test_torn_header_is_empty_not_corrupt(self, log):
+        with open(log, "wb") as handle:
+            handle.write(WAL_MAGIC[:4])
+        replay = read_wal(log)
+        assert replay.ops == ()
+        assert replay.valid_bytes == 0
+        assert replay.truncated
+
+    def test_corrupt_final_record_is_torn_tail(self, log):
+        _write(log, [("insert", 1, np.ones(3)), ("delete", 1)])
+        blob = bytearray(open(log, "rb").read())
+        blob[-1] ^= 0xFF  # flip a payload byte of the last record
+        with open(log, "wb") as handle:
+            handle.write(bytes(blob))
+        replay = read_wal(log)
+        assert replay.truncated
+        assert [op[0] for op in replay.ops] == ["insert"]
+
+    def test_writer_truncates_past_torn_tail(self, log):
+        _write(log, [("insert", 1, np.ones(3))])
+        with open(log, "ab") as handle:
+            handle.write(b"\x07\x00")  # half a frame header
+        replay = read_wal(log)
+        assert replay.truncated
+        with WalWriter(log, truncate_to=replay.valid_bytes) as writer:
+            writer.append_delete(1)
+        again = read_wal(log)
+        assert not again.truncated
+        assert [op[0] for op in again.ops] == ["insert", "delete"]
+
+    def test_writer_rewrites_torn_header(self, log):
+        with open(log, "wb") as handle:
+            handle.write(WAL_MAGIC[:4])
+        with WalWriter(log, truncate_to=0) as writer:
+            writer.append_delete(9)
+        replay = read_wal(log)
+        assert replay.ops == (("delete", 9),)
+
+
+class TestCorruption:
+    def test_mid_stream_flip_raises(self, log):
+        _write(log, [("insert", 1, np.ones(3)), ("delete", 1)])
+        blob = bytearray(open(log, "rb").read())
+        blob[len(WAL_MAGIC) + 9] ^= 0xFF  # inside the *first* payload
+        with open(log, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(WalError, match="mid-stream"):
+            read_wal(log)
+
+    def test_foreign_header_raises(self, log):
+        with open(log, "wb") as handle:
+            handle.write(b"PK\x03\x04 definitely not a wal\n")
+        with pytest.raises(WalError, match="header"):
+            read_wal(log)
+
+    def test_unknown_opcode_raises(self, log):
+        payload = b"X" + struct.pack("<q", 3)
+        frame = struct.pack(
+            "<II", len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+        )
+        with open(log, "wb") as handle:
+            handle.write(WAL_MAGIC + frame + payload)
+        with pytest.raises(WalError, match="opcode"):
+            read_wal(log)
+
+    def test_malformed_insert_payload_raises(self, log):
+        # Valid checksum over a payload whose declared dims disagree
+        # with its byte count: framing is fine, semantics are not.
+        payload = encode_insert(5, np.ones(4))[:-8]
+        frame = struct.pack(
+            "<II", len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+        )
+        with open(log, "wb") as handle:
+            handle.write(WAL_MAGIC + frame + payload)
+        with pytest.raises(WalError, match="dims"):
+            read_wal(log)
+
+
+class TestSyncPolicies:
+    def test_policy_names_are_closed(self):
+        assert SYNC_POLICIES == ("always", "group", "off")
+
+    def test_invalid_policy_refused(self, log):
+        with pytest.raises(ValueError, match="sync_policy"):
+            WalWriter(log, sync_policy="fsync-sometimes")
+
+    def test_invalid_group_knobs_refused(self, log):
+        with pytest.raises(ValueError, match="group_ops"):
+            WalWriter(log, group_ops=0)
+        with pytest.raises(ValueError, match="group_interval_ms"):
+            WalWriter(log, group_interval_ms=0.0)
+
+    def test_always_syncs_every_append(self, log):
+        writer = _write(
+            log,
+            [("insert", i, np.ones(2)) for i in range(5)],
+            sync_policy="always",
+        )
+        # +1: creating the file syncs the header; +1: close syncs.
+        assert writer.n_appends == 5
+        assert writer.n_syncs >= 5
+
+    def test_group_syncs_on_op_count(self, log):
+        writer = WalWriter(
+            log, sync_policy="group", group_ops=3,
+            group_interval_ms=60_000.0,
+        )
+        before = writer.n_syncs
+        writer.append_delete(1)
+        writer.append_delete(2)
+        assert writer.n_syncs == before
+        writer.append_delete(3)
+        assert writer.n_syncs == before + 1
+        writer.close()
+
+    def test_off_never_syncs_on_append_but_close_does(self, log):
+        writer = WalWriter(log, sync_policy="off")
+        before = writer.n_syncs
+        for i in range(10):
+            writer.append_delete(i)
+        assert writer.n_syncs == before
+        writer.close()
+        assert writer.n_syncs == before + 1
+        # Every policy's clean close leaves a fully readable log.
+        assert len(read_wal(log).ops) == 10
+
+    def test_closed_writer_refuses_appends(self, log):
+        writer = WalWriter(log)
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            writer.append_delete(0)
+
+
+class TestEncoding:
+    def test_delete_payload_layout(self):
+        payload = encode_delete(258)
+        assert payload[:1] == b"D"
+        assert struct.unpack("<q", payload[1:])[0] == 258
+
+    def test_insert_payload_layout(self):
+        row = np.array([1.5, -2.25])
+        payload = encode_insert(7, row)
+        assert payload[:1] == b"I"
+        row_id, dims = struct.unpack_from("<qI", payload, 1)
+        assert (row_id, dims) == (7, 2)
+        assert payload[13:] == row.tobytes()

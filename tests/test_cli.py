@@ -169,6 +169,28 @@ class TestServeBenchMutateCommand:
         assert "bit-identical to fresh rebuild" in out
         assert "yes" in out
 
+    def test_mutate_wal_sync_policy(self, capsys):
+        assert main(
+            [
+                "serve-bench", "--mutate", "--index", "kdtree",
+                "--n", "60", "--dims", "4", "--queries", "8", "--k", "3",
+                "--mutate-ops", "30", "--compact-every", "20",
+                "--wal-sync", "group",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wal sync policy" in out
+        assert "group" in out
+
+    def test_wal_sync_requires_mutate(self):
+        with pytest.raises(SystemExit, match="--wal-sync requires"):
+            main(
+                [
+                    "serve-bench", "--wal-sync", "always",
+                    "--n", "60", "--dims", "4",
+                ]
+            )
+
     def test_mutate_rejects_non_exact_kind(self):
         with pytest.raises(SystemExit, match="cannot serve mutations"):
             main(
